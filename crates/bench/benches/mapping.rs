@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the paper's core algorithm: mapping an
+//! FSM into embedded memory blocks, content generation, and the
+//! clock-control synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emb_fsm::clock_control::attach_emb_clock_control;
+use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
+use logic_synth::techmap::MapOptions;
+use std::hint::black_box;
+
+fn bench_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_fsm_into_embs");
+    for name in ["donfile", "keyb", "planet", "sand"] {
+        let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
+        g.bench_function(name, |b| {
+            b.iter(|| map_fsm_into_embs(black_box(&stg), &EmbOptions::default()).expect("maps"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_netlist_generation(c: &mut Criterion) {
+    let stg = fsm_model::benchmarks::by_name("planet").expect("planet");
+    let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+    c.bench_function("emb_to_netlist/planet", |b| {
+        b.iter(|| black_box(&emb).to_netlist());
+    });
+}
+
+fn bench_clock_control(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clock_control");
+    for name in ["keyb", "planet"] {
+        let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                attach_emb_clock_control(black_box(&emb), MapOptions::default()).expect("cc")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_eco_rewrite(c: &mut Criterion) {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+    c.bench_function("eco_rewrite/keyb", |b| {
+        b.iter(|| emb_fsm::eco::rewrite(black_box(&emb), &stg).expect("eco"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_map,
+    bench_netlist_generation,
+    bench_clock_control,
+    bench_eco_rewrite
+);
+criterion_main!(benches);

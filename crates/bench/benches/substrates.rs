@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the substrates: espresso minimization,
+//! LUT technology mapping, simulated-annealing placement, routing, and
+//! cycle-based netlist simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emb_fsm::baseline::ff_netlist;
+use fpga_fabric::device::Device;
+use fpga_fabric::pack::pack;
+use fpga_fabric::place::{place, PlaceOptions};
+use fpga_fabric::route::{route, RouteOptions};
+use logic_synth::cover::Cover;
+use logic_synth::cube::Cube;
+use logic_synth::decompose::decompose2;
+use logic_synth::synth::{synthesize, SynthOptions};
+use logic_synth::techmap::{map_luts, MapOptions};
+use netsim::engine::Simulator;
+use netsim::stimulus;
+use std::hint::black_box;
+
+fn keyb_ff_netlist() -> fpga_fabric::netlist::Netlist {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+    ff_netlist(&synth, false).0
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    // A structured 10-var function: minterms of popcount >= 6.
+    let mut onset = Cover::empty(10);
+    for m in 0..1u64 << 10 {
+        if m.count_ones() >= 6 {
+            onset.push(Cube::minterm(10, m));
+        }
+    }
+    c.bench_function("espresso/popcount10", |b| {
+        b.iter(|| logic_synth::espresso::minimize_exact_care(black_box(&onset)));
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    c.bench_function("synthesize_fsm/keyb", |b| {
+        b.iter(|| synthesize(black_box(&stg), SynthOptions::default()).expect("synthesis"));
+    });
+}
+
+fn bench_techmap(c: &mut Criterion) {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+    let two = decompose2(&synth.network);
+    c.bench_function("map_luts/keyb", |b| {
+        b.iter(|| map_luts(black_box(&two), MapOptions::default()).expect("maps"));
+    });
+}
+
+fn bench_place_route(c: &mut Criterion) {
+    let netlist = keyb_ff_netlist();
+    let packed = pack(&netlist);
+    let device = Device::xc2v250();
+    c.bench_function("place_sa/keyb", |b| {
+        b.iter(|| {
+            place(
+                black_box(&netlist),
+                &packed,
+                device,
+                PlaceOptions { seed: 1, effort: 2.0 },
+            )
+            .expect("places")
+        });
+    });
+    let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
+    c.bench_function("route/keyb", |b| {
+        b.iter(|| {
+            route(
+                black_box(&netlist),
+                &packed,
+                &placement,
+                RouteOptions::default(),
+            )
+            .expect("routes")
+        });
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let netlist = keyb_ff_netlist();
+    let vectors = stimulus::random(netlist.inputs().len(), 1000, 3);
+    c.bench_function("simulate_1k_cycles/keyb", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(black_box(&netlist)).expect("simulator");
+            for v in &vectors {
+                sim.clock(v);
+            }
+            sim.activity().cycles
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_espresso,
+    bench_synthesis,
+    bench_techmap,
+    bench_place_route,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: state-encoding style for the FF baseline (DESIGN.md §5.1).
+//!
+//! Sec. 4.1: "The number of FFs used to implement an FSM depends on the
+//! state encoding, such as sequential, one-hot, grey encoding." The EMB
+//! mapping is pinned to binary (state bits are address lines); the FF
+//! baseline can trade FFs against LUT depth.
+
+use emb_fsm::flow::{ff_flow, Stimulus};
+use fsm_model::encoding::EncodingStyle;
+use logic_synth::synth::SynthOptions;
+use paper_bench::{mw, paper_config, TextTable};
+
+fn main() {
+    let cfg = paper_config();
+    println!("Ablation: FF-baseline state encoding (keyb, donfile)\n");
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "encoding",
+        "LUTs",
+        "FFs",
+        "slices",
+        "fmax",
+        "power@100",
+    ]);
+    for name in ["keyb", "donfile"] {
+        let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
+        for style in [
+            EncodingStyle::Binary,
+            EncodingStyle::Gray,
+            EncodingStyle::OneHotZero,
+        ] {
+            let r = ff_flow(
+                &stg,
+                SynthOptions {
+                    encoding: style,
+                    ..SynthOptions::default()
+                },
+                &Stimulus::Random,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("{name}/{style}: {e}"));
+            table.row(vec![
+                name.to_string(),
+                style.to_string(),
+                r.area.luts.to_string(),
+                r.area.ffs.to_string(),
+                r.area.slices.to_string(),
+                format!("{:.1}", r.timing.fmax_mhz),
+                mw(r.power_at(100.0).expect("100MHz").total_mw()),
+            ]);
+        }
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,51 @@
+//! Figure 1: the two FSM architectures, shown as structural statistics.
+//!
+//! Fig. 1a is the conventional FF + LUT machine (registers, a
+//! combinational cone in LUTs, programmable interconnect); Fig. 1b is the
+//! EMB machine (one memory whose latched outputs feed its own address).
+//! This binary prints both netlists' structure for one benchmark so the
+//! contrast — hundreds of LUTs and routed nets vs a single BRAM with a
+//! handful of nets — is visible in numbers.
+
+use emb_fsm::baseline::ff_netlist;
+use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
+use fpga_fabric::netlist::Netlist;
+use logic_synth::synth::{synthesize, SynthOptions};
+use paper_bench::TextTable;
+
+fn describe(n: &Netlist) -> Vec<String> {
+    let c = n.cell_counts();
+    vec![
+        c.luts.to_string(),
+        c.ffs.to_string(),
+        c.brams.to_string(),
+        n.num_nets().to_string(),
+        n.inputs().len().to_string(),
+        n.outputs().len().to_string(),
+    ]
+}
+
+fn main() {
+    println!("Figure 1: FF/LUT (1a) vs EMB (1b) architecture, structurally\n");
+    let mut table = TextTable::new(vec![
+        "benchmark", "impl", "LUTs", "FFs", "BRAMs", "nets", "ins", "outs",
+    ]);
+    for name in ["keyb", "planet"] {
+        let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
+        let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+        let (ff, _) = ff_netlist(&synth, false);
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("mapping");
+        let embn = emb.to_netlist();
+        let mut row = vec![name.to_string(), "FF/LUT (1a)".to_string()];
+        row.extend(describe(&ff));
+        table.row(row);
+        let mut row = vec![String::new(), "EMB (1b)".to_string()];
+        row.extend(describe(&embn));
+        table.row(row);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("The EMB machine's only feedback nets are its state bits back to");
+    println!("its own address lines; the FF machine routes every LUT-to-LUT");
+    println!("connection through the programmable interconnect (Sec. 4.1).");
+}

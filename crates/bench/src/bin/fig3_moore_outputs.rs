@@ -1,0 +1,59 @@
+//! Figure 3: a Moore machine's output function implemented in LUTs
+//! outside the memory.
+//!
+//! The paper's example is prep4: "16 states were encoded using 4 output
+//! lines of the blockram, which were also connected to the inputs of 8
+//! LUTs to generate the FSM's output." This binary maps prep4 both ways
+//! and shows the Fig. 3 structure.
+
+use emb_fsm::map::{map_fsm_into_embs, EmbOptions, OutputMode, OutputRealization};
+use paper_bench::TextTable;
+
+fn main() {
+    let stg = fsm_model::benchmarks::by_name("prep4").expect("prep4");
+    println!("Figure 3: Moore output function in LUTs (prep4)\n");
+
+    let mut table = TextTable::new(vec![
+        "output mode",
+        "states",
+        "state bits",
+        "data width",
+        "BRAMs",
+        "aux LUTs",
+    ]);
+    for (label, mode) in [
+        ("in-memory", OutputMode::InMemory),
+        ("LUT outputs", OutputMode::MooreLuts),
+    ] {
+        let emb = map_fsm_into_embs(
+            &stg,
+            &EmbOptions {
+                output_mode: mode,
+                ..EmbOptions::default()
+            },
+        )
+        .expect("prep4 maps");
+        table.row(vec![
+            label.to_string(),
+            emb.stg.num_states().to_string(),
+            emb.num_state_bits().to_string(),
+            emb.data_width.to_string(),
+            emb.num_brams().to_string(),
+            emb.aux_luts().to_string(),
+        ]);
+        if let OutputRealization::Luts(l) = &emb.outputs {
+            println!(
+                "LUT output network: {} LUTs, depth {}, {} outputs driven by {} state bits",
+                l.num_luts(),
+                l.depth(),
+                l.outputs.len(),
+                emb.num_state_bits(),
+            );
+        }
+    }
+    println!();
+    print!("{}", table.render());
+    println!();
+    println!("prep4 is Mealy as regenerated, so the LUT-output mode first applies");
+    println!("the Mealy-to-Moore transform (Kohavi), splitting states as needed.");
+}

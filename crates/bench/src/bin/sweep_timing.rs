@@ -1,0 +1,51 @@
+//! Extension sweep: critical path vs FSM complexity.
+//!
+//! Sec. 4.2: the EMB machine's critical path runs "from the output of the
+//! EMB to its address inputs. Thus no matter how many state transitions
+//! an FSM may have the timing of it does not change" — while the FF
+//! machine's LUT depth (and so its critical path) grows with complexity.
+
+use emb_fsm::flow::Stimulus;
+use paper_bench::{compare, paper_config, suite, TextTable};
+
+fn main() {
+    let cfg = paper_config();
+    println!("Sweep: critical path vs FSM complexity\n");
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "transitions",
+        "FF path (ns)",
+        "FF fmax",
+        "EMB path (ns)",
+        "EMB fmax",
+    ]);
+    let mut ff_paths: Vec<f64> = Vec::new();
+    let mut emb_paths: Vec<f64> = Vec::new();
+    for stg in suite() {
+        let (ff, emb) = compare(&stg, &Stimulus::Random, &cfg);
+        ff_paths.push(ff.timing.critical_path_ns);
+        emb_paths.push(emb.timing.critical_path_ns);
+        table.row(vec![
+            stg.name().to_string(),
+            stg.transitions().len().to_string(),
+            format!("{:.2}", ff.timing.critical_path_ns),
+            format!("{:.1}", ff.timing.fmax_mhz),
+            format!("{:.2}", emb.timing.critical_path_ns),
+            format!("{:.1}", emb.timing.fmax_mhz),
+        ]);
+    }
+    print!("{}", table.render());
+    let spread = |v: &[f64]| {
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        max / min
+    };
+    println!();
+    println!(
+        "Path spread (max/min): FF {:.2}x, EMB {:.2}x — the EMB path is",
+        spread(&ff_paths),
+        spread(&emb_paths)
+    );
+    println!("essentially fixed (\"fixed timing regardless of the FSM's");
+    println!("complexity\", Sec. 1) while the FF path varies widely.");
+}

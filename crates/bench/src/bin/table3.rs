@@ -1,0 +1,46 @@
+//! Table 3: power of the EMB implementation *with clock-control logic*
+//! at 50 / 85 / 100 MHz, and its saving versus the FF implementation at
+//! 100 MHz.
+//!
+//! The paper's scenario: "an average case (with 50% idle states)". Both
+//! implementations are driven by the same idle-biased stimulus; the
+//! measured idle occupancy is printed per row.
+
+use emb_fsm::flow::{emb_clock_controlled_flow, ff_flow, Stimulus};
+use emb_fsm::map::EmbOptions;
+use logic_synth::synth::SynthOptions;
+use paper_bench::{mw, paper_config, pct, saving, suite, TextTable};
+
+fn main() {
+    let cfg = paper_config();
+    let stim = Stimulus::IdleBiased(0.5);
+    let mut table = TextTable::new(vec![
+        "Benchmark",
+        "cc 50MHz",
+        "cc 85MHz",
+        "cc 100MHz",
+        "idle",
+        "saving vs FF@100",
+    ]);
+    for stg in suite() {
+        let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg)
+            .unwrap_or_else(|e| panic!("{}: FF flow failed: {e}", stg.name()));
+        let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
+            .unwrap_or_else(|e| panic!("{}: EMB+cc flow failed: {e}", stg.name()));
+        let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
+            r.power_at(f).expect("configured frequency").total_mw()
+        };
+        table.row(vec![
+            stg.name().to_string(),
+            mw(p(&cc, 50.0)),
+            mw(p(&cc, 85.0)),
+            mw(p(&cc, 100.0)),
+            format!("{:.0}%", cc.idle_fraction * 100.0),
+            pct(saving(p(&ff, 100.0), p(&cc, 100.0))),
+        ]);
+    }
+    println!("Table 3: EMB power with clock-control logic (mW)");
+    println!("(idle-biased stimulus targeting 50% idle, {} cycles)", cfg.cycles);
+    println!();
+    print!("{}", table.render());
+}

@@ -1,0 +1,36 @@
+//! Table 4: area overhead of the clock-control logic (LUTs and slices)
+//! for each benchmark.
+//!
+//! "We have written a program in C which identifies all such idle states
+//! from the state transition graph and generates … the clock control
+//! logic" — here [`emb_fsm::clock_control::synthesize_enable`], whose
+//! mapped LUT count is the overhead.
+
+use emb_fsm::clock_control::attach_emb_clock_control;
+use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
+use logic_synth::techmap::MapOptions;
+use paper_bench::{suite, TextTable};
+
+fn main() {
+    let mut table = TextTable::new(vec!["Benchmark", "LUTs", "Slices", "idle cubes", "cone"]);
+    for stg in suite() {
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
+            .unwrap_or_else(|e| panic!("{}: mapping failed: {e}", stg.name()));
+        let (_, cc) = attach_emb_clock_control(&emb, MapOptions::default())
+            .unwrap_or_else(|e| panic!("{}: clock control failed: {e}", stg.name()));
+        table.row(vec![
+            stg.name().to_string(),
+            cc.num_luts().to_string(),
+            cc.num_slices().to_string(),
+            cc.idle_cubes.to_string(),
+            if cc.uses_outputs {
+                "state+inputs+outputs".to_string()
+            } else {
+                "state+inputs".to_string()
+            },
+        ]);
+    }
+    println!("Table 4: area overhead of the clock-control logic");
+    println!();
+    print!("{}", table.render());
+}

@@ -1,0 +1,368 @@
+//! Column compaction and the state-controlled input multiplexer (Fig. 4).
+//!
+//! When `I + s` exceeds the address lines of every BRAM aspect ratio, the
+//! paper removes per-state don't-care input columns: each state reads only
+//! its *support* columns, so a machine whose largest per-state support is
+//! `i < I` can address the memory with `i` compacted input bits selected
+//! by a state-controlled multiplexer (Fig. 5 lines 11–14).
+//!
+//! The multiplexer itself is synthesized as LUT logic over the state bits
+//! and raw inputs; its area and power are charged to the EMB
+//! implementation, exactly as the paper's Table 1 "LUT" column does.
+
+use fsm_model::analysis::state_input_support;
+use fsm_model::encoding::StateEncoding;
+use fsm_model::stg::{StateId, Stg};
+use logic_synth::cover::Cover;
+use logic_synth::cube::Cube;
+use logic_synth::decompose::decompose2;
+use logic_synth::espresso;
+use logic_synth::network::Network;
+use logic_synth::techmap::{map_luts, LutNetwork, MapError, MapOptions};
+
+/// The per-state input-column selection of a compacted mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionPlan {
+    /// Compacted input width `i` (max per-state support).
+    pub width: usize,
+    /// `sel[state][k]` = the raw input column feeding compacted bit `k`
+    /// while in `state`, or `None` when the state reads fewer than `width`
+    /// columns (the mux then feeds a constant 0).
+    pub sel: Vec<Vec<Option<usize>>>,
+}
+
+impl CompactionPlan {
+    /// Builds the plan: each state's sorted support columns, padded with
+    /// `None`.
+    #[must_use]
+    pub fn build(stg: &Stg) -> Self {
+        let supports: Vec<Vec<usize>> = stg
+            .states()
+            .map(|s| state_input_support(stg, s).into_iter().collect())
+            .collect();
+        let width = supports.iter().map(Vec::len).max().unwrap_or(0);
+        let sel = supports
+            .into_iter()
+            .map(|cols| {
+                let mut row: Vec<Option<usize>> = cols.into_iter().map(Some).collect();
+                row.resize(width, None);
+                row
+            })
+            .collect();
+        CompactionPlan { width, sel }
+    }
+
+    /// Reconstructs the raw input vector a compacted assignment denotes for
+    /// `state` (unselected columns read 0 — the machine ignores them by
+    /// construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compacted` has fewer than `width` bits.
+    #[must_use]
+    pub fn expand_inputs(&self, state: StateId, compacted: &[bool], num_inputs: usize) -> Vec<bool> {
+        assert!(compacted.len() >= self.width, "compacted vector too short");
+        let mut inputs = vec![false; num_inputs];
+        for (k, sel) in self.sel[state.index()].iter().enumerate() {
+            if let Some(col) = sel {
+                inputs[*col] = compacted[k];
+            }
+        }
+        inputs
+    }
+
+    /// Projects a raw input vector down to the compacted bits for `state`.
+    #[must_use]
+    pub fn compact_inputs(&self, state: StateId, inputs: &[bool]) -> Vec<bool> {
+        self.sel[state.index()]
+            .iter()
+            .map(|sel| sel.map(|col| inputs[col]).unwrap_or(false))
+            .collect()
+    }
+}
+
+/// Synthesizes the input multiplexer as a LUT network.
+///
+/// Network primary inputs: `in_0..in_{I-1}`, then `st_0..st_{s-1}`;
+/// outputs: `cmp_0..cmp_{width-1}` (the compacted address bits).
+///
+/// Two realizations are built and the smaller one (by LUT count) is
+/// kept:
+///
+/// * a flat SOP — each compacted bit is the OR over states of
+///   `(state == code) AND input[sel(state, k)]`, espresso-minimized with
+///   the unused state codes as don't-cares;
+/// * a hash-consed 2:1 **mux tree** over the state bits, which exploits
+///   states selecting the same column and collapses constant subtrees —
+///   usually far smaller for many-state machines.
+///
+/// # Errors
+///
+/// Propagates technology-mapping failures.
+pub fn mux_network(
+    stg: &Stg,
+    encoding: &StateEncoding,
+    plan: &CompactionPlan,
+    map: MapOptions,
+) -> Result<LutNetwork, MapError> {
+    let sop = mux_network_sop(stg, encoding, plan, map)?;
+    let tree = mux_network_tree(stg, encoding, plan, map)?;
+    Ok(if tree.num_luts() <= sop.num_luts() {
+        tree
+    } else {
+        sop
+    })
+}
+
+/// The flat-SOP realization (see [`mux_network`]).
+fn mux_network_sop(
+    stg: &Stg,
+    encoding: &StateEncoding,
+    plan: &CompactionPlan,
+    map: MapOptions,
+) -> Result<LutNetwork, MapError> {
+    let num_inputs = stg.num_inputs();
+    let s = encoding.num_bits();
+    let num_vars = num_inputs + s;
+
+    // Don't-care set: unused state codes.
+    let mut dcset = Cover::empty(num_vars);
+    let used: std::collections::HashSet<u64> = stg.states().map(|st| encoding.code(st)).collect();
+    for code in 0..1u64 << s {
+        if !used.contains(&code) {
+            let mut cube = Cube::full(num_vars);
+            for b in 0..s {
+                cube = cube.with_literal(num_inputs + b, code >> b & 1 == 1);
+            }
+            dcset.push(cube);
+        }
+    }
+
+    let mut network = Network::new();
+    let in_ids: Vec<_> = (0..num_inputs)
+        .map(|j| network.add_input(format!("in_{j}")))
+        .collect();
+    let st_ids: Vec<_> = (0..s)
+        .map(|k| network.add_input(format!("st_{k}")))
+        .collect();
+    let all_ids: Vec<_> = in_ids.iter().chain(st_ids.iter()).copied().collect();
+
+    for k in 0..plan.width {
+        let mut onset = Cover::empty(num_vars);
+        for st in stg.states() {
+            let Some(col) = plan.sel[st.index()][k] else {
+                continue;
+            };
+            let code = encoding.code(st);
+            let mut cube = Cube::full(num_vars).with_literal(col, true);
+            for b in 0..s {
+                cube = cube.with_literal(num_inputs + b, code >> b & 1 == 1);
+            }
+            onset.push(cube);
+        }
+        let minimized = espresso::minimize(&onset, &dcset).cover;
+        let node = if minimized.is_empty() {
+            network.add_constant(false)
+        } else if minimized.cubes().iter().any(|c| c.num_literals() == 0) {
+            network.add_constant(true)
+        } else {
+            // Restrict to support.
+            let mut mask = 0u64;
+            for c in minimized.cubes() {
+                mask |= c.mask();
+            }
+            let support: Vec<usize> = (0..num_vars).filter(|v| mask >> v & 1 == 1).collect();
+            let mut local = Cover::empty(support.len());
+            for c in minimized.cubes() {
+                let mut cube = Cube::full(support.len());
+                for (nv, &ov) in support.iter().enumerate() {
+                    if let Some(pol) = c.literal(ov) {
+                        cube = cube.with_literal(nv, pol);
+                    }
+                }
+                local.push(cube);
+            }
+            let fanins: Vec<_> = support.iter().map(|&v| all_ids[v]).collect();
+            network
+                .add_logic(fanins, local)
+                .expect("support-restricted cover is consistent")
+        };
+        network
+            .add_output(format!("cmp_{k}"), node)
+            .expect("node exists");
+    }
+
+    map_luts(&decompose2(&network), map)
+}
+
+/// The hash-consed mux-tree realization (see [`mux_network`]).
+///
+/// For each compacted bit, a binary decision tree over the state bits
+/// selects the state's input column; identical subtrees are shared across
+/// levels *and* across compacted bits, and subtrees whose leaves agree
+/// collapse to their common source.
+fn mux_network_tree(
+    stg: &Stg,
+    encoding: &StateEncoding,
+    plan: &CompactionPlan,
+    map: MapOptions,
+) -> Result<LutNetwork, MapError> {
+    use logic_synth::network::NodeId;
+
+    let num_inputs = stg.num_inputs();
+    let s = encoding.num_bits();
+    let mut network = Network::new();
+    let in_ids: Vec<NodeId> = (0..num_inputs)
+        .map(|j| network.add_input(format!("in_{j}")))
+        .collect();
+    let st_ids: Vec<NodeId> = (0..s)
+        .map(|k| network.add_input(format!("st_{k}")))
+        .collect();
+    let zero = network.add_constant(false);
+
+    // Source node per (code, compacted bit): the selected input column.
+    // Invalid codes and padded selections read constant 0.
+    let mut source = vec![vec![zero; plan.width]; 1 << s];
+    for st in stg.states() {
+        let code = encoding.code(st) as usize;
+        for (k, sel) in plan.sel[st.index()].iter().enumerate() {
+            if let Some(col) = sel {
+                source[code][k] = in_ids[*col];
+            }
+        }
+    }
+
+    // mux(a, b, sel) with structural hashing; vars [a, b, sel].
+    let mux_cover = Cover::from_cubes(
+        3,
+        vec![
+            Cube::from_pattern(&"1-0".parse().expect("valid")),
+            Cube::from_pattern(&"-11".parse().expect("valid")),
+        ],
+    );
+    let mut consed: std::collections::HashMap<(NodeId, NodeId, NodeId), NodeId> =
+        std::collections::HashMap::new();
+
+    #[allow(clippy::needless_range_loop)]
+    for k in 0..plan.width {
+        // Reduce over state bits, LSB (st_0) at the innermost level.
+        let mut level: Vec<NodeId> = (0..1usize << s).map(|c| source[c][k]).collect();
+        for (bit, sel) in st_ids.iter().copied().enumerate().take(s) {
+            let _ = bit;
+            let mut next = Vec::with_capacity(level.len() / 2);
+            for pair in level.chunks(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let node = if a == b {
+                    a
+                } else {
+                    *consed.entry((a, b, sel)).or_insert_with(|| {
+                        network
+                            .add_logic(vec![a, b, sel], mux_cover.clone())
+                            .expect("mux over existing nodes")
+                    })
+                };
+                next.push(node);
+            }
+            level = next;
+        }
+        network
+            .add_output(format!("cmp_{k}"), level[0])
+            .expect("node exists");
+    }
+    map_luts(&decompose2(&network), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_model::encoding::EncodingStyle;
+    use fsm_model::stg::StgBuilder;
+
+    /// 4-state machine where each state reads a different single input of 4.
+    fn per_state_inputs() -> Stg {
+        let mut b = StgBuilder::new("psi", 4, 1);
+        let s0 = b.state("S0");
+        let s1 = b.state("S1");
+        let s2 = b.state("S2");
+        let s3 = b.state("S3");
+        b.transition(s0, "1---", s1, "0");
+        b.transition(s0, "0---", s0, "0");
+        b.transition(s1, "-1--", s2, "0");
+        b.transition(s1, "-0--", s1, "0");
+        b.transition(s2, "--1-", s3, "1");
+        b.transition(s2, "--0-", s2, "0");
+        b.transition(s3, "---1", s0, "0");
+        b.transition(s3, "---0", s3, "1");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plan_width_is_max_support() {
+        let stg = per_state_inputs();
+        let plan = CompactionPlan::build(&stg);
+        assert_eq!(plan.width, 1);
+        assert_eq!(plan.sel[0], vec![Some(0)]);
+        assert_eq!(plan.sel[2], vec![Some(2)]);
+    }
+
+    #[test]
+    fn expand_and_compact_are_consistent() {
+        let stg = per_state_inputs();
+        let plan = CompactionPlan::build(&stg);
+        for st in stg.states() {
+            for a in [false, true] {
+                let raw = plan.expand_inputs(st, &[a], 4);
+                let back = plan.compact_inputs(st, &raw);
+                assert_eq!(back, vec![a]);
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects_right_column_per_state() {
+        let stg = per_state_inputs();
+        let enc = StateEncoding::assign(&stg, EncodingStyle::Binary);
+        let plan = CompactionPlan::build(&stg);
+        let mux = mux_network(&stg, &enc, &plan, MapOptions::default()).unwrap();
+        assert_eq!(mux.inputs.len(), 4 + 2);
+        assert_eq!(mux.outputs.len(), 1);
+        // For each state and each raw input vector, the mux output must
+        // equal the state's selected column.
+        for st in stg.states() {
+            let code = enc.code(st);
+            for raw in 0..16u64 {
+                let mut pins: Vec<bool> = (0..4).map(|i| raw >> i & 1 == 1).collect();
+                pins.extend((0..2).map(|b| code >> b & 1 == 1));
+                let got = mux.eval(&pins);
+                let want = plan.compact_inputs(st, &pins[..4]);
+                assert_eq!(got, want, "state {st} raw {raw:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_handles_padded_states() {
+        // One state reads two inputs, another reads none.
+        let mut b = StgBuilder::new("pad", 3, 1);
+        let s0 = b.state("A");
+        let s1 = b.state("B");
+        b.transition(s0, "1-1", s1, "1");
+        b.transition(s0, "0-1", s0, "0");
+        b.transition(s0, "--0", s0, "0");
+        b.transition(s1, "---", s0, "0");
+        let stg = b.build().unwrap();
+        let plan = CompactionPlan::build(&stg);
+        assert_eq!(plan.width, 2);
+        assert_eq!(plan.sel[1], vec![None, None]);
+        let enc = StateEncoding::assign(&stg, EncodingStyle::Binary);
+        let mux = mux_network(&stg, &enc, &plan, MapOptions::default()).unwrap();
+        // In state B the mux must output constant 0s.
+        let code = enc.code(fsm_model::stg::StateId(1));
+        for raw in 0..8u64 {
+            let mut pins: Vec<bool> = (0..3).map(|i| raw >> i & 1 == 1).collect();
+            pins.push(code & 1 == 1);
+            let got = mux.eval(&pins);
+            assert_eq!(got, vec![false, false], "raw {raw:03b}");
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! End-to-end implementation flows (the paper's Fig. 6).
+//!
+//! Each flow takes an STG all the way to a power number: build the
+//! netlist (FF baseline or EMB mapping, with or without clock control),
+//! verify it against the STG oracle, pack/place/route on the target
+//! device, simulate the stimulus while recording switching activity, and
+//! estimate power at each requested clock frequency plus the critical
+//! path. The [`FlowReport`] rows are what the experiment harness prints
+//! as the paper's tables.
+
+use crate::baseline::ff_netlist;
+use crate::clock_control::{attach_emb_clock_control, attach_ff_clock_gating};
+use crate::map::{map_fsm_into_embs, EmbFsm, EmbOptions};
+use crate::verify::{verify_against_stg, OutputTiming, VerifyError};
+use fpga_fabric::device::Device;
+use fpga_fabric::netlist::Netlist;
+use fpga_fabric::pack::{pack, AreaReport};
+use fpga_fabric::place::{place, PlaceError, PlaceOptions};
+use fpga_fabric::route::{route, RouteError, RouteOptions};
+use fpga_fabric::timing::{analyze, DelayModel, TimingReport};
+use fsm_model::simulate::{idle_fraction, trace};
+use fsm_model::stg::Stg;
+use logic_synth::synth::{synthesize, SynthError, SynthOptions};
+use netsim::engine::Simulator;
+use netsim::stimulus as netstim;
+use powermodel::{estimate, PowerParams, PowerReport};
+use std::fmt;
+
+/// Shared flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Target device.
+    pub device: Device,
+    /// Placement options.
+    pub place: PlaceOptions,
+    /// Routing options.
+    pub route: RouteOptions,
+    /// Timing model.
+    pub delay: DelayModel,
+    /// Power model parameters.
+    pub power: PowerParams,
+    /// Clock frequencies to report power at (MHz) — the paper uses
+    /// 50 / 85 / 100.
+    pub freqs_mhz: Vec<f64>,
+    /// Simulation length in cycles.
+    pub cycles: usize,
+    /// Verification length in cycles.
+    pub verify_cycles: usize,
+    /// Stimulus / verification seed.
+    pub seed: u64,
+    /// When the design does not fit `device`, retry on the next larger
+    /// family member. Our FF baselines are larger than SIS-optimized ones
+    /// (synthetic STGs compress less), so a few big benchmarks overflow
+    /// the paper's XC2V250.
+    pub allow_device_upsize: bool,
+    /// Run state minimization before implementation. Verification still
+    /// compares against the *original* machine, so this also checks the
+    /// minimizer end to end.
+    pub minimize_states: bool,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            device: Device::xc2v250(),
+            place: PlaceOptions::default(),
+            route: RouteOptions::default(),
+            delay: DelayModel::default(),
+            power: PowerParams::default(),
+            freqs_mhz: vec![50.0, 85.0, 100.0],
+            cycles: 2000,
+            verify_cycles: 500,
+            seed: 2004,
+            allow_device_upsize: true,
+            minimize_states: false,
+        }
+    }
+}
+
+/// The stimulus driving the power simulation.
+#[derive(Debug, Clone)]
+pub enum Stimulus {
+    /// Uniform random vectors (paper Sec. 5 "large number of random
+    /// inputs").
+    Random,
+    /// Idle-biased vectors targeting the given idle occupancy (paper
+    /// Table 3's "average case with 50% idle").
+    IdleBiased(f64),
+    /// Caller-provided vectors.
+    Replay(Vec<Vec<bool>>),
+}
+
+/// Which implementation a report describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImplKind {
+    /// Conventional FF + LUT (Fig. 1a).
+    Ff,
+    /// FF + LUT with clock-enable gating on the state register.
+    FfClockGated,
+    /// EMB (BRAM) mapping (Fig. 1b).
+    Emb,
+    /// EMB mapping with the Sec. 6 enable-driven clock control.
+    EmbClockControlled,
+}
+
+impl fmt::Display for ImplKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImplKind::Ff => write!(f, "FF/LUT"),
+            ImplKind::FfClockGated => write!(f, "FF/LUT+gate"),
+            ImplKind::Emb => write!(f, "EMB"),
+            ImplKind::EmbClockControlled => write!(f, "EMB+cc"),
+        }
+    }
+}
+
+/// The result of one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Implementation style.
+    pub kind: ImplKind,
+    /// Area after packing (LUT/FF/slice/BRAM — Table 1).
+    pub area: AreaReport,
+    /// Power at each configured frequency (Table 2 / Table 3).
+    pub power: Vec<PowerReport>,
+    /// Timing analysis.
+    pub timing: TimingReport,
+    /// Idle fraction the stimulus actually achieved on the oracle.
+    pub idle_fraction: f64,
+    /// Clock-control overhead, when applicable (Table 4).
+    pub clock_control: Option<ClockControlStats>,
+    /// Routed wirelength (routing-resource pressure).
+    pub total_wirelength: usize,
+    /// The device the design was finally implemented on.
+    pub device: Device,
+}
+
+/// Area overhead of the clock-control logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockControlStats {
+    /// LUTs used by the enable logic.
+    pub luts: usize,
+    /// Slices used.
+    pub slices: usize,
+    /// Idle cubes extracted from the STG.
+    pub idle_cubes: usize,
+}
+
+impl FlowReport {
+    /// Power at the given frequency, if it was configured.
+    #[must_use]
+    pub fn power_at(&self, freq_mhz: f64) -> Option<&PowerReport> {
+        self.power
+            .iter()
+            .find(|p| (p.freq_mhz - freq_mhz).abs() < 1e-9)
+    }
+}
+
+/// Flow errors.
+#[derive(Debug)]
+pub enum FlowError {
+    /// FSM synthesis failed (FF baseline).
+    Synth(SynthError),
+    /// EMB mapping failed.
+    Map(crate::map::MapFsmError),
+    /// Clock-control synthesis failed.
+    ClockControl(logic_synth::techmap::MapError),
+    /// The implementation diverged from the oracle.
+    Verify(VerifyError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed.
+    Route(RouteError),
+    /// Netlist validation failed.
+    Netlist(fpga_fabric::netlist::NetlistError),
+    /// The requested stimulus needs an STG oracle (idle biasing), but the
+    /// flow was given an external netlist without one.
+    NeedsOracle,
+    /// The state-minimization pre-pass failed.
+    Minimize(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Synth(e) => write!(f, "synthesis: {e}"),
+            FlowError::Map(e) => write!(f, "mapping: {e}"),
+            FlowError::ClockControl(e) => write!(f, "clock control: {e}"),
+            FlowError::Verify(e) => write!(f, "verification: {e}"),
+            FlowError::Place(e) => write!(f, "placement: {e}"),
+            FlowError::Route(e) => write!(f, "routing: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowError::NeedsOracle => {
+                write!(f, "idle-biased stimulus needs an STG oracle")
+            }
+            FlowError::Minimize(e) => write!(f, "state minimization: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Applies the optional state-minimization pre-pass.
+fn prepared(stg: &Stg, cfg: &FlowConfig) -> Result<Stg, FlowError> {
+    if cfg.minimize_states {
+        Ok(fsm_model::minimize::minimize(stg)
+            .map_err(FlowError::Minimize)?
+            .stg)
+    } else {
+        Ok(stg.clone())
+    }
+}
+
+/// Runs the conventional FF/LUT flow (Fig. 1a / Fig. 6 left path).
+///
+/// # Errors
+///
+/// Any stage may fail; see [`FlowError`].
+pub fn ff_flow(
+    stg: &Stg,
+    synth_opts: SynthOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let impl_stg = prepared(stg, cfg)?;
+    let synth = synthesize(&impl_stg, synth_opts).map_err(FlowError::Synth)?;
+    let (netlist, _) = ff_netlist(&synth, false);
+    verify_against_stg(
+        &netlist,
+        stg,
+        OutputTiming::Combinational,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(FlowError::Verify)?;
+    implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg)
+}
+
+/// Runs the FF flow with clock-enable gating on the state register.
+///
+/// # Errors
+///
+/// Any stage may fail; see [`FlowError`].
+pub fn ff_clock_gated_flow(
+    stg: &Stg,
+    synth_opts: SynthOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let impl_stg = prepared(stg, cfg)?;
+    let synth = synthesize(&impl_stg, synth_opts).map_err(FlowError::Synth)?;
+    let (netlist, control) =
+        attach_ff_clock_gating(&synth, &impl_stg, synth_opts.map).map_err(FlowError::ClockControl)?;
+    verify_against_stg(
+        &netlist,
+        stg,
+        OutputTiming::Combinational,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(FlowError::Verify)?;
+    let stats = ClockControlStats {
+        luts: control.num_luts(),
+        slices: control.num_slices(),
+        idle_cubes: control.idle_cubes,
+    };
+    implement(stg, netlist, ImplKind::FfClockGated, Some(stats), stimulus, cfg)
+}
+
+/// Runs the EMB flow (Fig. 1b).
+///
+/// # Errors
+///
+/// Any stage may fail; see [`FlowError`].
+pub fn emb_flow(
+    stg: &Stg,
+    emb_opts: &EmbOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let impl_stg = prepared(stg, cfg)?;
+    let emb = map_fsm_into_embs(&impl_stg, emb_opts).map_err(FlowError::Map)?;
+    let netlist = emb.to_netlist();
+    verify_against_stg(
+        &netlist,
+        stg,
+        OutputTiming::Registered,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(FlowError::Verify)?;
+    implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg)
+}
+
+/// Runs the EMB flow with Sec. 6 clock control.
+///
+/// # Errors
+///
+/// Any stage may fail; see [`FlowError`].
+pub fn emb_clock_controlled_flow(
+    stg: &Stg,
+    emb_opts: &EmbOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let impl_stg = prepared(stg, cfg)?;
+    let emb = map_fsm_into_embs(&impl_stg, emb_opts).map_err(FlowError::Map)?;
+    let (netlist, control) =
+        attach_emb_clock_control(&emb, emb_opts.lut_map).map_err(FlowError::ClockControl)?;
+    verify_against_stg(
+        &netlist,
+        stg,
+        OutputTiming::Registered,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(FlowError::Verify)?;
+    let stats = ClockControlStats {
+        luts: control.num_luts(),
+        slices: control.num_slices(),
+        idle_cubes: control.idle_cubes,
+    };
+    implement(
+        stg,
+        netlist,
+        ImplKind::EmbClockControlled,
+        Some(stats),
+        stimulus,
+        cfg,
+    )
+}
+
+/// Maps an already-built netlist onto the device, simulates, and reports.
+fn implement(
+    stg: &Stg,
+    netlist: Netlist,
+    kind: ImplKind,
+    clock_control: Option<ClockControlStats>,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let vectors: Vec<Vec<bool>> = match stimulus {
+        Stimulus::Random => netstim::random(stg.num_inputs(), cfg.cycles, cfg.seed),
+        Stimulus::IdleBiased(p) => crate::stimulus::idle_biased(stg, cfg.cycles, *p, cfg.seed),
+        Stimulus::Replay(v) => v.clone(),
+    };
+    let oracle_trace = trace(stg, vectors.clone());
+    let idle = idle_fraction(stg, &oracle_trace);
+    physical(stg.name(), netlist, kind, clock_control, &vectors, idle, cfg)
+}
+
+/// Implements a netlist that has no STG oracle (external BLIF input):
+/// replayed stimulus only, idle fraction reported as 0.
+///
+/// # Errors
+///
+/// See [`FlowError`].
+pub(crate) fn implement_external(
+    netlist: Netlist,
+    kind: ImplKind,
+    clock_control: Option<ClockControlStats>,
+    stimulus: &Stimulus,
+    num_inputs: usize,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let vectors: Vec<Vec<bool>> = match stimulus {
+        Stimulus::Replay(v) => v.clone(),
+        Stimulus::Random => netstim::random(num_inputs, cfg.cycles, cfg.seed),
+        Stimulus::IdleBiased(_) => return Err(FlowError::NeedsOracle),
+    };
+    let name = netlist.name.clone();
+    physical(&name, netlist, kind, clock_control, &vectors, 0.0, cfg)
+}
+
+/// The physical half of a flow: pack, place, route, simulate, estimate.
+fn physical(
+    name: &str,
+    netlist: Netlist,
+    kind: ImplKind,
+    clock_control: Option<ClockControlStats>,
+    vectors: &[Vec<bool>],
+    idle: f64,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    netlist.validate().map_err(FlowError::Netlist)?;
+    let packed = pack(&netlist);
+    // Place and route, upsizing through the family on capacity failures.
+    let family_from: Vec<Device> = fpga_fabric::device::FAMILY
+        .iter()
+        .copied()
+        .skip_while(|d| d.name != cfg.device.name)
+        .collect();
+    let devices: &[Device] = if cfg.allow_device_upsize && !family_from.is_empty() {
+        &family_from
+    } else {
+        std::slice::from_ref(&cfg.device)
+    };
+    let mut implemented = None;
+    let mut last_err = None;
+    for &device in devices {
+        match place(&netlist, &packed, device, cfg.place) {
+            Ok(placement) => match route(&netlist, &packed, &placement, cfg.route) {
+                Ok(routed) => {
+                    implemented = Some((device, routed));
+                    break;
+                }
+                Err(e) => last_err = Some(FlowError::Route(e)),
+            },
+            Err(e) => last_err = Some(FlowError::Place(e)),
+        }
+    }
+    let Some((device, routed)) = implemented else {
+        return Err(last_err.expect("at least one device attempted"));
+    };
+    let timing = analyze(&netlist, &routed, &cfg.delay);
+
+    let mut sim = Simulator::new(&netlist).map_err(FlowError::Netlist)?;
+    for v in vectors {
+        sim.clock(v);
+    }
+    let activity = sim.activity();
+    let power: Vec<PowerReport> = cfg
+        .freqs_mhz
+        .iter()
+        .map(|&f| estimate(&netlist, &routed, activity, f, &cfg.power))
+        .collect();
+
+    Ok(FlowReport {
+        name: name.to_string(),
+        kind,
+        area: packed.area(&netlist),
+        power,
+        timing,
+        idle_fraction: idle,
+        clock_control,
+        total_wirelength: routed.total_wirelength,
+        device,
+    })
+}
+
+/// Convenience: the EMB mapping object for reporting (same options the
+/// flow would use).
+///
+/// # Errors
+///
+/// Propagates mapping failures.
+pub fn mapping_for(stg: &Stg, emb_opts: &EmbOptions) -> Result<EmbFsm, FlowError> {
+    map_fsm_into_embs(stg, emb_opts).map_err(FlowError::Map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_model::benchmarks::{rotary_sequencer, sequence_detector_0101, traffic_light};
+
+    fn quick_cfg() -> FlowConfig {
+        FlowConfig {
+            cycles: 600,
+            verify_cycles: 200,
+            place: PlaceOptions { seed: 1, effort: 2.0 },
+            ..FlowConfig::default()
+        }
+    }
+
+    #[test]
+    fn ff_and_emb_flows_complete_and_compare() {
+        let stg = sequence_detector_0101();
+        let cfg = quick_cfg();
+        let ff = ff_flow(&stg, SynthOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        let emb = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        assert_eq!(ff.kind, ImplKind::Ff);
+        assert_eq!(emb.kind, ImplKind::Emb);
+        assert_eq!(ff.area.brams, 0);
+        assert_eq!(emb.area.brams, 1);
+        assert_eq!(emb.area.luts, 0, "tiny FSM needs no aux LUTs");
+        assert!(ff.area.luts > 0);
+        // Both report power at all three paper frequencies.
+        for r in [&ff, &emb] {
+            assert_eq!(r.power.len(), 3);
+            assert!(r.power_at(85.0).is_some());
+            assert!(r.power[0].total_mw() > 0.0);
+        }
+    }
+
+    #[test]
+    fn clock_controlled_flow_reports_overhead_and_saves_power() {
+        // Rotary sequencer halted most of the time: the EMB+cc variant
+        // must consume visibly less than the free-running EMB.
+        let stg = rotary_sequencer();
+        let cfg = quick_cfg();
+        let stim = Stimulus::IdleBiased(0.7);
+        let emb = emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).unwrap();
+        let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg).unwrap();
+        assert!(cc.clock_control.is_some());
+        assert!(cc.clock_control.unwrap().luts >= 1);
+        assert!(cc.idle_fraction > 0.4, "idle {:.2}", cc.idle_fraction);
+        let p_emb = emb.power_at(100.0).unwrap().dynamic_mw();
+        let p_cc = cc.power_at(100.0).unwrap().dynamic_mw();
+        assert!(
+            p_cc < p_emb,
+            "clock control must save power: {p_cc:.2} vs {p_emb:.2}"
+        );
+    }
+
+    #[test]
+    fn ff_gated_flow_completes() {
+        let stg = traffic_light();
+        let cfg = quick_cfg();
+        let r = ff_clock_gated_flow(
+            &stg,
+            SynthOptions::default(),
+            &Stimulus::IdleBiased(0.5),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(r.kind, ImplKind::FfClockGated);
+        assert!(r.clock_control.is_some());
+    }
+
+    #[test]
+    fn minimization_pre_pass_is_transparent() {
+        // A machine with a redundant state: the flow minimizes it away yet
+        // still verifies against the ORIGINAL oracle.
+        let mut b = fsm_model::stg::StgBuilder::new("red", 1, 1);
+        let a = b.state("A");
+        let x = b.state("B");
+        let y = b.state("B2"); // behaviourally identical to B
+        b.transition(a, "1", x, "1");
+        b.transition(a, "0", y, "1");
+        b.transition(x, "-", a, "0");
+        b.transition(y, "-", a, "0");
+        let stg = b.build().unwrap();
+        let cfg = FlowConfig {
+            minimize_states: true,
+            ..quick_cfg()
+        };
+        let r = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        assert_eq!(r.area.brams, 1);
+        // 2 states after minimization -> 1 state bit -> 2 address bits.
+        let emb = crate::map::map_fsm_into_embs(
+            &fsm_model::minimize::minimize(&stg).unwrap().stg,
+            &EmbOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(emb.num_state_bits(), 1);
+    }
+
+    #[test]
+    fn emb_timing_is_complexity_independent() {
+        // Two machines of very different transition counts, same interface
+        // scale: EMB critical paths should be close; FF paths should not.
+        let small = sequence_detector_0101();
+        let spec = fsm_model::generate::StgSpec {
+            states: 30,
+            inputs: 5,
+            outputs: 4,
+            transitions: 150,
+            ..fsm_model::generate::StgSpec::new("big")
+        };
+        let big = fsm_model::generate::generate(&spec);
+        let cfg = quick_cfg();
+        let e_small = emb_flow(&small, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        let e_big = emb_flow(&big, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        let ratio = e_big.timing.critical_path_ns / e_small.timing.critical_path_ns;
+        assert!(
+            ratio < 1.6,
+            "EMB timing should be ~flat across complexity, got {ratio:.2}"
+        );
+    }
+}

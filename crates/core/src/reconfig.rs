@@ -1,0 +1,299 @@
+//! Run-time reconfiguration through the BRAM's second port.
+//!
+//! The paper's ECO argument (Sec. 4.2) — "quick and easy change in the
+//! FSM's functionality by directly changing the EMB's contents. No design
+//! recompilation necessary" — assumes the bitstream is rewritten between
+//! runs. Virtex-II block RAMs are dual-ported, so the same idea works
+//! *while the machine runs*: expose the second port as a write interface
+//! and stream in the new transition table word by word.
+//!
+//! This module builds that variant of the EMB netlist and computes the
+//! minimal word-update sequence between two mappings. The read port is
+//! read-first, so an in-flight read the same cycle as a write to the same
+//! address still returns the old word — updates are glitch-free as long
+//! as the machine is *parked* in states whose words are rewritten last
+//! (simplest: park in the reset state and rewrite its words last, as
+//! [`update_sequence`] orders them).
+
+use crate::eco::{self, EcoError};
+use crate::map::EmbFsm;
+use fpga_fabric::netlist::Netlist;
+use fsm_model::stg::Stg;
+use netsim::engine::Simulator;
+
+/// An EMB FSM netlist with a live write port.
+#[derive(Debug, Clone)]
+pub struct ReconfigurableFsm {
+    /// The netlist (top ports: `in_*`, `out_*`, then `w_addr_*`,
+    /// `w_data_*`, `w_en`).
+    pub netlist: Netlist,
+    /// Logical address width of the write port.
+    pub addr_bits: usize,
+    /// Data width of the write port.
+    pub data_bits: usize,
+    /// Number of FSM inputs (the leading input ports).
+    pub fsm_inputs: usize,
+}
+
+/// Errors from reconfigurable-netlist construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// Banked (series) mappings would need bank-select write decode.
+    BankedMappingUnsupported {
+        /// Banks in the mapping.
+        banks: usize,
+    },
+    /// The underlying ECO rewrite failed.
+    Eco(EcoError),
+}
+
+impl std::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigError::BankedMappingUnsupported { banks } => {
+                write!(f, "write port unsupported for {banks}-bank mappings")
+            }
+            ReconfigError::Eco(e) => write!(f, "eco: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+impl From<EcoError> for ReconfigError {
+    fn from(e: EcoError) -> Self {
+        ReconfigError::Eco(e)
+    }
+}
+
+/// Builds the write-port variant of a mapping's netlist.
+///
+/// # Errors
+///
+/// Fails for banked (series) mappings.
+pub fn with_write_port(emb: &EmbFsm) -> Result<ReconfigurableFsm, ReconfigError> {
+    if emb.banks != 1 {
+        return Err(ReconfigError::BankedMappingUnsupported { banks: emb.banks });
+    }
+    let (netlist, _, has_write) = emb.build_netlist(false, true);
+    debug_assert!(has_write);
+    Ok(ReconfigurableFsm {
+        netlist,
+        addr_bits: emb.logical_addr_bits(),
+        data_bits: emb.data_width,
+        fsm_inputs: emb.stg.num_inputs(),
+    })
+}
+
+/// The word updates turning `old` into the ECO rewrite for `new_stg`,
+/// ordered so that words of the reset state's address block come last
+/// (safe while parked in the reset state).
+///
+/// # Errors
+///
+/// Propagates [`EcoError`] (frozen-mapping constraints).
+pub fn update_sequence(old: &EmbFsm, new_stg: &Stg) -> Result<Vec<(u64, u64)>, ReconfigError> {
+    let rewrite = eco::rewrite(old, new_stg)?;
+    let input_bits = old.address.input_bits(old.stg.num_inputs());
+    let reset_block = |addr: u64| -> bool { addr >> input_bits == 0 };
+    let mut updates: Vec<(u64, u64)> = rewrite
+        .emb
+        .rom
+        .iter()
+        .enumerate()
+        .zip(&old.rom)
+        .filter(|((_, new), old)| new != old)
+        .map(|((a, new), _)| (a as u64, *new))
+        .collect();
+    updates.sort_by_key(|(a, _)| (reset_block(*a), *a));
+    Ok(updates)
+}
+
+impl ReconfigurableFsm {
+    /// Applies one content update per clock while holding the FSM inputs
+    /// at `park_inputs` (inputs that keep the machine in its current
+    /// state). Returns the number of writes applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `park_inputs.len() != self.fsm_inputs` or an update
+    /// address/word exceeds the port width.
+    pub fn apply_updates(
+        &self,
+        sim: &mut Simulator<'_>,
+        updates: &[(u64, u64)],
+        park_inputs: &[bool],
+    ) -> usize {
+        assert_eq!(park_inputs.len(), self.fsm_inputs, "park input width");
+        for (addr, word) in updates {
+            assert!(*addr < 1 << self.addr_bits, "address out of range");
+            assert!(
+                self.data_bits >= 64 || *word < 1 << self.data_bits,
+                "word out of range"
+            );
+            let mut vec = park_inputs.to_vec();
+            vec.extend((0..self.addr_bits).map(|b| addr >> b & 1 == 1));
+            vec.extend((0..self.data_bits).map(|b| word >> b & 1 == 1));
+            vec.push(true); // w_en
+            sim.clock(&vec);
+        }
+        updates.len()
+    }
+
+    /// One idle cycle with the write port de-asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.fsm_inputs`.
+    pub fn clock_without_write(&self, sim: &mut Simulator<'_>, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.fsm_inputs, "input width");
+        let mut vec = inputs.to_vec();
+        vec.extend(std::iter::repeat_n(false, self.addr_bits + self.data_bits + 1));
+        sim.clock(&vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{map_fsm_into_embs, EmbOptions};
+    use fsm_model::benchmarks::sequence_detector_0101;
+    use fsm_model::simulate::StgSimulator;
+    use fsm_model::stg::StgBuilder;
+
+    fn detector_0110() -> Stg {
+        let mut b = StgBuilder::new("seq0110", 1, 1);
+        let a = b.state("A");
+        let s_b = b.state("B");
+        let c = b.state("C");
+        let d = b.state("D");
+        b.transition(a, "0", s_b, "0");
+        b.transition(a, "1", a, "0");
+        b.transition(s_b, "1", c, "0");
+        b.transition(s_b, "0", s_b, "0");
+        b.transition(c, "1", d, "0");
+        b.transition(c, "0", s_b, "0");
+        b.transition(d, "0", s_b, "1");
+        b.transition(d, "1", a, "0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn live_retune_from_0101_to_0110() {
+        let old_stg = sequence_detector_0101();
+        let new_stg = detector_0110();
+        let emb = map_fsm_into_embs(&old_stg, &EmbOptions::default()).unwrap();
+        let rc = with_write_port(&emb).unwrap();
+        rc.netlist.validate().unwrap();
+
+        let mut sim = Simulator::new(&rc.netlist).unwrap();
+        // Phase 1: behave as the 0101 detector.
+        let mut oracle = StgSimulator::new(&old_stg);
+        for bits in [0u8, 1, 0, 1, 1, 0, 1, 0, 1] {
+            let want = oracle.clock(&[bits == 1]).to_vec();
+            let got = rc.clock_without_write(&mut sim, &[bits == 1]);
+            assert_eq!(got[0], want[0], "pre-update behaviour");
+        }
+        // Park in state A (input 1 self-loops there) with zero outputs.
+        rc.clock_without_write(&mut sim, &[true]);
+        rc.clock_without_write(&mut sim, &[true]);
+
+        // Phase 2: stream the update while the clock keeps running.
+        let updates = update_sequence(&emb, &new_stg).unwrap();
+        assert!(!updates.is_empty());
+        let applied = rc.apply_updates(&mut sim, &updates, &[true]);
+        assert_eq!(applied, updates.len());
+
+        // Phase 3: the SAME running netlist is now the 0110 detector.
+        // Parked in A with zero outputs == the new machine's reset state.
+        let mut oracle = StgSimulator::new(&new_stg);
+        let mut x: u64 = 0x1234_5678_9abc_def1;
+        for cycle in 0..400 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let bit = x & 1 == 1;
+            let want = oracle.clock(&[bit]).to_vec();
+            let got = rc.clock_without_write(&mut sim, &[bit]);
+            assert_eq!(got[0], want[0], "post-update divergence at {cycle}");
+        }
+    }
+
+    #[test]
+    fn write_port_is_inert_when_disabled() {
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let rc = with_write_port(&emb).unwrap();
+        // With w_en held low the machine is cycle-exact with the oracle.
+        let mut sim = Simulator::new(&rc.netlist).unwrap();
+        let mut oracle = StgSimulator::new(&stg);
+        for i in 0..600u32 {
+            let bit = i.wrapping_mul(2654435761) >> 31 & 1 == 1;
+            let want = oracle.clock(&[bit]).to_vec();
+            let got = rc.clock_without_write(&mut sim, &[bit]);
+            assert_eq!(got[0], want[0]);
+        }
+    }
+
+    #[test]
+    fn simulator_reset_restores_original_contents() {
+        let old_stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&old_stg, &EmbOptions::default()).unwrap();
+        let rc = with_write_port(&emb).unwrap();
+        let mut sim = Simulator::new(&rc.netlist).unwrap();
+        let updates = update_sequence(&emb, &detector_0110()).unwrap();
+        rc.apply_updates(&mut sim, &updates, &[true]);
+        sim.reset();
+        // Back to the 0101 detector.
+        let mut oracle = StgSimulator::new(&old_stg);
+        for bits in [0u8, 1, 0, 1] {
+            let want = oracle.clock(&[bits == 1]).to_vec();
+            let got = rc.clock_without_write(&mut sim, &[bits == 1]);
+            assert_eq!(got[0], want[0]);
+        }
+    }
+
+    #[test]
+    fn banked_mappings_are_rejected() {
+        let spec = fsm_model::generate::StgSpec {
+            states: 4,
+            inputs: 13,
+            outputs: 1,
+            transitions: 16,
+            max_support: Some(13),
+            ..fsm_model::generate::StgSpec::new("wide13")
+        };
+        let stg = fsm_model::generate::generate(&spec);
+        let emb = map_fsm_into_embs(
+            &stg,
+            &EmbOptions {
+                allow_compaction: false,
+                ..EmbOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(emb.banks > 1);
+        assert!(matches!(
+            with_write_port(&emb),
+            Err(ReconfigError::BankedMappingUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn update_sequence_orders_reset_block_last() {
+        let old_stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&old_stg, &EmbOptions::default()).unwrap();
+        let updates = update_sequence(&emb, &detector_0110()).unwrap();
+        // Reset-state words (state code 0 -> high address bits 0) last.
+        let input_bits = 1;
+        let first_reset = updates
+            .iter()
+            .position(|(a, _)| a >> input_bits == 0);
+        if let Some(pos) = first_reset {
+            assert!(
+                updates[pos..].iter().all(|(a, _)| a >> input_bits == 0),
+                "reset-block updates must come last: {updates:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Lockstep equivalence checking against the STG oracle.
+//!
+//! Every hardware artifact this crate produces — the FF baseline, the EMB
+//! mapping in all its variants, the clock-controlled versions, ECO
+//! rewrites — is verified by simulating it next to
+//! [`fsm_model::simulate::StgSimulator`] over a deterministic random
+//! stimulus and comparing the FSM outputs cycle by cycle.
+
+use fpga_fabric::netlist::{Netlist, NetlistError};
+use fsm_model::simulate::StgSimulator;
+use fsm_model::stg::Stg;
+use netsim::engine::Simulator;
+use netsim::stimulus;
+use std::fmt;
+
+/// When the implementation's outputs are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputTiming {
+    /// Outputs are latched (BRAM FSM): compare the post-edge values.
+    Registered,
+    /// Outputs are combinational Mealy logic (FF FSM): compare the
+    /// settled pre-edge values.
+    Combinational,
+}
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The netlist is structurally invalid.
+    Invalid(NetlistError),
+    /// Outputs diverged from the oracle.
+    Mismatch {
+        /// Cycle of first divergence (0-based).
+        cycle: usize,
+        /// The inputs applied that cycle.
+        inputs: Vec<bool>,
+        /// Oracle outputs.
+        expected: Vec<bool>,
+        /// Implementation outputs.
+        got: Vec<bool>,
+    },
+    /// The netlist exposes fewer `out_*` ports than the machine has
+    /// outputs.
+    PortCount {
+        /// Ports found.
+        found: usize,
+        /// Outputs expected.
+        expected: usize,
+    },
+    /// Exhaustive verification refused: too many inputs to enumerate.
+    InputsTooWide {
+        /// The machine's input count.
+        inputs: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+            VerifyError::Mismatch {
+                cycle,
+                inputs,
+                expected,
+                got,
+            } => write!(
+                f,
+                "output mismatch at cycle {cycle} (inputs {inputs:?}): expected {expected:?}, got {got:?}"
+            ),
+            VerifyError::PortCount { found, expected } => {
+                write!(f, "netlist has {found} output ports, machine has {expected}")
+            }
+            VerifyError::InputsTooWide { inputs, limit } => {
+                write!(f, "{inputs} inputs exceed the exhaustive limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<NetlistError> for VerifyError {
+    fn from(e: NetlistError) -> Self {
+        VerifyError::Invalid(e)
+    }
+}
+
+/// Verifies `netlist` against `stg` over `cycles` random vectors.
+///
+/// The netlist's first `stg.num_outputs()` output ports are compared;
+/// additional ports (debug state bits) are ignored. The netlist's inputs
+/// must be the machine's inputs in order (extra inputs are not allowed —
+/// enable logic must be internal).
+///
+/// # Errors
+///
+/// Returns the first divergence found, or a structural error.
+pub fn verify_against_stg(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: OutputTiming,
+    cycles: usize,
+    seed: u64,
+) -> Result<(), VerifyError> {
+    if netlist.outputs().len() < stg.num_outputs() {
+        return Err(VerifyError::PortCount {
+            found: netlist.outputs().len(),
+            expected: stg.num_outputs(),
+        });
+    }
+    let mut hw = Simulator::new(netlist)?;
+    let mut oracle = StgSimulator::new(stg);
+    for (cycle, inputs) in stimulus::random(stg.num_inputs(), cycles, seed)
+        .into_iter()
+        .enumerate()
+    {
+        let expected = oracle.clock(&inputs).to_vec();
+        hw.clock(&inputs);
+        let got_all = match timing {
+            OutputTiming::Registered => hw.outputs(),
+            OutputTiming::Combinational => hw.pre_edge_outputs().to_vec(),
+        };
+        let got = got_all[..stg.num_outputs()].to_vec();
+        if got != expected {
+            return Err(VerifyError::Mismatch {
+                cycle,
+                inputs,
+                expected,
+                got,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verifies `netlist` against `stg` by product-machine
+/// reachability: starting from the joint reset state, every reachable
+/// (oracle state, implementation state) pair is expanded under **all**
+/// `2^I` input vectors, and outputs are compared on each edge. Unlike
+/// [`verify_against_stg`] this is a proof, not a sample — any reachable
+/// divergence is found.
+///
+/// The implementation state is the vector of its sequential elements
+/// (FF values and BRAM output latches), so the walk terminates: the
+/// joint state space is finite and only reachable states are visited.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] with a minimal-length witness input trace on
+/// divergence, or `InputsTooWide` when `2^I` enumeration is infeasible.
+pub fn verify_exhaustive(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: OutputTiming,
+    max_inputs: usize,
+) -> Result<ExhaustiveReport, VerifyError> {
+    if stg.num_inputs() > max_inputs || stg.num_inputs() > 20 {
+        return Err(VerifyError::InputsTooWide {
+            inputs: stg.num_inputs(),
+            limit: max_inputs.min(20),
+        });
+    }
+    if netlist.outputs().len() < stg.num_outputs() {
+        return Err(VerifyError::PortCount {
+            found: netlist.outputs().len(),
+            expected: stg.num_outputs(),
+        });
+    }
+    let base = Simulator::new(netlist)?;
+
+    // Joint state key: oracle (state, latched outputs) + implementation
+    // sequential snapshot.
+    type Key = (u32, Vec<bool>, Vec<bool>);
+    let snapshot = |sim: &Simulator<'_>| -> Vec<bool> {
+        let mut v = Vec::new();
+        for cell in netlist.cells() {
+            match cell {
+                fpga_fabric::netlist::Cell::Ff { q, .. } => v.push(sim.value(*q)),
+                fpga_fabric::netlist::Cell::Bram { dout, .. } => {
+                    v.extend(dout.iter().map(|d| sim.value(*d)));
+                }
+                _ => {}
+            }
+        }
+        v
+    };
+
+    let oracle0 = StgSimulator::new(stg);
+    let key0: Key = (
+        oracle0.state().0,
+        oracle0.outputs().to_vec(),
+        snapshot(&base),
+    );
+    let mut seen: std::collections::HashSet<Key> = std::collections::HashSet::new();
+    seen.insert(key0.clone());
+    // BFS queue holds (oracle, implementation, input trace to reach it).
+    let mut queue: std::collections::VecDeque<(StgSimulator<'_>, Simulator<'_>, Vec<Vec<bool>>)> =
+        std::collections::VecDeque::new();
+    queue.push_back((oracle0, base, Vec::new()));
+
+    let num_inputs = stg.num_inputs();
+    let mut states_explored = 0usize;
+    let mut edges_checked = 0usize;
+    while let Some((oracle, hw, trace)) = queue.pop_front() {
+        states_explored += 1;
+        for m in 0..1u64 << num_inputs {
+            let inputs: Vec<bool> = (0..num_inputs).map(|i| m >> i & 1 == 1).collect();
+            let mut o2 = oracle.clone();
+            let mut h2 = hw.clone();
+            let expected = o2.clock(&inputs).to_vec();
+            h2.clock(&inputs);
+            let got_all = match timing {
+                OutputTiming::Registered => h2.outputs(),
+                OutputTiming::Combinational => h2.pre_edge_outputs().to_vec(),
+            };
+            let got = got_all[..stg.num_outputs()].to_vec();
+            edges_checked += 1;
+            if got != expected {
+                let mut witness = trace.clone();
+                witness.push(inputs.clone());
+                return Err(VerifyError::Mismatch {
+                    cycle: witness.len() - 1,
+                    inputs,
+                    expected,
+                    got,
+                });
+            }
+            let key: Key = (o2.state().0, o2.outputs().to_vec(), snapshot(&h2));
+            if seen.insert(key) {
+                let mut w = trace.clone();
+                w.push(inputs);
+                queue.push_back((o2, h2, w));
+            }
+        }
+    }
+    Ok(ExhaustiveReport {
+        states_explored,
+        edges_checked,
+    })
+}
+
+/// Statistics of a completed exhaustive verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveReport {
+    /// Reachable joint (oracle, implementation) states explored.
+    pub states_explored: usize,
+    /// Transitions (state × input vector) checked.
+    pub edges_checked: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ff_netlist;
+    use crate::map::{map_fsm_into_embs, EmbOptions, OutputMode};
+    use fsm_model::benchmarks::{rotary_sequencer, sequence_detector_0101, traffic_light};
+    use logic_synth::synth::{synthesize, SynthOptions};
+
+    #[test]
+    fn ff_baseline_verifies_combinational() {
+        for stg in [sequence_detector_0101(), traffic_light(), rotary_sequencer()] {
+            let synth = synthesize(&stg, SynthOptions::default()).unwrap();
+            let (n, _) = ff_netlist(&synth, false);
+            verify_against_stg(&n, &stg, OutputTiming::Combinational, 500, 42)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn emb_mapping_verifies_registered() {
+        for stg in [sequence_detector_0101(), traffic_light(), rotary_sequencer()] {
+            let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+            let n = emb.to_netlist();
+            verify_against_stg(&n, &stg, OutputTiming::Registered, 500, 43)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn emb_with_moore_lut_outputs_verifies() {
+        for stg in [traffic_light(), sequence_detector_0101()] {
+            let emb = map_fsm_into_embs(
+                &stg,
+                &EmbOptions {
+                    output_mode: OutputMode::MooreLuts,
+                    ..EmbOptions::default()
+                },
+            )
+            .unwrap();
+            let n = emb.to_netlist();
+            verify_against_stg(&n, &stg, OutputTiming::Registered, 500, 44)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn emb_with_compaction_verifies() {
+        let spec = fsm_model::generate::StgSpec {
+            states: 10,
+            inputs: 15,
+            outputs: 3,
+            transitions: 40,
+            max_support: Some(3),
+            ..fsm_model::generate::StgSpec::new("cmp")
+        };
+        let stg = fsm_model::generate::generate(&spec);
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        assert!(emb.input_mux.is_some());
+        let n = emb.to_netlist();
+        verify_against_stg(&n, &stg, OutputTiming::Registered, 800, 45).unwrap();
+    }
+
+    #[test]
+    fn emb_with_series_banks_verifies() {
+        let spec = fsm_model::generate::StgSpec {
+            states: 4,
+            inputs: 13,
+            outputs: 2,
+            transitions: 16,
+            max_support: Some(13),
+            ..fsm_model::generate::StgSpec::new("series")
+        };
+        let stg = fsm_model::generate::generate(&spec);
+        let emb = map_fsm_into_embs(
+            &stg,
+            &EmbOptions {
+                allow_compaction: false,
+                ..EmbOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(emb.banks >= 2, "series path must engage");
+        let n = emb.to_netlist();
+        verify_against_stg(&n, &stg, OutputTiming::Registered, 800, 46).unwrap();
+    }
+
+    #[test]
+    fn mismatch_is_reported_with_context() {
+        // Corrupt one ROM word and expect a diagnosed divergence.
+        let stg = sequence_detector_0101();
+        let mut emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        emb.rom[0] ^= 0b100; // flip the output bit of (A, input 0)
+        let n = emb.to_netlist();
+        let err = verify_against_stg(&n, &stg, OutputTiming::Registered, 500, 47).unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn exhaustive_proves_small_machines() {
+        for stg in [sequence_detector_0101(), traffic_light()] {
+            let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+            let rep = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+            assert!(rep.states_explored >= stg.num_states());
+            assert!(rep.edges_checked >= rep.states_explored);
+
+            let synth = synthesize(&stg, SynthOptions::default()).unwrap();
+            let (ffn, _) = ff_netlist(&synth, false);
+            verify_exhaustive(&ffn, &stg, OutputTiming::Combinational, 8)
+                .unwrap_or_else(|e| panic!("{} ff: {e}", stg.name()));
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_buried_bugs() {
+        // Corrupt a word reachable only through a specific 3-step prefix;
+        // the exhaustive walk must find it and report a witness.
+        let stg = sequence_detector_0101();
+        let mut emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        emb.rom[0b111] ^= 0b100; // the detection word (state D, input 1)
+        let err = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
+            .unwrap_err();
+        match err {
+            VerifyError::Mismatch { cycle, .. } => {
+                assert!(cycle >= 1, "needs a prefix to reach state D");
+            }
+            other => panic!("expected mismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_refuses_wide_inputs() {
+        let stg = fsm_model::benchmarks::by_name("sand").unwrap(); // 11 inputs
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let err = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::InputsTooWide { .. }));
+    }
+
+    #[test]
+    fn paper_benchmarks_verify_both_ways() {
+        // The full suite is exercised in integration tests; spot-check two
+        // representative machines here (one small, one with compaction).
+        for name in ["donfile", "sand"] {
+            let stg = fsm_model::benchmarks::by_name(name).unwrap();
+            let synth = synthesize(&stg, SynthOptions::default()).unwrap();
+            let (ffn, _) = ff_netlist(&synth, false);
+            verify_against_stg(&ffn, &stg, OutputTiming::Combinational, 400, 48)
+                .unwrap_or_else(|e| panic!("{name} ff: {e}"));
+            let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+            let n = emb.to_netlist();
+            verify_against_stg(&n, &stg, OutputTiming::Registered, 400, 49)
+                .unwrap_or_else(|e| panic!("{name} emb: {e}"));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Virtex-II-like device family.
+//!
+//! The paper targets a Xilinx Virtex-II XC2V250-6. This module models the
+//! family's floorplan at the granularity the experiments need: a CLB array
+//! (4 slices per CLB, each slice holding two 4-input LUTs and two FFs),
+//! columns of 18-Kbit block RAMs embedded in the array, and a perimeter of
+//! IOBs. The numbers (slice and BRAM counts per device) match the Virtex-II
+//! data sheet; tile geometry is simplified to a uniform grid.
+
+use std::fmt;
+
+/// Slices per CLB (Virtex-II).
+pub const SLICES_PER_CLB: usize = 4;
+/// LUT4s per slice (Virtex-II).
+pub const LUTS_PER_SLICE: usize = 2;
+/// FFs per slice (Virtex-II).
+pub const FFS_PER_SLICE: usize = 2;
+/// CLB rows spanned by one block RAM (Virtex-II BRAMs are 4 CLBs tall).
+pub const CLB_ROWS_PER_BRAM: usize = 4;
+
+/// A device of the family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Part name.
+    pub name: &'static str,
+    /// CLB array rows.
+    pub clb_rows: usize,
+    /// CLB array columns.
+    pub clb_cols: usize,
+    /// Number of BRAM columns embedded in the array.
+    pub bram_cols: usize,
+}
+
+impl Device {
+    /// Total slices.
+    #[must_use]
+    pub fn num_slices(&self) -> usize {
+        self.clb_rows * self.clb_cols * SLICES_PER_CLB
+    }
+
+    /// Total CLBs.
+    #[must_use]
+    pub fn num_clbs(&self) -> usize {
+        self.clb_rows * self.clb_cols
+    }
+
+    /// Total 4-input LUTs.
+    #[must_use]
+    pub fn num_luts(&self) -> usize {
+        self.num_slices() * LUTS_PER_SLICE
+    }
+
+    /// Total flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.num_slices() * FFS_PER_SLICE
+    }
+
+    /// Block RAMs per column.
+    #[must_use]
+    pub fn brams_per_col(&self) -> usize {
+        self.clb_rows / CLB_ROWS_PER_BRAM
+    }
+
+    /// Total 18-Kbit block RAMs.
+    #[must_use]
+    pub fn num_brams(&self) -> usize {
+        self.bram_cols * self.brams_per_col()
+    }
+
+    /// Grid width in tiles (CLB columns plus embedded BRAM columns).
+    #[must_use]
+    pub fn grid_width(&self) -> usize {
+        self.clb_cols + self.bram_cols
+    }
+
+    /// Grid height in tiles.
+    #[must_use]
+    pub fn grid_height(&self) -> usize {
+        self.clb_rows
+    }
+
+    /// The x coordinates of the BRAM columns, spread evenly through the
+    /// array (matching the interleaved Virtex-II floorplan).
+    #[must_use]
+    pub fn bram_col_positions(&self) -> Vec<usize> {
+        // Place column i of bram_cols at roughly (i+1)/(n+1) of the width.
+        let w = self.grid_width();
+        (0..self.bram_cols)
+            .map(|i| (w * (i + 1)) / (self.bram_cols + 1))
+            .collect()
+    }
+
+    /// All CLB tile coordinates `(x, y)`.
+    #[must_use]
+    pub fn clb_sites(&self) -> Vec<(usize, usize)> {
+        let bram_xs = self.bram_col_positions();
+        let mut sites = Vec::with_capacity(self.num_clbs());
+        for x in 0..self.grid_width() {
+            if bram_xs.contains(&x) {
+                continue;
+            }
+            for y in 0..self.grid_height() {
+                sites.push((x, y));
+            }
+        }
+        sites
+    }
+
+    /// All BRAM site coordinates `(x, y)` (y of the BRAM's top tile).
+    #[must_use]
+    pub fn bram_sites(&self) -> Vec<(usize, usize)> {
+        let mut sites = Vec::with_capacity(self.num_brams());
+        for x in self.bram_col_positions() {
+            for b in 0..self.brams_per_col() {
+                sites.push((x, b * CLB_ROWS_PER_BRAM));
+            }
+        }
+        sites
+    }
+
+    /// IOB site coordinates on the perimeter.
+    #[must_use]
+    pub fn iob_sites(&self) -> Vec<(usize, usize)> {
+        let w = self.grid_width();
+        let h = self.grid_height();
+        let mut sites = Vec::new();
+        for x in 0..w {
+            sites.push((x, 0));
+            if h > 1 {
+                sites.push((x, h - 1));
+            }
+        }
+        for y in 1..h.saturating_sub(1) {
+            sites.push((0, y));
+            if w > 1 {
+                sites.push((w - 1, y));
+            }
+        }
+        sites
+    }
+
+    /// Looks a device up by part name (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Device> {
+        FAMILY
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+            .copied()
+    }
+
+    /// The paper's target device.
+    #[must_use]
+    pub fn xc2v250() -> Device {
+        Device::by_name("XC2V250").expect("XC2V250 is in the family table")
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{} CLBs ({} slices, {} LUT4), {} BRAM",
+            self.name,
+            self.clb_rows,
+            self.clb_cols,
+            self.num_slices(),
+            self.num_luts(),
+            self.num_brams()
+        )
+    }
+}
+
+/// The modeled Virtex-II family (slice/BRAM counts from the data sheet).
+pub const FAMILY: [Device; 6] = [
+    Device { name: "XC2V40", clb_rows: 8, clb_cols: 8, bram_cols: 2 },
+    Device { name: "XC2V80", clb_rows: 16, clb_cols: 8, bram_cols: 2 },
+    Device { name: "XC2V250", clb_rows: 24, clb_cols: 16, bram_cols: 4 },
+    Device { name: "XC2V500", clb_rows: 32, clb_cols: 24, bram_cols: 4 },
+    Device { name: "XC2V1000", clb_rows: 40, clb_cols: 32, bram_cols: 4 },
+    Device { name: "XC2V8000", clb_rows: 112, clb_cols: 104, bram_cols: 6 },
+];
+
+/// A block-RAM aspect ratio (address × data organization of the 18-Kbit
+/// BRAM).
+///
+/// Virtex-II block RAMs are 16 Kbit of data plus 2 Kbit of parity; the
+/// wide shapes expose the parity bits as extra data (the ×9/×18/×36
+/// organizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BramShape {
+    /// Address line count.
+    pub addr_bits: usize,
+    /// Data width.
+    pub data_bits: usize,
+}
+
+impl BramShape {
+    /// All legal Virtex-II shapes, widest data first.
+    pub const ALL: [BramShape; 6] = [
+        BramShape { addr_bits: 9, data_bits: 36 },
+        BramShape { addr_bits: 10, data_bits: 18 },
+        BramShape { addr_bits: 11, data_bits: 9 },
+        BramShape { addr_bits: 12, data_bits: 4 },
+        BramShape { addr_bits: 13, data_bits: 2 },
+        BramShape { addr_bits: 14, data_bits: 1 },
+    ];
+
+    /// Number of addressable words.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1usize << self.addr_bits
+    }
+
+    /// The widest shape with at least `addr_bits` address lines, if any.
+    ///
+    /// This is the selection rule of the paper's algorithm (Fig. 5 line 2):
+    /// the "number of address lines available at any configuration".
+    #[must_use]
+    pub fn widest_with_addr_bits(addr_bits: usize) -> Option<BramShape> {
+        Self::ALL.iter().copied().find(|s| s.addr_bits >= addr_bits)
+    }
+
+    /// Maximum address lines of any shape (the ×1 organization).
+    #[must_use]
+    pub fn max_addr_bits() -> usize {
+        Self::ALL
+            .iter()
+            .map(|s| s.addr_bits)
+            .max()
+            .expect("table is non-empty")
+    }
+}
+
+impl fmt::Display for BramShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.depth() >= 1024 {
+            write!(f, "{}Kx{}", self.depth() / 1024, self.data_bits)
+        } else {
+            write!(f, "{}x{}", self.depth(), self.data_bits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasheet_counts() {
+        let d = Device::xc2v250();
+        assert_eq!(d.num_slices(), 1536);
+        assert_eq!(d.num_luts(), 3072);
+        assert_eq!(d.num_brams(), 24);
+        assert_eq!(Device::by_name("xc2v40").unwrap().num_brams(), 4);
+        assert_eq!(Device::by_name("XC2V8000").unwrap().num_brams(), 168);
+    }
+
+    #[test]
+    fn site_counts_match() {
+        for d in FAMILY {
+            assert_eq!(d.clb_sites().len(), d.num_clbs(), "{}", d.name);
+            assert_eq!(d.bram_sites().len(), d.num_brams(), "{}", d.name);
+            assert!(!d.iob_sites().is_empty());
+        }
+    }
+
+    #[test]
+    fn bram_columns_do_not_collide_with_clbs() {
+        for d in FAMILY {
+            let bram_xs = d.bram_col_positions();
+            for (x, _) in d.clb_sites() {
+                assert!(!bram_xs.contains(&x), "{}: CLB in BRAM column", d.name);
+            }
+            // Distinct positions.
+            let mut xs = bram_xs.clone();
+            xs.dedup();
+            assert_eq!(xs.len(), d.bram_cols, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn shapes_are_all_18kbit_class() {
+        for s in BramShape::ALL {
+            let bits = s.depth() * s.data_bits;
+            assert!(
+                (16_384..=18_432).contains(&bits),
+                "{s} has {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn widest_shape_selection() {
+        assert_eq!(
+            BramShape::widest_with_addr_bits(9),
+            Some(BramShape { addr_bits: 9, data_bits: 36 })
+        );
+        assert_eq!(
+            BramShape::widest_with_addr_bits(10),
+            Some(BramShape { addr_bits: 10, data_bits: 18 })
+        );
+        assert_eq!(
+            BramShape::widest_with_addr_bits(14),
+            Some(BramShape { addr_bits: 14, data_bits: 1 })
+        );
+        assert_eq!(BramShape::widest_with_addr_bits(15), None);
+        assert_eq!(BramShape::max_addr_bits(), 14);
+    }
+
+    #[test]
+    fn unknown_device_name() {
+        assert!(Device::by_name("XC9999").is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Virtex-II-like FPGA fabric model: devices, mapped netlists, packing,
+//! placement, routing and timing.
+//!
+//! This crate stands in for the Xilinx ISE implementation tools in the
+//! paper's flow (Fig. 6): it takes a technology-mapped design and produces
+//! the physical quantities the power model consumes — per-net wirelength
+//! and switch counts, resource utilization, and the critical path.
+//!
+//! * [`device`] — the Virtex-II family floorplan (XC2V40…XC2V8000) and the
+//!   18-Kbit block-RAM aspect ratios;
+//! * [`netlist`] — LUT/FF/BRAM cells and nets, with validation and
+//!   combinational levelization;
+//! * [`mod@pack`] — LUT/FF pairing and CLB clustering (area accounting);
+//! * [`mod@place`] — simulated-annealing placement;
+//! * [`mod@route`] — congestion-aware grid routing (wirelength, switches);
+//! * [`timing`] — static timing analysis and fmax.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpga_fabric::device::Device;
+//!
+//! let d = Device::xc2v250();
+//! assert_eq!(d.num_brams(), 24);
+//! assert_eq!(d.num_slices(), 1536);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod device;
+pub mod netlist;
+pub mod pack;
+pub mod place;
+pub mod route;
+pub mod timing;
+
+pub use device::{BramShape, Device};
+pub use netlist::{Cell, CellId, NetId, Netlist};
+pub use pack::{pack, AreaReport, PackedDesign};
+pub use place::{place, PlaceOptions, Placement};
+pub use route::{route, RouteOptions, RoutedDesign};
+pub use timing::{analyze, DelayModel, TimingReport};

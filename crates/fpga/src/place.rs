@@ -1,0 +1,454 @@
+//! Simulated-annealing placement.
+//!
+//! Assigns packed entities (CLBs, BRAMs, IOBs) to device sites minimizing
+//! total half-perimeter wirelength (HPWL). The schedule is a classic
+//! VPR-style anneal scaled by an effort knob. Placement quality feeds
+//! directly into routed wirelength and therefore interconnect power — the
+//! dominant FPGA power component (paper Sec. 2) — and is one of the
+//! paper's implicit arguments: the BRAM FSM has so few nets that placement
+//! barely matters for it, while the FF FSM's power degrades with poor
+//! placement (Sec. 4.1).
+
+use crate::device::Device;
+use crate::netlist::{Netlist, NetId};
+use crate::pack::{EntityId, PackedDesign};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Placement options.
+#[derive(Debug, Clone, Copy)]
+pub struct PlaceOptions {
+    /// RNG seed (placement is deterministic given the seed).
+    pub seed: u64,
+    /// Effort multiplier: moves per temperature ≈ `effort · entities^{4/3}`.
+    pub effort: f64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            seed: 1,
+            effort: 10.0,
+        }
+    }
+}
+
+/// Errors from placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The design does not fit the device.
+    DoesNotFit {
+        /// What overflowed ("CLBs", "BRAMs" or "IOBs").
+        what: &'static str,
+        /// Required count.
+        need: usize,
+        /// Available sites.
+        have: usize,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::DoesNotFit { what, need, have } => {
+                write!(f, "design needs {need} {what}, device has {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A placement: entity → site coordinates.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// The target device.
+    pub device: Device,
+    /// CLB locations (indexed like `PackedDesign::clbs`).
+    pub clb_loc: Vec<(usize, usize)>,
+    /// BRAM locations.
+    pub bram_loc: Vec<(usize, usize)>,
+    /// IOB locations.
+    pub iob_loc: Vec<(usize, usize)>,
+    /// Final HPWL cost.
+    pub hpwl: f64,
+}
+
+impl Placement {
+    /// The site of an entity.
+    #[must_use]
+    pub fn location(&self, e: EntityId) -> (usize, usize) {
+        match e {
+            EntityId::Clb(i) => self.clb_loc[i],
+            EntityId::Bram(i) => self.bram_loc[i],
+            EntityId::Iob(i) => self.iob_loc[i],
+        }
+    }
+}
+
+/// Net pin model used for cost: the entities touching each net.
+fn build_net_pins(netlist: &Netlist, packed: &PackedDesign) -> Vec<Vec<EntityId>> {
+    let mut pins: Vec<Vec<EntityId>> = vec![Vec::new(); netlist.num_nets()];
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let Some(entity) = packed.entity_of_cell[i] else {
+            continue;
+        };
+        for net in cell.inputs().into_iter().chain(cell.outputs()) {
+            if !pins[net.index()].contains(&entity) {
+                pins[net.index()].push(entity);
+            }
+        }
+    }
+    for (i, iob) in packed.iobs.iter().enumerate() {
+        let e = EntityId::Iob(i);
+        if !pins[iob.net.index()].contains(&e) {
+            pins[iob.net.index()].push(e);
+        }
+    }
+    pins
+}
+
+fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f64 {
+    if pins.len() < 2 {
+        return 0.0;
+    }
+    let mut min_x = usize::MAX;
+    let mut max_x = 0;
+    let mut min_y = usize::MAX;
+    let mut max_y = 0;
+    for &p in pins {
+        let (x, y) = loc(p);
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    ((max_x - min_x) + (max_y - min_y)) as f64
+}
+
+/// Places a packed design on a device.
+///
+/// # Errors
+///
+/// Fails with [`PlaceError::DoesNotFit`] if any resource is exhausted.
+pub fn place(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    device: Device,
+    opts: PlaceOptions,
+) -> Result<Placement, PlaceError> {
+    let clb_sites = device.clb_sites();
+    let bram_sites = device.bram_sites();
+    let iob_sites = device.iob_sites();
+    if packed.clbs.len() > clb_sites.len() {
+        return Err(PlaceError::DoesNotFit {
+            what: "CLBs",
+            need: packed.clbs.len(),
+            have: clb_sites.len(),
+        });
+    }
+    if packed.brams.len() > bram_sites.len() {
+        return Err(PlaceError::DoesNotFit {
+            what: "BRAMs",
+            need: packed.brams.len(),
+            have: bram_sites.len(),
+        });
+    }
+    if packed.iobs.len() > iob_sites.len() {
+        return Err(PlaceError::DoesNotFit {
+            what: "IOBs",
+            need: packed.iobs.len(),
+            have: iob_sites.len(),
+        });
+    }
+
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    // Initial assignment: entities on the first sites, then anneal.
+    let mut clb_loc: Vec<(usize, usize)> = clb_sites[..packed.clbs.len()].to_vec();
+    let mut bram_loc: Vec<(usize, usize)> = bram_sites[..packed.brams.len()].to_vec();
+    let mut iob_loc: Vec<(usize, usize)> = iob_sites[..packed.iobs.len()].to_vec();
+
+    let pins = build_net_pins(netlist, packed);
+    // Nets worth costing (≥ 2 pins).
+    let active_nets: Vec<NetId> = (0..netlist.num_nets())
+        .map(|i| NetId(i as u32))
+        .filter(|n| pins[n.index()].len() >= 2)
+        .collect();
+    // Entity -> nets touching it (for incremental cost).
+    let mut nets_of_entity: HashMap<EntityId, Vec<NetId>> = HashMap::new();
+    for &net in &active_nets {
+        for &e in &pins[net.index()] {
+            nets_of_entity.entry(e).or_default().push(net);
+        }
+    }
+
+    let num_entities = packed.num_entities();
+    if num_entities == 0 || active_nets.is_empty() {
+        return Ok(Placement {
+            device,
+            clb_loc,
+            bram_loc,
+            iob_loc,
+            hpwl: 0.0,
+        });
+    }
+
+    // Free-site pools per type.
+    let mut free_clb: Vec<(usize, usize)> = clb_sites[packed.clbs.len()..].to_vec();
+    let mut free_bram: Vec<(usize, usize)> = bram_sites[packed.brams.len()..].to_vec();
+    let mut free_iob: Vec<(usize, usize)> = iob_sites[packed.iobs.len()..].to_vec();
+
+    let cost_all = |clb_loc: &Vec<(usize, usize)>,
+                    bram_loc: &Vec<(usize, usize)>,
+                    iob_loc: &Vec<(usize, usize)>|
+     -> f64 {
+        let loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        active_nets
+            .iter()
+            .map(|n| hpwl_of_net(&pins[n.index()], &loc))
+            .sum()
+    };
+
+    let cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+
+    // Anneal.
+    let moves_per_t = ((num_entities as f64).powf(4.0 / 3.0) * opts.effort).ceil() as usize;
+    let mut temperature = (cost / active_nets.len().max(1) as f64).max(1.0) * 2.0;
+    let min_t = 0.005;
+    while temperature > min_t {
+        for _ in 0..moves_per_t {
+            // Pick an entity class weighted by population.
+            let pick = rng.random_range(0..num_entities);
+            let (kind, idx) = if pick < packed.clbs.len() {
+                (0, pick)
+            } else if pick < packed.clbs.len() + packed.brams.len() {
+                (1, pick - packed.clbs.len())
+            } else {
+                (2, pick - packed.clbs.len() - packed.brams.len())
+            };
+            let entity = match kind {
+                0 => EntityId::Clb(idx),
+                1 => EntityId::Bram(idx),
+                _ => EntityId::Iob(idx),
+            };
+            type SitePools<'a> = (&'a mut Vec<(usize, usize)>, &'a mut Vec<(usize, usize)>, usize);
+            let (locs, free, count): SitePools<'_> =
+                match kind {
+                    0 => (&mut clb_loc, &mut free_clb, packed.clbs.len()),
+                    1 => (&mut bram_loc, &mut free_bram, packed.brams.len()),
+                    _ => (&mut iob_loc, &mut free_iob, packed.iobs.len()),
+                };
+
+            // Candidate: swap with a sibling entity, or move to a free site.
+            let use_free = !free.is_empty() && (count < 2 || rng.random_bool(0.5));
+            let (other_idx, new_site) = if use_free {
+                let f = rng.random_range(0..free.len());
+                (None, free[f])
+            } else if count >= 2 {
+                let mut o = rng.random_range(0..count);
+                if o == idx {
+                    o = (o + 1) % count;
+                }
+                (Some(o), locs[o])
+            } else {
+                continue;
+            };
+
+            // Delta cost over affected nets only.
+            let affected: Vec<NetId> = {
+                let mut v: Vec<NetId> = nets_of_entity.get(&entity).cloned().unwrap_or_default();
+                if let Some(o) = other_idx {
+                    let other_entity = match kind {
+                        0 => EntityId::Clb(o),
+                        1 => EntityId::Bram(o),
+                        _ => EntityId::Iob(o),
+                    };
+                    v.extend(nets_of_entity.get(&other_entity).cloned().unwrap_or_default());
+                    v.sort_unstable_by_key(|n| n.0);
+                    v.dedup();
+                }
+                v
+            };
+            let old_site = locs[idx];
+            let before: f64 = {
+                let loc = |e: EntityId| match e {
+                    EntityId::Clb(i) => clb_loc[i],
+                    EntityId::Bram(i) => bram_loc[i],
+                    EntityId::Iob(i) => iob_loc[i],
+                };
+                affected
+                    .iter()
+                    .map(|n| hpwl_of_net(&pins[n.index()], &loc))
+                    .sum()
+            };
+            // Apply tentatively.
+            {
+                let locs: &mut Vec<(usize, usize)> = match kind {
+                    0 => &mut clb_loc,
+                    1 => &mut bram_loc,
+                    _ => &mut iob_loc,
+                };
+                locs[idx] = new_site;
+                if let Some(o) = other_idx {
+                    locs[o] = old_site;
+                }
+            }
+            let after: f64 = {
+                let loc = |e: EntityId| match e {
+                    EntityId::Clb(i) => clb_loc[i],
+                    EntityId::Bram(i) => bram_loc[i],
+                    EntityId::Iob(i) => iob_loc[i],
+                };
+                affected
+                    .iter()
+                    .map(|n| hpwl_of_net(&pins[n.index()], &loc))
+                    .sum()
+            };
+            let delta = after - before;
+            let accept = delta <= 0.0 || rng.random_bool((-delta / temperature).exp().min(1.0));
+            if accept {
+                if use_free {
+                    // The vacated site becomes free.
+                    let free: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut free_clb,
+                        1 => &mut free_bram,
+                        _ => &mut free_iob,
+                    };
+                    let pos = free
+                        .iter()
+                        .position(|s| *s == new_site)
+                        .expect("site came from the free pool");
+                    free.swap_remove(pos);
+                    free.push(old_site);
+                }
+            } else {
+                // Revert.
+                let locs: &mut Vec<(usize, usize)> = match kind {
+                    0 => &mut clb_loc,
+                    1 => &mut bram_loc,
+                    _ => &mut iob_loc,
+                };
+                locs[idx] = old_site;
+                if let Some(o) = other_idx {
+                    locs[o] = new_site;
+                }
+            }
+        }
+        temperature *= 0.85;
+    }
+
+    let final_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+    Ok(Placement {
+        device,
+        clb_loc,
+        bram_loc,
+        iob_loc,
+        hpwl: final_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::netlist::Cell;
+    use crate::pack::pack;
+
+    /// Chain of LUT+FF stages; plenty of connectivity for the annealer.
+    fn chain(n_stages: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let input = n.add_net("in");
+        n.add_input("in", input);
+        let mut prev = input;
+        for i in 0..n_stages {
+            let l = n.add_net(format!("l{i}"));
+            let q = n.add_net(format!("q{i}"));
+            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
+            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            prev = q;
+        }
+        n.add_output("out", prev);
+        n
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let n = chain(40);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let pl = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        // All CLBs on distinct legal CLB sites.
+        let sites = device.clb_sites();
+        let mut used = std::collections::HashSet::new();
+        for loc in &pl.clb_loc {
+            assert!(sites.contains(loc), "illegal CLB site {loc:?}");
+            assert!(used.insert(*loc), "site reuse at {loc:?}");
+        }
+        let iob_sites = device.iob_sites();
+        let mut used = std::collections::HashSet::new();
+        for loc in &pl.iob_loc {
+            assert!(iob_sites.contains(loc));
+            assert!(used.insert(*loc), "IOB site reuse");
+        }
+    }
+
+    #[test]
+    fn annealing_improves_over_initial() {
+        let n = chain(60);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        // Initial cost = cost of sites in order; effort 0 approximates it by
+        // freezing immediately (temperature decays but moves still run);
+        // compare low vs high effort instead.
+        let lo = place(&n, &p, device, PlaceOptions { seed: 3, effort: 0.05 }).unwrap();
+        let hi = place(&n, &p, device, PlaceOptions { seed: 3, effort: 12.0 }).unwrap();
+        assert!(
+            hi.hpwl <= lo.hpwl * 1.05,
+            "more effort should not be much worse: lo={} hi={}",
+            lo.hpwl,
+            hi.hpwl
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let n = chain(20);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let a = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        let b = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        assert_eq!(a.clb_loc, b.clb_loc);
+        assert_eq!(a.hpwl, b.hpwl);
+    }
+
+    #[test]
+    fn does_not_fit_reported() {
+        let n = chain(10);
+        let p = pack(&n);
+        // XC2V40 has 4 BRAM sites; fabricate an overflow by device choice:
+        // 10 stages fit easily, so instead check IOB overflow on a tiny fake
+        // device is impossible with FAMILY; check CLB overflow with a big
+        // chain on the smallest device.
+        let big = chain(2000);
+        let pb = pack(&big);
+        let err = place(&big, &pb, Device::by_name("XC2V40").unwrap(), PlaceOptions::default());
+        assert!(matches!(err, Err(PlaceError::DoesNotFit { .. })));
+        // Sanity: the small one fits.
+        assert!(place(&n, &p, Device::by_name("XC2V40").unwrap(), PlaceOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_design_places() {
+        let n = Netlist::new("empty");
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        assert_eq!(pl.hpwl, 0.0);
+    }
+}

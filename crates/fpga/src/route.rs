@@ -1,0 +1,453 @@
+//! Congestion-aware grid routing.
+//!
+//! A deliberately simple PathFinder-style router over the device tile grid:
+//! every tile has a switch matrix of bounded capacity; each net is routed
+//! as a Steiner tree by repeated shortest-path searches from the already-
+//! routed tree to the next sink, with costs inflated on congested tiles.
+//! A few rip-up-and-reroute rounds clear residual overflow.
+//!
+//! The router's outputs — per-net **wirelength** (tile hops) and
+//! **programmable switch count** — are exactly the quantities the power
+//! model needs: a routed FPGA signal "may have to pass through a number of
+//! programmable switches before reaching its destination" (paper Sec. 2),
+//! and each switch and wire segment adds capacitance.
+
+use crate::netlist::{NetId, Netlist};
+use crate::pack::{EntityId, PackedDesign};
+use crate::place::Placement;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// Routing options.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    /// Wires available per tile switch matrix.
+    pub tile_capacity: usize,
+    /// Maximum rip-up-and-reroute rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            tile_capacity: 160,
+            max_rounds: 4,
+        }
+    }
+}
+
+/// Errors from routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Some net could not reach a sink (disconnected grid — impossible on
+    /// rectangular devices, kept for API honesty).
+    Unroutable(NetId),
+    /// Congestion never cleared within the round budget.
+    CongestionUnresolved {
+        /// Tiles still over capacity.
+        overflowed_tiles: usize,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable(n) => write!(f, "net {} is unroutable", n.0),
+            RouteError::CongestionUnresolved { overflowed_tiles } => {
+                write!(f, "congestion unresolved on {overflowed_tiles} tiles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The routed tree of one net.
+#[derive(Debug, Clone, Default)]
+pub struct NetRoute {
+    /// Tiles used by the net's tree (including source and sinks).
+    pub tiles: Vec<(usize, usize)>,
+    /// Wirelength in tile hops (tree edges).
+    pub wirelength: usize,
+    /// Programmable switches crossed (one per tile entered).
+    pub switches: usize,
+}
+
+/// The routed design.
+#[derive(Debug, Clone)]
+pub struct RoutedDesign {
+    /// Per-net routes (`None` for nets with fewer than 2 distinct tiles —
+    /// those stay inside one entity and use no general routing).
+    pub routes: Vec<Option<NetRoute>>,
+    /// Sum of all net wirelengths.
+    pub total_wirelength: usize,
+    /// Peak tile usage observed.
+    pub peak_usage: usize,
+}
+
+impl RoutedDesign {
+    /// Wirelength of one net (0 when unrouted/local).
+    #[must_use]
+    pub fn wirelength(&self, net: NetId) -> usize {
+        self.routes[net.index()]
+            .as_ref()
+            .map_or(0, |r| r.wirelength)
+    }
+
+    /// Switches crossed by one net (0 when local).
+    #[must_use]
+    pub fn switches(&self, net: NetId) -> usize {
+        self.routes[net.index()].as_ref().map_or(0, |r| r.switches)
+    }
+}
+
+/// Gathers, for every net, the distinct tiles its pins occupy; index 0 is
+/// the driver tile.
+fn net_terminals(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    placement: &Placement,
+) -> Vec<Vec<(usize, usize)>> {
+    let mut terminals: Vec<Vec<(usize, usize)>> = vec![Vec::new(); netlist.num_nets()];
+    let push = |net: NetId, tile: (usize, usize), is_driver: bool, t: &mut Vec<Vec<(usize, usize)>>| {
+        let v = &mut t[net.index()];
+        if is_driver {
+            if v.first() != Some(&tile) {
+                v.retain(|x| *x != tile);
+                v.insert(0, tile);
+            }
+        } else if !v.contains(&tile) {
+            v.push(tile);
+        }
+    };
+    // Cell pins.
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let Some(entity) = packed.entity_of_cell[i] else {
+            continue;
+        };
+        let tile = placement.location(entity);
+        for net in cell.outputs() {
+            push(net, tile, true, &mut terminals);
+        }
+        for net in cell.inputs() {
+            push(net, tile, false, &mut terminals);
+        }
+    }
+    // IOB pins: input pads drive, output pads sink.
+    for (i, iob) in packed.iobs.iter().enumerate() {
+        let tile = placement.location(EntityId::Iob(i));
+        push(iob.net, tile, iob.is_input, &mut terminals);
+    }
+    terminals
+}
+
+/// Routes all nets of a placed design.
+///
+/// # Errors
+///
+/// Fails if congestion cannot be resolved within `opts.max_rounds`.
+pub fn route(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    placement: &Placement,
+    opts: RouteOptions,
+) -> Result<RoutedDesign, RouteError> {
+    let device = placement.device;
+    let w = device.grid_width();
+    let h = device.grid_height();
+    let terminals = net_terminals(netlist, packed, placement);
+
+    let routable: Vec<NetId> = (0..netlist.num_nets())
+        .map(|i| NetId(i as u32))
+        .filter(|n| terminals[n.index()].len() >= 2)
+        .collect();
+
+    let mut usage = vec![0usize; w * h];
+    let mut history = vec![0.0f64; w * h];
+    let mut routes: Vec<Option<NetRoute>> = vec![None; netlist.num_nets()];
+
+    for round in 0..opts.max_rounds {
+        // (Re)route every net against current congestion costs.
+        for &net in &routable {
+            // Rip up the previous route.
+            if let Some(old) = routes[net.index()].take() {
+                for t in &old.tiles {
+                    usage[t.1 * w + t.0] -= 1;
+                }
+            }
+            let tree = route_net(
+                &terminals[net.index()],
+                w,
+                h,
+                &usage,
+                &history,
+                opts.tile_capacity,
+                round,
+            )
+            .ok_or(RouteError::Unroutable(net))?;
+            for t in &tree {
+                usage[t.1 * w + t.0] += 1;
+            }
+            let wirelength = tree.len().saturating_sub(1);
+            routes[net.index()] = Some(NetRoute {
+                switches: wirelength,
+                wirelength,
+                tiles: tree,
+            });
+        }
+        let overflowed = usage.iter().filter(|&&u| u > opts.tile_capacity).count();
+        if overflowed == 0 {
+            let total_wirelength = routes
+                .iter()
+                .flatten()
+                .map(|r| r.wirelength)
+                .sum();
+            let peak_usage = usage.iter().copied().max().unwrap_or(0);
+            return Ok(RoutedDesign {
+                routes,
+                total_wirelength,
+                peak_usage,
+            });
+        }
+        // Strengthen history costs on overflowed tiles for the next round.
+        for (i, &u) in usage.iter().enumerate() {
+            if u > opts.tile_capacity {
+                history[i] += (u - opts.tile_capacity) as f64;
+            }
+        }
+    }
+    let overflowed_tiles = usage.iter().filter(|&&u| u > opts.tile_capacity).count();
+    Err(RouteError::CongestionUnresolved { overflowed_tiles })
+}
+
+/// Routes one net: grows a Steiner tree with Dijkstra searches from the
+/// current tree to each remaining sink.
+fn route_net(
+    terminals: &[(usize, usize)],
+    w: usize,
+    h: usize,
+    usage: &[usize],
+    history: &[f64],
+    capacity: usize,
+    round: usize,
+) -> Option<Vec<(usize, usize)>> {
+    let tile_cost = |x: usize, y: usize| -> f64 {
+        let i = y * w + x;
+        let u = usage[i];
+        // Base + congestion: sharply penalize over-capacity in later rounds.
+        let over = u.saturating_sub(capacity) as f64;
+        1.0 + history[i] + over * (1.0 + round as f64 * 4.0) + u as f64 * 0.02
+    };
+
+    let mut tree: HashSet<(usize, usize)> = HashSet::new();
+    tree.insert(terminals[0]);
+    let mut remaining: Vec<(usize, usize)> = terminals[1..]
+        .iter()
+        .copied()
+        .filter(|t| !tree.contains(t))
+        .collect();
+
+    while !remaining.is_empty() {
+        // Dijkstra from all tree tiles.
+        let mut dist: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut prev: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        let mut heap: BinaryHeap<(std::cmp::Reverse<ordered::F64>, (usize, usize))> =
+            BinaryHeap::new();
+        for &t in &tree {
+            dist.insert(t, 0.0);
+            heap.push((std::cmp::Reverse(ordered::F64(0.0)), t));
+        }
+        let mut reached: Option<(usize, usize)> = None;
+        while let Some((std::cmp::Reverse(ordered::F64(d)), (x, y))) = heap.pop() {
+            if dist.get(&(x, y)).copied().unwrap_or(f64::INFINITY) < d {
+                continue;
+            }
+            if let Some(pos) = remaining.iter().position(|&s| s == (x, y)) {
+                remaining.swap_remove(pos);
+                reached = Some((x, y));
+                break;
+            }
+            let neighbors = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            for (nx, ny) in neighbors {
+                if nx >= w || ny >= h {
+                    continue;
+                }
+                let nd = d + tile_cost(nx, ny);
+                if nd < dist.get(&(nx, ny)).copied().unwrap_or(f64::INFINITY) {
+                    dist.insert((nx, ny), nd);
+                    prev.insert((nx, ny), (x, y));
+                    heap.push((std::cmp::Reverse(ordered::F64(nd)), (nx, ny)));
+                }
+            }
+        }
+        let sink = reached?;
+        // Back-trace into the tree.
+        let mut cur = sink;
+        while !tree.contains(&cur) {
+            tree.insert(cur);
+            match prev.get(&cur) {
+                Some(&p) => cur = p,
+                None => break, // cur was a tree seed
+            }
+        }
+    }
+    let mut tiles: Vec<(usize, usize)> = tree.into_iter().collect();
+    tiles.sort_unstable();
+    Some(tiles)
+}
+
+/// Total-order wrapper for f64 path costs (never NaN).
+mod ordered {
+    /// f64 with `Ord` (costs are finite and non-NaN by construction).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("routing costs are never NaN")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::netlist::Cell;
+    use crate::pack::pack;
+    use crate::place::{place, PlaceOptions};
+
+    fn routed_chain(stages: usize) -> (Netlist, RoutedDesign) {
+        let mut n = Netlist::new("chain");
+        let input = n.add_net("in");
+        n.add_input("in", input);
+        let mut prev = input;
+        for i in 0..stages {
+            let l = n.add_net(format!("l{i}"));
+            let q = n.add_net(format!("q{i}"));
+            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
+            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            prev = q;
+        }
+        n.add_output("out", prev);
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        let r = route(&n, &p, &pl, RouteOptions::default()).unwrap();
+        (n, r)
+    }
+
+    #[test]
+    fn multi_clb_design_uses_routing() {
+        // 30 stages = 60 logic elements > one CLB, so inter-CLB nets exist
+        // and must be routed. (Pad nets may be local if the IOB lands on
+        // the same perimeter tile as its sink CLB.)
+        let (_, r) = routed_chain(30);
+        assert!(r.total_wirelength > 0);
+        assert!(r.routes.iter().flatten().count() > 0);
+        assert!(r.peak_usage >= 1);
+    }
+
+    #[test]
+    fn route_trees_are_connected_and_cover_terminals() {
+        let (n, r) = routed_chain(20);
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        let terms = net_terminals(&n, &p, &pl);
+        for (i, route) in r.routes.iter().enumerate() {
+            let Some(route) = route else { continue };
+            let tiles: HashSet<(usize, usize)> = route.tiles.iter().copied().collect();
+            for t in &terms[i] {
+                assert!(tiles.contains(t), "net {i} misses terminal {t:?}");
+            }
+            // Connectivity: BFS within the tile set from the first terminal.
+            let mut seen = HashSet::new();
+            let mut stack = vec![terms[i][0]];
+            seen.insert(terms[i][0]);
+            while let Some((x, y)) = stack.pop() {
+                for (nx, ny) in [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ] {
+                    if tiles.contains(&(nx, ny)) && seen.insert((nx, ny)) {
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+            assert_eq!(seen.len(), tiles.len(), "net {i} tree is disconnected");
+        }
+    }
+
+    #[test]
+    fn local_nets_use_no_routing() {
+        // A LUT and its paired FF share an entity: the connecting net is
+        // single-tile and needs no general routing.
+        let mut n = Netlist::new("pair");
+        let a = n.add_net("a");
+        let l = n.add_net("l");
+        let q = n.add_net("q");
+        n.add_input("a", a);
+        n.add_output("q", q);
+        n.add_cell(Cell::Lut { inputs: vec![a], output: l, truth: 0b01 });
+        n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        let r = route(&n, &p, &pl, RouteOptions::default()).unwrap();
+        assert!(r.routes[l.index()].is_none(), "intra-LE net routed globally");
+        assert_eq!(r.wirelength(l), 0);
+        assert_eq!(r.switches(l), 0);
+    }
+
+    #[test]
+    fn wirelength_tracks_distance() {
+        let (_, r) = routed_chain(10);
+        for route in r.routes.iter().flatten() {
+            assert_eq!(route.wirelength + 1, route.tiles.len());
+            assert_eq!(route.switches, route.wirelength);
+        }
+    }
+
+    #[test]
+    fn congestion_forces_ripup_or_reports() {
+        // A dense design with capacity 1 per tile: either the router
+        // resolves it through rip-up rounds or reports the overflow —
+        // never panics or silently overcommits.
+        let mut n = Netlist::new("dense");
+        let a = n.add_net("a");
+        n.add_input("a", a);
+        for i in 0..40 {
+            let o = n.add_net(format!("o{i}"));
+            n.add_cell(Cell::Lut { inputs: vec![a], output: o, truth: 0b10 });
+            n.add_output(format!("o{i}"), o);
+        }
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        let opts = RouteOptions { tile_capacity: 1, max_rounds: 3 };
+        match route(&n, &p, &pl, opts) {
+            Ok(r) => assert!(r.peak_usage <= 1, "capacity respected"),
+            Err(RouteError::CongestionUnresolved { overflowed_tiles }) => {
+                assert!(overflowed_tiles > 0);
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_routing() {
+        let (_, r1) = routed_chain(15);
+        let (_, r2) = routed_chain(15);
+        assert_eq!(r1.total_wirelength, r2.total_wirelength);
+    }
+}

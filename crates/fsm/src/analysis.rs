@@ -1,0 +1,280 @@
+//! Structural analyses over an [`Stg`]: reachability, input support, and
+//! the idle-condition extraction that drives the paper's clock-control
+//! technique (Sec. 6).
+//!
+//! [`Stg`]: crate::stg::Stg
+
+use crate::pattern::{Pattern, Trit};
+use crate::stg::{Stg, StateId};
+use std::collections::{BTreeSet, VecDeque};
+
+/// States reachable from the reset state (including it).
+#[must_use]
+pub fn reachable_states(stg: &Stg) -> Vec<StateId> {
+    let mut seen = vec![false; stg.num_states()];
+    let mut queue = VecDeque::new();
+    seen[stg.reset_state().index()] = true;
+    queue.push_back(stg.reset_state());
+    while let Some(s) = queue.pop_front() {
+        for t in stg.transitions_from(s) {
+            if !seen[t.to.index()] {
+                seen[t.to.index()] = true;
+                queue.push_back(t.to);
+            }
+        }
+    }
+    (0..stg.num_states())
+        .filter(|&i| seen[i])
+        .map(|i| StateId(i as u32))
+        .collect()
+}
+
+/// Returns a copy of the machine restricted to reachable states.
+///
+/// State ids are compacted; the reset state keeps its role. Transitions from
+/// unreachable states are dropped.
+#[must_use]
+pub fn prune_unreachable(stg: &Stg) -> Stg {
+    let reach = reachable_states(stg);
+    if reach.len() == stg.num_states() {
+        return stg.clone();
+    }
+    let mut remap = vec![None; stg.num_states()];
+    for (new, old) in reach.iter().enumerate() {
+        remap[old.index()] = Some(StateId(new as u32));
+    }
+    let names: Vec<String> = reach
+        .iter()
+        .map(|s| stg.state_name(*s).to_string())
+        .collect();
+    let transitions = stg
+        .transitions()
+        .iter()
+        .filter(|t| remap[t.from.index()].is_some() && remap[t.to.index()].is_some())
+        .map(|t| crate::stg::Transition {
+            from: remap[t.from.index()].expect("filtered"),
+            input: t.input.clone(),
+            to: remap[t.to.index()].expect("filtered"),
+            output: t.output.clone(),
+        })
+        .collect();
+    let reset = remap[stg.reset_state().index()].expect("reset is always reachable");
+    Stg::new(
+        stg.name().to_string(),
+        stg.num_inputs(),
+        stg.num_outputs(),
+        names,
+        transitions,
+        reset,
+    )
+    .expect("pruning preserves validity")
+}
+
+/// The set of input columns a state actually reads: the union, over its
+/// outgoing transitions, of the specified (non-don't-care) input positions.
+///
+/// This is the per-state quantity `i` in the paper's column-compaction step
+/// (Fig. 4 / Fig. 5 lines 11–14): if all rows of a state leave a column
+/// don't-care, that column can be dropped for that state.
+#[must_use]
+pub fn state_input_support(stg: &Stg, state: StateId) -> BTreeSet<usize> {
+    let mut used = BTreeSet::new();
+    for t in stg.transitions_from(state) {
+        used.extend(t.input.specified_positions());
+    }
+    used
+}
+
+/// The maximum, over all states, of the number of input columns the state
+/// reads — the `i` of Fig. 5 line 11 ("the maximum number of inputs any
+/// state uses excluding don't care bits").
+#[must_use]
+pub fn max_state_input_support(stg: &Stg) -> usize {
+    stg.states()
+        .map(|s| state_input_support(stg, s).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// An idle condition: while in `state`, any input matching `input` causes
+/// no state change and no output change, so the implementation's clock (or
+/// BRAM enable) can be safely stopped (paper Sec. 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdleCondition {
+    /// The state in which the machine idles.
+    pub state: StateId,
+    /// Input cube under which it idles.
+    pub input: Pattern,
+    /// The outputs held while idling (zero-resolved).
+    pub held_outputs: Vec<bool>,
+}
+
+/// Extracts all idle conditions from the STG.
+///
+/// A transition contributes an idle condition when it is a self-loop whose
+/// output equals the output the machine is already holding. For a Moore
+/// machine the held output is the state's entry output; for a Mealy machine
+/// the held output depends on the previous transition, so a self-loop is
+/// idle only relative to a *given* held output — the clock-control logic
+/// must then also observe the output register, which is exactly why the
+/// paper feeds FSM outputs into the Mealy clock-control cone.
+///
+/// This function enumerates `(state, input-cube, held-output)` triples:
+/// self-loop transitions `s --c/o--> s` are idle whenever the latched output
+/// already equals `o`.
+#[must_use]
+pub fn idle_conditions(stg: &Stg) -> Vec<IdleCondition> {
+    let mut out = Vec::new();
+    for t in stg.transitions() {
+        if t.from == t.to {
+            out.push(IdleCondition {
+                state: t.from,
+                input: t.input.clone(),
+                held_outputs: t.output.resolve_zero(),
+            });
+        }
+    }
+    out
+}
+
+/// Summary statistics of an STG, as used for Table 1-style reporting and the
+/// synthetic benchmark generator's signature matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StgStats {
+    /// Number of states.
+    pub states: usize,
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Number of outputs.
+    pub outputs: usize,
+    /// Number of transitions (STG edges / KISS2 products).
+    pub transitions: usize,
+    /// Fraction of input-field trits that are don't-cares.
+    pub input_dc_density: f64,
+    /// Number of self-loop transitions.
+    pub self_loops: usize,
+    /// Maximum per-state input support (see [`max_state_input_support`]).
+    pub max_input_support: usize,
+}
+
+/// Computes [`StgStats`] for a machine.
+#[must_use]
+pub fn stats(stg: &Stg) -> StgStats {
+    let total_trits: usize = stg.transitions().len() * stg.num_inputs();
+    let dc: usize = stg
+        .transitions()
+        .iter()
+        .map(|t| {
+            t.input
+                .trits()
+                .iter()
+                .filter(|x| matches!(x, Trit::DontCare))
+                .count()
+        })
+        .sum();
+    StgStats {
+        states: stg.num_states(),
+        inputs: stg.num_inputs(),
+        outputs: stg.num_outputs(),
+        transitions: stg.transitions().len(),
+        input_dc_density: if total_trits == 0 {
+            0.0
+        } else {
+            dc as f64 / total_trits as f64
+        },
+        self_loops: stg.transitions().iter().filter(|t| t.from == t.to).count(),
+        max_input_support: max_state_input_support(stg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stg::StgBuilder;
+
+    fn with_unreachable() -> Stg {
+        let mut b = StgBuilder::new("u", 1, 1);
+        let a = b.state("A");
+        let c = b.state("B");
+        let dead = b.state("Z");
+        b.transition(a, "1", c, "0");
+        b.transition(c, "-", a, "1");
+        b.transition(dead, "-", a, "0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reachability_excludes_dead_states() {
+        let stg = with_unreachable();
+        let r = reachable_states(&stg);
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&StateId(2)));
+    }
+
+    #[test]
+    fn prune_compacts_ids() {
+        let stg = with_unreachable();
+        let pruned = prune_unreachable(&stg);
+        assert_eq!(pruned.num_states(), 2);
+        assert_eq!(pruned.transitions().len(), 2);
+        assert_eq!(pruned.state_name(pruned.reset_state()), "A");
+        // Behaviour preserved on reachable part.
+        let (n1, o1) = stg.step(StateId(0), &[true]);
+        let (n2, o2) = pruned.step(StateId(0), &[true]);
+        assert_eq!(stg.state_name(n1), pruned.state_name(n2));
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn prune_noop_when_all_reachable() {
+        let mut b = StgBuilder::new("r", 1, 1);
+        let a = b.state("A");
+        b.transition(a, "-", a, "0");
+        let stg = b.build().unwrap();
+        assert_eq!(prune_unreachable(&stg), stg);
+    }
+
+    #[test]
+    fn input_support_ignores_dont_cares() {
+        let mut b = StgBuilder::new("s", 4, 1);
+        let a = b.state("A");
+        let c = b.state("B");
+        b.transition(a, "1--0", c, "0"); // reads columns 0 and 3
+        b.transition(a, "0---", a, "0"); // reads column 0
+        b.transition(c, "-1--", a, "0"); // reads column 1
+        let stg = b.build().unwrap();
+        let sup_a: Vec<usize> = state_input_support(&stg, StateId(0)).into_iter().collect();
+        assert_eq!(sup_a, vec![0, 3]);
+        let sup_b: Vec<usize> = state_input_support(&stg, StateId(1)).into_iter().collect();
+        assert_eq!(sup_b, vec![1]);
+        assert_eq!(max_state_input_support(&stg), 2);
+    }
+
+    #[test]
+    fn idle_conditions_are_self_loops() {
+        let mut b = StgBuilder::new("i", 1, 1);
+        let a = b.state("A");
+        let c = b.state("B");
+        b.transition(a, "0", a, "0"); // idle when holding 0
+        b.transition(a, "1", c, "1");
+        b.transition(c, "1", c, "1"); // idle when holding 1
+        b.transition(c, "0", a, "0");
+        let stg = b.build().unwrap();
+        let idles = idle_conditions(&stg);
+        assert_eq!(idles.len(), 2);
+        assert_eq!(idles[0].state, StateId(0));
+        assert_eq!(idles[0].held_outputs, vec![false]);
+        assert_eq!(idles[1].state, StateId(1));
+        assert_eq!(idles[1].held_outputs, vec![true]);
+    }
+
+    #[test]
+    fn stats_shape() {
+        let stg = with_unreachable();
+        let st = stats(&stg);
+        assert_eq!(st.states, 3);
+        assert_eq!(st.transitions, 3);
+        assert_eq!(st.self_loops, 0);
+        assert!(st.input_dc_density > 0.0);
+    }
+}

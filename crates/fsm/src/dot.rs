@@ -1,0 +1,127 @@
+//! Graphviz (DOT) export of state-transition graphs.
+//!
+//! Renders an [`Stg`] in the style of the paper's Fig. 2a: nodes are
+//! states (reset state double-circled), edges are labelled
+//! `input / output`. Feed the output to `dot -Tsvg` for a diagram.
+//!
+//! [`Stg`]: crate::stg::Stg
+
+use crate::stg::Stg;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Merge parallel edges (same source and destination) into one edge
+    /// with stacked labels.
+    pub merge_parallel_edges: bool,
+    /// Left-to-right layout instead of top-down.
+    pub left_to_right: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            merge_parallel_edges: true,
+            left_to_right: false,
+        }
+    }
+}
+
+/// Renders the machine as DOT text.
+#[must_use]
+pub fn render(stg: &Stg, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(stg.name()));
+    if opts.left_to_right {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    let _ = writeln!(out, "  node [shape=circle];");
+    for s in stg.states() {
+        let shape = if s == stg.reset_state() {
+            " [shape=doublecircle]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"{}\"{shape};", escape(stg.state_name(s)));
+    }
+    if opts.merge_parallel_edges {
+        use std::collections::BTreeMap;
+        let mut edges: BTreeMap<(u32, u32), Vec<String>> = BTreeMap::new();
+        for t in stg.transitions() {
+            edges
+                .entry((t.from.0, t.to.0))
+                .or_default()
+                .push(format!("{} / {}", t.input, t.output));
+        }
+        for ((from, to), labels) in edges {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                escape(stg.state_name(crate::stg::StateId(from))),
+                escape(stg.state_name(crate::stg::StateId(to))),
+                labels.join("\\n")
+            );
+        }
+    } else {
+        for t in stg.transitions() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\" [label=\"{} / {}\"];",
+                escape(stg.state_name(t.from)),
+                escape(stg.state_name(t.to)),
+                t.input,
+                t.output
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::sequence_detector_0101;
+
+    #[test]
+    fn renders_all_states_and_edges() {
+        let stg = sequence_detector_0101();
+        let dot = render(&stg, &DotOptions::default());
+        assert!(dot.starts_with("digraph \"seq0101\""));
+        for name in ["A", "B", "C", "D"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "{dot}");
+        }
+        assert!(dot.contains("doublecircle"), "reset state marked");
+        assert!(dot.contains("1 / 1"), "detection edge labelled");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn unmerged_mode_emits_one_edge_per_transition() {
+        let stg = sequence_detector_0101();
+        let dot = render(
+            &stg,
+            &DotOptions {
+                merge_parallel_edges: false,
+                left_to_right: true,
+            },
+        );
+        assert_eq!(dot.matches(" -> ").count(), stg.transitions().len());
+        assert!(dot.contains("rankdir=LR"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = crate::stg::StgBuilder::new("we\"ird", 1, 1);
+        let a = b.state("st\"ate");
+        b.transition(a, "-", a, "0");
+        let stg = b.build().unwrap();
+        let dot = render(&stg, &DotOptions::default());
+        assert!(dot.contains("st\\\"ate"));
+    }
+}

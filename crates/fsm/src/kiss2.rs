@@ -1,0 +1,363 @@
+//! KISS2 reader and writer.
+//!
+//! KISS2 is the textual STG format used by the MCNC LOGIC SYNTHESIS '91 FSM
+//! benchmarks and consumed by SIS — the entry point of the paper's
+//! experimental flow (Fig. 6). A file looks like:
+//!
+//! ```text
+//! .i 1
+//! .o 1
+//! .p 8
+//! .s 4
+//! .r A
+//! 0 A B 0
+//! 1 A A 0
+//! ...
+//! .e
+//! ```
+//!
+//! Each transition line is `input current-state next-state output`, with
+//! `-` marking don't-care bits.
+
+use crate::stg::{Stg, StgBuilder, StgError};
+use std::fmt;
+
+/// Errors produced while parsing KISS2 text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseKiss2Error {
+    /// A line could not be split into the expected fields.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The declared counts (`.i`, `.o`, `.p`, `.s`) disagree with the body.
+    CountMismatch {
+        /// Which declaration disagreed.
+        what: &'static str,
+        /// Declared value.
+        declared: usize,
+        /// Observed value.
+        observed: usize,
+    },
+    /// The `.r` reset state never appears in the body.
+    UnknownReset(String),
+    /// Structural validation failed after parsing.
+    Invalid(StgError),
+}
+
+impl fmt::Display for ParseKiss2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseKiss2Error::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseKiss2Error::CountMismatch {
+                what,
+                declared,
+                observed,
+            } => write!(f, "{what} declared {declared} but body has {observed}"),
+            ParseKiss2Error::UnknownReset(s) => write!(f, "reset state {s:?} not found"),
+            ParseKiss2Error::Invalid(e) => write!(f, "invalid machine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseKiss2Error {}
+
+impl From<StgError> for ParseKiss2Error {
+    fn from(e: StgError) -> Self {
+        ParseKiss2Error::Invalid(e)
+    }
+}
+
+/// Parses KISS2 text into an [`Stg`].
+///
+/// The machine name is taken from `name` (KISS2 files carry no name).
+/// Declared `.p`/`.s` counts are checked against the body; `.i`/`.o` are
+/// mandatory. A missing `.r` defaults to the source state of the first
+/// transition, mirroring SIS behaviour.
+///
+/// # Errors
+///
+/// Returns [`ParseKiss2Error`] on malformed text or inconsistent counts.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// .i 1
+/// .o 1
+/// .s 2
+/// .p 2
+/// .r off
+/// 1 off on 0
+/// - on off 1
+/// .e
+/// ";
+/// let stg = fsm_model::kiss2::parse(text, "toggle")?;
+/// assert_eq!(stg.num_states(), 2);
+/// assert_eq!(stg.state_name(stg.reset_state()), "off");
+/// # Ok::<(), fsm_model::kiss2::ParseKiss2Error>(())
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Stg, ParseKiss2Error> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut declared_products: Option<usize> = None;
+    let mut declared_states: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+    let mut body: Vec<(usize, [String; 4])> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut fields = line.split_whitespace();
+        let first = fields.next().expect("non-empty line");
+        if let Some(directive) = first.strip_prefix('.') {
+            let arg = fields.next();
+            let parse_count = |what: &'static str| -> Result<usize, ParseKiss2Error> {
+                arg.and_then(|a| a.parse().ok())
+                    .ok_or_else(|| ParseKiss2Error::Malformed {
+                        line: lineno,
+                        reason: format!(".{what} needs a numeric argument"),
+                    })
+            };
+            match directive {
+                "i" => num_inputs = Some(parse_count("i")?),
+                "o" => num_outputs = Some(parse_count("o")?),
+                "p" => declared_products = Some(parse_count("p")?),
+                "s" => declared_states = Some(parse_count("s")?),
+                "r" =>
+
+                    reset_name = Some(
+                        arg.ok_or_else(|| ParseKiss2Error::Malformed {
+                            line: lineno,
+                            reason: ".r needs a state name".into(),
+                        })?
+                        .to_string(),
+                    ),
+                // Port-name lists from MCNC files: names are irrelevant
+                // to the semantics, but the files must parse.
+                "ilb" | "ob" => {}
+                "e" | "end" => break,
+                other => {
+                    return Err(ParseKiss2Error::Malformed {
+                        line: lineno,
+                        reason: format!("unknown directive .{other}"),
+                    })
+                }
+            }
+        } else {
+            let f: Vec<&str> = std::iter::once(first).chain(fields).collect();
+            if f.len() != 4 {
+                return Err(ParseKiss2Error::Malformed {
+                    line: lineno,
+                    reason: format!("expected 4 fields, found {}", f.len()),
+                });
+            }
+            body.push((
+                lineno,
+                [
+                    f[0].to_string(),
+                    f[1].to_string(),
+                    f[2].to_string(),
+                    f[3].to_string(),
+                ],
+            ));
+        }
+    }
+
+    let num_inputs = num_inputs.ok_or(ParseKiss2Error::Malformed {
+        line: 0,
+        reason: "missing .i declaration".into(),
+    })?;
+    let num_outputs = num_outputs.ok_or(ParseKiss2Error::Malformed {
+        line: 0,
+        reason: "missing .o declaration".into(),
+    })?;
+
+    if let Some(r) = &reset_name {
+        if !body.iter().any(|(_, f)| &f[1] == r || &f[2] == r) {
+            return Err(ParseKiss2Error::UnknownReset(r.clone()));
+        }
+    }
+
+    let mut builder = StgBuilder::new(name, num_inputs, num_outputs);
+    for (lineno, [input, from, to, output]) in &body {
+        if input.len() != num_inputs {
+            return Err(ParseKiss2Error::Malformed {
+                line: *lineno,
+                reason: format!(
+                    "input field has {} bits, .i declares {}",
+                    input.len(),
+                    num_inputs
+                ),
+            });
+        }
+        if output.len() != num_outputs {
+            return Err(ParseKiss2Error::Malformed {
+                line: *lineno,
+                reason: format!(
+                    "output field has {} bits, .o declares {}",
+                    output.len(),
+                    num_outputs
+                ),
+            });
+        }
+        for (field, what) in [(input, "input"), (output, "output")] {
+            if let Some(bad) = field.chars().find(|c| !matches!(c, '0' | '1' | '-')) {
+                return Err(ParseKiss2Error::Malformed {
+                    line: *lineno,
+                    reason: format!("invalid {what} character {bad:?}"),
+                });
+            }
+        }
+        let from = builder.state(from.clone());
+        let to = builder.state(to.clone());
+        builder.transition(from, input, to, output);
+    }
+
+    if let Some(r) = &reset_name {
+        // The reset state may not have been the first mentioned; register it
+        // (it normally already exists) and mark it.
+        let id = builder.state(r.clone());
+        builder.reset(id);
+    }
+
+    let stg = builder.build()?;
+
+    if let Some(p) = declared_products {
+        if p != stg.transitions().len() {
+            return Err(ParseKiss2Error::CountMismatch {
+                what: ".p",
+                declared: p,
+                observed: stg.transitions().len(),
+            });
+        }
+    }
+    if let Some(s) = declared_states {
+        if s != stg.num_states() {
+            return Err(ParseKiss2Error::CountMismatch {
+                what: ".s",
+                declared: s,
+                observed: stg.num_states(),
+            });
+        }
+    }
+    Ok(stg)
+}
+
+/// Serializes an [`Stg`] as KISS2 text.
+///
+/// The output round-trips through [`parse`].
+#[must_use]
+pub fn write(stg: &Stg) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, ".i {}", stg.num_inputs());
+    let _ = writeln!(s, ".o {}", stg.num_outputs());
+    let _ = writeln!(s, ".p {}", stg.transitions().len());
+    let _ = writeln!(s, ".s {}", stg.num_states());
+    let _ = writeln!(s, ".r {}", stg.state_name(stg.reset_state()));
+    for t in stg.transitions() {
+        let _ = writeln!(
+            s,
+            "{} {} {} {}",
+            t.input,
+            stg.state_name(t.from),
+            stg.state_name(t.to),
+            t.output
+        );
+    }
+    s.push_str(".e\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LION: &str = "\
+# lion benchmark (toy version)
+.i 2
+.o 1
+.s 4
+.p 11
+.r st0
+-0 st0 st0 0
+11 st0 st0 0
+01 st0 st1 0   # comment after line
+0- st1 st1 1
+11 st1 st1 1
+10 st1 st2 1
+1- st2 st2 1
+00 st2 st2 1
+01 st2 st3 1
+-1 st3 st3 1
+00 st3 st3 1
+.e
+";
+
+    #[test]
+    fn parses_realistic_file() {
+        let stg = parse(LION, "lion").unwrap();
+        assert_eq!(stg.num_inputs(), 2);
+        assert_eq!(stg.num_outputs(), 1);
+        assert_eq!(stg.num_states(), 4);
+        assert_eq!(stg.transitions().len(), 11);
+        assert_eq!(stg.state_name(stg.reset_state()), "st0");
+    }
+
+    #[test]
+    fn roundtrip_preserves_machine() {
+        let stg = parse(LION, "lion").unwrap();
+        let text = write(&stg);
+        let again = parse(&text, "lion").unwrap();
+        assert_eq!(stg, again);
+    }
+
+    #[test]
+    fn default_reset_is_first_source_state() {
+        let text = ".i 1\n.o 1\n1 b a 0\n0 a a 1\n.e\n";
+        let stg = parse(text, "t").unwrap();
+        assert_eq!(stg.state_name(stg.reset_state()), "b");
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = ".i 1\n.o 1\n.p 5\n1 a a 0\n.e\n";
+        let err = parse(text, "t").unwrap_err();
+        assert!(matches!(err, ParseKiss2Error::CountMismatch { what: ".p", .. }));
+    }
+
+    #[test]
+    fn bad_width_detected() {
+        let text = ".i 2\n.o 1\n1 a a 0\n.e\n";
+        let err = parse(text, "t").unwrap_err();
+        assert!(matches!(err, ParseKiss2Error::Malformed { .. }));
+    }
+
+    #[test]
+    fn missing_declarations_rejected() {
+        assert!(parse("1 a a 0\n", "t").is_err());
+        assert!(parse(".i 1\n1 a a 0\n", "t").is_err());
+    }
+
+    #[test]
+    fn ilb_and_ob_name_lists_are_accepted() {
+        let text = ".i 2\n.o 1\n.ilb req grant\n.ob busy\n.s 1\n.p 1\n-- a a 1\n.e\n";
+        let stg = parse(text, "named").unwrap();
+        assert_eq!(stg.num_inputs(), 2);
+        assert_eq!(stg.num_states(), 1);
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse(".i 1\n.o 1\n.q 3\n1 a a 0\n", "t").unwrap_err();
+        assert!(matches!(err, ParseKiss2Error::Malformed { .. }));
+    }
+}

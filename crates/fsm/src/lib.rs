@@ -1,0 +1,65 @@
+//! Finite-state-machine model for the DATE 2004 "FSMs in embedded memory
+//! blocks" reproduction.
+//!
+//! This crate provides the FSM substrate used throughout the workspace:
+//!
+//! * [`stg`] — the state-transition-graph representation (the paper's
+//!   six-tuple *(I, O, S, r0, δ, Y)*) with deterministic completion
+//!   semantics;
+//! * [`pattern`] — ternary `0/1/-` patterns for transition inputs/outputs;
+//! * [`kiss2`] — the MCNC/SIS interchange format;
+//! * [`encoding`] — binary / gray / one-hot state encodings;
+//! * [`machine`] — Mealy/Moore classification and the Mealy→Moore
+//!   transformation of Sec. 4.2;
+//! * [`simulate`] — the reference simulator every hardware mapping is
+//!   verified against;
+//! * [`analysis`] — reachability, per-state input support (column
+//!   compaction), idle-condition extraction (clock control, Sec. 6);
+//! * [`dot`] — Graphviz export of state diagrams (Fig. 2a style);
+//! * [`minimize`] — state minimization;
+//! * [`generate`] / [`benchmarks`] — seeded synthetic machines matching the
+//!   published signatures of the paper's MCNC/PREP benchmark suite.
+//!
+//! # Examples
+//!
+//! Parse a KISS2 machine and simulate it:
+//!
+//! ```
+//! use fsm_model::{kiss2, simulate::StgSimulator};
+//!
+//! let text = "\
+//! .i 1
+//! .o 1
+//! .s 2
+//! .p 2
+//! .r off
+//! 1 off on 1
+//! - on off 0
+//! .e
+//! ";
+//! let stg = kiss2::parse(text, "pulse")?;
+//! let mut sim = StgSimulator::new(&stg);
+//! assert_eq!(sim.clock(&[true]), &[true]);
+//! assert_eq!(sim.clock(&[true]), &[false]);
+//! # Ok::<(), fsm_model::kiss2::ParseKiss2Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod benchmarks;
+pub mod dot;
+pub mod encoding;
+pub mod generate;
+pub mod kiss2;
+pub mod machine;
+pub mod minimize;
+pub mod pattern;
+pub mod simulate;
+pub mod stg;
+
+pub use encoding::{EncodingStyle, StateEncoding};
+pub use machine::FsmKind;
+pub use pattern::{Pattern, Trit};
+pub use stg::{StateId, Stg, StgBuilder, Transition};

@@ -1,0 +1,299 @@
+//! State minimization by partition refinement.
+//!
+//! Works on the *completed* machine semantics ([`TransitionTable`]): two
+//! states are equivalent iff for every input minterm they produce the same
+//! outputs and transition to equivalent states. This is Moore/Hopcroft-style
+//! refinement specialized to the dense table; FSM benchmarks are small, so
+//! the simple `O(n^2 · 2^i)` refinement loop is more than fast enough.
+//!
+//! [`TransitionTable`]: crate::stg::TransitionTable
+
+use crate::pattern::{index_to_bits, Pattern};
+use crate::stg::{Stg, StgBuilder, StateId};
+use std::collections::HashMap;
+
+/// Result of minimization: the reduced machine plus the state mapping.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced machine (dense transitions: one per state per input class).
+    pub stg: Stg,
+    /// For each original state, the class (new state) it collapsed into.
+    pub class_of: Vec<StateId>,
+}
+
+/// Minimizes the number of states of `stg` under completed-machine
+/// semantics.
+///
+/// The produced machine has one transition per (state, merged-input-cube).
+/// Input cubes are re-derived by merging minterms with identical behaviour
+/// into maximal prefix cubes, which keeps the transition list readable; it
+/// is not guaranteed to be a minimum cover (logic minimization downstream
+/// takes care of that).
+///
+/// # Errors
+///
+/// Fails with the dense-expansion error if the machine has more inputs than
+/// [`crate::stg::TransitionTable::MAX_INPUTS`].
+pub fn minimize(stg: &Stg) -> Result<Minimized, String> {
+    let table = stg.to_table()?;
+    let n = stg.num_states();
+    let num_minterms = 1usize << stg.num_inputs();
+
+    // Initial partition: by full output row.
+    let mut class: Vec<usize> = {
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        (0..n)
+            .map(|s| {
+                let row: Vec<u64> = (0..num_minterms)
+                    .map(|m| table.entry(StateId(s as u32), m).1)
+                    .collect();
+                let next = index.len();
+                *index.entry(row).or_insert(next)
+            })
+            .collect()
+    };
+
+    // Refine until stable: signature = (class, per-minterm next-state class).
+    loop {
+        let mut index: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let next_class: Vec<usize> = (0..n)
+            .map(|s| {
+                let sig: Vec<usize> = (0..num_minterms)
+                    .map(|m| class[table.entry(StateId(s as u32), m).0.index()])
+                    .collect();
+                let key = (class[s], sig);
+                let next = index.len();
+                *index.entry(key).or_insert(next)
+            })
+            .collect();
+        let stable = next_class == class;
+        class = next_class;
+        if stable {
+            break;
+        }
+    }
+
+    // Renumber classes so the reset state's class is 0 (required by the EMB
+    // mapping convention) and classes otherwise appear in first-member order.
+    let num_classes = class.iter().max().map_or(0, |m| m + 1);
+    let mut renumber: Vec<Option<usize>> = vec![None; num_classes];
+    renumber[class[stg.reset_state().index()]] = Some(0);
+    let mut next_id = 1usize;
+    for s in 0..n {
+        if renumber[class[s]].is_none() {
+            renumber[class[s]] = Some(next_id);
+            next_id += 1;
+        }
+    }
+    let class: Vec<usize> = class
+        .iter()
+        .map(|&c| renumber[c].expect("all classes renumbered"))
+        .collect();
+    let num_classes = next_id;
+
+    // Representative original state per class.
+    let mut rep: Vec<Option<usize>> = vec![None; num_classes];
+    for s in 0..n {
+        if rep[class[s]].is_none() {
+            rep[class[s]] = Some(s);
+        }
+    }
+
+    let mut b = StgBuilder::new(
+        format!("{}_min", stg.name()),
+        stg.num_inputs(),
+        stg.num_outputs(),
+    );
+    let ids: Vec<StateId> = (0..num_classes)
+        .map(|c| {
+            let r = rep[c].expect("class has a representative");
+            b.state(stg.state_name(StateId(r as u32)).to_string())
+        })
+        .collect();
+    b.reset(ids[0]);
+
+    for c in 0..num_classes {
+        let r = StateId(rep[c].expect("representative") as u32);
+        // Group minterms by (next-class, outputs), then merge into cubes.
+        let mut groups: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        for m in 0..num_minterms {
+            let (next, out) = table.entry(r, m);
+            groups.entry((class[next.index()], out)).or_default().push(m);
+        }
+        let mut keys: Vec<(usize, u64)> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        for (next_c, out) in keys {
+            let minterms = &groups[&(next_c, out)];
+            for cube in merge_minterms(minterms, stg.num_inputs()) {
+                let out_bits = index_to_bits(out, stg.num_outputs());
+                b.transition_pat(ids[c], cube, ids[next_c], Pattern::from_bits(&out_bits));
+            }
+        }
+    }
+
+    Ok(Minimized {
+        stg: b.build().map_err(|e| e.to_string())?,
+        class_of: class.iter().map(|&c| ids[c]).collect(),
+    })
+}
+
+/// Greedy merge of a minterm set into ternary cubes (pairwise combining of
+/// cubes that differ in exactly one specified bit, iterated to fixpoint —
+/// the Quine–McCluskey combining step without the covering step).
+fn merge_minterms(minterms: &[usize], width: usize) -> Vec<Pattern> {
+    use crate::pattern::Trit;
+    let mut cubes: Vec<Vec<Trit>> = minterms
+        .iter()
+        .map(|&m| {
+            (0..width)
+                .map(|b| Trit::from_bit((m >> b) & 1 == 1))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut merged = false;
+        let mut out: Vec<Vec<Trit>> = Vec::new();
+        let mut used = vec![false; cubes.len()];
+        for i in 0..cubes.len() {
+            if used[i] {
+                continue;
+            }
+            let mut found = false;
+            for j in (i + 1)..cubes.len() {
+                if used[j] {
+                    continue;
+                }
+                if let Some(m) = combine(&cubes[i], &cubes[j]) {
+                    out.push(m);
+                    used[i] = true;
+                    used[j] = true;
+                    merged = true;
+                    found = true;
+                    break;
+                }
+            }
+            if !found && !used[i] {
+                out.push(cubes[i].clone());
+            }
+        }
+        out.sort();
+        out.dedup();
+        cubes = out;
+        if !merged {
+            break;
+        }
+    }
+    cubes.into_iter().map(Pattern::new).collect()
+}
+
+fn combine(
+    a: &[crate::pattern::Trit],
+    b: &[crate::pattern::Trit],
+) -> Option<Vec<crate::pattern::Trit>> {
+    use crate::pattern::Trit;
+    let mut diff = None;
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x != y {
+            match (x, y) {
+                (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero) => {
+                    if diff.is_some() {
+                        return None;
+                    }
+                    diff = Some(i);
+                }
+                _ => return None, // don't-care mismatch: not adjacent
+            }
+        }
+    }
+    diff.map(|i| {
+        let mut m = a.to_vec();
+        m[i] = Trit::DontCare;
+        m
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::StgSimulator;
+    use crate::stg::StgBuilder;
+
+    /// Two copies of the same toggle machine glued together: states C/D are
+    /// redundant with A/B.
+    fn redundant() -> Stg {
+        let mut b = StgBuilder::new("red", 1, 1);
+        let a = b.state("A");
+        let s_b = b.state("B");
+        let c = b.state("C");
+        let d = b.state("D");
+        b.transition(a, "1", s_b, "1");
+        b.transition(a, "0", c, "0");
+        b.transition(s_b, "1", a, "0");
+        b.transition(s_b, "0", d, "1");
+        b.transition(c, "1", d, "1");
+        b.transition(c, "0", a, "0");
+        b.transition(d, "1", c, "0");
+        b.transition(d, "0", s_b, "1");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let stg = redundant();
+        let min = minimize(&stg).unwrap();
+        assert_eq!(min.stg.num_states(), 2, "A≡C and B≡D must merge");
+        assert_eq!(min.class_of[0], min.class_of[2]);
+        assert_eq!(min.class_of[1], min.class_of[3]);
+    }
+
+    #[test]
+    fn minimized_machine_is_equivalent() {
+        let stg = redundant();
+        let min = minimize(&stg).unwrap().stg;
+        let mut sim_a = StgSimulator::new(&stg);
+        let mut sim_b = StgSimulator::new(&min);
+        // Deterministic pseudo-random input stream.
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (x >> 62) & 1 == 1;
+            let oa = sim_a.clock(&[bit]).to_vec();
+            let ob = sim_b.clock(&[bit]).to_vec();
+            assert_eq!(oa, ob);
+        }
+    }
+
+    #[test]
+    fn already_minimal_machine_is_unchanged_in_size() {
+        let mut b = StgBuilder::new("min", 1, 1);
+        let a = b.state("A");
+        let c = b.state("B");
+        b.transition(a, "-", c, "1");
+        b.transition(c, "-", a, "0");
+        let stg = b.build().unwrap();
+        let min = minimize(&stg).unwrap();
+        assert_eq!(min.stg.num_states(), 2);
+    }
+
+    #[test]
+    fn reset_class_is_state_zero() {
+        let stg = redundant();
+        let min = minimize(&stg).unwrap();
+        assert_eq!(
+            min.class_of[stg.reset_state().index()],
+            min.stg.reset_state()
+        );
+        assert_eq!(min.stg.reset_state(), StateId(0));
+    }
+
+    #[test]
+    fn merge_minterms_produces_covering_cubes() {
+        // {0,1,2,3} over 2 bits merges to a single "--".
+        let cubes = merge_minterms(&[0, 1, 2, 3], 2);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0].to_string(), "--");
+        // {0,3} cannot merge.
+        let cubes = merge_minterms(&[0, 3], 2);
+        assert_eq!(cubes.len(), 2);
+    }
+}

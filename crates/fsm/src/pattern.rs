@@ -1,0 +1,467 @@
+//! Ternary bit patterns used for FSM transition inputs and outputs.
+//!
+//! KISS2 state-transition tables describe transition inputs and outputs as
+//! strings over `{0, 1, -}`, where `-` is a *don't-care*: on the input side it
+//! means "this transition fires regardless of that input bit", on the output
+//! side it means "any value is acceptable for that output bit".
+//!
+//! [`Pattern`] is deliberately a simple `Vec<Trit>`: FSM benchmarks have at
+//! most a few dozen bits, and clarity beats bit-packing here. The `logic`
+//! crate has a bit-packed [`Cube`] for the performance-sensitive minimization
+//! loops; conversions live there.
+//!
+//! [`Cube`]: https://docs.rs/logic-synth
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A single ternary digit: `0`, `1` or don't-care (`-`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Trit {
+    /// Logic zero.
+    Zero,
+    /// Logic one.
+    One,
+    /// Don't-care: matches (input side) or permits (output side) any value.
+    DontCare,
+}
+
+impl Trit {
+    /// Returns `true` if a concrete bit value satisfies this trit.
+    #[must_use]
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => !bit,
+            Trit::One => bit,
+            Trit::DontCare => true,
+        }
+    }
+
+    /// The concrete value of a specified trit, or `None` for a don't-care.
+    #[must_use]
+    pub fn value(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::DontCare => None,
+        }
+    }
+
+    /// Converts a concrete bit into the trit that specifies it.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The character used for this trit in KISS2 files.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::DontCare => '-',
+        }
+    }
+}
+
+/// Error returned when parsing a [`Pattern`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// The offending character.
+    pub ch: char,
+    /// Byte offset of the offending character.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid pattern character {:?} at position {} (expected 0, 1 or -)",
+            self.ch, self.pos
+        )
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+/// A fixed-width ternary pattern such as `10-1-`.
+///
+/// # Examples
+///
+/// ```
+/// use fsm_model::pattern::Pattern;
+///
+/// let p: Pattern = "1-0".parse()?;
+/// assert!(p.matches(&[true, false, false]));
+/// assert!(p.matches(&[true, true, false]));
+/// assert!(!p.matches(&[false, true, false]));
+/// # Ok::<(), fsm_model::pattern::ParsePatternError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    trits: Vec<Trit>,
+}
+
+impl Pattern {
+    /// Creates a pattern from explicit trits.
+    #[must_use]
+    pub fn new(trits: Vec<Trit>) -> Self {
+        Pattern { trits }
+    }
+
+    /// A pattern of `width` don't-cares (matches everything).
+    #[must_use]
+    pub fn all_dont_care(width: usize) -> Self {
+        Pattern {
+            trits: vec![Trit::DontCare; width],
+        }
+    }
+
+    /// A fully specified pattern equal to the given bits.
+    #[must_use]
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Pattern {
+            trits: bits.iter().map(|&b| Trit::from_bit(b)).collect(),
+        }
+    }
+
+    /// Number of trits in the pattern.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.trits.len()
+    }
+
+    /// Returns `true` if the pattern has zero width.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trits.is_empty()
+    }
+
+    /// The trits of the pattern, most significant first (KISS2 order).
+    #[must_use]
+    pub fn trits(&self) -> &[Trit] {
+        &self.trits
+    }
+
+    /// The trit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.width()`.
+    #[must_use]
+    pub fn trit(&self, idx: usize) -> Trit {
+        self.trits[idx]
+    }
+
+    /// Replaces the trit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.width()`.
+    pub fn set(&mut self, idx: usize, t: Trit) {
+        self.trits[idx] = t;
+    }
+
+    /// Returns `true` if the concrete bit vector satisfies every trit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != self.width()`.
+    #[must_use]
+    pub fn matches(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.width(), "pattern width mismatch");
+        self.trits.iter().zip(bits).all(|(t, &b)| t.matches(b))
+    }
+
+    /// Returns `true` if some concrete vector satisfies both patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn intersects(&self, other: &Pattern) -> bool {
+        assert_eq!(self.width(), other.width(), "pattern width mismatch");
+        self.trits.iter().zip(&other.trits).all(|(a, b)| {
+            !matches!(
+                (a, b),
+                (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)
+            )
+        })
+    }
+
+    /// Returns `true` if every vector matching `other` also matches `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn covers(&self, other: &Pattern) -> bool {
+        assert_eq!(self.width(), other.width(), "pattern width mismatch");
+        self.trits
+            .iter()
+            .zip(&other.trits)
+            .all(|(a, b)| matches!(a, Trit::DontCare) || a == b)
+    }
+
+    /// Indices of the specified (non-don't-care) trits.
+    pub fn specified_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.trits
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t, Trit::DontCare))
+            .map(|(i, _)| i)
+    }
+
+    /// Number of specified (non-don't-care) trits.
+    #[must_use]
+    pub fn num_specified(&self) -> usize {
+        self.specified_positions().count()
+    }
+
+    /// Number of concrete vectors matching this pattern (`2^dont_cares`).
+    ///
+    /// Saturates at `u64::MAX` for absurd widths.
+    #[must_use]
+    pub fn num_minterms(&self) -> u64 {
+        let dc = (self.width() - self.num_specified()) as u32;
+        1u64.checked_shl(dc).unwrap_or(u64::MAX)
+    }
+
+    /// Iterates over every concrete bit vector matched by this pattern.
+    ///
+    /// The don't-care positions are enumerated in binary counting order.
+    pub fn minterms(&self) -> Minterms<'_> {
+        Minterms {
+            pattern: self,
+            dc_positions: self
+                .trits
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, Trit::DontCare))
+                .map(|(i, _)| i)
+                .collect(),
+            counter: 0,
+            done: false,
+        }
+    }
+
+    /// Resolves every don't-care to `0`, yielding a concrete vector.
+    #[must_use]
+    pub fn resolve_zero(&self) -> Vec<bool> {
+        self.trits
+            .iter()
+            .map(|t| t.value().unwrap_or(false))
+            .collect()
+    }
+
+    /// Restricts this pattern to the given positions, in the given order.
+    ///
+    /// Used by column compaction to pull out only the input columns a state
+    /// actually reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    #[must_use]
+    pub fn project(&self, positions: &[usize]) -> Pattern {
+        Pattern {
+            trits: positions.iter().map(|&i| self.trits[i]).collect(),
+        }
+    }
+
+    /// Concatenates two patterns (`self` first).
+    #[must_use]
+    pub fn concat(&self, other: &Pattern) -> Pattern {
+        let mut trits = self.trits.clone();
+        trits.extend_from_slice(&other.trits);
+        Pattern { trits }
+    }
+}
+
+impl FromStr for Pattern {
+    type Err = ParsePatternError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut trits = Vec::with_capacity(s.len());
+        for (pos, ch) in s.chars().enumerate() {
+            trits.push(match ch {
+                '0' => Trit::Zero,
+                '1' => Trit::One,
+                '-' | '*' | 'x' | 'X' => Trit::DontCare,
+                _ => return Err(ParsePatternError { ch, pos }),
+            });
+        }
+        Ok(Pattern { trits })
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.trits {
+            write!(f, "{}", t.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Trit> for Pattern {
+    fn from_iter<I: IntoIterator<Item = Trit>>(iter: I) -> Self {
+        Pattern {
+            trits: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Iterator over the concrete vectors matched by a [`Pattern`].
+///
+/// Produced by [`Pattern::minterms`].
+#[derive(Debug)]
+pub struct Minterms<'a> {
+    pattern: &'a Pattern,
+    dc_positions: Vec<usize>,
+    counter: u64,
+    done: bool,
+}
+
+impl Iterator for Minterms<'_> {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut bits = self.pattern.resolve_zero();
+        for (k, &pos) in self.dc_positions.iter().enumerate() {
+            bits[pos] = (self.counter >> k) & 1 == 1;
+        }
+        self.counter += 1;
+        if self.dc_positions.len() >= 64 || self.counter >= (1u64 << self.dc_positions.len()) {
+            self.done = true;
+        }
+        Some(bits)
+    }
+}
+
+/// Converts a little-endian bit slice to an integer (`bits[0]` is bit 0).
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are given.
+#[must_use]
+pub fn bits_to_index(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64, "at most 64 bits supported");
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Converts an integer to a little-endian bit vector of the given width.
+#[must_use]
+pub fn index_to_bits(index: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (index >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p: Pattern = "10-1-".parse().unwrap();
+        assert_eq!(p.to_string(), "10-1-");
+        assert_eq!(p.width(), 5);
+        assert_eq!(p.num_specified(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = "10z".parse::<Pattern>().unwrap_err();
+        assert_eq!(err.pos, 2);
+        assert_eq!(err.ch, 'z');
+    }
+
+    #[test]
+    fn matches_respects_dont_cares() {
+        let p: Pattern = "1-0".parse().unwrap();
+        assert!(p.matches(&[true, false, false]));
+        assert!(p.matches(&[true, true, false]));
+        assert!(!p.matches(&[true, true, true]));
+        assert!(!p.matches(&[false, false, false]));
+    }
+
+    #[test]
+    fn intersects_detects_conflicts() {
+        let a: Pattern = "1-0".parse().unwrap();
+        let b: Pattern = "11-".parse().unwrap();
+        let c: Pattern = "0--".parse().unwrap();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn covers_is_containment() {
+        let wide: Pattern = "1--".parse().unwrap();
+        let narrow: Pattern = "1-0".parse().unwrap();
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+    }
+
+    #[test]
+    fn minterm_enumeration_is_exhaustive() {
+        let p: Pattern = "1--0".parse().unwrap();
+        let mts: Vec<Vec<bool>> = p.minterms().collect();
+        assert_eq!(mts.len(), 4);
+        for m in &mts {
+            assert!(p.matches(m));
+        }
+        // All distinct.
+        for i in 0..mts.len() {
+            for j in (i + 1)..mts.len() {
+                assert_ne!(mts[i], mts[j]);
+            }
+        }
+        assert_eq!(p.num_minterms(), 4);
+    }
+
+    #[test]
+    fn minterms_of_fully_specified_pattern() {
+        let p: Pattern = "101".parse().unwrap();
+        let mts: Vec<Vec<bool>> = p.minterms().collect();
+        assert_eq!(mts, vec![vec![true, false, true]]);
+    }
+
+    #[test]
+    fn minterms_of_empty_pattern_yields_one_empty_vector() {
+        let p = Pattern::default();
+        let mts: Vec<Vec<bool>> = p.minterms().collect();
+        assert_eq!(mts, vec![Vec::<bool>::new()]);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let p: Pattern = "10-1".parse().unwrap();
+        assert_eq!(p.project(&[3, 0]).to_string(), "11");
+        assert_eq!(p.project(&[2]).to_string(), "-");
+    }
+
+    #[test]
+    fn bits_index_roundtrip() {
+        for v in 0..32u64 {
+            let bits = index_to_bits(v, 5);
+            assert_eq!(bits_to_index(&bits), v);
+        }
+    }
+
+    #[test]
+    fn concat_widths_add() {
+        let a: Pattern = "1-".parse().unwrap();
+        let b: Pattern = "0".parse().unwrap();
+        assert_eq!(a.concat(&b).to_string(), "1-0");
+    }
+}

@@ -1,0 +1,528 @@
+//! BLIF (Berkeley Logic Interchange Format) reader and writer.
+//!
+//! The paper's baseline flow runs SIS on the KISS2 STG and emits a BLIF
+//! netlist "containing the combinatorial portion of the FSMs and FFs to
+//! store the states" (Sec. 5). This module reads and writes that artifact
+//! so externally synthesized netlists can be dropped into the flow, and so
+//! this workspace's own synthesis results can be inspected with standard
+//! tools.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` (with
+//! `0/1/-` single-output cover rows), `.latch` (with optional type/clock
+//! and init value), `.end`, comments (`#`) and line continuations (`\`).
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::network::{Network, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A latch (D flip-flop) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlifLatch {
+    /// Signal driving the D pin.
+    pub input: String,
+    /// Signal driven by the Q pin.
+    pub output: String,
+    /// Initial value (BLIF codes 0, 1, 2 = don't care, 3 = unknown;
+    /// normalized to a bool with 2/3 → false, matching cleared FPGA FFs).
+    pub init: bool,
+}
+
+/// A parsed BLIF model: a combinational [`Network`] plus latches.
+///
+/// Latch Q signals appear as extra primary inputs of the network (after
+/// the declared `.inputs`); latch D signals appear as extra primary
+/// outputs (after the declared `.outputs`), named `<q>$next`.
+#[derive(Debug, Clone)]
+pub struct BlifModel {
+    /// Model name.
+    pub name: String,
+    /// Declared primary inputs, in order.
+    pub inputs: Vec<String>,
+    /// Declared primary outputs, in order.
+    pub outputs: Vec<String>,
+    /// Latches.
+    pub latches: Vec<BlifLatch>,
+    /// The combinational network.
+    pub network: Network,
+}
+
+/// Errors from BLIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based line number (0 when the error is global).
+    pub line: usize,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+fn err(line: usize, reason: impl Into<String>) -> ParseBlifError {
+    ParseBlifError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+#[derive(Debug)]
+struct NamesDef {
+    line: usize,
+    fanins: Vec<String>,
+    output: String,
+    /// (input pattern, output value) rows.
+    rows: Vec<(String, bool)>,
+}
+
+/// Parses a single-model BLIF file.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed text, undefined signals, or
+/// combinational cycles.
+pub fn parse(text: &str) -> Result<BlifModel, ParseBlifError> {
+    // Join continuation lines, strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        if pending.is_empty() {
+            pending_start = i + 1;
+        }
+        if let Some(stripped) = line.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(line);
+            let joined = std::mem::take(&mut pending);
+            if !joined.trim().is_empty() {
+                lines.push((pending_start, joined));
+            }
+        }
+    }
+
+    let mut name = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<BlifLatch> = Vec::new();
+    let mut names_defs: Vec<NamesDef> = Vec::new();
+    let mut current: Option<NamesDef> = None;
+
+    for (lineno, line) in &lines {
+        let lineno = *lineno;
+        let mut fields = line.split_whitespace();
+        let Some(first) = fields.next() else { continue };
+        if first.starts_with('.') {
+            if let Some(def) = current.take() {
+                names_defs.push(def);
+            }
+            match first {
+                ".model" => {
+                    if let Some(n) = fields.next() {
+                        name = n.to_string();
+                    }
+                }
+                ".inputs" => inputs.extend(fields.map(str::to_string)),
+                ".outputs" => outputs.extend(fields.map(str::to_string)),
+                ".names" => {
+                    let mut sigs: Vec<String> = fields.map(str::to_string).collect();
+                    let output = sigs
+                        .pop()
+                        .ok_or_else(|| err(lineno, ".names needs at least an output"))?;
+                    current = Some(NamesDef {
+                        line: lineno,
+                        fanins: sigs,
+                        output,
+                        rows: Vec::new(),
+                    });
+                }
+                ".latch" => {
+                    let f: Vec<&str> = fields.collect();
+                    if f.len() < 2 {
+                        return Err(err(lineno, ".latch needs input and output"));
+                    }
+                    // Optional: [type clock] [init]; init is the last field
+                    // when it parses as 0-3.
+                    let init = f
+                        .last()
+                        .and_then(|v| v.parse::<u8>().ok())
+                        .is_some_and(|v| v == 1);
+                    latches.push(BlifLatch {
+                        input: f[0].to_string(),
+                        output: f[1].to_string(),
+                        init,
+                    });
+                }
+                ".end" => break,
+                // Tolerated/ignored directives commonly emitted by tools.
+                ".default_input_arrival" | ".default_output_required" | ".wire_load_slope"
+                | ".clock" => {}
+                other => return Err(err(lineno, format!("unsupported directive {other}"))),
+            }
+        } else {
+            // A cover row of the current .names.
+            let def = current
+                .as_mut()
+                .ok_or_else(|| err(lineno, "cover row outside .names"))?;
+            if def.fanins.is_empty() {
+                // Constant: single field "0"/"1".
+                let v = match first {
+                    "1" => true,
+                    "0" => false,
+                    _ => return Err(err(lineno, "constant row must be 0 or 1")),
+                };
+                def.rows.push((String::new(), v));
+            } else {
+                let out_field = fields
+                    .next()
+                    .ok_or_else(|| err(lineno, "cover row needs input pattern and output"))?;
+                if first.len() != def.fanins.len() {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "row width {} but .names has {} inputs",
+                            first.len(),
+                            def.fanins.len()
+                        ),
+                    ));
+                }
+                let v = match out_field {
+                    "1" => true,
+                    "0" => false,
+                    _ => return Err(err(lineno, "output column must be 0 or 1")),
+                };
+                def.rows.push((first.to_string(), v));
+            }
+        }
+    }
+    if let Some(def) = current.take() {
+        names_defs.push(def);
+    }
+
+    build_model(name, inputs, outputs, latches, names_defs)
+}
+
+fn build_model(
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    latches: Vec<BlifLatch>,
+    names_defs: Vec<NamesDef>,
+) -> Result<BlifModel, ParseBlifError> {
+    // Combinational PIs: declared inputs + latch Q signals.
+    let mut network = Network::new();
+    let mut signal: HashMap<String, NodeId> = HashMap::new();
+    for i in &inputs {
+        signal.insert(i.clone(), network.add_input(i.clone()));
+    }
+    for l in &latches {
+        signal.insert(l.output.clone(), network.add_input(l.output.clone()));
+    }
+
+    // Definition lookup by output signal.
+    let mut def_of: HashMap<&str, &NamesDef> = HashMap::new();
+    for d in &names_defs {
+        if def_of.insert(d.output.as_str(), d).is_some() {
+            return Err(err(d.line, format!("signal {:?} defined twice", d.output)));
+        }
+        if signal.contains_key(&d.output) {
+            return Err(err(
+                d.line,
+                format!("signal {:?} is already an input/latch output", d.output),
+            ));
+        }
+    }
+
+    // DFS-based topological elaboration.
+    fn elaborate(
+        out_sig: &str,
+        def_of: &HashMap<&str, &NamesDef>,
+        network: &mut Network,
+        signal: &mut HashMap<String, NodeId>,
+        visiting: &mut Vec<String>,
+    ) -> Result<NodeId, ParseBlifError> {
+        if let Some(&id) = signal.get(out_sig) {
+            return Ok(id);
+        }
+        if visiting.iter().any(|v| v == out_sig) {
+            return Err(err(0, format!("combinational cycle through {out_sig:?}")));
+        }
+        let def = def_of
+            .get(out_sig)
+            .ok_or_else(|| err(0, format!("undefined signal {out_sig:?}")))?;
+        visiting.push(out_sig.to_string());
+        let mut fanin_ids = Vec::with_capacity(def.fanins.len());
+        for f in &def.fanins {
+            fanin_ids.push(elaborate(f, def_of, network, signal, visiting)?);
+        }
+        visiting.pop();
+
+        // BLIF rows with output 0 describe the complement; rows must agree.
+        let mut on_rows: Vec<&str> = Vec::new();
+        let mut off_rows: Vec<&str> = Vec::new();
+        for (p, v) in &def.rows {
+            if *v {
+                on_rows.push(p);
+            } else {
+                off_rows.push(p);
+            }
+        }
+        let id = if def.fanins.is_empty() {
+            network.add_constant(!on_rows.is_empty())
+        } else {
+            let n = def.fanins.len();
+            let cover = if !on_rows.is_empty() {
+                let cubes = on_rows
+                    .iter()
+                    .map(|p| parse_row(p, def.line))
+                    .collect::<Result<Vec<Cube>, _>>()?;
+                Cover::from_cubes(n, cubes)
+            } else if !off_rows.is_empty() {
+                // Offset description: complement it.
+                let cubes = off_rows
+                    .iter()
+                    .map(|p| parse_row(p, def.line))
+                    .collect::<Result<Vec<Cube>, _>>()?;
+                Cover::from_cubes(n, cubes).complement()
+            } else {
+                Cover::empty(n)
+            };
+            network
+                .add_logic(fanin_ids, cover)
+                .map_err(|e| err(def.line, e.to_string()))?
+        };
+        signal.insert(out_sig.to_string(), id);
+        Ok(id)
+    }
+
+    let mut visiting = Vec::new();
+    // Elaborate declared outputs and latch D inputs.
+    let mut net_outputs: Vec<(String, NodeId)> = Vec::new();
+    for o in &outputs {
+        let id = elaborate(o, &def_of, &mut network, &mut signal, &mut visiting)?;
+        net_outputs.push((o.clone(), id));
+    }
+    for l in &latches {
+        let id = elaborate(&l.input, &def_of, &mut network, &mut signal, &mut visiting)?;
+        net_outputs.push((format!("{}$next", l.output), id));
+    }
+    for (n, id) in net_outputs {
+        network
+            .add_output(n, id)
+            .map_err(|e| err(0, e.to_string()))?;
+    }
+
+    Ok(BlifModel {
+        name,
+        inputs,
+        outputs,
+        latches,
+        network,
+    })
+}
+
+fn parse_row(p: &str, line: usize) -> Result<Cube, ParseBlifError> {
+    let pat: fsm_model::pattern::Pattern = p
+        .parse()
+        .map_err(|e| err(line, format!("bad cover row {p:?}: {e}")))?;
+    if pat.width() > 64 {
+        return Err(err(line, "cover row wider than 64 variables"));
+    }
+    Ok(Cube::from_pattern(&pat))
+}
+
+/// Serializes a model to BLIF text. Round-trips through [`parse`].
+#[must_use]
+pub fn write(model: &BlifModel) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", model.name);
+    if !model.inputs.is_empty() {
+        let _ = writeln!(s, ".inputs {}", model.inputs.join(" "));
+    }
+    if !model.outputs.is_empty() {
+        let _ = writeln!(s, ".outputs {}", model.outputs.join(" "));
+    }
+    for l in &model.latches {
+        let _ = writeln!(s, ".latch {} {} {}", l.input, l.output, u8::from(l.init));
+    }
+    // Name every node: inputs keep their names; internal nodes get n<i>.
+    let net = &model.network;
+    let mut names: Vec<String> = Vec::with_capacity(net.len());
+    for (i, node) in net.nodes().iter().enumerate() {
+        names.push(match node {
+            crate::network::Node::Input(n) => n.clone(),
+            _ => format!("n{i}"),
+        });
+    }
+    // Outputs must carry their declared names: emit buffers where the
+    // output name differs from the driving node's name.
+    for (i, node) in net.nodes().iter().enumerate() {
+        match node {
+            crate::network::Node::Input(_) => {}
+            crate::network::Node::Constant(v) => {
+                let _ = writeln!(s, ".names {}", names[i]);
+                if *v {
+                    let _ = writeln!(s, "1");
+                }
+            }
+            crate::network::Node::Logic { fanins, cover } => {
+                let fan_names: Vec<&str> =
+                    fanins.iter().map(|f| names[f.index()].as_str()).collect();
+                let _ = writeln!(s, ".names {} {}", fan_names.join(" "), names[i]);
+                for cube in cover.cubes() {
+                    let _ = writeln!(s, "{} 1", cube.to_pattern());
+                }
+            }
+        }
+    }
+    // Reconnect declared outputs and latch D signals to their drivers with
+    // buffers where the names differ.
+    let mut emitted_buffers: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (out_name, id) in net.outputs() {
+        // Latch D outputs are named `<q>$next` internally; the `.latch`
+        // statement references the original D signal name instead.
+        let target = model
+            .latches
+            .iter()
+            .find(|l| format!("{}$next", l.output) == *out_name)
+            .map_or(out_name.as_str(), |l| l.input.as_str());
+        if target != names[id.index()] && emitted_buffers.insert(target.to_string()) {
+            let _ = writeln!(s, ".names {} {}", names[id.index()], target);
+            let _ = writeln!(s, "1 1");
+        }
+    }
+    s.push_str(".end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "\
+.model counter2
+.inputs en
+.outputs q0 q1
+.latch d0 s0 0
+.latch d1 s1 0
+# q wires
+.names s0 q0
+1 1
+.names s1 q1
+1 1
+.names en s0 d0
+10 1
+01 1
+.names en s0 s1 d1
+110 1
+101 1
+011 1
+-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only
+.end
+";
+
+    #[test]
+    fn parses_counter() {
+        // Remove the intentionally mixed-polarity row for the happy path.
+        let text = COUNTER.replace("-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n", "");
+        let m = parse(&text).unwrap();
+        assert_eq!(m.name, "counter2");
+        assert_eq!(m.inputs, vec!["en"]);
+        assert_eq!(m.outputs, vec!["q0", "q1"]);
+        assert_eq!(m.latches.len(), 2);
+        // Network has PIs: en, s0, s1 and POs: q0, q1, s0$next, s1$next.
+        assert_eq!(m.network.inputs().count(), 3);
+        assert_eq!(m.network.outputs().len(), 4);
+        // Behaviour: with en=1, s0 toggles; d1 = en XOR-carry.
+        // eval order of PIs: en, s0, s1.
+        let v = m.network.eval(&[true, false, false]);
+        // q0=s0=0, q1=s1=0, d0=1 (en xor s0), d1=0.
+        assert_eq!(v, vec![false, false, true, false]);
+        let v = m.network.eval(&[true, true, false]);
+        assert_eq!(v, vec![true, false, false, true]); // carry into d1
+    }
+
+    #[test]
+    fn offset_rows_complement() {
+        let text = "\
+.model inv
+.inputs a
+.outputs y
+.names a y
+1 0
+.end
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.network.eval(&[true]), vec![false]);
+        assert_eq!(m.network.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn constants_parse() {
+        let text = ".model k\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.network.eval(&[]), vec![true, false]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let text = "\
+.model cyc
+.inputs a
+.outputs y
+.names a x y
+11 1
+.names a y x
+11 1
+.end
+";
+        let e = parse(text).unwrap_err();
+        assert!(e.reason.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn undefined_signal_detected() {
+        let text = ".model u\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.reason.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let text = COUNTER.replace("-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n", "");
+        let m1 = parse(&text).unwrap();
+        let out = write(&m1);
+        let m2 = parse(&out).unwrap();
+        assert_eq!(m1.inputs, m2.inputs);
+        assert_eq!(m1.outputs, m2.outputs);
+        assert_eq!(m1.latches, m2.latches);
+        for bits in 0..8u64 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m1.network.eval(&v), m2.network.eval(&v), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let text = ".model c\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.inputs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn latch_with_type_and_clock() {
+        let text = ".model l\n.inputs d\n.outputs q\n.latch d q re clk 1\n.names q q_buf\n1 1\n.end\n";
+        let m = parse(text).unwrap();
+        assert!(m.latches[0].init);
+        assert_eq!(m.latches[0].input, "d");
+    }
+}

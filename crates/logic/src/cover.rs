@@ -1,0 +1,373 @@
+//! Sum-of-products covers and the unate-recursion tautology check.
+//!
+//! A [`Cover`] is a set of [`Cube`]s over a common variable space; its
+//! function is the OR of the cubes. The central primitive is
+//! [`Cover::is_tautology`], implemented with the classic unate-recursion
+//! paradigm (unate covers are tautologies iff they contain the universal
+//! cube; binate covers recurse on Shannon cofactors of the most binate
+//! variable). Everything the minimizer needs — containment of a cube in a
+//! cover, redundancy — reduces to cofactor-then-tautology.
+
+use crate::cube::Cube;
+use std::fmt;
+
+/// A set of product terms over a common variable space.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty (constant-false) cover.
+    #[must_use]
+    pub fn empty(num_vars: usize) -> Self {
+        Cover {
+            num_vars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// A cover holding exactly the given cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube has a different variable count.
+    #[must_use]
+    pub fn from_cubes(num_vars: usize, cubes: Vec<Cube>) -> Self {
+        assert!(
+            cubes.iter().all(|c| c.num_vars() == num_vars),
+            "cube variable-count mismatch"
+        );
+        Cover { num_vars, cubes }
+    }
+
+    /// The constant-true cover (single universal cube).
+    #[must_use]
+    pub fn tautology(num_vars: usize) -> Self {
+        Cover {
+            num_vars,
+            cubes: vec![Cube::full(num_vars)],
+        }
+    }
+
+    /// Number of variables in the space.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the cover.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// True if the cover has no cubes (constant false).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total literal count (the secondary espresso cost function).
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's variable count differs.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube variable-count mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the cover on a packed assignment.
+    #[must_use]
+    pub fn eval(&self, bits: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(bits))
+    }
+
+    /// The cofactor of the cover with respect to a cube: keep cubes
+    /// intersecting `c`, freeing the variables `c` specifies.
+    #[must_use]
+    pub fn cofactor(&self, c: &Cube) -> Cover {
+        let mut out = Vec::new();
+        for cube in &self.cubes {
+            if cube.intersects(c) {
+                let mask = cube.mask() & !c.mask();
+                out.push(Cube::from_raw(self.num_vars, mask, cube.value() & mask));
+            }
+        }
+        Cover {
+            num_vars: self.num_vars,
+            cubes: out,
+        }
+    }
+
+    /// Is the cover a tautology (constant true)?
+    ///
+    /// Unate recursion: splits on the most binate variable; a unate cover is
+    /// a tautology iff it contains the universal cube.
+    #[must_use]
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits.
+        if self.cubes.iter().any(|c| c.num_literals() == 0) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Count polarities per variable to find a binate splitting variable.
+        let mut pos = [0u32; 64];
+        let mut neg = [0u32; 64];
+        for c in &self.cubes {
+            let mut m = c.mask();
+            while m != 0 {
+                let v = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if c.value() >> v & 1 == 1 {
+                    pos[v] += 1;
+                } else {
+                    neg[v] += 1;
+                }
+            }
+        }
+        let mut split = None;
+        let mut best = 0u32;
+        for v in 0..self.num_vars.min(64) {
+            if pos[v] > 0 && neg[v] > 0 {
+                let score = pos[v].min(neg[v]);
+                if score > best {
+                    best = score;
+                    split = Some(v);
+                }
+            }
+        }
+        match split {
+            None => {
+                // Unate cover with no universal cube: minterm-deficient
+                // unless some variable... the unate-tautology theorem says
+                // NOT a tautology (universal-cube case handled above).
+                false
+            }
+            Some(v) => {
+                let lit1 = Cube::full(self.num_vars).with_literal(v, true);
+                let lit0 = Cube::full(self.num_vars).with_literal(v, false);
+                self.cofactor(&lit1).is_tautology() && self.cofactor(&lit0).is_tautology()
+            }
+        }
+    }
+
+    /// Does the cover contain every point of `cube`?
+    ///
+    /// Classic reduction: `cube ⊆ F` iff `F` cofactored by `cube` is a
+    /// tautology.
+    #[must_use]
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        // Single-cube containment fast path.
+        if self.cubes.iter().any(|c| c.contains(cube)) {
+            return true;
+        }
+        self.cofactor(cube).is_tautology()
+    }
+
+    /// Does the cover contain every point of `other`?
+    #[must_use]
+    pub fn covers(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// The union of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    #[must_use]
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.num_vars, other.num_vars, "variable-count mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend_from_slice(&other.cubes);
+        Cover {
+            num_vars: self.num_vars,
+            cubes,
+        }
+    }
+
+    /// Subtracts a cube from the cover, keeping the result disjoint if the
+    /// input was disjoint.
+    #[must_use]
+    pub fn subtract_cube(&self, cube: &Cube) -> Cover {
+        let mut out = Vec::new();
+        for c in &self.cubes {
+            out.extend(c.subtract(cube));
+        }
+        Cover {
+            num_vars: self.num_vars,
+            cubes: out,
+        }
+    }
+
+    /// The complement of the cover, computed by sharping the universe.
+    ///
+    /// Exponential in the worst case; fine for FSM-scale functions.
+    #[must_use]
+    pub fn complement(&self) -> Cover {
+        let mut result = Cover::tautology(self.num_vars);
+        for c in &self.cubes {
+            result = result.subtract_cube(c);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// Removes cubes contained in another single cube of the cover.
+    pub fn remove_single_cube_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        // Larger cubes first so containment removal is one pass.
+        let mut sorted = cubes;
+        sorted.sort_by_key(|c| c.num_literals());
+        'outer: for c in sorted {
+            for k in &kept {
+                if k.contains(&c) {
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        self.cubes = kept;
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.cubes {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if cubes disagree on variable count or the iterator is empty
+    /// (the variable count cannot be inferred); use [`Cover::empty`] for
+    /// empty covers.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let n = cubes
+            .first()
+            .expect("cannot infer variable count from empty iterator")
+            .num_vars();
+        Cover::from_cubes(n, cubes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cube {
+        Cube::from_pattern(&s.parse().unwrap())
+    }
+
+    fn cover(n: usize, cubes: &[&str]) -> Cover {
+        Cover::from_cubes(n, cubes.iter().map(|s| c(s)).collect())
+    }
+
+    /// Brute-force tautology oracle.
+    fn taut_oracle(f: &Cover) -> bool {
+        (0..1u64 << f.num_vars()).all(|m| f.eval(m))
+    }
+
+    #[test]
+    fn tautology_simple_cases() {
+        assert!(cover(2, &["--"]).is_tautology());
+        assert!(cover(1, &["0", "1"]).is_tautology());
+        assert!(!cover(2, &["1-", "00"]).is_tautology()); // misses 01? no: 1-,00 misses 01 => not taut
+        assert!(cover(2, &["1-", "0-"]).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+    }
+
+    #[test]
+    fn tautology_matches_oracle_on_structured_covers() {
+        // xor-ish and random-ish covers over 4 vars.
+        let cases = [
+            cover(4, &["1--0", "0--1", "-11-", "-00-"]),
+            cover(4, &["1---", "-1--", "--1-", "---1", "0000"]),
+            cover(4, &["11--", "00--"]),
+            cover(4, &["1---", "01--", "001-", "0001", "0000"]),
+        ];
+        for f in &cases {
+            assert_eq!(f.is_tautology(), taut_oracle(f), "{f}");
+        }
+    }
+
+    #[test]
+    fn covers_cube_reduces_to_cofactor_tautology() {
+        let f = cover(3, &["1--", "01-"]);
+        assert!(f.covers_cube(&c("1-0")));
+        assert!(f.covers_cube(&c("11-")));
+        assert!(!f.covers_cube(&c("0--")));
+        // Multi-cube containment (no single cube contains it).
+        let g = cover(2, &["1-", "-1"]);
+        assert!(!g.covers_cube(&c("--")));
+        let h = cover(2, &["1-", "0-"]);
+        assert!(h.covers_cube(&c("--")));
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let f = cover(3, &["1-0", "01-"]);
+        let g = f.complement();
+        for m in 0..8u64 {
+            assert_eq!(g.eval(m), !f.eval(m), "minterm {m:03b}");
+        }
+        // Complement of empty is tautology; of tautology is empty.
+        assert!(Cover::empty(2).complement().is_tautology());
+        assert!(Cover::tautology(2).complement().is_empty());
+    }
+
+    #[test]
+    fn subtract_cube_is_exact() {
+        let f = cover(3, &["1--", "-1-"]);
+        let g = f.subtract_cube(&c("11-"));
+        for m in 0..8u64 {
+            let expect = f.eval(m) && !c("11-").contains_minterm(m);
+            assert_eq!(g.eval(m), expect, "minterm {m:03b}");
+        }
+    }
+
+    #[test]
+    fn containment_removal_keeps_function() {
+        let mut f = cover(3, &["1--", "10-", "101", "0-0"]);
+        let before: Vec<bool> = (0..8).map(|m| f.eval(m)).collect();
+        f.remove_single_cube_contained();
+        assert_eq!(f.len(), 2);
+        let after: Vec<bool> = (0..8).map(|m| f.eval(m)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn union_and_eval() {
+        let f = cover(2, &["1-"]).union(&cover(2, &["-1"]));
+        assert!(f.eval(0b01)); // var0=1
+        assert!(f.eval(0b10)); // var1=1
+        assert!(!f.eval(0b00));
+    }
+}

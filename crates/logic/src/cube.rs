@@ -1,0 +1,396 @@
+//! Bit-packed ternary cubes for two-level logic.
+//!
+//! A [`Cube`] is a product term over up to 64 variables. Each variable is
+//! either a positive literal, a negative literal, or absent (don't-care).
+//! The representation packs the *care* set and the literal *values* into
+//! two `u64` words, which keeps the minimizer's inner loops branch-light.
+//!
+//! The 64-variable cap is ample for the FSM domain (state bits + inputs of
+//! the largest MCNC benchmark total 17) and is enforced at construction.
+
+use fsm_model::pattern::{Pattern, Trit};
+use std::fmt;
+
+/// A product term over `num_vars ≤ 64` boolean variables.
+///
+/// Invariant: `val & !mask == 0` and bits above `num_vars` are clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    num_vars: u8,
+    /// Bit i set ⇒ variable i appears as a literal.
+    mask: u64,
+    /// For literal variables, bit i gives the required value.
+    val: u64,
+}
+
+impl Cube {
+    /// The universal cube (no literals) over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 64`.
+    #[must_use]
+    pub fn full(num_vars: usize) -> Self {
+        assert!(num_vars <= 64, "Cube supports at most 64 variables");
+        Cube {
+            num_vars: num_vars as u8,
+            mask: 0,
+            val: 0,
+        }
+    }
+
+    /// A fully specified cube (a minterm) from packed bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 64`.
+    #[must_use]
+    pub fn minterm(num_vars: usize, bits: u64) -> Self {
+        assert!(num_vars <= 64, "Cube supports at most 64 variables");
+        let mask = if num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
+        Cube {
+            num_vars: num_vars as u8,
+            mask,
+            val: bits & mask,
+        }
+    }
+
+    /// Builds a cube from raw mask/value words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 64` or the invariant `val ⊆ mask` is violated.
+    #[must_use]
+    pub fn from_raw(num_vars: usize, mask: u64, val: u64) -> Self {
+        assert!(num_vars <= 64, "Cube supports at most 64 variables");
+        let space = if num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
+        assert_eq!(mask & !space, 0, "mask has bits above num_vars");
+        assert_eq!(val & !mask, 0, "val has bits outside mask");
+        Cube {
+            num_vars: num_vars as u8,
+            mask,
+            val,
+        }
+    }
+
+    /// Converts an [`fsm_model`] ternary [`Pattern`] into a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is wider than 64 trits.
+    #[must_use]
+    pub fn from_pattern(p: &Pattern) -> Self {
+        assert!(p.width() <= 64, "Cube supports at most 64 variables");
+        let mut mask = 0u64;
+        let mut val = 0u64;
+        for (i, t) in p.trits().iter().enumerate() {
+            match t {
+                Trit::Zero => mask |= 1 << i,
+                Trit::One => {
+                    mask |= 1 << i;
+                    val |= 1 << i;
+                }
+                Trit::DontCare => {}
+            }
+        }
+        Cube {
+            num_vars: p.width() as u8,
+            mask,
+            val,
+        }
+    }
+
+    /// Converts back to a ternary [`Pattern`].
+    #[must_use]
+    pub fn to_pattern(&self) -> Pattern {
+        (0..self.num_vars())
+            .map(|i| match self.literal(i) {
+                Some(true) => Trit::One,
+                Some(false) => Trit::Zero,
+                None => Trit::DontCare,
+            })
+            .collect()
+    }
+
+    /// Number of variables in the cube's space.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The literal on variable `var`: `Some(polarity)` or `None` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn literal(&self, var: usize) -> Option<bool> {
+        assert!(var < self.num_vars(), "variable out of range");
+        if self.mask >> var & 1 == 1 {
+            Some(self.val >> var & 1 == 1)
+        } else {
+            None
+        }
+    }
+
+    /// Number of literals (specified variables).
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Returns a copy with variable `var` constrained to `polarity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn with_literal(&self, var: usize, polarity: bool) -> Self {
+        assert!(var < self.num_vars(), "variable out of range");
+        let mut c = *self;
+        c.mask |= 1 << var;
+        if polarity {
+            c.val |= 1 << var;
+        } else {
+            c.val &= !(1 << var);
+        }
+        c
+    }
+
+    /// Returns a copy with variable `var` freed (raised to don't-care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    #[must_use]
+    pub fn without_literal(&self, var: usize) -> Self {
+        assert!(var < self.num_vars(), "variable out of range");
+        let mut c = *self;
+        c.mask &= !(1 << var);
+        c.val &= !(1 << var);
+        c
+    }
+
+    /// Does the concrete assignment (packed bits) lie inside the cube?
+    #[must_use]
+    pub fn contains_minterm(&self, bits: u64) -> bool {
+        bits & self.mask == self.val
+    }
+
+    /// Does `self` contain `other` (every point of `other` is in `self`)?
+    #[must_use]
+    pub fn contains(&self, other: &Cube) -> bool {
+        // Self's literals must all be enforced by other with equal polarity.
+        self.mask & !other.mask == 0 && (self.val ^ other.val) & self.mask == 0
+    }
+
+    /// Do the cubes share at least one point?
+    #[must_use]
+    pub fn intersects(&self, other: &Cube) -> bool {
+        (self.val ^ other.val) & self.mask & other.mask == 0
+    }
+
+    /// The intersection cube, if non-empty.
+    #[must_use]
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Cube {
+            num_vars: self.num_vars,
+            mask: self.mask | other.mask,
+            val: self.val | other.val,
+        })
+    }
+
+    /// The smallest cube containing both (supercube).
+    #[must_use]
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        let agree = !(self.val ^ other.val);
+        let mask = self.mask & other.mask & agree;
+        Cube {
+            num_vars: self.num_vars,
+            mask,
+            val: self.val & mask,
+        }
+    }
+
+    /// Number of variables on which the cubes conflict (opposite literals).
+    #[must_use]
+    pub fn distance(&self, other: &Cube) -> usize {
+        ((self.val ^ other.val) & self.mask & other.mask).count_ones() as usize
+    }
+
+    /// Computes `self \ other` as a disjoint list of cubes (the *sharp*
+    /// operation). The result covers exactly the points of `self` outside
+    /// `other`.
+    #[must_use]
+    pub fn subtract(&self, other: &Cube) -> Vec<Cube> {
+        if !self.intersects(other) {
+            return vec![*self];
+        }
+        if other.contains(self) {
+            return Vec::new();
+        }
+        // For each literal of `other` free in `self`, split off the half of
+        // `self` with the opposite polarity; constrain and continue.
+        let mut out = Vec::new();
+        let mut rest = *self;
+        let mut free = other.mask & !self.mask;
+        while free != 0 {
+            let var = free.trailing_zeros() as usize;
+            free &= free - 1;
+            let pol = other.val >> var & 1 == 1;
+            out.push(rest.with_literal(var, !pol));
+            rest = rest.with_literal(var, pol);
+        }
+        out
+    }
+
+    /// Number of points in the cube (`2^(n - literals)`), saturating.
+    #[must_use]
+    pub fn num_minterms(&self) -> u64 {
+        let free = self.num_vars() - self.num_literals();
+        1u64.checked_shl(free as u32).unwrap_or(u64::MAX)
+    }
+
+    /// Iterates the packed minterms of the cube.
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        let free_vars: Vec<usize> = (0..self.num_vars())
+            .filter(|&v| self.mask >> v & 1 == 0)
+            .collect();
+        let count = 1u64
+            .checked_shl(free_vars.len() as u32)
+            .expect("minterm iteration over >63 free vars is a bug");
+        let base = self.val;
+        (0..count).map(move |k| {
+            let mut m = base;
+            for (bit, &var) in free_vars.iter().enumerate() {
+                if k >> bit & 1 == 1 {
+                    m |= 1 << var;
+                }
+            }
+            m
+        })
+    }
+
+    /// Raw care mask (bit i set ⇒ variable i is a literal).
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Raw literal values (meaningful only under [`mask`](Self::mask)).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.val
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_pattern())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cube {
+        Cube::from_pattern(&s.parse().unwrap())
+    }
+
+    #[test]
+    fn pattern_roundtrip() {
+        for s in ["10-", "---", "000", "1-1-0"] {
+            assert_eq!(c(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn containment() {
+        assert!(c("1--").contains(&c("1-0")));
+        assert!(!c("1-0").contains(&c("1--")));
+        assert!(c("---").contains(&c("101")));
+        assert!(c("101").contains(&c("101")));
+    }
+
+    #[test]
+    fn intersection_and_distance() {
+        assert_eq!(c("1--").intersection(&c("-0-")), Some(c("10-")));
+        assert_eq!(c("1--").intersection(&c("0--")), None);
+        assert_eq!(c("11-").distance(&c("00-")), 2);
+        assert_eq!(c("1--").distance(&c("-1-")), 0);
+    }
+
+    #[test]
+    fn supercube_is_smallest_container() {
+        let s = c("10-").supercube(&c("11-"));
+        assert_eq!(s, c("1--"));
+        assert!(s.contains(&c("10-")) && s.contains(&c("11-")));
+    }
+
+    #[test]
+    fn subtract_covers_exact_difference() {
+        let a = c("1---");
+        let b = c("1-01");
+        let diff = a.subtract(&b);
+        // Verify point-by-point over the whole 4-var space.
+        for m in 0..16u64 {
+            let in_a = a.contains_minterm(m);
+            let in_b = b.contains_minterm(m);
+            let in_diff = diff.iter().any(|d| d.contains_minterm(m));
+            assert_eq!(in_diff, in_a && !in_b, "minterm {m:04b}");
+        }
+        // Pieces are pairwise disjoint.
+        for i in 0..diff.len() {
+            for j in (i + 1)..diff.len() {
+                assert!(!diff[i].intersects(&diff[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_edge_cases() {
+        assert!(c("10-").subtract(&c("1--")).is_empty());
+        assert_eq!(c("10-").subtract(&c("01-")), vec![c("10-")]);
+    }
+
+    #[test]
+    fn minterm_iteration() {
+        let cube = c("1-0-");
+        let ms: Vec<u64> = cube.minterms().collect();
+        assert_eq!(ms.len(), 4);
+        for m in &ms {
+            assert!(cube.contains_minterm(*m));
+        }
+        assert_eq!(cube.num_minterms(), 4);
+    }
+
+    #[test]
+    fn literal_editing() {
+        let cube = c("1--");
+        assert_eq!(cube.with_literal(2, true), c("1-1"));
+        assert_eq!(c("1-1").without_literal(0), c("--1"));
+        assert_eq!(cube.literal(0), Some(true));
+        assert_eq!(cube.literal(1), None);
+        assert_eq!(cube.num_literals(), 1);
+    }
+
+    #[test]
+    fn minterm_constructor() {
+        let m = Cube::minterm(3, 0b101);
+        assert_eq!(m.to_string(), "101");
+        assert!(m.contains_minterm(0b101));
+        assert!(!m.contains_minterm(0b001));
+    }
+}

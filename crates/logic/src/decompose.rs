@@ -1,0 +1,259 @@
+//! SOP decomposition into a 2-bounded network.
+//!
+//! Technology mapping wants a network whose nodes have at most 2 fanins
+//! (AND/OR/NOT); cut enumeration is then simple and complete. This module
+//! rewrites every wide SOP node into balanced AND-trees (one per cube)
+//! joined by a balanced OR-tree, with inverters shared per fanin.
+//!
+//! Balanced trees keep the decomposed depth logarithmic, which the
+//! depth-oriented mapper then translates into shallow LUT networks —
+//! mirroring how Synplify's mapper treats the SIS output in the paper's
+//! flow.
+
+use crate::cover::Cover;
+use crate::network::{gates, Network, Node, NodeId};
+
+/// A structurally hashed 2-bounded network builder.
+///
+/// Hash-consing identical gates (same operation, same fanins) is the
+/// classic *strash* step: FSM next-state and output functions share many
+/// state-decoding product terms, and sharing them is what multi-level
+/// synthesis (SIS) buys over naive two-level decomposition.
+struct Strash {
+    out: Network,
+    /// (op, a, b) -> node. op: 0 = AND, 1 = OR; a <= b canonical order.
+    gates: std::collections::HashMap<(u8, NodeId, NodeId), NodeId>,
+    inverters: std::collections::HashMap<NodeId, NodeId>,
+}
+
+impl Strash {
+    fn new() -> Self {
+        Strash {
+            out: Network::new(),
+            gates: std::collections::HashMap::new(),
+            inverters: std::collections::HashMap::new(),
+        }
+    }
+
+    fn inverter(&mut self, of: NodeId) -> NodeId {
+        if let Some(&n) = self.inverters.get(&of) {
+            return n;
+        }
+        let n = self
+            .out
+            .add_logic(vec![of], gates::not1())
+            .expect("inverter of existing node");
+        self.inverters.insert(of, n);
+        n
+    }
+
+    fn gate2(&mut self, op: u8, x: NodeId, y: NodeId) -> NodeId {
+        if x == y {
+            return x; // AND/OR are idempotent
+        }
+        let (a, b) = if x <= y { (x, y) } else { (y, x) };
+        if let Some(&n) = self.gates.get(&(op, a, b)) {
+            return n;
+        }
+        let cover = if op == 0 { gates::and2() } else { gates::or2() };
+        let n = self
+            .out
+            .add_logic(vec![a, b], cover)
+            .expect("gate over existing nodes");
+        self.gates.insert((op, a, b), n);
+        n
+    }
+
+    /// Reduces `leaves` with a balanced tree of `op` gates. Leaves are
+    /// sorted first so identical sets build identical (shared) trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaves` is empty.
+    fn tree(&mut self, op: u8, leaves: &[NodeId]) -> NodeId {
+        assert!(!leaves.is_empty(), "tree needs at least one leaf");
+        let mut level: Vec<NodeId> = leaves.to_vec();
+        level.sort_unstable();
+        level.dedup();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate2(op, pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+}
+
+/// Rewrites `network` so that every logic node has at most 2 fanins,
+/// hash-consing identical gates across the whole network.
+///
+/// Functionality at the primary outputs is preserved exactly.
+#[must_use]
+pub fn decompose2(network: &Network) -> Network {
+    let mut st = Strash::new();
+    // Map old node id -> new node id.
+    let mut remap: Vec<Option<NodeId>> = vec![None; network.len()];
+
+    for (i, node) in network.nodes().iter().enumerate() {
+        let new_id = match node {
+            Node::Input(name) => st.out.add_input(name.clone()),
+            Node::Constant(v) => st.out.add_constant(*v),
+            Node::Logic { fanins, cover } => {
+                let new_fanins: Vec<NodeId> = fanins
+                    .iter()
+                    .map(|f| remap[f.index()].expect("topological order"))
+                    .collect();
+                decompose_node(&mut st, &new_fanins, cover)
+            }
+        };
+        remap[i] = Some(new_id);
+    }
+    for (name, id) in network.outputs() {
+        st.out
+            .add_output(name.clone(), remap[id.index()].expect("all nodes mapped"))
+            .expect("outputs remain valid");
+    }
+    st.out.sweep()
+}
+
+/// Builds the 2-bounded realization of one SOP node; returns the root.
+fn decompose_node(st: &mut Strash, fanins: &[NodeId], cover: &Cover) -> NodeId {
+    if cover.is_empty() {
+        return st.out.add_constant(false);
+    }
+    // Universal cube -> constant true.
+    if cover.cubes().iter().any(|c| c.num_literals() == 0) {
+        return st.out.add_constant(true);
+    }
+    let mut terms: Vec<NodeId> = Vec::with_capacity(cover.len());
+    for cube in cover.cubes() {
+        let mut literals: Vec<NodeId> = Vec::with_capacity(cube.num_literals());
+        for (var, &fanin) in fanins.iter().enumerate() {
+            match cube.literal(var) {
+                Some(true) => literals.push(fanin),
+                Some(false) => {
+                    let inv = st.inverter(fanin);
+                    literals.push(inv);
+                }
+                None => {}
+            }
+        }
+        terms.push(st.tree(0, &literals));
+    }
+    st.tree(1, &terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    fn pat(s: &str) -> Cube {
+        Cube::from_pattern(&s.parse().unwrap())
+    }
+
+    fn random_inputs(n: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut x = seed | 1;
+        (0..64)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (0..n).map(|i| x >> i & 1 == 1).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wide_sop_becomes_2_bounded_and_equivalent() {
+        let mut net = Network::new();
+        let ins: Vec<NodeId> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
+        let cover = Cover::from_cubes(
+            6,
+            vec![pat("11----"), pat("--0011"), pat("1-1-1-"), pat("000000")],
+        );
+        let y = net.add_logic(ins.clone(), cover).unwrap();
+        net.add_output("y", y).unwrap();
+
+        let d = decompose2(&net);
+        assert!(d.max_fanin() <= 2);
+        for bits in random_inputs(6, 99) {
+            assert_eq!(net.eval(&bits), d.eval(&bits), "inputs {bits:?}");
+        }
+        // Exhaustive too, it is only 64 points.
+        for m in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&bits), d.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn constant_covers_become_constant_nodes() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let zero = net.add_logic(vec![a], Cover::empty(1)).unwrap();
+        let one = net.add_logic(vec![a], Cover::tautology(1)).unwrap();
+        net.add_output("z", zero).unwrap();
+        net.add_output("o", one).unwrap();
+        let d = decompose2(&net);
+        assert_eq!(d.eval(&[false]), vec![false, true]);
+        assert_eq!(d.eval(&[true]), vec![false, true]);
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        // Two nodes both needing !a.
+        let c1 = Cover::from_cubes(2, vec![pat("01")]); // !a & b
+        let c2 = Cover::from_cubes(2, vec![pat("00")]); // !a & !b
+        let n1 = net.add_logic(vec![a, b], c1).unwrap();
+        let n2 = net.add_logic(vec![a, b], c2).unwrap();
+        net.add_output("x", n1).unwrap();
+        net.add_output("y", n2).unwrap();
+        let d = decompose2(&net);
+        // Count inverters of `a`: nodes with single fanin = a's new id and
+        // NOT cover. New id of a is still the first input.
+        let inv_count = d
+            .nodes()
+            .iter()
+            .filter(|n| match n {
+                Node::Logic { fanins, cover } => {
+                    fanins.len() == 1 && cover == &gates::not1()
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(inv_count, 2, "one inverter per input, shared across nodes");
+        for m in 0..4u64 {
+            let bits = [m & 1 == 1, m >> 1 & 1 == 1];
+            assert_eq!(net.eval(&bits), d.eval(&bits));
+        }
+    }
+
+    #[test]
+    fn multi_level_network_survives() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let wide = Cover::from_cubes(3, vec![pat("11-"), pat("--1")]);
+        let mid = net.add_logic(vec![a, b, c], wide).unwrap();
+        let top = Cover::from_cubes(2, vec![pat("10")]);
+        let y = net.add_logic(vec![mid, a], top).unwrap();
+        net.add_output("y", y).unwrap();
+        let d = decompose2(&net);
+        assert!(d.max_fanin() <= 2);
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&bits), d.eval(&bits));
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! An espresso-style two-level minimizer.
+//!
+//! Implements the classic EXPAND → IRREDUNDANT → REDUCE loop over
+//! [`Cover`]s with an explicit don't-care set, using
+//! cofactor-then-tautology as the single validity primitive:
+//!
+//! * **EXPAND** raises literals of each cube as long as the raised cube
+//!   stays inside `onset ∪ dcset` (i.e. never touches the offset), then
+//!   drops cubes contained in the expanded one.
+//! * **IRREDUNDANT** removes cubes covered by the rest of the cover plus
+//!   the don't-care set.
+//! * **REDUCE** shrinks each cube to the supercube of the points only it
+//!   covers, enabling the next EXPAND to escape local minima.
+//!
+//! The result covers `onset` exactly on the care space: it contains every
+//! onset point and never intersects the offset. This mirrors what SIS does
+//! to the FSM's combinational cone in the paper's baseline flow (Fig. 6).
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone)]
+pub struct MinimizeResult {
+    /// The minimized cover.
+    pub cover: Cover,
+    /// Number of EXPAND/IRREDUNDANT/REDUCE iterations executed.
+    pub iterations: usize,
+}
+
+/// Minimizes `onset` against the optional `dcset`.
+///
+/// # Panics
+///
+/// Panics if the covers disagree on variable count.
+#[must_use]
+pub fn minimize(onset: &Cover, dcset: &Cover) -> MinimizeResult {
+    assert_eq!(
+        onset.num_vars(),
+        dcset.num_vars(),
+        "onset/dcset variable-count mismatch"
+    );
+    let num_vars = onset.num_vars();
+    if onset.is_empty() {
+        return MinimizeResult {
+            cover: Cover::empty(num_vars),
+            iterations: 0,
+        };
+    }
+    // The feasible region cubes may expand into (fixed for the whole run).
+    let feasible = onset.union(dcset);
+    if feasible.is_tautology() {
+        // The universal cube covers the onset and never leaves the feasible
+        // region, so it is the optimum.
+        return MinimizeResult {
+            cover: Cover::tautology(num_vars),
+            iterations: 0,
+        };
+    }
+
+    let mut cover = onset.clone();
+    cover.remove_single_cube_contained();
+    let mut iterations = 0usize;
+    let mut best_cost = cost(&cover);
+    loop {
+        iterations += 1;
+        cover = expand(&cover, &feasible);
+        cover = irredundant(&cover, onset, dcset);
+        let c = cost(&cover);
+        if c >= best_cost && iterations > 1 {
+            break;
+        }
+        best_cost = best_cost.min(c);
+        if iterations >= 8 {
+            break;
+        }
+        cover = reduce(&cover, dcset);
+    }
+    // Final cleanup passes.
+    cover = expand(&cover, &feasible);
+    cover = irredundant(&cover, onset, dcset);
+    MinimizeResult { cover, iterations }
+}
+
+/// Convenience wrapper with an empty don't-care set.
+#[must_use]
+pub fn minimize_exact_care(onset: &Cover) -> MinimizeResult {
+    minimize(onset, &Cover::empty(onset.num_vars()))
+}
+
+/// Cost used to drive the loop: cube count first, then literal count.
+fn cost(cover: &Cover) -> (usize, usize) {
+    (cover.len(), cover.num_literals())
+}
+
+/// EXPAND: raise literals while remaining inside `feasible`.
+fn expand(cover: &Cover, feasible: &Cover) -> Cover {
+    let num_vars = cover.num_vars();
+    // Expand big cubes first: they are most likely to swallow others.
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    cubes.sort_by_key(|c| c.num_literals());
+    let mut out: Vec<Cube> = Vec::with_capacity(cubes.len());
+    for cube in cubes {
+        // Skip cubes already swallowed by an expanded one.
+        if out.iter().any(|o| o.contains(&cube)) {
+            continue;
+        }
+        let mut cur = cube;
+        // Deterministic literal order keeps runs reproducible.
+        for var in 0..num_vars {
+            if cur.literal(var).is_some() {
+                let raised = cur.without_literal(var);
+                if feasible.covers_cube(&raised) {
+                    cur = raised;
+                }
+            }
+        }
+        out.retain(|o| !cur.contains(o));
+        out.push(cur);
+    }
+    Cover::from_cubes(num_vars, out)
+}
+
+/// IRREDUNDANT: drop cubes covered by the rest plus the dcset.
+///
+/// Greedy: tries to drop cubes with the most literals first (small cubes
+/// are most likely redundant after expansion).
+fn irredundant(cover: &Cover, onset: &Cover, dcset: &Cover) -> Cover {
+    let num_vars = cover.num_vars();
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cover.cubes()[i].num_literals()));
+    let mut keep = vec![true; cover.len()];
+    for &i in &order {
+        keep[i] = false;
+        let rest = Cover::from_cubes(
+            num_vars,
+            cover
+                .cubes()
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| keep[*j])
+                .map(|(_, c)| *c)
+                .collect(),
+        )
+        .union(dcset);
+        if !rest.covers_cube(&cover.cubes()[i]) {
+            keep[i] = true;
+        }
+    }
+    let result = Cover::from_cubes(
+        num_vars,
+        cover
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| keep[*j])
+            .map(|(_, c)| *c)
+            .collect(),
+    );
+    debug_assert!(result.union(dcset).covers(onset), "irredundant lost onset");
+    result
+}
+
+/// REDUCE: shrink each cube to the supercube of the points only it covers.
+fn reduce(cover: &Cover, dcset: &Cover) -> Cover {
+    let num_vars = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Reduce large cubes first (classic heuristic: order by decreasing size).
+    cubes.sort_by_key(|c| c.num_literals());
+    for i in 0..cubes.len() {
+        let cube = cubes[i];
+        // Points of `cube` not covered by the rest of the cover ∪ dc.
+        let mut residual = vec![cube];
+        for (j, other) in cubes.iter().enumerate() {
+            if j != i {
+                residual = residual
+                    .into_iter()
+                    .flat_map(|c| c.subtract(other))
+                    .collect();
+            }
+        }
+        for d in dcset.cubes() {
+            residual = residual.into_iter().flat_map(|c| c.subtract(d)).collect();
+        }
+        if residual.is_empty() {
+            // Fully redundant; leave for IRREDUNDANT to delete.
+            continue;
+        }
+        let mut sup = residual[0];
+        for r in &residual[1..] {
+            sup = sup.supercube(r);
+        }
+        cubes[i] = sup;
+    }
+    Cover::from_cubes(num_vars, cubes)
+}
+
+/// Verifies that `cover` equals `onset` on the care space: covers all of
+/// `onset` and stays inside `onset ∪ dcset`. Used by tests and by the
+/// synthesis flow's internal assertions.
+#[must_use]
+pub fn is_exact_cover(cover: &Cover, onset: &Cover, dcset: &Cover) -> bool {
+    let feasible = onset.union(dcset);
+    cover.union(dcset).covers(onset) && cover.cubes().iter().all(|c| feasible.covers_cube(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Cube {
+        Cube::from_pattern(&s.parse().unwrap())
+    }
+
+    fn cover(n: usize, cubes: &[&str]) -> Cover {
+        if cubes.is_empty() {
+            Cover::empty(n)
+        } else {
+            Cover::from_cubes(n, cubes.iter().map(|s| c(s)).collect())
+        }
+    }
+
+    fn check_equiv_on_care(min: &Cover, onset: &Cover, dcset: &Cover) {
+        for m in 0..1u64 << onset.num_vars() {
+            if dcset.eval(m) {
+                continue;
+            }
+            assert_eq!(min.eval(m), onset.eval(m), "minterm {m:b}");
+        }
+    }
+
+    #[test]
+    fn minimizes_minterm_list_to_single_cube() {
+        // f = x0 over 3 vars, given as 4 minterms.
+        let onset = cover(3, &["100", "101", "110", "111"]);
+        let r = minimize_exact_care(&onset);
+        assert_eq!(r.cover.len(), 1);
+        assert_eq!(r.cover.cubes()[0], c("1--"));
+    }
+
+    #[test]
+    fn respects_offset() {
+        // f = x0 XOR x1 cannot merge.
+        let onset = cover(2, &["10", "01"]);
+        let r = minimize_exact_care(&onset);
+        assert_eq!(r.cover.len(), 2);
+        check_equiv_on_care(&r.cover, &onset, &Cover::empty(2));
+    }
+
+    #[test]
+    fn exploits_dont_cares() {
+        // onset {11}, dc {10, 01}: minimizer may emit x0 or x1 (one literal).
+        let onset = cover(2, &["11"]);
+        let dc = cover(2, &["10", "01"]);
+        let r = minimize(&onset, &dc);
+        assert_eq!(r.cover.len(), 1);
+        assert_eq!(r.cover.cubes()[0].num_literals(), 1);
+        assert!(is_exact_cover(&r.cover, &onset, &dc));
+    }
+
+    #[test]
+    fn classic_espresso_example() {
+        // The 3-var majority-ish cover that needs reduce to improve:
+        // f = a'b' + ab + bc ... use a known-reducible case: f covers
+        // everything except 010 and 101? Just validate exactness on a few
+        // structured functions.
+        let cases: Vec<(Cover, Cover)> = vec![
+            (cover(3, &["000", "001", "011", "111", "110"]), cover(3, &[])),
+            (cover(4, &["1100", "1101", "1111", "1110", "0110", "0111"]), cover(4, &[])),
+            (cover(4, &["0000", "1111"]), cover(4, &["0001", "1110"])),
+        ];
+        for (onset, dc) in cases {
+            let r = minimize(&onset, &dc);
+            assert!(is_exact_cover(&r.cover, &onset, &dc));
+            check_equiv_on_care(&r.cover, &onset, &dc);
+            assert!(r.cover.len() <= onset.len());
+        }
+    }
+
+    #[test]
+    fn tautology_onset_collapses_to_universal_cube() {
+        let onset = cover(3, &["1--", "0--"]);
+        let r = minimize_exact_care(&onset);
+        assert_eq!(r.cover.len(), 1);
+        assert_eq!(r.cover.cubes()[0].num_literals(), 0);
+    }
+
+    #[test]
+    fn empty_onset_stays_empty() {
+        let r = minimize_exact_care(&Cover::empty(3));
+        assert!(r.cover.is_empty());
+    }
+
+    #[test]
+    fn randomized_exactness() {
+        // Pseudo-random functions over 5 vars; dc sets too.
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..20 {
+            let f_bits = next();
+            let dc_bits = next() & next(); // sparser dc
+            let mut onset = Cover::empty(5);
+            let mut dc = Cover::empty(5);
+            for m in 0..32u64 {
+                if dc_bits >> m & 1 == 1 {
+                    dc.push(Cube::minterm(5, m));
+                } else if f_bits >> m & 1 == 1 {
+                    onset.push(Cube::minterm(5, m));
+                }
+            }
+            if onset.is_empty() {
+                continue;
+            }
+            let r = minimize(&onset, &dc);
+            assert!(is_exact_cover(&r.cover, &onset, &dc));
+            check_equiv_on_care(&r.cover, &onset, &dc);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Common-cube extraction (a `fast_extract` subset).
+//!
+//! Two-level minimization leaves heavy redundancy *across* functions: FSM
+//! next-state and output covers share state-decoding product terms. SIS
+//! closes that gap with algebraic extraction; this module implements the
+//! single-cube-divisor core of `fx`: repeatedly find the two-literal cube
+//! occurring in the most cubes across all covers, introduce it as a new
+//! intermediate variable, and substitute. Divisors can themselves contain
+//! earlier divisors, so multi-literal factors emerge hierarchically.
+//!
+//! The transformation is exact by AND-associativity:
+//! `l1·l2·rest  =  d·rest` with `d = l1·l2`.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use std::collections::HashMap;
+
+/// One extracted divisor: `var = lit1 AND lit2` over the extended space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divisor {
+    /// The variable index the divisor defines.
+    pub var: usize,
+    /// First literal (variable, polarity).
+    pub a: (usize, bool),
+    /// Second literal.
+    pub b: (usize, bool),
+}
+
+/// Result of extraction: rewritten covers over an extended variable space
+/// plus the divisor definitions (in dependency order).
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// Total variables (original + divisors).
+    pub num_vars: usize,
+    /// Number of original variables.
+    pub num_inputs: usize,
+    /// Divisor definitions; `divisors[k].var == num_inputs + k`.
+    pub divisors: Vec<Divisor>,
+    /// The rewritten covers (same order as the input covers).
+    pub covers: Vec<Cover>,
+}
+
+impl Extraction {
+    /// Evaluates rewritten cover `idx` on an assignment of the *original*
+    /// variables, computing divisor values on the fly. Used by tests and
+    /// debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn eval(&self, idx: usize, input_bits: u64) -> bool {
+        let mut bits = input_bits;
+        for d in &self.divisors {
+            let va = bits >> d.a.0 & 1 == 1;
+            let vb = bits >> d.b.0 & 1 == 1;
+            if (va == d.a.1) && (vb == d.b.1) {
+                bits |= 1 << d.var;
+            }
+        }
+        self.covers[idx].eval(bits)
+    }
+}
+
+/// Extracts common two-literal cubes across `covers`.
+///
+/// `max_vars` caps the extended variable space (the [`Cube`] limit is
+/// 64); `min_saving` is the minimum number of cube occurrences a divisor
+/// must have to be extracted (2 = any reuse).
+///
+/// # Panics
+///
+/// Panics if covers disagree on variable count or `num_vars > max_vars`.
+#[must_use]
+pub fn extract_cubes(
+    covers: &[Cover],
+    num_vars: usize,
+    max_vars: usize,
+    min_saving: usize,
+) -> Extraction {
+    assert!(num_vars <= max_vars && max_vars <= 64);
+    for c in covers {
+        assert_eq!(c.num_vars(), num_vars, "cover variable-count mismatch");
+    }
+    // Work over the widened space from the start.
+    let widen = |c: &Cube, n: usize| Cube::from_raw(n, c.mask(), c.value());
+    let mut work: Vec<Vec<Cube>> = covers
+        .iter()
+        .map(|c| c.cubes().iter().map(|cu| widen(cu, max_vars)).collect())
+        .collect();
+
+    let mut divisors: Vec<Divisor> = Vec::new();
+    let mut next_var = num_vars;
+    let min_saving = min_saving.max(2);
+
+    while next_var < max_vars {
+        // Count all ordered-canonical two-literal pairs.
+        type LiteralPair = ((usize, bool), (usize, bool));
+        let mut counts: HashMap<LiteralPair, usize> = HashMap::new();
+        for cubes in &work {
+            for cube in cubes {
+                let lits: Vec<(usize, bool)> = (0..next_var)
+                    .filter_map(|v| cube.literal(v).map(|p| (v, p)))
+                    .collect();
+                for i in 0..lits.len() {
+                    for j in (i + 1)..lits.len() {
+                        *counts.entry((lits[i], lits[j])).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let Some((&(a, b), &count)) = counts.iter().max_by_key(|&(k, v)| (*v, *k)) else {
+            break;
+        };
+        if count < min_saving {
+            break;
+        }
+        // Introduce d = a AND b and substitute everywhere.
+        let var = next_var;
+        next_var += 1;
+        divisors.push(Divisor { var, a, b });
+        for cubes in &mut work {
+            for cube in cubes.iter_mut() {
+                if cube.literal(a.0) == Some(a.1) && cube.literal(b.0) == Some(b.1) {
+                    *cube = cube
+                        .without_literal(a.0)
+                        .without_literal(b.0)
+                        .with_literal(var, true);
+                }
+            }
+        }
+    }
+
+    Extraction {
+        num_vars: next_var,
+        num_inputs: num_vars,
+        divisors,
+        covers: work
+            .into_iter()
+            .map(|cubes| {
+                Cover::from_cubes(
+                    max_vars,
+                    cubes
+                        .into_iter()
+                        .map(|c| Cube::from_raw(max_vars, c.mask(), c.value()))
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: usize, s: &str) -> Cube {
+        let p: fsm_model::pattern::Pattern = s.parse().unwrap();
+        let cube = Cube::from_pattern(&p);
+        Cube::from_raw(n, cube.mask(), cube.value())
+    }
+
+    #[test]
+    fn shared_cube_is_extracted() {
+        // f0 = abc + abd ; f1 = abe : "ab" occurs 3 times.
+        let covers = vec![
+            Cover::from_cubes(5, vec![c(5, "111--"), c(5, "11-1-")]),
+            Cover::from_cubes(5, vec![c(5, "11--1")]),
+        ];
+        let ex = extract_cubes(&covers, 5, 16, 2);
+        assert!(!ex.divisors.is_empty());
+        let d0 = ex.divisors[0];
+        assert_eq!((d0.a, d0.b), ((0, true), (1, true)));
+        // Exactness on the whole original space.
+        for m in 0..32u64 {
+            assert_eq!(ex.eval(0, m), covers[0].eval(m), "f0 at {m:05b}");
+            assert_eq!(ex.eval(1, m), covers[1].eval(m), "f1 at {m:05b}");
+        }
+        // The rewritten cubes are shorter.
+        assert!(ex.covers[0].num_literals() < covers[0].num_literals());
+    }
+
+    #[test]
+    fn hierarchical_divisors_emerge() {
+        // Four cubes all sharing abc: extracting ab first, then (d_ab)c.
+        let covers = vec![Cover::from_cubes(
+            6,
+            vec![c(6, "111--0"), c(6, "1111--"), c(6, "111-1-"), c(6, "111--1")],
+        )];
+        let ex = extract_cubes(&covers, 6, 16, 2);
+        assert!(ex.divisors.len() >= 2, "expected ab then ab·c");
+        for m in 0..64u64 {
+            assert_eq!(ex.eval(0, m), covers[0].eval(m), "at {m:06b}");
+        }
+    }
+
+    #[test]
+    fn negative_literals_extract_too() {
+        let covers = vec![Cover::from_cubes(
+            4,
+            vec![c(4, "001-"), c(4, "00-1")],
+        )];
+        let ex = extract_cubes(&covers, 4, 8, 2);
+        assert_eq!(ex.divisors.len(), 1);
+        let d = ex.divisors[0];
+        assert_eq!(d.a, (0, false));
+        assert_eq!(d.b, (1, false));
+        for m in 0..16u64 {
+            assert_eq!(ex.eval(0, m), covers[0].eval(m));
+        }
+    }
+
+    #[test]
+    fn no_sharing_no_divisors() {
+        let covers = vec![Cover::from_cubes(4, vec![c(4, "1---"), c(4, "-0--")])];
+        let ex = extract_cubes(&covers, 4, 8, 2);
+        assert!(ex.divisors.is_empty());
+        assert_eq!(ex.num_vars, 4);
+    }
+
+    #[test]
+    fn var_budget_is_respected() {
+        // Many shareable pairs but only room for one divisor.
+        let covers = vec![Cover::from_cubes(
+            6,
+            vec![c(6, "11----"), c(6, "11--1-"), c(6, "--11--"), c(6, "--11-1")],
+        )];
+        let ex = extract_cubes(&covers, 6, 7, 2);
+        assert_eq!(ex.divisors.len(), 1);
+        for m in 0..64u64 {
+            assert_eq!(ex.eval(0, m), covers[0].eval(m));
+        }
+    }
+
+    #[test]
+    fn empty_and_constant_covers_survive() {
+        let covers = vec![Cover::empty(3), Cover::tautology(3)];
+        let ex = extract_cubes(&covers, 3, 8, 2);
+        for m in 0..8u64 {
+            assert!(!ex.eval(0, m));
+            assert!(ex.eval(1, m));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Two-level and multi-level logic synthesis substrate.
+//!
+//! This crate plays the role SIS and the Synplify mapper play in the
+//! paper's experimental flow (Fig. 6): it turns an encoded state-transition
+//! graph into minimized combinational logic and maps it onto K-input LUTs.
+//!
+//! * [`cube`] / [`cover`] — bit-packed product terms and SOP covers with
+//!   the unate-recursion tautology check;
+//! * [`espresso`] — EXPAND/IRREDUNDANT/REDUCE two-level minimization;
+//! * [`extract`] — common-cube extraction across functions (fx-lite);
+//! * [`truth`] — dense truth tables (LUT contents, equivalence checks);
+//! * [`network`] — multi-level boolean networks (the SIS network model);
+//! * [`decompose`] — rewrite to 2-bounded AND/OR/NOT form;
+//! * [`techmap`] — priority-cut, depth-oriented K-LUT mapping;
+//! * [`blif`] — BLIF interchange (read SIS output, write our own);
+//! * [`synth`] — the end-to-end STG → minimized logic → LUTs pipeline.
+//!
+//! # Examples
+//!
+//! Minimize a function given as minterms:
+//!
+//! ```
+//! use logic_synth::{cover::Cover, cube::Cube, espresso};
+//!
+//! // f(x0,x1,x2) = x2, listed as four minterms.
+//! let onset = Cover::from_cubes(3, (4..8).map(|m| Cube::minterm(3, m)).collect());
+//! let result = espresso::minimize_exact_care(&onset);
+//! assert_eq!(result.cover.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod blif;
+pub mod cover;
+pub mod cube;
+pub mod decompose;
+pub mod espresso;
+pub mod extract;
+pub mod network;
+pub mod synth;
+pub mod techmap;
+pub mod truth;
+
+pub use cover::Cover;
+pub use cube::Cube;
+pub use network::{Network, NodeId};
+pub use techmap::{Lut, LutNetwork, MapOptions, Signal};
+pub use truth::TruthTable;

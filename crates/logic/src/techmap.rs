@@ -1,0 +1,563 @@
+//! Technology mapping onto K-input LUTs.
+//!
+//! Classic cut-based mapping: enumerate K-feasible cuts bottom-up (priority
+//! cuts, bounded per node), choose per node the cut minimizing mapped depth
+//! with area-flow as tiebreak, then extract the LUT cover from the primary
+//! outputs. Constants are absorbed into LUT truth tables.
+//!
+//! The result is a [`LutNetwork`] — the technology-mapped artifact the FPGA
+//! crate packs, places and routes, standing in for the Synplify step of the
+//! paper's flow (Fig. 6).
+
+use crate::network::{Network, Node, NodeId};
+use crate::truth::TruthTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A signal in a mapped network: a primary input, a LUT output, or a
+/// constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Primary input by index.
+    Input(usize),
+    /// Output of LUT `i`.
+    Lut(usize),
+    /// Constant value.
+    Const(bool),
+}
+
+/// One mapped LUT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// Fanin signals, in truth-table variable order.
+    pub fanins: Vec<Signal>,
+    /// The LUT function over the fanins.
+    pub truth: TruthTable,
+}
+
+/// A K-LUT network.
+#[derive(Debug, Clone, Default)]
+pub struct LutNetwork {
+    /// Primary input names.
+    pub inputs: Vec<String>,
+    /// LUTs in topological order (fanins reference earlier LUTs only).
+    pub luts: Vec<Lut>,
+    /// Primary outputs.
+    pub outputs: Vec<(String, Signal)>,
+}
+
+impl LutNetwork {
+    /// Evaluates the network on one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.inputs.len()`.
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs.len(), "input width mismatch");
+        let mut lut_vals = vec![false; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            let mut idx = 0u64;
+            for (k, f) in lut.fanins.iter().enumerate() {
+                let v = match *f {
+                    Signal::Input(p) => inputs[p],
+                    Signal::Lut(l) => lut_vals[l],
+                    Signal::Const(c) => c,
+                };
+                if v {
+                    idx |= 1 << k;
+                }
+            }
+            lut_vals[i] = lut.truth.get(idx);
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| match *s {
+                Signal::Input(p) => inputs[p],
+                Signal::Lut(l) => lut_vals[l],
+                Signal::Const(c) => c,
+            })
+            .collect()
+    }
+
+    /// Logic depth in LUT levels (longest input→output path).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.luts.len()];
+        for (i, lut) in self.luts.iter().enumerate() {
+            d[i] = 1 + lut
+                .fanins
+                .iter()
+                .map(|f| match *f {
+                    Signal::Lut(l) => d[l],
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        self.outputs
+            .iter()
+            .map(|(_, s)| match *s {
+                Signal::Lut(l) => d[l],
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of LUTs.
+    #[must_use]
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+}
+
+impl fmt::Display for LutNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "LutNetwork: {} inputs, {} LUTs, {} outputs, depth {}",
+            self.inputs.len(),
+            self.luts.len(),
+            self.outputs.len(),
+            self.depth()
+        )
+    }
+}
+
+/// Mapping options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapOptions {
+    /// LUT input count (Virtex-II: 4).
+    pub k: usize,
+    /// Priority cuts kept per node.
+    pub cuts_per_node: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            k: 4,
+            cuts_per_node: 8,
+        }
+    }
+}
+
+/// Errors from technology mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// `k` outside the supported 2..=6 range.
+    BadK(usize),
+    /// A node's fanin count exceeds `k`; run
+    /// [`decompose2`](crate::decompose::decompose2) first.
+    NodeTooWide {
+        /// Offending node.
+        node: u32,
+        /// Its fanin count.
+        fanins: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::BadK(k) => write!(f, "unsupported LUT size k={k} (need 2..=6)"),
+            MapError::NodeTooWide { node, fanins } => write!(
+                f,
+                "node {node} has {fanins} fanins; decompose before mapping"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[derive(Clone, Debug)]
+struct Cut {
+    /// Sorted leaf node ids.
+    leaves: Vec<NodeId>,
+    depth: usize,
+    area_flow: f64,
+}
+
+/// Maps `network` onto K-input LUTs.
+///
+/// # Errors
+///
+/// Fails if `opts.k` is out of range or a node is wider than `k`.
+pub fn map_luts(network: &Network, opts: MapOptions) -> Result<LutNetwork, MapError> {
+    if !(2..=6).contains(&opts.k) {
+        return Err(MapError::BadK(opts.k));
+    }
+    let n = network.len();
+    for (i, node) in network.nodes().iter().enumerate() {
+        if let Node::Logic { fanins, .. } = node {
+            if fanins.len() > opts.k {
+                return Err(MapError::NodeTooWide {
+                    node: i as u32,
+                    fanins: fanins.len(),
+                });
+            }
+        }
+    }
+
+    let fanout = network.fanout_counts();
+
+    // Phase 1: priority-cut enumeration with depth-optimal DP.
+    let mut cuts: Vec<Vec<Cut>> = Vec::with_capacity(n);
+    let mut best: Vec<usize> = vec![0; n]; // index of chosen cut per node
+    for (i, node) in network.nodes().iter().enumerate() {
+        let node_cuts = match node {
+            Node::Input(_) => vec![Cut {
+                leaves: vec![NodeId(i as u32)],
+                depth: 0,
+                area_flow: 0.0,
+            }],
+            Node::Constant(_) => vec![Cut {
+                leaves: Vec::new(),
+                depth: 0,
+                area_flow: 0.0,
+            }],
+            Node::Logic { fanins, .. } => {
+                let mut merged: Vec<Cut> = Vec::new();
+                // Cross-product of fanin cut sets.
+                let fanin_cut_sets: Vec<&Vec<Cut>> =
+                    fanins.iter().map(|f| &cuts[f.index()]).collect();
+                cross_product(&fanin_cut_sets, opts.k, &mut |leaves| {
+                    let depth = 1 + leaves
+                        .iter()
+                        .map(|l| match network.node(*l) {
+                            Node::Input(_) | Node::Constant(_) => 0,
+                            Node::Logic { .. } => cuts[l.index()][best[l.index()]].depth,
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    let area_flow = 1.0
+                        + leaves
+                            .iter()
+                            .map(|l| match network.node(*l) {
+                                Node::Input(_) | Node::Constant(_) => 0.0,
+                                Node::Logic { .. } => {
+                                    cuts[l.index()][best[l.index()]].area_flow
+                                        / fanout[l.index()].max(1) as f64
+                                }
+                            })
+                            .sum::<f64>();
+                    merged.push(Cut {
+                        leaves: leaves.to_vec(),
+                        depth,
+                        area_flow,
+                    });
+                });
+                dedup_and_prune(&mut merged, opts.cuts_per_node);
+                // The trivial cut {node} lets fanouts treat this node as a
+                // leaf; its depth is this node's mapped depth (computed from
+                // the best non-trivial cut), so push it after selecting.
+                merged
+            }
+        };
+        // Select the best cut (min depth, then min area flow).
+        let mut bi = 0usize;
+        for (k, c) in node_cuts.iter().enumerate() {
+            let b = &node_cuts[bi];
+            if (c.depth, c.area_flow) < (b.depth, b.area_flow) {
+                bi = k;
+            }
+        }
+        best[i] = bi;
+        cuts.push(node_cuts);
+        // Append the trivial cut for use by fanouts (never chosen as the
+        // node's own implementation).
+        if matches!(network.node(NodeId(i as u32)), Node::Logic { .. }) {
+            let d = cuts[i][best[i]].depth;
+            let af = cuts[i][best[i]].area_flow;
+            cuts[i].push(Cut {
+                leaves: vec![NodeId(i as u32)],
+                depth: d,
+                area_flow: af,
+            });
+        }
+    }
+
+    // Phase 2: cover extraction from outputs.
+    let mut lut_of_node: HashMap<NodeId, usize> = HashMap::new();
+    let mut result = LutNetwork {
+        inputs: network.inputs().map(|(_, n)| n.to_string()).collect(),
+        luts: Vec::new(),
+        outputs: Vec::new(),
+    };
+    let input_index: HashMap<NodeId, usize> = network
+        .inputs()
+        .enumerate()
+        .map(|(k, (id, _))| (id, k))
+        .collect();
+
+    // Required logic nodes, processed so fanin LUTs are created first.
+    let mut stack: Vec<NodeId> = network
+        .outputs()
+        .iter()
+        .filter(|(_, id)| matches!(network.node(*id), Node::Logic { .. }))
+        .map(|(_, id)| *id)
+        .collect();
+    while let Some(id) = stack.pop() {
+        if lut_of_node.contains_key(&id) {
+            continue;
+        }
+        let cut = &cuts[id.index()][best[id.index()]];
+        let pending: Vec<NodeId> = cut
+            .leaves
+            .iter()
+            .copied()
+            .filter(|l| {
+                matches!(network.node(*l), Node::Logic { .. }) && !lut_of_node.contains_key(l)
+            })
+            .collect();
+        if pending.is_empty() {
+            // Build the LUT for this node.
+            let fanins: Vec<Signal> = cut
+                .leaves
+                .iter()
+                .map(|l| match network.node(*l) {
+                    Node::Input(_) => Signal::Input(input_index[l]),
+                    Node::Logic { .. } => Signal::Lut(lut_of_node[l]),
+                    Node::Constant(_) => unreachable!("constants are absorbed into cuts"),
+                })
+                .collect();
+            let truth = cone_truth(network, id, &cut.leaves);
+            result.luts.push(Lut { fanins, truth });
+            lut_of_node.insert(id, result.luts.len() - 1);
+        } else {
+            // Revisit after the pending leaves are built; the network is a
+            // DAG and leaves are strictly earlier nodes, so this terminates.
+            stack.push(id);
+            stack.extend(pending);
+        }
+    }
+
+    for (name, id) in network.outputs() {
+        let sig = match network.node(*id) {
+            Node::Input(_) => Signal::Input(input_index[id]),
+            Node::Constant(v) => Signal::Const(*v),
+            Node::Logic { .. } => {
+                let lut = lut_of_node[id];
+                // Zero-input LUT (all-constant cone) folds to a constant.
+                if result.luts[lut].fanins.is_empty() {
+                    Signal::Const(result.luts[lut].truth.get(0))
+                } else {
+                    Signal::Lut(lut)
+                }
+            }
+        };
+        result.outputs.push((name.clone(), sig));
+    }
+    Ok(result)
+}
+
+/// Enumerates merged leaf sets of the cross product of fanin cut sets,
+/// invoking `emit` for each K-feasible merge.
+fn cross_product(sets: &[&Vec<Cut>], k: usize, emit: &mut dyn FnMut(&[NodeId])) {
+    fn rec(
+        sets: &[&Vec<Cut>],
+        k: usize,
+        idx: usize,
+        acc: &mut Vec<NodeId>,
+        emit: &mut dyn FnMut(&[NodeId]),
+    ) {
+        if idx == sets.len() {
+            emit(acc);
+            return;
+        }
+        for cut in sets[idx] {
+            let before = acc.clone();
+            let mut merged: Vec<NodeId> = acc.iter().copied().chain(cut.leaves.iter().copied()).collect();
+            merged.sort_unstable();
+            merged.dedup();
+            if merged.len() <= k {
+                *acc = merged;
+                rec(sets, k, idx + 1, acc, emit);
+            }
+            *acc = before;
+        }
+    }
+    let mut acc = Vec::new();
+    rec(sets, k, 0, &mut acc, emit);
+}
+
+fn dedup_and_prune(cuts: &mut Vec<Cut>, limit: usize) {
+    cuts.sort_by(|a, b| {
+        (a.depth, a.area_flow, &a.leaves)
+            .partial_cmp(&(b.depth, b.area_flow, &b.leaves))
+            .expect("area flow is never NaN")
+    });
+    cuts.dedup_by(|a, b| a.leaves == b.leaves);
+    cuts.truncate(limit);
+}
+
+/// Computes the truth table of `root`'s cone as a function of `leaves`.
+fn cone_truth(network: &Network, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    let k = leaves.len();
+    let mut table = TruthTable::zeros(k);
+    for m in 0..1u64 << k {
+        let mut memo: HashMap<NodeId, bool> = HashMap::new();
+        for (i, l) in leaves.iter().enumerate() {
+            memo.insert(*l, m >> i & 1 == 1);
+        }
+        if eval_cone(network, root, &mut memo) {
+            table.set(m, true);
+        }
+    }
+    table
+}
+
+fn eval_cone(network: &Network, node: NodeId, memo: &mut HashMap<NodeId, bool>) -> bool {
+    if let Some(&v) = memo.get(&node) {
+        return v;
+    }
+    let v = match network.node(node) {
+        Node::Input(name) => panic!("cone evaluation reached unbound input {name:?}"),
+        Node::Constant(c) => *c,
+        Node::Logic { fanins, cover } => {
+            let mut bits = 0u64;
+            for (i, f) in fanins.iter().enumerate() {
+                if eval_cone(network, *f, memo) {
+                    bits |= 1 << i;
+                }
+            }
+            cover.eval(bits)
+        }
+    };
+    memo.insert(node, v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::Cover;
+    use crate::cube::Cube;
+    use crate::decompose::decompose2;
+    use crate::network::gates;
+
+    fn pat(s: &str) -> Cube {
+        Cube::from_pattern(&s.parse().unwrap())
+    }
+
+    /// 8-input parity: needs multiple LUT levels at k=4.
+    fn parity8() -> Network {
+        let mut net = Network::new();
+        let ins: Vec<NodeId> = (0..8).map(|i| net.add_input(format!("i{i}"))).collect();
+        let mut acc = ins[0];
+        for &next in &ins[1..] {
+            acc = net.add_logic(vec![acc, next], gates::xor2()).unwrap();
+        }
+        net.add_output("p", acc).unwrap();
+        net
+    }
+
+    #[test]
+    fn parity_maps_correctly() {
+        let net = parity8();
+        let mapped = map_luts(&net, MapOptions::default()).unwrap();
+        assert!(mapped.num_luts() >= 2);
+        assert!(mapped.num_luts() <= 4, "k=4 parity8 needs at most 3-4 LUTs");
+        assert!(mapped.depth() <= 3);
+        for m in 0..256u64 {
+            let bits: Vec<bool> = (0..8).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(mapped.eval(&bits), net.eval(&bits), "m={m:08b}");
+        }
+    }
+
+    #[test]
+    fn every_lut_is_k_feasible() {
+        let net = parity8();
+        for k in 2..=6usize {
+            let mapped = map_luts(&net, MapOptions { k, cuts_per_node: 8 }).unwrap();
+            for lut in &mapped.luts {
+                assert!(lut.fanins.len() <= k);
+                assert_eq!(lut.truth.num_vars(), lut.fanins.len());
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_sop_maps_equivalently() {
+        let mut net = Network::new();
+        let ins: Vec<NodeId> = (0..7).map(|i| net.add_input(format!("x{i}"))).collect();
+        let c1 = Cover::from_cubes(
+            7,
+            vec![pat("11-----"), pat("--11---"), pat("----111"), pat("0-0-0-0")],
+        );
+        let y = net.add_logic(ins.clone(), c1).unwrap();
+        net.add_output("y", y).unwrap();
+        let two = decompose2(&net);
+        let mapped = map_luts(&two, MapOptions::default()).unwrap();
+        for m in 0..128u64 {
+            let bits: Vec<bool> = (0..7).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(mapped.eval(&bits), net.eval(&bits), "m={m:07b}");
+        }
+    }
+
+    #[test]
+    fn small_node_fits_single_lut() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let y = net.add_logic(vec![a, b], gates::and2()).unwrap();
+        net.add_output("y", y).unwrap();
+        let mapped = map_luts(&net, MapOptions::default()).unwrap();
+        assert_eq!(mapped.num_luts(), 1);
+        assert_eq!(mapped.depth(), 1);
+    }
+
+    #[test]
+    fn constants_are_absorbed() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let one = net.add_constant(true);
+        let y = net.add_logic(vec![a, one], gates::and2()).unwrap();
+        net.add_output("y", y).unwrap();
+        let mapped = map_luts(&net, MapOptions::default()).unwrap();
+        // y = a & 1 = a: single LUT with one fanin (or buffered input).
+        assert_eq!(mapped.eval(&[true]), vec![true]);
+        assert_eq!(mapped.eval(&[false]), vec![false]);
+        for lut in &mapped.luts {
+            assert!(lut.fanins.iter().all(|f| !matches!(f, Signal::Const(_))));
+        }
+    }
+
+    #[test]
+    fn passthrough_and_constant_outputs() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let k = net.add_constant(false);
+        net.add_output("a_out", a).unwrap();
+        net.add_output("zero", k).unwrap();
+        let mapped = map_luts(&net, MapOptions::default()).unwrap();
+        assert_eq!(mapped.num_luts(), 0);
+        assert_eq!(mapped.eval(&[true]), vec![true, false]);
+    }
+
+    #[test]
+    fn too_wide_node_is_rejected() {
+        let mut net = Network::new();
+        let ins: Vec<NodeId> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
+        let c = Cover::from_cubes(5, vec![pat("11111")]);
+        let y = net.add_logic(ins, c).unwrap();
+        net.add_output("y", y).unwrap();
+        let err = map_luts(&net, MapOptions { k: 4, cuts_per_node: 8 }).unwrap_err();
+        assert!(matches!(err, MapError::NodeTooWide { .. }));
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let net = parity8();
+        assert!(matches!(
+            map_luts(&net, MapOptions { k: 1, cuts_per_node: 4 }),
+            Err(MapError::BadK(1))
+        ));
+        assert!(matches!(
+            map_luts(&net, MapOptions { k: 9, cuts_per_node: 4 }),
+            Err(MapError::BadK(9))
+        ));
+    }
+}

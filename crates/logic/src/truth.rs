@@ -1,0 +1,243 @@
+//! Dense truth tables.
+//!
+//! Used for LUT initialization contents, for equivalence checking in tests,
+//! and for evaluating mapped cones during technology mapping. Supports up
+//! to [`TruthTable::MAX_VARS`] variables (16 Mi entries), far beyond any
+//! single LUT or FSM cone in this workspace.
+
+use crate::cover::Cover;
+use std::fmt;
+
+/// A dense truth table over `num_vars` variables.
+///
+/// Bit `m` of the table is the function value on the packed assignment `m`
+/// (variable *i* is bit *i* of `m`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Maximum supported variable count (2^24 entries = 2 MiB).
+    pub const MAX_VARS: usize = 24;
+
+    /// The constant-false table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    #[must_use]
+    pub fn zeros(num_vars: usize) -> Self {
+        assert!(num_vars <= Self::MAX_VARS, "too many variables");
+        let entries = 1usize << num_vars;
+        TruthTable {
+            num_vars,
+            words: vec![0; entries.div_ceil(64)],
+        }
+    }
+
+    /// The constant-true table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > MAX_VARS`.
+    #[must_use]
+    pub fn ones(num_vars: usize) -> Self {
+        let mut t = Self::zeros(num_vars);
+        for w in &mut t.words {
+            *w = u64::MAX;
+        }
+        t.mask_tail();
+        t
+    }
+
+    /// The projection function of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars > MAX_VARS`.
+    #[must_use]
+    pub fn variable(num_vars: usize, var: usize) -> Self {
+        assert!(var < num_vars, "variable out of range");
+        let mut t = Self::zeros(num_vars);
+        for m in 0..1usize << num_vars {
+            if m >> var & 1 == 1 {
+                t.set(m as u64, true);
+            }
+        }
+        t
+    }
+
+    /// Builds the table of a [`Cover`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover has more than `MAX_VARS` variables.
+    #[must_use]
+    pub fn from_cover(cover: &Cover) -> Self {
+        let mut t = Self::zeros(cover.num_vars());
+        for cube in cover.cubes() {
+            for m in cube.minterms() {
+                t.set(m, true);
+            }
+        }
+        t
+    }
+
+    /// Builds a small table (≤ 6 vars) from packed bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 6`.
+    #[must_use]
+    pub fn from_bits_u64(num_vars: usize, bits: u64) -> Self {
+        assert!(num_vars <= 6, "u64 literal tables support at most 6 vars");
+        let mut t = Self::zeros(num_vars);
+        t.words[0] = bits;
+        t.mask_tail();
+        t
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of entries (`2^num_vars`).
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        1usize << self.num_vars
+    }
+
+    /// The function value on a packed assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn get(&self, m: u64) -> bool {
+        assert!((m as usize) < self.num_entries(), "minterm out of range");
+        self.words[(m / 64) as usize] >> (m % 64) & 1 == 1
+    }
+
+    /// Sets the function value on a packed assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn set(&mut self, m: u64, value: bool) {
+        assert!((m as usize) < self.num_entries(), "minterm out of range");
+        let w = &mut self.words[(m / 64) as usize];
+        if value {
+            *w |= 1 << (m % 64);
+        } else {
+            *w &= !(1 << (m % 64));
+        }
+    }
+
+    /// Number of onset minterms.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// For tables of ≤ 6 variables, the packed 64-bit representation used
+    /// by LUT cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 6 variables.
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.num_vars <= 6, "table too wide for u64");
+        self.words[0]
+    }
+
+    fn mask_tail(&mut self) {
+        let entries = self.num_entries();
+        if !entries.is_multiple_of(64) {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << (entries % 64)) - 1;
+        }
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Entry 0 first (LSB-first), at most 64 entries shown.
+        let shown = self.num_entries().min(64);
+        for m in 0..shown {
+            write!(f, "{}", u8::from(self.get(m as u64)))?;
+        }
+        if shown < self.num_entries() {
+            write!(f, "…")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Cube;
+
+    #[test]
+    fn constants() {
+        assert_eq!(TruthTable::zeros(3).count_ones(), 0);
+        assert_eq!(TruthTable::ones(3).count_ones(), 8);
+        assert_eq!(TruthTable::ones(7).count_ones(), 128);
+    }
+
+    #[test]
+    fn variable_projection() {
+        let t = TruthTable::variable(3, 1);
+        for m in 0..8u64 {
+            assert_eq!(t.get(m), m >> 1 & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn from_cover_matches_eval() {
+        let cover = Cover::from_cubes(
+            4,
+            vec![
+                Cube::from_pattern(&"1--0".parse().unwrap()),
+                Cube::from_pattern(&"01--".parse().unwrap()),
+            ],
+        );
+        let t = TruthTable::from_cover(&cover);
+        for m in 0..16u64 {
+            assert_eq!(t.get(m), cover.eval(m));
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = TruthTable::zeros(5);
+        t.set(17, true);
+        t.set(3, true);
+        t.set(17, false);
+        assert!(!t.get(17));
+        assert!(t.get(3));
+        assert_eq!(t.count_ones(), 1);
+    }
+
+    #[test]
+    fn u64_packing() {
+        let t = TruthTable::from_bits_u64(2, 0b0110); // XOR2
+        assert!(!t.get(0));
+        assert!(t.get(1));
+        assert!(t.get(2));
+        assert!(!t.get(3));
+        assert_eq!(t.as_u64(), 0b0110);
+    }
+
+    #[test]
+    fn tail_masking() {
+        let t = TruthTable::from_bits_u64(2, u64::MAX);
+        assert_eq!(t.as_u64(), 0b1111);
+        assert_eq!(t.count_ones(), 4);
+    }
+}

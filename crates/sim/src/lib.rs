@@ -1,0 +1,40 @@
+//! Cycle-based FPGA netlist simulation with switching-activity recording.
+//!
+//! Stands in for the paper's post-place-and-route ModelSim run (Fig. 6):
+//! drive the mapped design with stimulus, record per-net toggle counts
+//! (the `.vcd` content XPower consumes), and honour the block-RAM enable
+//! port that the clock-control technique of Sec. 6 exercises.
+//!
+//! * [`engine`] — the simulator and [`engine::Activity`] record;
+//! * [`stimulus`] — deterministic random / biased / constant input streams;
+//! * [`vcd`] — a minimal VCD writer for waveform inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpga_fabric::netlist::{Cell, Netlist};
+//! use netsim::engine::Simulator;
+//!
+//! // A 1-bit toggler: q' = !q.
+//! let mut n = Netlist::new("toggle");
+//! let q = n.add_net("q");
+//! let d = n.add_net("d");
+//! n.add_cell(Cell::Lut { inputs: vec![q], output: d, truth: 0b01 });
+//! n.add_cell(Cell::Ff { d, q, ce: None, init: false });
+//! n.add_output("q", q);
+//!
+//! let mut sim = Simulator::new(&n)?;
+//! assert_eq!(sim.clock(&[]), vec![true]);
+//! assert_eq!(sim.clock(&[]), vec![false]);
+//! # Ok::<(), fpga_fabric::netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod stimulus;
+pub mod vcd;
+
+pub use engine::{Activity, Simulator};
+pub use vcd::VcdRecorder;

@@ -1,0 +1,115 @@
+//! Stimulus generators.
+//!
+//! The paper drives each benchmark "for a large number of random inputs"
+//! (Sec. 5); [`random`] reproduces that. Idle-biased stimulus for the
+//! Sec. 6 clock-control experiments needs knowledge of the FSM's STG and
+//! therefore lives in the `emb-fsm` crate, which feeds the resulting
+//! vectors back through replay-style iteration.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite stream of uniformly random input vectors.
+///
+/// Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: SmallRng,
+    width: usize,
+}
+
+impl Random {
+    /// Creates a generator of `width`-bit vectors.
+    #[must_use]
+    pub fn new(width: usize, seed: u64) -> Self {
+        Random {
+            rng: SmallRng::seed_from_u64(seed ^ 0x1234_5678_9abc_def0),
+            width,
+        }
+    }
+
+    /// Takes the next `n` vectors.
+    pub fn take_vectors(&mut self, n: usize) -> Vec<Vec<bool>> {
+        (0..n).map(|_| self.next_vector()).collect()
+    }
+
+    /// The next vector.
+    pub fn next_vector(&mut self) -> Vec<bool> {
+        (0..self.width).map(|_| self.rng.random_bool(0.5)).collect()
+    }
+}
+
+impl Iterator for Random {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some(self.next_vector())
+    }
+}
+
+/// `n` random vectors of the given width (convenience wrapper).
+#[must_use]
+pub fn random(width: usize, n: usize, seed: u64) -> Vec<Vec<bool>> {
+    Random::new(width, seed).take_vectors(n)
+}
+
+/// `n` copies of a constant vector.
+#[must_use]
+pub fn constant(vector: &[bool], n: usize) -> Vec<Vec<bool>> {
+    vec![vector.to_vec(); n]
+}
+
+/// Vectors with each bit independently 1 with probability `p` — used to
+/// skew input statistics (e.g. rare request lines on mostly idle control
+/// units).
+#[must_use]
+pub fn biased(width: usize, n: usize, p: f64, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0bad_cafe_0000_0001);
+    (0..n)
+        .map(|_| (0..width).map(|_| rng.random_bool(p)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(random(4, 10, 7), random(4, 10, 7));
+        assert_ne!(random(4, 10, 7), random(4, 10, 8));
+    }
+
+    #[test]
+    fn widths_are_respected() {
+        for v in random(5, 20, 1) {
+            assert_eq!(v.len(), 5);
+        }
+        for v in biased(3, 10, 0.1, 2) {
+            assert_eq!(v.len(), 3);
+        }
+    }
+
+    #[test]
+    fn bias_shifts_density() {
+        let lo = biased(8, 500, 0.05, 3);
+        let hi = biased(8, 500, 0.95, 3);
+        let ones = |vs: &[Vec<bool>]| -> usize {
+            vs.iter().flatten().filter(|&&b| b).count()
+        };
+        assert!(ones(&lo) < ones(&hi) / 4);
+    }
+
+    #[test]
+    fn constant_repeats() {
+        let vs = constant(&[true, false], 3);
+        assert_eq!(vs.len(), 3);
+        assert!(vs.iter().all(|v| v == &vec![true, false]));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let vs: Vec<Vec<bool>> = Random::new(2, 9).take(4).collect();
+        assert_eq!(vs.len(), 4);
+    }
+}

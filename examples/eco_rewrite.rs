@@ -1,0 +1,63 @@
+//! ECO: change an FSM's function by rewriting memory contents only.
+//!
+//! Sec. 4.2: "The changes can be made quickly by re-writing the memory
+//! location which needs to be changed. This process … is much faster than
+//! going through the complete synthesis and placement and routing
+//! process. This is helpful for last moment engineering change orders."
+//!
+//! This example maps a 0101 detector, places and routes it, then retunes
+//! it to detect 0110 by patching only the BRAM init image — the placed
+//! netlist structure never changes — and proves both functions by
+//! lockstep simulation.
+//!
+//! Run with: `cargo run --example eco_rewrite`
+
+use romfsm::emb::eco;
+use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
+use romfsm::emb::verify::{verify_against_stg, OutputTiming};
+use romfsm::fsm::benchmarks::sequence_detector_0101;
+use romfsm::fsm::stg::StgBuilder;
+
+fn detector_0110() -> romfsm::fsm::Stg {
+    let mut b = StgBuilder::new("seq0110", 1, 1);
+    let a = b.state("A");
+    let s_b = b.state("B");
+    let c = b.state("C");
+    let d = b.state("D");
+    b.transition(a, "0", s_b, "0");
+    b.transition(a, "1", a, "0");
+    b.transition(s_b, "1", c, "0");
+    b.transition(s_b, "0", s_b, "0");
+    b.transition(c, "1", d, "0");
+    b.transition(c, "0", s_b, "0");
+    b.transition(d, "0", s_b, "1"); // 0110 detected
+    b.transition(d, "1", a, "0");
+    b.build().expect("detector is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let old = sequence_detector_0101();
+    let new = detector_0110();
+
+    let emb = map_fsm_into_embs(&old, &EmbOptions::default())?;
+    let mut netlist = emb.to_netlist();
+    verify_against_stg(&netlist, &old, OutputTiming::Registered, 500, 7)?;
+    println!("placed design implements {:?}", old.name());
+
+    // The ECO: recompute the ROM under the frozen mapping and patch it in.
+    let rewrite = eco::rewrite(&emb, &new)?;
+    println!(
+        "rewriting {} of {} memory words; structure untouched",
+        rewrite.words_changed,
+        rewrite.emb.rom.len()
+    );
+    rewrite.apply_to_netlist(&mut netlist)?;
+
+    verify_against_stg(&netlist, &new, OutputTiming::Registered, 500, 8)?;
+    println!("same netlist now implements {:?} — no re-synthesis, no re-P&R", new.name());
+
+    // And it no longer implements the old function:
+    assert!(verify_against_stg(&netlist, &old, OutputTiming::Registered, 500, 9).is_err());
+    println!("(and provably no longer implements {:?})", old.name());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Power comparison: the paper's headline experiment on one benchmark.
+//!
+//! Implements the `keyb` controller three ways — conventional FF + LUT,
+//! EMB (BRAM), and EMB with idle-state clock control — runs each through
+//! place & route and activity simulation, and prints the power breakdown
+//! at the paper's three frequencies.
+//!
+//! Run with: `cargo run --release --example power_comparison`
+
+use romfsm::emb::flow::{
+    emb_clock_controlled_flow, emb_flow, ff_flow, FlowConfig, FlowReport, Stimulus,
+};
+use romfsm::emb::map::EmbOptions;
+use romfsm::logic::synth::SynthOptions;
+
+fn show(r: &FlowReport) {
+    println!(
+        "{:10} area: {}, fmax {:.1} MHz, idle {:.0}%",
+        r.kind.to_string(),
+        r.area,
+        r.timing.fmax_mhz,
+        r.idle_fraction * 100.0
+    );
+    for p in &r.power {
+        println!(
+            "  {:>5.0} MHz: {:7.2} mW total ({:6.2} interconnect, {:5.2} logic, {:5.2} clock, {:5.2} bram)",
+            p.freq_mhz,
+            p.total_mw(),
+            p.interconnect_mw,
+            p.logic_mw,
+            p.clock_mw,
+            p.bram_mw
+        );
+    }
+    if let Some(cc) = &r.clock_control {
+        println!(
+            "  clock-control overhead: {} LUTs / {} slices ({} idle cubes)",
+            cc.luts, cc.slices, cc.idle_cubes
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stg = romfsm::fsm::benchmarks::by_name("keyb").expect("keyb is in the suite");
+    let cfg = FlowConfig::default();
+    // The paper's Table 3 scenario: roughly half the cycles idle.
+    let stim = Stimulus::IdleBiased(0.5);
+
+    println!("benchmark keyb: {} states, {} inputs, {} outputs\n", stg.num_states(), stg.num_inputs(), stg.num_outputs());
+    let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg)?;
+    show(&ff);
+    println!();
+    let emb = emb_flow(&stg, &EmbOptions::default(), &stim, &cfg)?;
+    show(&emb);
+    println!();
+    let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)?;
+    show(&cc);
+
+    let p = |r: &FlowReport| r.power_at(100.0).expect("100 MHz configured").total_mw();
+    println!();
+    println!(
+        "EMB saves {:.1}% vs FF at 100 MHz; with clock control {:.1}%",
+        100.0 * (p(&ff) - p(&emb)) / p(&ff),
+        100.0 * (p(&ff) - p(&cc)) / p(&ff),
+    );
+    Ok(())
+}

@@ -1,0 +1,397 @@
+//! `romfsm` — command-line front end to the DATE 2004 reproduction.
+//!
+//! ```text
+//! romfsm info <fsm.kiss2>                     machine statistics
+//! romfsm map <fsm.kiss2> [opts]               EMB mapping report
+//! romfsm synth <fsm.kiss2> [opts]             FF/LUT synthesis report
+//! romfsm compare <fsm.kiss2> [opts]           both flows + power table
+//! romfsm generate [opts]                      synthetic KISS2 to stdout
+//! romfsm bench <name>                         dump a paper benchmark as KISS2
+//! ```
+//!
+//! `<fsm.kiss2>` may be `-` for stdin. Run `romfsm help` for all options.
+
+use romfsm::emb::flow::{
+    emb_clock_controlled_flow, emb_flow, ff_flow, FlowConfig, FlowReport, Stimulus,
+};
+use romfsm::emb::map::{map_fsm_into_embs, AddressPlan, EmbOptions, OutputMode};
+use romfsm::fsm::encoding::EncodingStyle;
+use romfsm::fsm::{analysis, kiss2, machine, Stg};
+use romfsm::logic::synth::{synthesize, SynthOptions};
+use std::io::Read as _;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+romfsm — FSMs in FPGA embedded memory blocks (DATE 2004 reproduction)
+
+USAGE:
+  romfsm info <fsm.kiss2>
+  romfsm map <fsm.kiss2> [--lut-outputs] [--no-compaction] [--memory-map]
+                         [--vhdl <out.vhd>]
+  romfsm synth <fsm.kiss2> [--encoding binary|gray|onehot] [--blif <out.blif>]
+                           [--vhdl <out.vhd>] [--minimize]
+  romfsm compare <fsm.kiss2> [--idle <0..1>] [--cycles <n>] [--clock-control]
+                             [--minimize]
+  romfsm generate --states <n> --inputs <n> --outputs <n>
+                  [--transitions <n>] [--seed <n>] [--moore] [--idle-line]
+  romfsm bench <prep4|dk16|tbk|keyb|donfile|sand|styr|ex1|planet>
+  romfsm dot <fsm.kiss2> [--lr]
+
+Use '-' as the file to read KISS2 from stdin.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("romfsm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print!("{HELP}");
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "info" => cmd_info(rest),
+        "map" => cmd_map(rest),
+        "synth" => cmd_synth(rest),
+        "compare" => cmd_compare(rest),
+        "generate" => cmd_generate(rest),
+        "bench" => cmd_bench(rest),
+        "dot" => cmd_dot(rest),
+        other => Err(format!("unknown command {other:?}; try `romfsm help`")),
+    }
+}
+
+/// Minimal flag parser: positional args plus `--flag [value]` pairs.
+#[derive(Debug, Default)]
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Flags that take a value (everything else is boolean).
+const VALUED: &[&str] = &[
+    "--vhdl", "--blif", "--encoding", "--idle", "--cycles", "--states", "--inputs",
+    "--outputs", "--transitions", "--seed",
+];
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let key = format!("--{name}");
+            if VALUED.contains(&key.as_str()) {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{key} needs a value"))?;
+                f.options.push((key, Some(v.clone())));
+                i += 2;
+            } else {
+                f.options.push((key, None));
+                i += 1;
+            }
+        } else {
+            f.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(f)
+}
+
+impl Flags {
+    fn has(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+    fn value(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+    fn number<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.value(key)
+            .map(|v| v.parse().map_err(|_| format!("{key}: bad number {v:?}")))
+            .transpose()
+    }
+}
+
+fn load_stg(flags: &Flags) -> Result<Stg, String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("missing KISS2 file argument (or '-')")?;
+    let (text, name) = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
+        (s, "stdin".to_string())
+    } else {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("fsm")
+            .to_string();
+        (text, name)
+    };
+    kiss2::parse(&text, &name).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let stg = load_stg(&flags)?;
+    let st = analysis::stats(&stg);
+    println!("machine       {}", stg.name());
+    println!("kind          {}", machine::classify(&stg));
+    println!("states        {}", st.states);
+    println!("inputs        {}", st.inputs);
+    println!("outputs       {}", st.outputs);
+    println!("transitions   {}", st.transitions);
+    println!("self loops    {}", st.self_loops);
+    println!("input dc      {:.0}%", st.input_dc_density * 100.0);
+    println!("max support   {} (column compaction width)", st.max_input_support);
+    println!("reachable     {}/{}", analysis::reachable_states(&stg).len(), st.states);
+    println!("deterministic {}", stg.is_deterministic());
+    println!("complete      {}", stg.is_complete());
+    Ok(())
+}
+
+fn cmd_map(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let stg = load_stg(&flags)?;
+    let opts = EmbOptions {
+        output_mode: if flags.has("--lut-outputs") {
+            OutputMode::MooreLuts
+        } else {
+            OutputMode::Auto
+        },
+        allow_compaction: !flags.has("--no-compaction"),
+        ..EmbOptions::default()
+    };
+    let emb = map_fsm_into_embs(&stg, &opts).map_err(|e| e.to_string())?;
+    println!("machine      {}", stg.name());
+    println!("state bits   {}", emb.num_state_bits());
+    println!("shape        {}", emb.shape);
+    println!("brams        {} ({} bank(s) x {} parallel)", emb.num_brams(), emb.banks, emb.parallel);
+    println!("address bits {}", emb.logical_addr_bits());
+    println!(
+        "addressing   {}",
+        match &emb.address {
+            AddressPlan::Direct => "direct (raw inputs)".to_string(),
+            AddressPlan::Compacted(p) => format!("compacted to {} columns via input mux", p.width),
+        }
+    );
+    println!("aux LUTs     {}", emb.aux_luts());
+    if flags.has("--memory-map") {
+        let input_bits = emb.address.input_bits(stg.num_inputs());
+        let outs = match emb.outputs {
+            romfsm::emb::map::OutputRealization::InMemory => emb.stg.num_outputs(),
+            romfsm::emb::map::OutputRealization::Luts(_) => 0,
+        };
+        println!();
+        print!(
+            "{}",
+            romfsm::emb::contents::memory_map_table(&emb.stg, &emb.encoding, &emb.rom, input_bits, outs)
+        );
+    }
+    if let Some(path) = flags.value("--vhdl") {
+        let vhdl = romfsm::emb::vhdl::render(&emb.to_netlist());
+        std::fs::write(path, vhdl).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote VHDL to {path}");
+    }
+    Ok(())
+}
+
+fn parse_encoding(flags: &Flags) -> Result<EncodingStyle, String> {
+    match flags.value("--encoding") {
+        None | Some("binary") => Ok(EncodingStyle::Binary),
+        Some("gray") => Ok(EncodingStyle::Gray),
+        Some("onehot") | Some("one-hot") => Ok(EncodingStyle::OneHotZero),
+        Some(other) => Err(format!("unknown encoding {other:?}")),
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let mut stg = load_stg(&flags)?;
+    if flags.has("--minimize") {
+        let before = stg.num_states();
+        stg = romfsm::fsm::minimize::minimize(&stg)?.stg;
+        println!("minimized  {} -> {} states", before, stg.num_states());
+    }
+    let opts = SynthOptions {
+        encoding: parse_encoding(&flags)?,
+        ..SynthOptions::default()
+    };
+    let synth = synthesize(&stg, opts).map_err(|e| e.to_string())?;
+    println!("machine    {}", stg.name());
+    println!("encoding   {}", opts.encoding);
+    println!("state bits {}", synth.num_state_bits());
+    println!("cubes      {}", synth.total_cubes);
+    println!("LUT4s      {}", synth.luts.num_luts());
+    println!("LUT depth  {}", synth.luts.depth());
+    if let Some(path) = flags.value("--blif") {
+        let blif = romfsm::logic::blif::write(&synth.to_blif());
+        std::fs::write(path, blif).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote BLIF to {path}");
+    }
+    if let Some(path) = flags.value("--vhdl") {
+        let (netlist, _) = romfsm::emb::baseline::ff_netlist(&synth, false);
+        let vhdl = romfsm::emb::vhdl::render(&netlist);
+        std::fs::write(path, vhdl).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote VHDL to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let stg = load_stg(&flags)?;
+    let idle: Option<f64> = flags.number("--idle")?;
+    let cycles: usize = flags.number("--cycles")?.unwrap_or(2000);
+    let cfg = FlowConfig {
+        cycles,
+        minimize_states: flags.has("--minimize"),
+        ..FlowConfig::default()
+    };
+    let stim = match idle {
+        Some(p) => Stimulus::IdleBiased(p),
+        None => Stimulus::Random,
+    };
+    let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
+    let emb = emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
+    let show = |r: &FlowReport| {
+        println!(
+            "{:12} {:40} fmax {:6.1} MHz  idle {:3.0}%",
+            r.kind.to_string(),
+            r.area.to_string(),
+            r.timing.fmax_mhz,
+            r.idle_fraction * 100.0
+        );
+        for p in &r.power {
+            println!("  {:>5.0} MHz: {:8.2} mW", p.freq_mhz, p.total_mw());
+        }
+    };
+    show(&ff);
+    show(&emb);
+    if flags.has("--clock-control") {
+        let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
+            .map_err(|e| e.to_string())?;
+        show(&cc);
+        if let Some(stats) = cc.clock_control {
+            println!("  control logic: {} LUTs / {} slices", stats.luts, stats.slices);
+        }
+    }
+    let pf = ff.power_at(100.0).expect("100MHz").total_mw();
+    let pe = emb.power_at(100.0).expect("100MHz").total_mw();
+    println!("EMB saving at 100 MHz: {:.1}%", 100.0 * (pf - pe) / pf);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let states: usize = flags.number("--states")?.ok_or("--states required")?;
+    let inputs: usize = flags.number("--inputs")?.ok_or("--inputs required")?;
+    let outputs: usize = flags.number("--outputs")?.ok_or("--outputs required")?;
+    let spec = romfsm::fsm::generate::StgSpec {
+        name: "generated".to_string(),
+        states,
+        inputs,
+        outputs,
+        transitions: flags.number("--transitions")?.unwrap_or(states * 3),
+        max_support: None,
+        self_loop_bias: 0.2,
+        moore: flags.has("--moore"),
+        idle_line: if flags.has("--idle-line") { Some(0) } else { None },
+        seed: flags.number("--seed")?.unwrap_or(1),
+    };
+    let stg = romfsm::fsm::generate::generate(&spec);
+    print!("{}", kiss2::write(&stg));
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let stg = load_stg(&flags)?;
+    let opts = romfsm::fsm::dot::DotOptions {
+        left_to_right: flags.has("--lr"),
+        ..romfsm::fsm::dot::DotOptions::default()
+    };
+    print!("{}", romfsm::fsm::dot::render(&stg, &opts));
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let name = flags
+        .positional
+        .first()
+        .ok_or("missing benchmark name; try `romfsm bench planet`")?;
+    let stg = romfsm::fsm::benchmarks::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    print!("{}", kiss2::write(&stg));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_positional_and_options() {
+        let f = parse_flags(&s(&["file.kiss2", "--idle", "0.5", "--memory-map"])).unwrap();
+        assert_eq!(f.positional, vec!["file.kiss2"]);
+        assert_eq!(f.value("--idle"), Some("0.5"));
+        assert!(f.has("--memory-map"));
+        assert!(!f.has("--vhdl"));
+    }
+
+    #[test]
+    fn valued_flag_without_value_errors() {
+        assert!(parse_flags(&s(&["--vhdl"])).is_err());
+    }
+
+    #[test]
+    fn numbers_parse_and_reject() {
+        let f = parse_flags(&s(&["--cycles", "100"])).unwrap();
+        assert_eq!(f.number::<usize>("--cycles").unwrap(), Some(100));
+        let f = parse_flags(&s(&["--cycles", "zap"])).unwrap();
+        assert!(f.number::<usize>("--cycles").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn bench_names_resolve() {
+        assert!(run(&s(&["bench", "nonesuch"])).is_err());
+    }
+
+    #[test]
+    fn encoding_parses() {
+        let f = parse_flags(&s(&["--encoding", "gray"])).unwrap();
+        assert_eq!(parse_encoding(&f).unwrap(), EncodingStyle::Gray);
+        let f = parse_flags(&s(&["--encoding", "purple"])).unwrap();
+        assert!(parse_encoding(&f).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # romfsm — FSMs in FPGA embedded memory blocks
+//!
+//! Facade crate for the reproduction of *"Saving Power by Mapping
+//! Finite-State Machines into Embedded Memory Blocks in FPGAs"* (Tiwari &
+//! Tomko, DATE 2004). Re-exports every workspace crate under one roof so
+//! the examples and integration tests can say `use romfsm::...`.
+//!
+//! * [`fsm`] — STG model, KISS2, encodings, reference simulation.
+//! * [`logic`] — two-level minimization, boolean networks, LUT mapping.
+//! * [`fpga`] — Virtex-II-like device model, packing, placement, routing.
+//! * [`sim`] — cycle-based netlist simulation with activity recording.
+//! * [`power`] — switching-activity-driven power estimation.
+//! * [`emb`] — the paper's contribution: `Map_FSM_in_EMBs`, column
+//!   compaction, clock control and the end-to-end comparison flows.
+//!
+//! # Examples
+//!
+//! ```
+//! use romfsm::fsm::benchmarks::sequence_detector_0101;
+//!
+//! let stg = sequence_detector_0101();
+//! assert_eq!(stg.num_states(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use emb_fsm as emb;
+pub use fpga_fabric as fpga;
+pub use fsm_model as fsm;
+pub use logic_synth as logic;
+pub use netsim as sim;
+pub use powermodel as power;

@@ -1,0 +1,101 @@
+//! Cross-crate equivalence: every implementation of every paper benchmark
+//! must be cycle-exact with the STG oracle.
+//!
+//! This is the workspace's master correctness gate: it exercises the
+//! whole stack (STG model → logic synthesis → technology mapping → FSM
+//! mapping → netlist → simulator) for all nine benchmarks and all four
+//! implementation styles.
+
+use romfsm::emb::baseline::ff_netlist;
+use romfsm::emb::clock_control::{attach_emb_clock_control, attach_ff_clock_gating};
+use romfsm::emb::map::{map_fsm_into_embs, EmbOptions, OutputMode};
+use romfsm::emb::verify::{verify_against_stg, OutputTiming};
+use romfsm::fsm::benchmarks;
+use romfsm::logic::synth::{synthesize, SynthOptions};
+use romfsm::logic::techmap::MapOptions;
+
+const CYCLES: usize = 400;
+
+#[test]
+fn ff_baseline_matches_oracle_on_all_benchmarks() {
+    for stg in benchmarks::paper_suite() {
+        let synth = synthesize(&stg, SynthOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        let (n, _) = ff_netlist(&synth, false);
+        verify_against_stg(&n, &stg, OutputTiming::Combinational, CYCLES, 0xA)
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+    }
+}
+
+#[test]
+fn emb_mapping_matches_oracle_on_all_benchmarks() {
+    for stg in benchmarks::paper_suite() {
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 0xB)
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+    }
+}
+
+#[test]
+fn clock_controlled_emb_matches_oracle_on_all_benchmarks() {
+    for stg in benchmarks::paper_suite() {
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        let (n, _) = attach_emb_clock_control(&emb, MapOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        verify_against_stg(&n, &stg, OutputTiming::Registered, CYCLES, 0xC)
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+    }
+}
+
+#[test]
+fn clock_gated_ff_matches_oracle_on_all_benchmarks() {
+    for stg in benchmarks::paper_suite() {
+        let synth = synthesize(&stg, SynthOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        let (n, _) = attach_ff_clock_gating(&synth, &stg, MapOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        verify_against_stg(&n, &stg, OutputTiming::Combinational, CYCLES, 0xD)
+            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+    }
+}
+
+#[test]
+fn moore_lut_output_variant_matches_oracle() {
+    // The Moore-transform path on a few machines of both kinds.
+    for name in ["donfile", "dk16"] {
+        let stg = benchmarks::by_name(name).expect("paper benchmark");
+        let emb = map_fsm_into_embs(
+            &stg,
+            &EmbOptions {
+                output_mode: OutputMode::MooreLuts,
+                ..EmbOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 0xE)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn handwritten_machines_match_in_every_style() {
+    for stg in [
+        benchmarks::sequence_detector_0101(),
+        benchmarks::traffic_light(),
+        benchmarks::rotary_sequencer(),
+    ] {
+        let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+        let (ff, _) = ff_netlist(&synth, false);
+        verify_against_stg(&ff, &stg, OutputTiming::Combinational, CYCLES, 1)
+            .unwrap_or_else(|e| panic!("{} ff: {e}", stg.name()));
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("mapping");
+        verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 2)
+            .unwrap_or_else(|e| panic!("{} emb: {e}", stg.name()));
+        let (cc, _) =
+            attach_emb_clock_control(&emb, MapOptions::default()).expect("clock control");
+        verify_against_stg(&cc, &stg, OutputTiming::Registered, CYCLES, 3)
+            .unwrap_or_else(|e| panic!("{} emb+cc: {e}", stg.name()));
+    }
+}

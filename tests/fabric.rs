@@ -1,0 +1,103 @@
+//! Integration tests of the FPGA fabric substrate against FSM-shaped
+//! netlists: legality of pack/place/route and consistency of the physical
+//! reports the power model consumes.
+
+use romfsm::emb::baseline::ff_netlist;
+use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
+use romfsm::fpga::device::Device;
+use romfsm::fpga::pack::pack;
+use romfsm::fpga::place::{place, PlaceOptions};
+use romfsm::fpga::route::{route, RouteOptions};
+use romfsm::fpga::timing::{analyze, DelayModel};
+use romfsm::logic::synth::{synthesize, SynthOptions};
+use std::collections::HashSet;
+
+#[test]
+fn ff_benchmark_netlists_place_and_route_legally() {
+    for name in ["keyb", "planet"] {
+        let stg = romfsm::fsm::benchmarks::by_name(name).expect("paper benchmark");
+        let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+        let (netlist, _) = ff_netlist(&synth, false);
+        let packed = pack(&netlist);
+        let device = Device::xc2v250();
+        let placement =
+            place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
+
+        // Site legality and exclusivity per entity class.
+        let clb_sites: HashSet<_> = device.clb_sites().into_iter().collect();
+        let mut used = HashSet::new();
+        for loc in &placement.clb_loc {
+            assert!(clb_sites.contains(loc), "{name}: illegal CLB site");
+            assert!(used.insert(*loc), "{name}: CLB site reuse");
+        }
+
+        let routed = route(&netlist, &packed, &placement, RouteOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(routed.total_wirelength > 0);
+        assert!(routed.peak_usage <= RouteOptions::default().tile_capacity);
+
+        let timing = analyze(&netlist, &routed, &DelayModel::default());
+        assert!(timing.fmax_mhz > 10.0 && timing.fmax_mhz < 1000.0);
+    }
+}
+
+#[test]
+fn emb_netlists_occupy_bram_sites() {
+    let stg = romfsm::fsm::benchmarks::by_name("sand").expect("sand");
+    let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+    let netlist = emb.to_netlist();
+    let packed = pack(&netlist);
+    assert_eq!(packed.brams.len(), emb.num_brams());
+    let device = Device::xc2v250();
+    let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
+    let bram_sites: HashSet<_> = device.bram_sites().into_iter().collect();
+    for loc in &placement.bram_loc {
+        assert!(bram_sites.contains(loc), "BRAM placed off-site");
+    }
+    let routed = route(&netlist, &packed, &placement, RouteOptions::default()).expect("routes");
+    // The EMB design's routing demand is tiny compared with the FF one.
+    let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+    let (ff, _) = ff_netlist(&synth, false);
+    let ff_packed = pack(&ff);
+    let ff_placement = place(&ff, &ff_packed, device, PlaceOptions::default()).expect("places");
+    let ff_routed = route(&ff, &ff_packed, &ff_placement, RouteOptions::default()).expect("routes");
+    assert!(
+        routed.total_wirelength * 3 < ff_routed.total_wirelength,
+        "EMB wirelength {} should be far below FF {}",
+        routed.total_wirelength,
+        ff_routed.total_wirelength
+    );
+}
+
+#[test]
+fn timing_shows_bram_path_flatness_across_suite() {
+    // The EMB machines' critical paths must sit in a narrow band even as
+    // FSM complexity varies by an order of magnitude.
+    let mut paths = Vec::new();
+    for name in ["donfile", "keyb", "planet", "tbk"] {
+        let stg = romfsm::fsm::benchmarks::by_name(name).expect("paper benchmark");
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        let netlist = emb.to_netlist();
+        let packed = pack(&netlist);
+        let device = Device::xc2v250();
+        let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
+        let routed = route(&netlist, &packed, &placement, RouteOptions::default()).expect("routes");
+        paths.push(analyze(&netlist, &routed, &DelayModel::default()).critical_path_ns);
+    }
+    let min = paths.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = paths.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max / min < 3.0,
+        "EMB critical paths should be near-constant, got {paths:?}"
+    );
+}
+
+#[test]
+fn device_upsizing_is_monotone() {
+    // The family table must be ordered by capacity so auto-upsizing works.
+    let fam = romfsm::fpga::device::FAMILY;
+    for w in fam.windows(2) {
+        assert!(w[0].num_slices() <= w[1].num_slices());
+        assert!(w[0].num_brams() <= w[1].num_brams());
+    }
+}

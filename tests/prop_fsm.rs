@@ -1,0 +1,121 @@
+//! Property-based tests over randomly generated machines: every
+//! transformation in the workspace must preserve the machine's observable
+//! behaviour (or its own documented invariants).
+
+use proptest::prelude::*;
+use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
+use romfsm::emb::verify::{verify_against_stg, OutputTiming};
+use romfsm::fsm::generate::{generate, StgSpec};
+use romfsm::fsm::simulate::StgSimulator;
+use romfsm::fsm::{kiss2, machine, minimize, Stg};
+
+/// Strategy: a small random-but-valid machine spec.
+fn spec_strategy() -> impl Strategy<Value = StgSpec> {
+    (
+        2usize..10,  // states
+        1usize..5,   // inputs
+        1usize..5,   // outputs
+        4usize..32,  // transitions
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(states, inputs, outputs, transitions, moore, idle, seed)| StgSpec {
+            name: format!("p{seed:x}"),
+            states,
+            inputs,
+            outputs,
+            transitions,
+            max_support: None,
+            self_loop_bias: 0.3,
+            moore,
+            idle_line: if idle { Some(0) } else { None },
+            seed,
+        })
+}
+
+fn random_walk_equiv(a: &Stg, b: &Stg, cycles: usize, seed: u64) -> Result<(), String> {
+    let mut sa = StgSimulator::new(a);
+    let mut sb = StgSimulator::new(b);
+    let mut x = seed | 1;
+    for cycle in 0..cycles {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let inputs: Vec<bool> = (0..a.num_inputs()).map(|i| x >> i & 1 == 1).collect();
+        let oa = sa.clock(&inputs).to_vec();
+        let ob = sb.clock(&inputs).to_vec();
+        if oa != ob {
+            return Err(format!("diverged at cycle {cycle}: {oa:?} vs {ob:?}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn generated_machines_are_deterministic(spec in spec_strategy()) {
+        let stg = generate(&spec);
+        prop_assert!(stg.is_deterministic());
+        prop_assert_eq!(stg.num_states(), spec.states);
+    }
+
+    #[test]
+    fn kiss2_roundtrip_preserves_machine(spec in spec_strategy()) {
+        // State ids may be renumbered by first appearance in the body, so
+        // compare structure-insensitively: same interface, same state-name
+        // set, same observable behaviour.
+        let stg = generate(&spec);
+        let text = kiss2::write(&stg);
+        let again = kiss2::parse(&text, stg.name()).expect("roundtrip parses");
+        prop_assert_eq!(stg.num_states(), again.num_states());
+        prop_assert_eq!(stg.transitions().len(), again.transitions().len());
+        let mut names_a: Vec<&str> = stg.states().map(|s| stg.state_name(s)).collect();
+        let mut names_b: Vec<&str> = again.states().map(|s| again.state_name(s)).collect();
+        names_a.sort_unstable();
+        names_b.sort_unstable();
+        prop_assert_eq!(names_a, names_b);
+        random_walk_equiv(&stg, &again, 200, spec.seed ^ 2).map_err(|e| {
+            TestCaseError::fail(format!("{}: {e}", stg.name()))
+        })?;
+    }
+
+    #[test]
+    fn minimization_preserves_behaviour(spec in spec_strategy()) {
+        let stg = generate(&spec);
+        let min = minimize::minimize(&stg).expect("minimizes");
+        prop_assert!(min.stg.num_states() <= stg.num_states());
+        random_walk_equiv(&stg, &min.stg, 200, spec.seed).map_err(|e| {
+            TestCaseError::fail(format!("{}: {e}", stg.name()))
+        })?;
+    }
+
+    #[test]
+    fn moore_transform_preserves_behaviour(spec in spec_strategy()) {
+        let stg = generate(&spec);
+        let moore = machine::to_moore(&stg).expect("transforms");
+        prop_assert_eq!(machine::classify(&moore), machine::FsmKind::Moore);
+        random_walk_equiv(&stg, &moore, 200, spec.seed ^ 1).map_err(|e| {
+            TestCaseError::fail(format!("{}: {e}", stg.name()))
+        })?;
+    }
+
+    #[test]
+    fn emb_mapping_is_cycle_exact(spec in spec_strategy()) {
+        let stg = generate(&spec);
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        let netlist = emb.to_netlist();
+        let r = verify_against_stg(&netlist, &stg, OutputTiming::Registered, 200, spec.seed);
+        prop_assert!(r.is_ok(), "{}: {:?}", stg.name(), r.err());
+    }
+
+    #[test]
+    fn eco_identity_rewrite_changes_nothing(spec in spec_strategy()) {
+        let stg = generate(&spec);
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        let eco = romfsm::emb::eco::rewrite(&emb, &stg).expect("identity rewrite");
+        prop_assert_eq!(eco.words_changed, 0);
+    }
+}
