@@ -1,59 +1,52 @@
-//! Criterion micro-benchmarks for the paper's core algorithm: mapping an
-//! FSM into embedded memory blocks, content generation, and the
-//! clock-control synthesis.
+//! Micro-benchmarks for the paper's core algorithm: mapping an FSM into
+//! embedded memory blocks, content generation, and the clock-control
+//! synthesis. Runs on the in-workspace `paper_bench::timing` harness
+//! (hermetic, no registry deps); writes `results/bench_mapping.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use emb_fsm::clock_control::attach_emb_clock_control;
 use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
 use logic_synth::techmap::MapOptions;
+use paper_bench::timing::Harness;
 use std::hint::black_box;
 
-fn bench_map(c: &mut Criterion) {
-    let mut g = c.benchmark_group("map_fsm_into_embs");
+fn bench_map(h: &mut Harness) {
     for name in ["donfile", "keyb", "planet", "sand"] {
         let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
-        g.bench_function(name, |b| {
-            b.iter(|| map_fsm_into_embs(black_box(&stg), &EmbOptions::default()).expect("maps"));
+        h.bench(&format!("map_fsm_into_embs/{name}"), || {
+            map_fsm_into_embs(black_box(&stg), &EmbOptions::default()).expect("maps")
         });
     }
-    g.finish();
 }
 
-fn bench_netlist_generation(c: &mut Criterion) {
+fn bench_netlist_generation(h: &mut Harness) {
     let stg = fsm_model::benchmarks::by_name("planet").expect("planet");
     let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
-    c.bench_function("emb_to_netlist/planet", |b| {
-        b.iter(|| black_box(&emb).to_netlist());
-    });
+    h.bench("emb_to_netlist/planet", || black_box(&emb).to_netlist());
 }
 
-fn bench_clock_control(c: &mut Criterion) {
-    let mut g = c.benchmark_group("clock_control");
+fn bench_clock_control(h: &mut Harness) {
     for name in ["keyb", "planet"] {
         let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                attach_emb_clock_control(black_box(&emb), MapOptions::default()).expect("cc")
-            });
+        h.bench(&format!("clock_control/{name}"), || {
+            attach_emb_clock_control(black_box(&emb), MapOptions::default()).expect("cc")
         });
     }
-    g.finish();
 }
 
-fn bench_eco_rewrite(c: &mut Criterion) {
+fn bench_eco_rewrite(h: &mut Harness) {
     let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
     let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
-    c.bench_function("eco_rewrite/keyb", |b| {
-        b.iter(|| emb_fsm::eco::rewrite(black_box(&emb), &stg).expect("eco"));
+    h.bench("eco_rewrite/keyb", || {
+        emb_fsm::eco::rewrite(black_box(&emb), &stg).expect("eco")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_map,
-    bench_netlist_generation,
-    bench_clock_control,
-    bench_eco_rewrite
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("mapping");
+    bench_map(&mut h);
+    bench_netlist_generation(&mut h);
+    bench_clock_control(&mut h);
+    bench_eco_rewrite(&mut h);
+    h.finish();
+}

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks for the substrates: espresso minimization,
-//! LUT technology mapping, simulated-annealing placement, routing, and
-//! cycle-based netlist simulation throughput.
+//! Micro-benchmarks for the substrates: espresso minimization, LUT
+//! technology mapping, simulated-annealing placement, routing, and
+//! cycle-based netlist simulation throughput. Runs on the in-workspace
+//! `paper_bench::timing` harness (hermetic, no registry deps); writes
+//! `results/bench_substrates.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use emb_fsm::baseline::ff_netlist;
 use fpga_fabric::device::Device;
 use fpga_fabric::pack::pack;
@@ -15,6 +16,7 @@ use logic_synth::synth::{synthesize, SynthOptions};
 use logic_synth::techmap::{map_luts, MapOptions};
 use netsim::engine::Simulator;
 use netsim::stimulus;
+use paper_bench::timing::Harness;
 use std::hint::black_box;
 
 fn keyb_ff_netlist() -> fpga_fabric::netlist::Netlist {
@@ -23,7 +25,7 @@ fn keyb_ff_netlist() -> fpga_fabric::netlist::Netlist {
     ff_netlist(&synth, false).0
 }
 
-fn bench_espresso(c: &mut Criterion) {
+fn bench_espresso(h: &mut Harness) {
     // A structured 10-var function: minterms of popcount >= 6.
     let mut onset = Cover::empty(10);
     for m in 0..1u64 << 10 {
@@ -31,76 +33,73 @@ fn bench_espresso(c: &mut Criterion) {
             onset.push(Cube::minterm(10, m));
         }
     }
-    c.bench_function("espresso/popcount10", |b| {
-        b.iter(|| logic_synth::espresso::minimize_exact_care(black_box(&onset)));
+    h.bench("espresso/popcount10", || {
+        logic_synth::espresso::minimize_exact_care(black_box(&onset))
     });
 }
 
-fn bench_synthesis(c: &mut Criterion) {
+fn bench_synthesis(h: &mut Harness) {
     let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
-    c.bench_function("synthesize_fsm/keyb", |b| {
-        b.iter(|| synthesize(black_box(&stg), SynthOptions::default()).expect("synthesis"));
+    h.bench("synthesize_fsm/keyb", || {
+        synthesize(black_box(&stg), SynthOptions::default()).expect("synthesis")
     });
 }
 
-fn bench_techmap(c: &mut Criterion) {
+fn bench_techmap(h: &mut Harness) {
     let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
     let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
     let two = decompose2(&synth.network);
-    c.bench_function("map_luts/keyb", |b| {
-        b.iter(|| map_luts(black_box(&two), MapOptions::default()).expect("maps"));
+    h.bench("map_luts/keyb", || {
+        map_luts(black_box(&two), MapOptions::default()).expect("maps")
     });
 }
 
-fn bench_place_route(c: &mut Criterion) {
+fn bench_place_route(h: &mut Harness) {
     let netlist = keyb_ff_netlist();
     let packed = pack(&netlist);
     let device = Device::xc2v250();
-    c.bench_function("place_sa/keyb", |b| {
-        b.iter(|| {
-            place(
-                black_box(&netlist),
-                &packed,
-                device,
-                PlaceOptions { seed: 1, effort: 2.0 },
-            )
-            .expect("places")
-        });
+    h.bench("place_sa/keyb", || {
+        place(
+            black_box(&netlist),
+            &packed,
+            device,
+            PlaceOptions {
+                seed: 1,
+                effort: 2.0,
+            },
+        )
+        .expect("places")
     });
     let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
-    c.bench_function("route/keyb", |b| {
-        b.iter(|| {
-            route(
-                black_box(&netlist),
-                &packed,
-                &placement,
-                RouteOptions::default(),
-            )
-            .expect("routes")
-        });
+    h.bench("route/keyb", || {
+        route(
+            black_box(&netlist),
+            &packed,
+            &placement,
+            RouteOptions::default(),
+        )
+        .expect("routes")
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation(h: &mut Harness) {
     let netlist = keyb_ff_netlist();
     let vectors = stimulus::random(netlist.inputs().len(), 1000, 3);
-    c.bench_function("simulate_1k_cycles/keyb", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(black_box(&netlist)).expect("simulator");
-            for v in &vectors {
-                sim.clock(v);
-            }
-            sim.activity().cycles
-        });
+    h.bench("simulate_1k_cycles/keyb", || {
+        let mut sim = Simulator::new(black_box(&netlist)).expect("simulator");
+        for v in &vectors {
+            sim.clock(v);
+        }
+        sim.activity().cycles
     });
 }
 
-criterion_group!(
-    benches,
-    bench_espresso,
-    bench_synthesis,
-    bench_techmap,
-    bench_place_route,
-    bench_simulation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrates");
+    bench_espresso(&mut h);
+    bench_synthesis(&mut h);
+    bench_techmap(&mut h);
+    bench_place_route(&mut h);
+    bench_simulation(&mut h);
+    h.finish();
+}

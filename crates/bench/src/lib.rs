@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod timing;
+
 use emb_fsm::flow::{FlowConfig, FlowReport, Stimulus};
 use emb_fsm::map::EmbOptions;
 use fsm_model::benchmarks::{paper_suite, PAPER_BENCHMARKS};

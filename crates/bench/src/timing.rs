@@ -1,0 +1,195 @@
+//! Self-contained micro-benchmark timing harness.
+//!
+//! Replaces the external `criterion` dev-dependency with the loop the
+//! workspace actually needs: calibrate an iteration count so each sample
+//! runs long enough to time reliably, warm up, collect N samples, and
+//! report the **median** ns/iteration (robust against scheduler noise,
+//! unlike the mean). Results are printed as an aligned table and written
+//! as JSON under `results/` at the workspace root so sweeps can be
+//! diffed across commits.
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use std::hint::black_box;
+//! let mut h = paper_bench::timing::Harness::new("mapping");
+//! h.bench("map/keyb", || black_box(2 + 2));
+//! h.finish();
+//! ```
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark after warmup.
+const SAMPLES: usize = 15;
+/// Warmup samples discarded before measurement.
+const WARMUP_SAMPLES: usize = 3;
+/// Target wall-clock duration of one sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+/// Upper bound on iterations per sample (very fast bodies).
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Summary statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample's ns/iteration.
+    pub min_ns: f64,
+    /// Slowest sample's ns/iteration.
+    pub max_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Iterations executed per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Collects benchmark results for one suite and writes them out.
+#[derive(Debug)]
+pub struct Harness {
+    suite: String,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// Creates a harness for the named suite (becomes the JSON filename).
+    #[must_use]
+    pub fn new(suite: impl Into<String>) -> Self {
+        let suite = suite.into();
+        eprintln!("== bench suite: {suite} ==");
+        Harness {
+            suite,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f`, recording median-of-[`SAMPLES`] ns/iteration.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        // Calibrate: how many iterations fill TARGET_SAMPLE?
+        let once = {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        };
+        let iters = if once.is_zero() {
+            MAX_ITERS
+        } else {
+            ((TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)) as u64).clamp(1, MAX_ITERS)
+        };
+
+        let sample = |f: &mut F| -> f64 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        };
+        for _ in 0..WARMUP_SAMPLES {
+            sample(&mut f);
+        }
+        let mut ns: Vec<f64> = (0..SAMPLES).map(|_| sample(&mut f)).collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let stats = Stats {
+            name: name.to_string(),
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+            samples: SAMPLES,
+            iters_per_sample: iters,
+        };
+        eprintln!(
+            "{:<40} median {:>12}  (min {}, max {}, {} iters/sample)",
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.max_ns),
+            stats.iters_per_sample,
+        );
+        self.results.push(stats);
+    }
+
+    /// Writes `results/bench_<suite>.json` and prints its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be written — a bench run
+    /// that cannot record its output is a failed run.
+    pub fn finish(self) {
+        let dir = workspace_root().join("results");
+        std::fs::create_dir_all(&dir).expect("create results/");
+        let path = dir.join(format!("bench_{}.json", self.suite));
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                s.name,
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                s.samples,
+                s.iters_per_sample,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write bench JSON");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Human-readable nanosecond count.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The workspace root (two levels above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_plausible_stats() {
+        let mut h = Harness::new("selftest");
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let s = &h.results[0];
+        assert!(s.median_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
+        assert_eq!(s.samples, SAMPLES);
+        // Do not call finish(): unit tests must not write results/.
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ns(3.0e9), "3.00 s");
+    }
+}

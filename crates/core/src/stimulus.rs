@@ -8,8 +8,7 @@
 
 use fsm_model::simulate::StgSimulator;
 use fsm_model::stg::Stg;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xrand::SmallRng;
 
 /// Generates `cycles` input vectors steering the machine so that close to
 /// `idle_prob` of the cycles are idle (no state or output change).
@@ -159,6 +158,21 @@ mod tests {
         let tr = trace(&stg, stim);
         let f = idle_fraction(&stg, &tr);
         assert!(f > 0.6, "idle fraction {f:.2} with 0.9 bias");
+    }
+
+    #[test]
+    fn idle_occupancy_statistically_tight_over_10k_cycles() {
+        // Table 3's "average case with 50% idle": over a long run the
+        // closed-loop controller must hold the occupancy within ±5
+        // percentage points of the target, not merely "near" it.
+        let stg = rotary_sequencer();
+        let stim = idle_biased(&stg, 10_000, 0.5, 42);
+        let tr = trace(&stg, stim);
+        let f = idle_fraction(&stg, &tr);
+        assert!(
+            (0.45..=0.55).contains(&f),
+            "idle occupancy {f:.3} drifted more than 5 points from the 0.5 target"
+        );
     }
 
     #[test]

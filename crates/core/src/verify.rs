@@ -250,6 +250,76 @@ pub struct ExhaustiveReport {
     pub edges_checked: usize,
 }
 
+/// Exhaustively decides whether two netlists are observationally
+/// equivalent: a BFS product walk from the joint reset state expands
+/// every reachable (state of `a`, state of `b`) pair under all `2^I`
+/// input vectors and compares the registered output ports on each edge.
+///
+/// This is the ground-truth oracle the mutation tests calibrate against:
+/// a mutation is *observable* iff this returns `false`, and a sound and
+/// complete verifier must flag exactly the observable mutants.
+///
+/// Both netlists must expose the same input and output port counts.
+///
+/// # Errors
+///
+/// Returns `InputsTooWide` when `2^I` enumeration is infeasible,
+/// `PortCount` on mismatched interfaces, or a structural error.
+pub fn netlists_equivalent(
+    a: &Netlist,
+    b: &Netlist,
+    max_inputs: usize,
+) -> Result<bool, VerifyError> {
+    let num_inputs = a.inputs().len();
+    if num_inputs > max_inputs || num_inputs > 20 {
+        return Err(VerifyError::InputsTooWide {
+            inputs: num_inputs,
+            limit: max_inputs.min(20),
+        });
+    }
+    if b.inputs().len() != num_inputs || b.outputs().len() != a.outputs().len() {
+        return Err(VerifyError::PortCount {
+            found: b.outputs().len(),
+            expected: a.outputs().len(),
+        });
+    }
+    let snapshot = |n: &Netlist, sim: &Simulator<'_>| -> Vec<bool> {
+        let mut v = Vec::new();
+        for cell in n.cells() {
+            match cell {
+                fpga_fabric::netlist::Cell::Ff { q, .. } => v.push(sim.value(*q)),
+                fpga_fabric::netlist::Cell::Bram { dout, .. } => {
+                    v.extend(dout.iter().map(|d| sim.value(*d)));
+                }
+                _ => {}
+            }
+        }
+        v
+    };
+    let sa = Simulator::new(a)?;
+    let sb = Simulator::new(b)?;
+    let mut seen = std::collections::HashSet::new();
+    seen.insert((snapshot(a, &sa), snapshot(b, &sb)));
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((sa, sb));
+    while let Some((sa, sb)) = queue.pop_front() {
+        for m in 0..1u64 << num_inputs {
+            let inputs: Vec<bool> = (0..num_inputs).map(|i| m >> i & 1 == 1).collect();
+            let mut a2 = sa.clone();
+            let mut b2 = sb.clone();
+            a2.clock(&inputs);
+            b2.clock(&inputs);
+            if a2.outputs() != b2.outputs() {
+                return Ok(false);
+            }
+            if seen.insert((snapshot(a, &a2), snapshot(b, &b2))) {
+                queue.push_back((a2, b2));
+            }
+        }
+    }
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +457,30 @@ mod tests {
         let err = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
             .unwrap_err();
         assert!(matches!(err, VerifyError::InputsTooWide { .. }));
+    }
+
+    #[test]
+    fn netlist_equivalence_identity_and_mutant() {
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let n = emb.to_netlist();
+        assert_eq!(netlists_equivalent(&n, &n, 8), Ok(true));
+
+        let mut broken = emb.clone();
+        broken.rom[0] ^= 0b100; // flip a reachable output bit
+        let m = broken.to_netlist();
+        assert_eq!(netlists_equivalent(&n, &m, 8), Ok(false));
+    }
+
+    #[test]
+    fn netlist_equivalence_refuses_wide_inputs() {
+        let stg = fsm_model::benchmarks::by_name("sand").unwrap(); // 11 inputs
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let n = emb.to_netlist();
+        assert!(matches!(
+            netlists_equivalent(&n, &n, 8),
+            Err(VerifyError::InputsTooWide { .. })
+        ));
     }
 
     #[test]

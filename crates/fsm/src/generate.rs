@@ -24,8 +24,7 @@
 
 use crate::pattern::{index_to_bits, Pattern, Trit};
 use crate::stg::{Stg, StgBuilder, StateId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xrand::SmallRng;
 
 /// Specification of a synthetic machine.
 #[derive(Debug, Clone, PartialEq)]

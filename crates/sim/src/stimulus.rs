@@ -6,8 +6,7 @@
 //! therefore lives in the `emb-fsm` crate, which feeds the resulting
 //! vectors back through replay-style iteration.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use xrand::SmallRng;
 
 /// An infinite stream of uniformly random input vectors.
 ///

@@ -1,0 +1,317 @@
+//! Hermetic in-workspace pseudo-random number generation.
+//!
+//! The build environment has no registry access, so this crate replaces
+//! the external `rand` dependency with a self-contained generator:
+//! SplitMix64 expands a `u64` seed into the state of a xoshiro256\*\*
+//! core (Blackman & Vigna's recommended general-purpose generator). The
+//! API mirrors the subset of `rand::rngs::SmallRng` the workspace used —
+//! [`SmallRng::seed_from_u64`], [`SmallRng::random_range`],
+//! [`SmallRng::random_bool`], [`SmallRng::random`] — so call sites port
+//! one-for-one.
+//!
+//! **Seed compatibility:** streams are *not* bit-compatible with the
+//! `rand` crate's `SmallRng`. Any artifact keyed to a seed (generated
+//! machines, stimulus vectors, placements) changed when the workspace
+//! switched over; seeds remain stable within this crate from now on.
+//!
+//! The [`proptest_lite`] module is a minimal seeded property-test
+//! harness (case generation, failure-seed reporting, `CASES`/`SEED` env
+//! overrides) replacing the external `proptest` dev-dependency.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod proptest_lite;
+
+/// One step of the SplitMix64 stream: advances `state` and returns the
+/// next output. Used for seed expansion so that similar seeds still
+/// produce uncorrelated xoshiro states.
+#[inline]
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, seedable generator: xoshiro256\*\* seeded via
+/// SplitMix64. Deterministic for a given seed on every platform.
+///
+/// Not cryptographically secure — this is a simulation/testing RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        SmallRng { s }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256\*\* step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits (upper half of a 64-bit step,
+    /// which has the better-mixed bits).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of `T` over its full range (integers),
+    /// `[0, 1)` for floats, or a fair coin for `bool`.
+    #[inline]
+    pub fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53-bit resolution, like a uniform f64 draw compared against p.
+        self.random::<f64>() < p
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform integer in `[0, n)` by Lemire's widening-multiply method
+    /// (exact: no modulo bias).
+    #[inline]
+    fn bounded_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            // Threshold = 2^64 mod n; reject the biased low zone.
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// Types [`SmallRng::random`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`SmallRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + rng.next_u64() as $t;
+                }
+                start + rng.bounded_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn known_answer_splitmix64() {
+        // Reference values for seed 0 from the SplitMix64 definition.
+        let mut st = 0u64;
+        assert_eq!(splitmix64(&mut st), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(&mut st), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(splitmix64(&mut st), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0u64..1);
+            assert_eq!(w, 0);
+            let x = rng.random_range(5u32..=5);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 values hit in 1000 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).random_range(5usize..5);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2600..3400).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniformity_chi_square_sanity() {
+        // 16 buckets over 16k draws: each bucket expects 1024; allow ±25%.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut buckets = [0usize; 16];
+        for _ in 0..16_384 {
+            buckets[rng.random_range(0usize..16)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((768..1280).contains(&b), "bucket {i} count {b}");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = SmallRng::seed_from_u64(21);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

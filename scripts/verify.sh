@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Tier-1 verification, hermetically.
+#
+# Runs the repo's acceptance gate (release build + full test suite) with
+# Cargo forced offline. Every dependency is an in-workspace crate, so a
+# registry fetch is always a regression: --offline plus CARGO_NET_OFFLINE
+# makes any such attempt a hard, immediate error instead of a hang or a
+# silent download.
+#
+# Usage: scripts/verify.sh [extra cargo test args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+fail() {
+    echo "verify.sh: $1" >&2
+    exit 1
+}
+
+command -v cargo >/dev/null 2>&1 || fail "cargo not found on PATH"
+
+echo "== cargo build --release --offline" >&2
+cargo build --release --offline --workspace \
+    || fail "release build failed (a registry-access error here means a Cargo.toml reintroduced an external dependency)"
+
+echo "== cargo test -q --offline" >&2
+cargo test -q --offline --workspace "$@" \
+    || fail "test suite failed"
+
+echo "verify.sh: OK" >&2

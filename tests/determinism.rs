@@ -1,0 +1,76 @@
+//! PRNG determinism: every randomized substrate in the workspace must be
+//! a pure function of its seed, across calls and across process runs.
+//! The in-workspace `xrand` generator (SplitMix64-seeded xoshiro256**)
+//! replaced the registry `rand` crate; these tests pin its observable
+//! behaviour through each consumer so an accidental algorithm change
+//! (which would silently invalidate every recorded experiment seed)
+//! fails loudly instead.
+
+use romfsm::emb::stimulus::idle_biased;
+use romfsm::fsm::generate::{generate, StgSpec};
+use romfsm::fsm::kiss2;
+use romfsm::sim::stimulus;
+
+fn spec(seed: u64) -> StgSpec {
+    StgSpec {
+        states: 12,
+        inputs: 3,
+        outputs: 2,
+        transitions: 40,
+        seed,
+        ..StgSpec::new("det")
+    }
+}
+
+#[test]
+fn generated_stg_is_identical_for_identical_seeds() {
+    let a = generate(&spec(77));
+    let b = generate(&spec(77));
+    assert_eq!(a, b, "same spec must generate the same machine");
+    // Textual KISS2 form too: the on-disk artifact is what experiment
+    // scripts diff, so it must be byte-identical, not merely Eq.
+    assert_eq!(kiss2::write(&a), kiss2::write(&b));
+    let c = generate(&spec(78));
+    assert_ne!(a, c, "different seeds must not collide on this spec");
+}
+
+#[test]
+fn random_stimulus_stream_is_identical_for_identical_seeds() {
+    let a = stimulus::random(5, 500, 123);
+    let b = stimulus::random(5, 500, 123);
+    assert_eq!(a, b);
+    assert_ne!(a, stimulus::random(5, 500, 124));
+    // Streaming and batch forms must agree: a stream interrupted and
+    // resumed sees the same vectors as one drained in a single call.
+    let mut s = stimulus::Random::new(5, 123);
+    let mut resumed = s.take_vectors(200);
+    resumed.extend(s.take_vectors(300));
+    assert_eq!(a, resumed);
+}
+
+#[test]
+fn idle_biased_stimulus_is_identical_for_identical_seeds() {
+    let stg = romfsm::fsm::benchmarks::rotary_sequencer();
+    let a = idle_biased(&stg, 1000, 0.5, 2004);
+    let b = idle_biased(&stg, 1000, 0.5, 2004);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn xrand_stream_matches_recorded_golden_values() {
+    // Cross-run anchor: these values were recorded when the generator was
+    // introduced. If xrand's seeding or core ever changes, every seed in
+    // EXPERIMENTS.md and every named regression seed silently shifts —
+    // this test turns that into a visible break.
+    let mut rng = xrand::SmallRng::seed_from_u64(2004);
+    let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            10_088_566_014_393_161_487,
+            17_255_609_860_929_103_491,
+            14_353_370_435_303_667_615,
+            9_958_274_634_140_543_437,
+        ]
+    );
+}

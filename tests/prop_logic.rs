@@ -1,108 +1,133 @@
 //! Property-based tests over the logic-synthesis substrate: cube algebra,
 //! espresso exactness, decomposition and technology-mapping equivalence.
+//!
+//! Runs on the in-workspace `xrand::proptest_lite` harness (hermetic, no
+//! registry deps). Failures print the case seed; re-run one case with
+//! `SEED=<seed> cargo test --test prop_logic`.
 
-use proptest::prelude::*;
 use romfsm::logic::cover::Cover;
 use romfsm::logic::cube::Cube;
 use romfsm::logic::decompose::decompose2;
 use romfsm::logic::espresso;
 use romfsm::logic::network::Network;
 use romfsm::logic::techmap::{map_luts, MapOptions};
+use xrand::proptest_lite::run_cases;
+use xrand::SmallRng;
 
-/// Strategy: a random cube over `n` variables encoded as (mask, val).
-fn cube_strategy(n: usize) -> impl Strategy<Value = Cube> {
+/// A random cube over `n` variables encoded as (mask, val).
+fn arb_cube(rng: &mut SmallRng, n: usize) -> Cube {
     let space: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    (0..=space, 0..=space).prop_map(move |(mask, val)| Cube::from_raw(n, mask, val & mask))
+    let mask = rng.random_range(0..=space);
+    let val = rng.random_range(0..=space);
+    Cube::from_raw(n, mask, val & mask)
 }
 
-fn cover_strategy(n: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
-    prop::collection::vec(cube_strategy(n), 1..=max_cubes)
-        .prop_map(move |cubes| Cover::from_cubes(n, cubes))
+fn arb_cover(rng: &mut SmallRng, n: usize, max_cubes: usize) -> Cover {
+    let count = rng.random_range(1usize..=max_cubes);
+    Cover::from_cubes(n, (0..count).map(|_| arb_cube(rng, n)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
-
-    #[test]
-    fn subtract_is_exact_difference(a in cube_strategy(6), b in cube_strategy(6)) {
+#[test]
+fn subtract_is_exact_difference() {
+    run_cases(64, |rng| {
+        let a = arb_cube(rng, 6);
+        let b = arb_cube(rng, 6);
         let diff = a.subtract(&b);
         for m in 0..64u64 {
             let expect = a.contains_minterm(m) && !b.contains_minterm(m);
             let got = diff.iter().any(|c| c.contains_minterm(m));
-            prop_assert_eq!(got, expect, "minterm {:06b}", m);
+            assert_eq!(got, expect, "minterm {m:06b} of {a:?} - {b:?}");
         }
         // Pieces are pairwise disjoint.
         for i in 0..diff.len() {
             for j in (i + 1)..diff.len() {
-                prop_assert!(!diff[i].intersects(&diff[j]));
+                assert!(!diff[i].intersects(&diff[j]));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn supercube_contains_both(a in cube_strategy(8), b in cube_strategy(8)) {
+#[test]
+fn supercube_contains_both() {
+    run_cases(64, |rng| {
+        let a = arb_cube(rng, 8);
+        let b = arb_cube(rng, 8);
         let s = a.supercube(&b);
-        prop_assert!(s.contains(&a));
-        prop_assert!(s.contains(&b));
-    }
+        assert!(s.contains(&a));
+        assert!(s.contains(&b));
+    });
+}
 
-    #[test]
-    fn intersection_agrees_with_pointwise(a in cube_strategy(6), b in cube_strategy(6)) {
+#[test]
+fn intersection_agrees_with_pointwise() {
+    run_cases(64, |rng| {
+        let a = arb_cube(rng, 6);
+        let b = arb_cube(rng, 6);
         let i = a.intersection(&b);
         for m in 0..64u64 {
             let expect = a.contains_minterm(m) && b.contains_minterm(m);
             let got = i.map(|c| c.contains_minterm(m)).unwrap_or(false);
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "minterm {m:06b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn tautology_matches_brute_force(f in cover_strategy(6, 8)) {
+#[test]
+fn tautology_matches_brute_force() {
+    run_cases(64, |rng| {
+        let f = arb_cover(rng, 6, 8);
         let brute = (0..64u64).all(|m| f.eval(m));
-        prop_assert_eq!(f.is_tautology(), brute);
-    }
+        assert_eq!(f.is_tautology(), brute, "{f:?}");
+    });
+}
 
-    #[test]
-    fn complement_is_pointwise_negation(f in cover_strategy(5, 6)) {
+#[test]
+fn complement_is_pointwise_negation() {
+    run_cases(64, |rng| {
+        let f = arb_cover(rng, 5, 6);
         let g = f.complement();
         for m in 0..32u64 {
-            prop_assert_eq!(g.eval(m), !f.eval(m), "minterm {:05b}", m);
+            assert_eq!(g.eval(m), !f.eval(m), "minterm {m:05b} of {f:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn espresso_is_exact_on_care_space(
-        onset in cover_strategy(5, 6),
-        dc in cover_strategy(5, 3),
-    ) {
+#[test]
+fn espresso_is_exact_on_care_space() {
+    run_cases(64, |rng| {
+        let onset = arb_cover(rng, 5, 6);
+        let dc = arb_cover(rng, 5, 3);
         let r = espresso::minimize(&onset, &dc);
-        prop_assert!(espresso::is_exact_cover(&r.cover, &onset, &dc));
+        assert!(espresso::is_exact_cover(&r.cover, &onset, &dc));
         for m in 0..32u64 {
             if !dc.eval(m) {
-                prop_assert_eq!(r.cover.eval(m), onset.eval(m), "minterm {:05b}", m);
+                assert_eq!(r.cover.eval(m), onset.eval(m), "minterm {m:05b}");
             }
         }
-        prop_assert!(r.cover.len() <= onset.len() + 1);
-    }
+        assert!(r.cover.len() <= onset.len() + 1);
+    });
+}
 
-    #[test]
-    fn decompose_and_map_preserve_function(f in cover_strategy(6, 6)) {
+#[test]
+fn decompose_and_map_preserve_function() {
+    run_cases(64, |rng| {
+        let f = arb_cover(rng, 6, 6);
         let mut net = Network::new();
         let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}"))).collect();
         let node = net.add_logic(ins, f).expect("arity matches");
         net.add_output("y", node).expect("node exists");
         let two = decompose2(&net);
-        prop_assert!(two.max_fanin() <= 2);
+        assert!(two.max_fanin() <= 2);
         let mapped = map_luts(&two, MapOptions::default()).expect("maps");
         for m in 0..64u64 {
             let bits: Vec<bool> = (0..6).map(|i| m >> i & 1 == 1).collect();
-            prop_assert_eq!(net.eval(&bits), two.eval(&bits), "decompose @ {:06b}", m);
-            prop_assert_eq!(net.eval(&bits), mapped.eval(&bits), "map @ {:06b}", m);
+            assert_eq!(net.eval(&bits), two.eval(&bits), "decompose @ {m:06b}");
+            assert_eq!(net.eval(&bits), mapped.eval(&bits), "map @ {m:06b}");
         }
         for lut in &mapped.luts {
-            prop_assert!(lut.fanins.len() <= 4);
+            assert!(lut.fanins.len() <= 4);
         }
-    }
+    });
 }
 
 /// Cross-substrate property: a LUT network instantiated into a physical
@@ -114,11 +139,10 @@ mod netlist_cross_check {
     use romfsm::fpga::netlist::{NetId, Netlist};
     use romfsm::sim::engine::Simulator;
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
-
-        #[test]
-        fn simulator_matches_lut_network_eval(f in cover_strategy(5, 5)) {
+    #[test]
+    fn simulator_matches_lut_network_eval() {
+        run_cases(32, |rng| {
+            let f = arb_cover(rng, 5, 5);
             let mut net = Network::new();
             let ins: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}"))).collect();
             let node = net.add_logic(ins, f).expect("arity matches");
@@ -136,8 +160,8 @@ mod netlist_cross_check {
             for m in 0..32u64 {
                 let bits: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
                 sim.clock(&bits);
-                prop_assert_eq!(sim.outputs()[0], luts.eval(&bits)[0], "m={:05b}", m);
+                assert_eq!(sim.outputs()[0], luts.eval(&bits)[0], "m={m:05b}");
             }
-        }
+        });
     }
 }
