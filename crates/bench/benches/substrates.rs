@@ -66,6 +66,7 @@ fn bench_place_route(h: &mut Harness) {
             PlaceOptions {
                 seed: 1,
                 effort: 2.0,
+                ..PlaceOptions::default()
             },
         )
         .expect("places")

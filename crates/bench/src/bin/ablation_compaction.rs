@@ -10,13 +10,13 @@
 use emb_fsm::flow::{emb_flow, Stimulus};
 use emb_fsm::map::EmbOptions;
 use fsm_model::generate::{generate, StgSpec};
+use paper_bench::runner::{run, RunnerOptions};
 use paper_bench::{mw, paper_config, TextTable};
 
-fn main() {
-    let cfg = paper_config();
+fn wide12() -> fsm_model::stg::Stg {
     // 12 inputs + 3 state bits = 15 > 14 address lines: must compact or
     // split into banks.
-    let stg = generate(&StgSpec {
+    generate(&StgSpec {
         states: 8,
         inputs: 12,
         outputs: 4,
@@ -25,7 +25,11 @@ fn main() {
         self_loop_bias: 0.2,
         idle_line: Some(0),
         ..StgSpec::new("wide12")
-    });
+    })
+}
+
+fn main() {
+    let stg = wide12();
     println!(
         "Ablation: compaction vs series banks ({}: {} inputs, {} states)\n",
         stg.name(),
@@ -40,26 +44,39 @@ fn main() {
         "fmax",
         "power@100",
     ]);
-    for (label, opts) in [
-        ("compaction (Fig. 4)", EmbOptions::default()),
-        (
-            "series banks (Fig. 5 l.16-18)",
-            EmbOptions {
-                allow_compaction: false,
-                ..EmbOptions::default()
-            },
-        ),
-    ] {
-        let emb = emb_fsm::map::map_fsm_into_embs(&stg, &opts).expect("mapping");
-        let r = emb_flow(&stg, &opts, &Stimulus::Random, &cfg).expect("flow");
-        table.row(vec![
+    let items = vec!["compaction".to_string(), "series".to_string()];
+    let out = run(&RunnerOptions::new("ablation_compaction"), &items, 6, |item, attempt| {
+        let stg = wide12();
+        let (label, opts) = match item {
+            "compaction" => ("compaction (Fig. 4)", EmbOptions::default()),
+            "series" => (
+                "series banks (Fig. 5 l.16-18)",
+                EmbOptions {
+                    allow_compaction: false,
+                    ..EmbOptions::default()
+                },
+            ),
+            other => return Err(format!("unknown strategy {other}")),
+        };
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
+        let emb = emb_fsm::map::map_fsm_into_embs(&stg, &opts)
+            .map_err(|e| format!("mapping failed: {e}"))?;
+        let r = emb_flow(&stg, &opts, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
+        let p100 = r
+            .power_at(100.0)
+            .ok_or_else(|| "no power at 100 MHz".to_string())?;
+        Ok(vec![vec![
             label.to_string(),
             emb.num_brams().to_string(),
             emb.banks.to_string(),
             emb.aux_luts().to_string(),
             format!("{:.1}", r.timing.fmax_mhz),
-            mw(r.power_at(100.0).expect("100MHz").total_mw()),
-        ]);
+            mw(p100.total_mw()),
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     print!("{}", table.render());
     println!();

@@ -10,10 +10,10 @@
 
 use emb_fsm::flow::{FlowConfig, Stimulus};
 use fpga_fabric::place::PlaceOptions;
-use paper_bench::{compare, mw, paper_config, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{mw, paper_config, try_compare, TextTable};
 
 fn main() {
-    let stg = fsm_model::benchmarks::by_name("styr").expect("styr");
     println!("Ablation: placement effort vs interconnect power (styr, 100 MHz)\n");
     let mut table = TextTable::new(vec![
         "SA effort",
@@ -24,27 +24,50 @@ fn main() {
         "EMB int (mW)",
         "EMB total",
     ]);
-    let mut ff_int = Vec::new();
-    let mut emb_int = Vec::new();
-    for effort in [0.02, 0.5, 4.0, 12.0] {
-        let cfg = FlowConfig {
-            place: PlaceOptions { seed: 5, effort },
+    let items: Vec<String> = ["0.02", "0.5", "4", "12"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let out = run(&RunnerOptions::new("ablation_placement"), &items, 7, |item, attempt| {
+        let effort: f64 = item.parse().map_err(|_| format!("bad effort {item}"))?;
+        let stg = fsm_model::benchmarks::by_name("styr").ok_or("styr missing")?;
+        let mut cfg = FlowConfig {
+            place: PlaceOptions {
+                seed: 5,
+                effort,
+                ..PlaceOptions::default()
+            },
             ..paper_config()
         };
-        let (ff, emb) = compare(&stg, &Stimulus::Random, &cfg);
-        let pf = ff.power_at(100.0).expect("100MHz");
-        let pe = emb.power_at(100.0).expect("100MHz");
-        ff_int.push(pf.interconnect_mw);
-        emb_int.push(pe.interconnect_mw);
-        table.row(vec![
-            format!("{effort}"),
+        cfg.seed += u64::from(attempt);
+        let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
+        let pf = ff
+            .power_at(100.0)
+            .ok_or_else(|| "no FF power at 100 MHz".to_string())?;
+        let pe = emb
+            .power_at(100.0)
+            .ok_or_else(|| "no EMB power at 100 MHz".to_string())?;
+        Ok(vec![vec![
+            item.to_string(),
             ff.total_wirelength.to_string(),
             mw(pf.interconnect_mw),
             mw(pf.total_mw()),
             emb.total_wirelength.to_string(),
             mw(pe.interconnect_mw),
             mw(pe.total_mw()),
-        ]);
+        ]])
+    });
+    // Footer statistics from the successful rows (mW columns 2 and 5).
+    let mut ff_int = Vec::new();
+    let mut emb_int = Vec::new();
+    for row in &out.rows {
+        if let (Ok(ff), Ok(emb)) = (row[2].parse::<f64>(), row[5].parse::<f64>()) {
+            ff_int.push(ff);
+            emb_int.push(emb);
+        }
+    }
+    for row in out.rows {
+        table.row(row);
     }
     print!("{}", table.render());
     let swing = |v: &[f64]| {

@@ -13,11 +13,10 @@ use emb_fsm::flow::{
 };
 use emb_fsm::map::EmbOptions;
 use logic_synth::synth::SynthOptions;
+use paper_bench::runner::{run, RunnerOptions};
 use paper_bench::{mw, paper_config, pct, saving, TextTable};
 
 fn main() {
-    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
-    let cfg = paper_config();
     println!("Sweep: power vs idle occupancy (keyb, 100 MHz)\n");
     let mut table = TextTable::new(vec![
         "target idle",
@@ -29,15 +28,27 @@ fn main() {
         "FF+gate",
         "gate saving",
     ]);
-    for target in [0.0, 0.25, 0.5, 0.75, 0.9] {
+    let items: Vec<String> = [0.0, 0.25, 0.5, 0.75, 0.9]
+        .iter()
+        .map(|t| format!("{t}"))
+        .collect();
+    let out = run(&RunnerOptions::new("sweep_idle"), &items, 8, |item, attempt| {
+        let target: f64 = item.parse().map_err(|_| format!("bad idle target {item}"))?;
+        let stg = fsm_model::benchmarks::by_name("keyb").ok_or("keyb missing")?;
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
         let stim = Stimulus::IdleBiased(target);
-        let emb = emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).expect("emb");
+        let emb =
+            emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
         let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
-            .expect("emb cc");
-        let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg).expect("ff");
-        let ffg = ff_clock_gated_flow(&stg, SynthOptions::default(), &stim, &cfg).expect("ffg");
-        let p = |r: &emb_fsm::flow::FlowReport| r.power_at(100.0).expect("100MHz").total_mw();
-        table.row(vec![
+            .map_err(|e| e.to_string())?;
+        let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
+        let ffg = ff_clock_gated_flow(&stg, SynthOptions::default(), &stim, &cfg)
+            .map_err(|e| e.to_string())?;
+        let p = |r: &emb_fsm::flow::FlowReport| {
+            r.power_at(100.0).map_or(f64::NAN, powermodel::PowerReport::total_mw)
+        };
+        Ok(vec![vec![
             format!("{:.0}%", target * 100.0),
             format!("{:.0}%", cc.idle_fraction * 100.0),
             mw(p(&emb)),
@@ -46,7 +57,10 @@ fn main() {
             mw(p(&ff)),
             mw(p(&ffg)),
             pct(saving(p(&ff), p(&ffg))),
-        ]);
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     print!("{}", table.render());
     println!();

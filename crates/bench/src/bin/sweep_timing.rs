@@ -6,10 +6,10 @@
 //! machine's LUT depth (and so its critical path) grows with complexity.
 
 use emb_fsm::flow::Stimulus;
-use paper_bench::{compare, paper_config, suite, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{paper_config, suite_names, try_compare, TextTable};
 
 fn main() {
-    let cfg = paper_config();
     println!("Sweep: critical path vs FSM complexity\n");
     let mut table = TextTable::new(vec![
         "Benchmark",
@@ -19,25 +19,38 @@ fn main() {
         "EMB path (ns)",
         "EMB fmax",
     ]);
-    let mut ff_paths: Vec<f64> = Vec::new();
-    let mut emb_paths: Vec<f64> = Vec::new();
-    for stg in suite() {
-        let (ff, emb) = compare(&stg, &Stimulus::Random, &cfg);
-        ff_paths.push(ff.timing.critical_path_ns);
-        emb_paths.push(emb.timing.critical_path_ns);
-        table.row(vec![
-            stg.name().to_string(),
+    let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
+    let out = run(&RunnerOptions::new("sweep_timing"), &items, 6, |name, attempt| {
+        let stg = fsm_model::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
+        let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
+        Ok(vec![vec![
+            name.to_string(),
             stg.transitions().len().to_string(),
             format!("{:.2}", ff.timing.critical_path_ns),
             format!("{:.1}", ff.timing.fmax_mhz),
             format!("{:.2}", emb.timing.critical_path_ns),
             format!("{:.1}", emb.timing.fmax_mhz),
-        ]);
+        ]])
+    });
+    // Footer statistics from the successful rows (columns 2 and 4).
+    let mut ff_paths: Vec<f64> = Vec::new();
+    let mut emb_paths: Vec<f64> = Vec::new();
+    for row in &out.rows {
+        if let (Ok(ff), Ok(emb)) = (row[2].parse::<f64>(), row[4].parse::<f64>()) {
+            ff_paths.push(ff);
+            emb_paths.push(emb);
+        }
+    }
+    for row in out.rows {
+        table.row(row);
     }
     print!("{}", table.render());
     let spread = |v: &[f64]| {
-        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(0.0f64, f64::max);
         max / min
     };
     println!();

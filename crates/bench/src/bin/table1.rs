@@ -7,7 +7,8 @@
 //! need an input multiplexer require LUTs in addition to the blockrams").
 
 use emb_fsm::flow::Stimulus;
-use paper_bench::{compare, paper_config, suite, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{paper_config, suite_names, try_compare, TextTable};
 
 fn main() {
     let cfg = paper_config();
@@ -21,10 +22,15 @@ fn main() {
         "EMB: blockRAM",
         "device",
     ]);
-    for stg in suite() {
-        let (ff, emb) = compare(&stg, &Stimulus::Random, &cfg);
-        table.row(vec![
-            stg.name().to_string(),
+    let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
+    let out = run(&RunnerOptions::new("table1"), &items, 8, |name, attempt| {
+        let stg = fsm_model::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
+        let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
+        Ok(vec![vec![
+            name.to_string(),
             ff.area.luts.to_string(),
             ff.area.ffs.to_string(),
             ff.area.slices.to_string(),
@@ -32,7 +38,10 @@ fn main() {
             emb.area.slices.to_string(),
             emb.area.brams.to_string(),
             ff.device.name.to_string(),
-        ]);
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     println!("Table 1: device utilization, FF/LUT vs EMB implementation");
     println!("(target {}; larger rows auto-upsized)", cfg.device.name);

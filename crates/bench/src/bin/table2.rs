@@ -8,10 +8,11 @@
 //! machines save least) is the reproduced claim. See EXPERIMENTS.md.
 
 use emb_fsm::flow::Stimulus;
-use paper_bench::{compare, mw, paper_config, pct, saving, suite, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{mw, paper_config, pct, saving, suite_names, try_compare, TextTable};
 
 fn main() {
-    let cfg = paper_config();
+    let base_cfg = paper_config();
     let mut table = TextTable::new(vec![
         "Benchmark",
         "FF 50MHz",
@@ -22,13 +23,18 @@ fn main() {
         "EMB 100MHz",
         "saving@100",
     ]);
-    for stg in suite() {
-        let (ff, emb) = compare(&stg, &Stimulus::Random, &cfg);
+    let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
+    let out = run(&RunnerOptions::new("table2"), &items, 8, |name, attempt| {
+        let stg = fsm_model::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
+        let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
         let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
-            r.power_at(f).expect("configured frequency").total_mw()
+            r.power_at(f).map_or(f64::NAN, powermodel::PowerReport::total_mw)
         };
-        table.row(vec![
-            stg.name().to_string(),
+        Ok(vec![vec![
+            name.to_string(),
             mw(p(&ff, 50.0)),
             mw(p(&ff, 85.0)),
             mw(p(&ff, 100.0)),
@@ -36,10 +42,13 @@ fn main() {
             mw(p(&emb, 85.0)),
             mw(p(&emb, 100.0)),
             pct(saving(p(&ff, 100.0), p(&emb, 100.0))),
-        ]);
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     println!("Table 2: total power (mW), FF/LUT vs EMB implementation");
-    println!("(random stimulus, {} cycles)", cfg.cycles);
+    println!("(random stimulus, {} cycles)", base_cfg.cycles);
     println!();
     print!("{}", table.render());
 }

@@ -9,11 +9,11 @@
 use emb_fsm::flow::{emb_clock_controlled_flow, ff_flow, Stimulus};
 use emb_fsm::map::EmbOptions;
 use logic_synth::synth::SynthOptions;
-use paper_bench::{mw, paper_config, pct, saving, suite, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{mw, paper_config, pct, saving, suite_names, TextTable};
 
 fn main() {
     let cfg = paper_config();
-    let stim = Stimulus::IdleBiased(0.5);
     let mut table = TextTable::new(vec![
         "Benchmark",
         "cc 50MHz",
@@ -22,22 +22,30 @@ fn main() {
         "idle",
         "saving vs FF@100",
     ]);
-    for stg in suite() {
-        let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg)
-            .unwrap_or_else(|e| panic!("{}: FF flow failed: {e}", stg.name()));
+    let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
+    let out = run(&RunnerOptions::new("table3"), &items, 6, |name, attempt| {
+        let stg = fsm_model::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
+        let mut cfg = paper_config();
+        cfg.seed += u64::from(attempt);
+        let stim = Stimulus::IdleBiased(0.5);
+        let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
         let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
-            .unwrap_or_else(|e| panic!("{}: EMB+cc flow failed: {e}", stg.name()));
+            .map_err(|e| e.to_string())?;
         let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
-            r.power_at(f).expect("configured frequency").total_mw()
+            r.power_at(f).map_or(f64::NAN, powermodel::PowerReport::total_mw)
         };
-        table.row(vec![
-            stg.name().to_string(),
+        Ok(vec![vec![
+            name.to_string(),
             mw(p(&cc, 50.0)),
             mw(p(&cc, 85.0)),
             mw(p(&cc, 100.0)),
             format!("{:.0}%", cc.idle_fraction * 100.0),
             pct(saving(p(&ff, 100.0), p(&cc, 100.0))),
-        ]);
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     println!("Table 3: EMB power with clock-control logic (mW)");
     println!("(idle-biased stimulus targeting 50% idle, {} cycles)", cfg.cycles);

@@ -9,17 +9,21 @@
 use emb_fsm::clock_control::attach_emb_clock_control;
 use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
 use logic_synth::techmap::MapOptions;
-use paper_bench::{suite, TextTable};
+use paper_bench::runner::{run, RunnerOptions};
+use paper_bench::{suite_names, TextTable};
 
 fn main() {
     let mut table = TextTable::new(vec!["Benchmark", "LUTs", "Slices", "idle cubes", "cone"]);
-    for stg in suite() {
+    let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
+    let out = run(&RunnerOptions::new("table4"), &items, 5, |name, _attempt| {
+        let stg = fsm_model::benchmarks::by_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name}"))?;
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
-            .unwrap_or_else(|e| panic!("{}: mapping failed: {e}", stg.name()));
+            .map_err(|e| format!("mapping failed: {e}"))?;
         let (_, cc) = attach_emb_clock_control(&emb, MapOptions::default())
-            .unwrap_or_else(|e| panic!("{}: clock control failed: {e}", stg.name()));
-        table.row(vec![
-            stg.name().to_string(),
+            .map_err(|e| format!("clock control failed: {e}"))?;
+        Ok(vec![vec![
+            name.to_string(),
             cc.num_luts().to_string(),
             cc.num_slices().to_string(),
             cc.idle_cubes.to_string(),
@@ -28,7 +32,10 @@ fn main() {
             } else {
                 "state+inputs".to_string()
             },
-        ]);
+        ]])
+    });
+    for row in out.rows {
+        table.row(row);
     }
     println!("Table 4: area overhead of the clock-control logic");
     println!();

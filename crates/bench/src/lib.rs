@@ -9,9 +9,10 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod runner;
 pub mod timing;
 
-use emb_fsm::flow::{FlowConfig, FlowReport, Stimulus};
+use emb_fsm::flow::{FlowConfig, FlowError, FlowReport, Stimulus};
 use emb_fsm::map::EmbOptions;
 use fsm_model::benchmarks::{paper_suite, PAPER_BENCHMARKS};
 use fsm_model::stg::Stg;
@@ -43,15 +44,28 @@ pub fn suite_names() -> Vec<&'static str> {
 ///
 /// # Panics
 ///
-/// Panics with a diagnostic if a flow fails — the harness treats that as
-/// a broken experiment, not a recoverable condition.
+/// Panics with a diagnostic if a flow fails. Prefer [`try_compare`] from
+/// runner-driven experiments — it surfaces the typed [`FlowError`] so the
+/// runner can retry or emit a placeholder instead of dying.
 #[must_use]
 pub fn compare(stg: &Stg, stimulus: &Stimulus, cfg: &FlowConfig) -> (FlowReport, FlowReport) {
-    let ff = emb_fsm::flow::ff_flow(stg, SynthOptions::default(), stimulus, cfg)
-        .unwrap_or_else(|e| panic!("{}: FF flow failed: {e}", stg.name()));
-    let emb = emb_fsm::flow::emb_flow(stg, &EmbOptions::default(), stimulus, cfg)
-        .unwrap_or_else(|e| panic!("{}: EMB flow failed: {e}", stg.name()));
-    (ff, emb)
+    try_compare(stg, stimulus, cfg).unwrap_or_else(|e| panic!("{}: flow failed: {e}", stg.name()))
+}
+
+/// FF and EMB reports for one benchmark, propagating flow failures.
+///
+/// # Errors
+///
+/// Returns the first stage failure of either flow, tagged with benchmark
+/// and stage context.
+pub fn try_compare(
+    stg: &Stg,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<(FlowReport, FlowReport), FlowError> {
+    let ff = emb_fsm::flow::ff_flow(stg, SynthOptions::default(), stimulus, cfg)?;
+    let emb = emb_fsm::flow::emb_flow(stg, &EmbOptions::default(), stimulus, cfg)?;
+    Ok((ff, emb))
 }
 
 /// A minimal fixed-width text-table writer.

@@ -1,0 +1,507 @@
+//! Resilient experiment runner.
+//!
+//! The table/sweep/ablation binaries used to run every benchmark inline:
+//! one panic or flow failure blanked the whole table, and a killed run
+//! lost all completed work. This module gives them:
+//!
+//! - **per-item panic isolation** — each work item runs under
+//!   `catch_unwind` at the bin boundary (library code stays panic-free by
+//!   construction; this is the last-resort fence),
+//! - **bounded retry with deterministic reseeding** — a failing item is
+//!   retried up to [`RunnerOptions::max_attempts`] times, each attempt
+//!   passing its attempt index to the closure so it can derive a fresh
+//!   seed deterministically (attempt 0 is always the canonical seed, so
+//!   an uninterrupted run's output never depends on the retry machinery),
+//! - **JSONL checkpointing** — every finished item is appended to
+//!   `results/checkpoint_<label>.jsonl`; a killed run resumes from the
+//!   checkpoint and re-emits the recorded rows byte-identically, and the
+//!   file is removed once all items complete,
+//! - **partial-result emission** — an item that fails every attempt
+//!   yields a placeholder row instead of aborting the table.
+//!
+//! The checkpoint line format is a flat JSON object per line:
+//!
+//! ```json
+//! {"item":"keyb","ok":true,"rows":[["keyb","1.23","4.56"]]}
+//! {"item":"bbara","ok":false,"error":"place [pack]: ...","attempts":3}
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Configuration for one resilient run.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Checkpoint label (becomes `checkpoint_<label>.jsonl`).
+    pub label: String,
+    /// Attempts per item before emitting a placeholder (≥ 1).
+    pub max_attempts: u32,
+    /// Directory the checkpoint lives in.
+    pub checkpoint_dir: PathBuf,
+}
+
+impl RunnerOptions {
+    /// Options for the named experiment, checkpointing under the
+    /// workspace `results/` directory.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        RunnerOptions {
+            label: label.into(),
+            max_attempts: 3,
+            checkpoint_dir: workspace_results_dir(),
+        }
+    }
+
+    fn checkpoint_path(&self) -> PathBuf {
+        self.checkpoint_dir
+            .join(format!("checkpoint_{}.jsonl", self.label))
+    }
+}
+
+/// How one item ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemOutcome {
+    /// The item produced its rows (possibly after retries).
+    Ok(Vec<Vec<String>>),
+    /// Every attempt failed; `error` is the last failure.
+    Failed {
+        /// Display of the last error (or panic payload).
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// The aggregate result of a run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// All rows in item order; failed items contribute one placeholder
+    /// row (`[item, "FAILED: <error>", "", ...]` padded to the requested
+    /// column count).
+    pub rows: Vec<Vec<String>>,
+    /// `(item, error)` for items that failed every attempt.
+    pub failures: Vec<(String, String)>,
+    /// Items restored from the checkpoint instead of recomputed.
+    pub resumed: usize,
+}
+
+/// Runs `f` over `items` with isolation, retry, and checkpointing.
+///
+/// `f` is called as `f(item, attempt)` with `attempt` starting at 0; use
+/// it to derive a retry seed (`cfg.seed + attempt`) so reruns are
+/// deterministic. `placeholder_cols` is the table width used for failure
+/// placeholder rows.
+///
+/// # Panics
+///
+/// Panics only if the checkpoint directory cannot be created or written —
+/// an experiment that cannot record its progress is a failed experiment.
+pub fn run<F>(opts: &RunnerOptions, items: &[String], placeholder_cols: usize, f: F) -> RunOutcome
+where
+    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String>,
+{
+    let path = opts.checkpoint_path();
+    let mut done: HashMap<String, ItemOutcome> = load_checkpoint(&path);
+    if !done.is_empty() {
+        eprintln!(
+            "[runner] resuming {} finished item(s) from {}",
+            done.len(),
+            path.display()
+        );
+    }
+    let resumed = done.len();
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for item in items {
+        let outcome = match done.remove(item) {
+            Some(o) => o,
+            None => {
+                let o = run_one(item, opts.max_attempts, &f);
+                append_checkpoint(&path, item, &o);
+                o
+            }
+        };
+        match outcome {
+            ItemOutcome::Ok(item_rows) => rows.extend(item_rows),
+            ItemOutcome::Failed { error, attempts } => {
+                eprintln!("[runner] {item}: FAILED after {attempts} attempt(s): {error}");
+                let mut row = vec![item.clone(), format!("FAILED: {error}")];
+                row.resize(placeholder_cols.max(2), String::new());
+                rows.push(row);
+                failures.push((item.clone(), error));
+            }
+        }
+    }
+    // All items accounted for: the checkpoint has served its purpose.
+    let _ = std::fs::remove_file(&path);
+    RunOutcome { rows, failures, resumed }
+}
+
+/// One item: bounded attempts, panics fenced at this boundary only.
+fn run_one<F>(item: &str, max_attempts: u32, f: &F) -> ItemOutcome
+where
+    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String>,
+{
+    let mut last_error = String::new();
+    for attempt in 0..max_attempts.max(1) {
+        if attempt > 0 {
+            eprintln!("[runner] {item}: retry {attempt} (reseeded)");
+        }
+        match catch_unwind(AssertUnwindSafe(|| f(item, attempt))) {
+            Ok(Ok(rows)) => return ItemOutcome::Ok(rows),
+            Ok(Err(e)) => last_error = e,
+            Err(payload) => last_error = format!("panic: {}", panic_message(&*payload)),
+        }
+    }
+    ItemOutcome::Failed { error: last_error, attempts: max_attempts.max(1) }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The workspace `results/` directory (two levels above this manifest).
+fn workspace_results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+        .join("results")
+}
+
+// --- checkpoint I/O ---------------------------------------------------
+
+/// Loads finished items from a checkpoint, tolerating missing files and
+/// skipping unparseable lines (those items are simply recomputed).
+fn load_checkpoint(path: &Path) -> HashMap<String, ItemOutcome> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let mut done = HashMap::new();
+    for line in text.lines() {
+        if let Some((item, outcome)) = parse_checkpoint_line(line) {
+            done.insert(item, outcome);
+        }
+    }
+    done
+}
+
+/// Appends one finished item to the checkpoint (created on first use).
+fn append_checkpoint(path: &Path, item: &str, outcome: &ItemOutcome) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create checkpoint dir");
+    }
+    let line = checkpoint_line(item, outcome);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open checkpoint");
+    writeln!(file, "{line}").expect("append checkpoint");
+    file.flush().expect("flush checkpoint");
+}
+
+/// Renders one checkpoint line.
+fn checkpoint_line(item: &str, outcome: &ItemOutcome) -> String {
+    match outcome {
+        ItemOutcome::Ok(rows) => {
+            let rows_json: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    let cells: Vec<String> =
+                        row.iter().map(|c| json_string(c)).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            format!(
+                "{{\"item\":{},\"ok\":true,\"rows\":[{}]}}",
+                json_string(item),
+                rows_json.join(",")
+            )
+        }
+        ItemOutcome::Failed { error, attempts } => format!(
+            "{{\"item\":{},\"ok\":false,\"error\":{},\"attempts\":{attempts}}}",
+            json_string(item),
+            json_string(error)
+        ),
+    }
+}
+
+/// JSON string literal with the escapes our cell contents can need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses one checkpoint line; `None` on any malformation.
+fn parse_checkpoint_line(line: &str) -> Option<(String, ItemOutcome)> {
+    let mut p = JsonCursor::new(line);
+    p.expect('{')?;
+    let mut item = None;
+    let mut ok = None;
+    let mut rows = None;
+    let mut error = None;
+    let mut attempts = 0u32;
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "item" => item = Some(p.string()?),
+            "ok" => ok = Some(p.boolean()?),
+            "rows" => rows = Some(p.string_matrix()?),
+            "error" => error = Some(p.string()?),
+            "attempts" => attempts = p.number()?,
+            _ => return None,
+        }
+        match p.next_non_ws()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    let item = item?;
+    match ok? {
+        true => Some((item, ItemOutcome::Ok(rows?))),
+        false => Some((item, ItemOutcome::Failed { error: error?, attempts })),
+    }
+}
+
+/// A minimal cursor over the JSON subset the checkpoint uses.
+struct JsonCursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonCursor { chars: s.chars().peekable() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t')) {
+            self.chars.next();
+        }
+    }
+
+    fn next_non_ws(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.next()
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next_non_ws()? == want).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next()? {
+                '"' => return Some(out),
+                '\\' => match self.chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).filter_map(|_| self.chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn boolean(&mut self) -> Option<bool> {
+        self.skip_ws();
+        let mut word = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if !c.is_ascii_alphabetic() {
+                break;
+            }
+            word.push(c);
+            self.chars.next();
+        }
+        match word.as_str() {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        self.skip_ws();
+        let mut digits = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if !c.is_ascii_digit() {
+                break;
+            }
+            digits.push(c);
+            self.chars.next();
+        }
+        digits.parse().ok()
+    }
+
+    /// Parses `[["a","b"],["c"]]`.
+    fn string_matrix(&mut self) -> Option<Vec<Vec<String>>> {
+        self.expect('[')?;
+        let mut rows = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Some(rows);
+        }
+        loop {
+            self.expect('[')?;
+            let mut row = Vec::new();
+            self.skip_ws();
+            if self.chars.peek() == Some(&']') {
+                self.chars.next();
+            } else {
+                loop {
+                    row.push(self.string()?);
+                    match self.next_non_ws()? {
+                        ',' => continue,
+                        ']' => break,
+                        _ => return None,
+                    }
+                }
+            }
+            rows.push(row);
+            match self.next_non_ws()? {
+                ',' => continue,
+                ']' => return Some(rows),
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_opts(label: &str) -> RunnerOptions {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("test_runner_{label}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunnerOptions { label: label.to_string(), max_attempts: 3, checkpoint_dir: dir }
+    }
+
+    #[test]
+    fn checkpoint_line_roundtrips() {
+        let outcome = ItemOutcome::Ok(vec![
+            vec!["keyb".to_string(), "1.23\" \\ \n".to_string()],
+            vec![],
+        ]);
+        let line = checkpoint_line("key\"b", &outcome);
+        let (item, parsed) = parse_checkpoint_line(&line).unwrap();
+        assert_eq!(item, "key\"b");
+        assert_eq!(parsed, outcome);
+        let fail = ItemOutcome::Failed { error: "boom: {x}".to_string(), attempts: 3 };
+        let line = checkpoint_line("b", &fail);
+        let (item, parsed) = parse_checkpoint_line(&line).unwrap();
+        assert_eq!(item, "b");
+        assert_eq!(parsed, fail);
+        assert!(parse_checkpoint_line("{garbage").is_none());
+        assert!(parse_checkpoint_line("").is_none());
+    }
+
+    #[test]
+    fn isolates_panics_and_emits_placeholder() {
+        let opts = temp_opts("panics");
+        let items = vec!["good".to_string(), "bad".to_string(), "also-good".to_string()];
+        let out = run(&opts, &items, 3, |item, _| {
+            if item == "bad" {
+                panic!("injected panic for {item}");
+            }
+            Ok(vec![vec![item.to_string(), "1".to_string(), "2".to_string()]])
+        });
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0][0], "good");
+        assert!(out.rows[1][1].contains("FAILED: panic: injected panic"));
+        assert_eq!(out.rows[2][0], "also-good");
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].0, "bad");
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn retry_reseeds_then_succeeds() {
+        let opts = temp_opts("retry");
+        let items = vec!["flaky".to_string()];
+        let calls = AtomicUsize::new(0);
+        let out = run(&opts, &items, 2, |item, attempt| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if attempt < 2 {
+                Err(format!("{item} failed attempt {attempt}"))
+            } else {
+                Ok(vec![vec![item.to_string(), format!("seed+{attempt}")]])
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(out.rows, vec![vec!["flaky".to_string(), "seed+2".to_string()]]);
+        assert!(out.failures.is_empty());
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoint_byte_identically() {
+        let opts = temp_opts("resume");
+        let items: Vec<String> = ["a", "b", "c"].iter().map(ToString::to_string).collect();
+        let work = |item: &str, _attempt: u32| -> Result<Vec<Vec<String>>, String> {
+            Ok(vec![vec![item.to_string(), format!("{item}-row1")],
+                    vec![item.to_string(), format!("{item}-row2")]])
+        };
+        // Uninterrupted reference run.
+        let reference = run(&opts, &items, 2, work);
+
+        // Simulate a run killed after two items: re-create their
+        // checkpoint lines, then rerun. The closure must not be invoked
+        // for the checkpointed items.
+        for item in &items[..2] {
+            let rows = work(item, 0).unwrap();
+            append_checkpoint(&opts.checkpoint_path(), item, &ItemOutcome::Ok(rows));
+        }
+        let recomputed = AtomicUsize::new(0);
+        let resumed = run(&opts, &items, 2, |item, attempt| {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(item, "c", "checkpointed items must not rerun");
+            work(item, attempt)
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1);
+        assert_eq!(resumed.resumed, 2);
+        assert_eq!(resumed.rows, reference.rows, "resume must be byte-identical");
+        // The checkpoint is cleaned up after a complete run.
+        assert!(!opts.checkpoint_path().exists());
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+}

@@ -16,6 +16,14 @@
 //! h.bench("map/keyb", || black_box(2 + 2));
 //! h.finish();
 //! ```
+//!
+//! Environment overrides:
+//!
+//! * `BENCH_FILTER=<substring>` — only run benchmarks whose name contains
+//!   the substring (others are skipped, and absent from the JSON);
+//! * `BENCH_RESULTS_DIR=<dir>` — write the JSON there instead of
+//!   `results/` at the workspace root (used by `scripts/verify.sh` to
+//!   compare a fresh run against the committed baseline).
 
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -67,7 +75,16 @@ impl Harness {
     }
 
     /// Times `f`, recording median-of-[`SAMPLES`] ns/iteration.
+    ///
+    /// Skipped (with a note) when `BENCH_FILTER` is set and `name` does
+    /// not contain it.
     pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if let Ok(filter) = std::env::var("BENCH_FILTER") {
+            if !filter.is_empty() && !name.contains(&filter) {
+                eprintln!("{name:<40} skipped (BENCH_FILTER={filter})");
+                return;
+            }
+        }
         // Calibrate: how many iterations fill TARGET_SAMPLE?
         let once = {
             let t = Instant::now();
@@ -118,7 +135,20 @@ impl Harness {
     /// Panics if the results directory cannot be written — a bench run
     /// that cannot record its output is a failed run.
     pub fn finish(self) {
-        let dir = workspace_root().join("results");
+        // Relative BENCH_RESULTS_DIR is resolved against the workspace
+        // root, not the CWD: cargo runs bench binaries from the package
+        // directory, which is never what the caller means.
+        let dir = std::env::var("BENCH_RESULTS_DIR").map_or_else(
+            |_| workspace_root().join("results"),
+            |d| {
+                let d = PathBuf::from(d);
+                if d.is_absolute() {
+                    d
+                } else {
+                    workspace_root().join(d)
+                }
+            },
+        );
         std::fs::create_dir_all(&dir).expect("create results/");
         let path = dir.join(format!("bench_{}.json", self.suite));
         let mut out = String::from("{\n");

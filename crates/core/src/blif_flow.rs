@@ -9,7 +9,10 @@
 //!
 //! [`BlifModel`]: logic_synth::blif::BlifModel
 
-use crate::flow::{ClockControlStats, FlowConfig, FlowError, FlowReport, ImplKind, Stimulus};
+use crate::flow::{
+    ClockControlStats, FlowConfig, FlowError, FlowErrorKind, FlowReport, FlowStage, ImplKind,
+    Stimulus,
+};
 use fpga_fabric::netlist::{Cell, NetId, Netlist};
 use logic_synth::blif::BlifModel;
 use logic_synth::decompose::decompose2;
@@ -23,12 +26,8 @@ use logic_synth::techmap::{map_luts, MapOptions};
 ///
 /// # Errors
 ///
-/// Propagates technology-mapping failures as [`FlowError::ClockControl`]'s
-/// sibling [`FlowError::Synth`] is synthesis-specific, so mapping errors
-/// surface as [`FlowError::Netlist`] after validation, or directly from
-/// the mapper via [`FlowError::ClockControl`]. In practice: mapping a
-/// parsed BLIF only fails on LUTs wider than `k`, which decomposition
-/// prevents.
+/// Propagates technology-mapping failures. In practice: mapping a parsed
+/// BLIF only fails on LUTs wider than `k`, which decomposition prevents.
 pub fn netlist_from_blif(
     model: &BlifModel,
     map: MapOptions,
@@ -78,8 +77,13 @@ pub fn implement_blif(
     stimulus_vectors: &[Vec<bool>],
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
-    let netlist = netlist_from_blif(model, MapOptions::default())
-        .map_err(FlowError::ClockControl)?;
+    let netlist = netlist_from_blif(model, MapOptions::default()).map_err(|e| {
+        FlowError::new(
+            model.name.clone(),
+            FlowStage::ClockControl,
+            FlowErrorKind::ClockControl(e),
+        )
+    })?;
     crate::flow::implement_external(
         netlist,
         ImplKind::Ff,

@@ -1,0 +1,374 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! Each injector takes an intact artifact and a seed and produces a
+//! *targeted* corruption — a single semantic mutation of the kind real
+//! defects introduce (a wrong next-state, a flipped output bit, a
+//! corrupted LUT truth table or ROM word) — together with a description
+//! of the fault. The same seed always produces the same fault, so a
+//! failing injection case is a one-line reproduction.
+//!
+//! The point of these is the workspace's robustness guarantee: any
+//! corrupted-but-well-formed artifact pushed through the flow must come
+//! back as a typed [`FlowError`](crate::flow::FlowError) (usually a
+//! verification mismatch) or a flagged degraded report — never a panic.
+
+use fpga_fabric::netlist::{Cell, NetId, Netlist};
+use fsm_model::pattern::Trit;
+use fsm_model::stg::{StateId, Stg};
+use std::fmt;
+use xrand::SmallRng;
+
+/// A single targeted STG corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StgFault {
+    /// Transition `index` now targets a different state.
+    RedirectTransition {
+        /// Transition index in [`Stg::transitions`].
+        index: usize,
+        /// The wrong destination.
+        to: StateId,
+    },
+    /// One output trit of transition `index` was flipped
+    /// (`0 -> 1`, `1 -> 0`, `- -> 1`).
+    FlipOutputBit {
+        /// Transition index.
+        index: usize,
+        /// Output bit position.
+        bit: usize,
+    },
+    /// Transition `index` was deleted (its input space falls through to
+    /// lower-priority rows or the completion rule).
+    DropTransition {
+        /// Transition index.
+        index: usize,
+    },
+    /// A conflicting copy of transition `index` (same condition, different
+    /// destination) was inserted *before* it, shadowing it by priority.
+    ShadowTransition {
+        /// Transition index that is now shadowed.
+        index: usize,
+    },
+    /// The reset state was moved.
+    SwapReset {
+        /// The wrong reset state.
+        to: StateId,
+    },
+}
+
+impl fmt::Display for StgFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgFault::RedirectTransition { index, to } => {
+                write!(f, "transition {index} redirected to state {to}")
+            }
+            StgFault::FlipOutputBit { index, bit } => {
+                write!(f, "transition {index} output bit {bit} flipped")
+            }
+            StgFault::DropTransition { index } => write!(f, "transition {index} dropped"),
+            StgFault::ShadowTransition { index } => {
+                write!(f, "transition {index} shadowed by a conflicting copy")
+            }
+            StgFault::SwapReset { to } => write!(f, "reset moved to state {to}"),
+        }
+    }
+}
+
+/// A single targeted netlist corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistFault {
+    /// One truth-table bit of a LUT cell was flipped.
+    FlipLutTruthBit {
+        /// Cell index in [`Netlist::cells`].
+        cell: usize,
+        /// Minterm whose entry was flipped.
+        bit: u32,
+    },
+    /// A flip-flop's power-on value was inverted.
+    FlipFfInit {
+        /// Cell index.
+        cell: usize,
+    },
+    /// One bit of a BRAM's initial contents (the ROM) was flipped.
+    FlipBramInitBit {
+        /// Cell index.
+        cell: usize,
+        /// Word address.
+        word: usize,
+        /// Bit within the word.
+        bit: u32,
+    },
+}
+
+impl fmt::Display for NetlistFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistFault::FlipLutTruthBit { cell, bit } => {
+                write!(f, "LUT cell {cell} truth bit {bit} flipped")
+            }
+            NetlistFault::FlipFfInit { cell } => write!(f, "FF cell {cell} init inverted"),
+            NetlistFault::FlipBramInitBit { cell, word, bit } => {
+                write!(f, "BRAM cell {cell} word {word} bit {bit} flipped")
+            }
+        }
+    }
+}
+
+/// Produces a corrupted copy of `stg` with exactly one seeded semantic
+/// fault, or `None` when the machine is too degenerate to corrupt (a
+/// single state and no transitions admits no observable mutation).
+///
+/// The corrupted machine is still *well-formed* — widths, state ids and
+/// the reset all validate — so it exercises the flow's semantic checks,
+/// not its input validation.
+#[must_use]
+pub fn corrupt_stg(stg: &Stg, seed: u64) -> Option<(Stg, StgFault)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let num_t = stg.transitions().len();
+    let num_s = stg.num_states();
+
+    // Enumerate the fault classes this machine admits.
+    let mut classes: Vec<u8> = Vec::new();
+    if num_t > 0 && num_s >= 2 {
+        classes.push(0); // redirect
+    }
+    if num_t > 0 && stg.num_outputs() > 0 {
+        classes.push(1); // flip output
+    }
+    if num_t > 0 {
+        classes.push(2); // drop
+    }
+    if num_t > 0 && num_s >= 2 {
+        classes.push(3); // shadow
+    }
+    if num_s >= 2 {
+        classes.push(4); // swap reset
+    }
+    if classes.is_empty() {
+        return None;
+    }
+    let class = classes[rng.random_range(0..classes.len())];
+
+    let mut transitions = stg.transitions().to_vec();
+    let mut reset = stg.reset_state();
+    let other_state = |rng: &mut SmallRng, not: StateId| -> StateId {
+        let mut idx = rng.random_range(0..num_s - 1);
+        if idx >= not.index() {
+            idx += 1;
+        }
+        StateId(idx as u32)
+    };
+
+    let fault = match class {
+        0 => {
+            let index = rng.random_range(0..num_t);
+            let to = other_state(&mut rng, transitions[index].to);
+            transitions[index].to = to;
+            StgFault::RedirectTransition { index, to }
+        }
+        1 => {
+            let index = rng.random_range(0..num_t);
+            let bit = rng.random_range(0..stg.num_outputs());
+            let flipped = match transitions[index].output.trit(bit) {
+                Trit::Zero | Trit::DontCare => Trit::One,
+                Trit::One => Trit::Zero,
+            };
+            transitions[index].output.set(bit, flipped);
+            StgFault::FlipOutputBit { index, bit }
+        }
+        2 => {
+            let index = rng.random_range(0..num_t);
+            transitions.remove(index);
+            StgFault::DropTransition { index }
+        }
+        3 => {
+            let index = rng.random_range(0..num_t);
+            let mut shadow = transitions[index].clone();
+            shadow.to = other_state(&mut rng, shadow.to);
+            transitions.insert(index, shadow);
+            StgFault::ShadowTransition { index }
+        }
+        _ => {
+            let to = other_state(&mut rng, reset);
+            reset = to;
+            StgFault::SwapReset { to }
+        }
+    };
+
+    let names: Vec<String> = stg.states().map(|s| stg.state_name(s).to_string()).collect();
+    let corrupted = Stg::new(
+        stg.name().to_string(),
+        stg.num_inputs(),
+        stg.num_outputs(),
+        names,
+        transitions,
+        reset,
+    )
+    .expect("single-fault corruption preserves STG well-formedness");
+    Some((corrupted, fault))
+}
+
+/// Produces a corrupted copy of `netlist` with exactly one seeded bit-level
+/// fault in a LUT truth table, FF init value, or BRAM ROM word, or `None`
+/// when the netlist holds no corruptible cell.
+#[must_use]
+pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, NetlistFault)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Candidate cells: index plus what can be flipped there.
+    let candidates: Vec<usize> = netlist
+        .cells()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| match c {
+            Cell::Lut { .. } | Cell::Ff { .. } => true,
+            Cell::Bram { init, .. } => !init.is_empty(),
+            Cell::Const { .. } => false,
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let target = candidates[rng.random_range(0..candidates.len())];
+
+    // Targeted BRAM corruption: only words a non-tied address can reach and
+    // only data bits that are wired out are worth flipping (the rest of the
+    // init plane is padding that no simulation can observe).
+    let (bram_words, bram_bits) = match &netlist.cells()[target] {
+        Cell::Bram { addr, dout, init, .. } => {
+            let drivers = netlist.driver_map();
+            let live_addr = addr
+                .iter()
+                .filter(|net| {
+                    !matches!(
+                        drivers.get(net).map(|id| &netlist.cells()[id.index()]),
+                        Some(Cell::Const { value: false, .. })
+                    )
+                })
+                .count();
+            ((1usize << live_addr.min(20)).min(init.len()), dout.len().max(1))
+        }
+        _ => (0, 0),
+    };
+
+    let mut fault = None;
+    let corrupted = rebuild_with(netlist, target, |cell| {
+        fault = Some(match cell {
+            Cell::Lut { inputs, truth, .. } => {
+                let bit = rng.random_range(0..1u64 << inputs.len().min(6)) as u32;
+                *truth ^= 1u64 << bit;
+                NetlistFault::FlipLutTruthBit { cell: target, bit }
+            }
+            Cell::Ff { init, .. } => {
+                *init = !*init;
+                NetlistFault::FlipFfInit { cell: target }
+            }
+            Cell::Bram { init, .. } => {
+                let word = rng.random_range(0..bram_words.max(1));
+                let bit = rng.random_range(0..bram_bits) as u32;
+                init[word] ^= 1u64 << bit;
+                NetlistFault::FlipBramInitBit { cell: target, word, bit }
+            }
+            Cell::Const { .. } => unreachable!("constants are filtered out"),
+        });
+    });
+    let fault = fault.expect("target cell visited during rebuild");
+    Some((corrupted, fault))
+}
+
+/// Clones `netlist` applying `mutate` to the cell at `target`.
+fn rebuild_with(netlist: &Netlist, target: usize, mutate: impl FnOnce(&mut Cell)) -> Netlist {
+    let mut n = Netlist::new(netlist.name.clone());
+    for i in 0..netlist.num_nets() {
+        n.add_net(netlist.net_name(NetId(i as u32)).to_string());
+    }
+    let mut mutate = Some(mutate);
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let mut cell = cell.clone();
+        if i == target {
+            if let Some(m) = mutate.take() {
+                m(&mut cell);
+            }
+        }
+        n.add_cell(cell);
+    }
+    for (name, net) in netlist.inputs() {
+        n.add_input(name.clone(), *net);
+    }
+    for (name, net) in netlist.outputs() {
+        n.add_output(name.clone(), *net);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{map_fsm_into_embs, EmbOptions};
+    use crate::verify::{verify_against_stg, OutputTiming, VerifyError};
+    use fsm_model::benchmarks::sequence_detector_0101;
+
+    #[test]
+    fn stg_corruption_is_deterministic() {
+        let stg = sequence_detector_0101();
+        let (a, fa) = corrupt_stg(&stg, 42).unwrap();
+        let (b, fb) = corrupt_stg(&stg, 42).unwrap();
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        // A different seed eventually picks a different fault.
+        let differs = (0..32).any(|s| corrupt_stg(&stg, s).unwrap().1 != fa);
+        assert!(differs, "seeds collapse to one fault");
+    }
+
+    #[test]
+    fn degenerate_machines_yield_none_or_valid() {
+        // Single state, no transitions: nothing observable to corrupt.
+        let mut b = fsm_model::stg::StgBuilder::new("unit", 0, 0);
+        b.state("only");
+        let stg = b.build().unwrap();
+        assert!(corrupt_stg(&stg, 7).is_none());
+        // Empty netlist: nothing to corrupt.
+        let n = Netlist::new("empty");
+        assert!(corrupt_netlist(&n, 7).is_none());
+    }
+
+    #[test]
+    fn netlist_corruption_flips_exactly_one_cell() {
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let netlist = emb.to_netlist();
+        let (corrupted, fault) = corrupt_netlist(&netlist, 3).unwrap();
+        assert_eq!(corrupted.cells().len(), netlist.cells().len());
+        let changed: Vec<usize> = netlist
+            .cells()
+            .iter()
+            .zip(corrupted.cells())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        let cell = match fault {
+            NetlistFault::FlipLutTruthBit { cell, .. }
+            | NetlistFault::FlipFfInit { cell }
+            | NetlistFault::FlipBramInitBit { cell, .. } => cell,
+        };
+        assert_eq!(changed, vec![cell]);
+        corrupted.validate().expect("corruption keeps netlist valid");
+    }
+
+    #[test]
+    fn rom_corruption_is_caught_by_verification() {
+        // A flipped ROM bit is a semantic fault: verification against the
+        // intact oracle must detect it for at least some seeds.
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let netlist = emb.to_netlist();
+        let caught = (0..20).filter(|&s| {
+            let (bad, _) = corrupt_netlist(&netlist, s).unwrap();
+            matches!(
+                verify_against_stg(&bad, &stg, OutputTiming::Registered, 400, 9),
+                Err(VerifyError::Mismatch { .. })
+            )
+        });
+        assert!(caught.count() >= 10, "most ROM corruptions must be visible");
+    }
+}

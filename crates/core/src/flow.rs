@@ -135,6 +135,59 @@ pub struct FlowReport {
     pub total_wirelength: usize,
     /// The device the design was finally implemented on.
     pub device: Device,
+    /// Graceful degradations taken to complete the flow (empty when the
+    /// requested implementation succeeded as asked).
+    pub downgrades: Vec<Downgrade>,
+}
+
+/// A graceful degradation recorded in a [`FlowReport`]: the flow completed,
+/// but not exactly as requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Downgrade {
+    /// EMB mapping failed at every rung (direct → compaction → series →
+    /// upsize); the FF+LUT baseline was implemented instead.
+    EmbToFf {
+        /// Display of the mapping/fitting error that forced the fallback.
+        reason: String,
+    },
+    /// The design did not fit the configured device and was implemented on
+    /// a larger family member.
+    DeviceUpsized {
+        /// The originally requested device name.
+        from: &'static str,
+        /// The device actually used.
+        to: &'static str,
+    },
+    /// The placer hit its move budget; the best-seen placement was kept.
+    PlaceBudgetExhausted {
+        /// Moves spent when the budget tripped.
+        spent: u64,
+    },
+    /// Synthesis skipped espresso on oversized functions (exact but
+    /// unminimized covers were kept).
+    SynthBudgetExhausted {
+        /// Number of functions left unminimized.
+        skipped_functions: usize,
+    },
+}
+
+impl fmt::Display for Downgrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Downgrade::EmbToFf { reason } => {
+                write!(f, "EMB mapping fell back to FF baseline ({reason})")
+            }
+            Downgrade::DeviceUpsized { from, to } => {
+                write!(f, "device upsized {from} -> {to}")
+            }
+            Downgrade::PlaceBudgetExhausted { spent } => {
+                write!(f, "placement move budget exhausted after {spent} moves")
+            }
+            Downgrade::SynthBudgetExhausted { skipped_functions } => {
+                write!(f, "{skipped_functions} function(s) left unminimized")
+            }
+        }
+    }
 }
 
 /// Area overhead of the clock-control logic.
@@ -158,9 +211,49 @@ impl FlowReport {
     }
 }
 
-/// Flow errors.
+/// The stage of the Fig.-6 pipeline an error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowStage {
+    /// Optional state-minimization pre-pass.
+    Prepare,
+    /// Combinational synthesis (FF baseline).
+    Synth,
+    /// EMB (BRAM) mapping.
+    Map,
+    /// Clock-control / gating attachment.
+    ClockControl,
+    /// Oracle lockstep verification.
+    Verify,
+    /// Netlist validation and packing.
+    Pack,
+    /// Placement.
+    Place,
+    /// Routing.
+    Route,
+    /// Activity simulation.
+    Simulate,
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FlowStage::Prepare => "prepare",
+            FlowStage::Synth => "synth",
+            FlowStage::Map => "map",
+            FlowStage::ClockControl => "clock-control",
+            FlowStage::Verify => "verify",
+            FlowStage::Pack => "pack",
+            FlowStage::Place => "place",
+            FlowStage::Route => "route",
+            FlowStage::Simulate => "simulate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What went wrong (stage-specific payload).
 #[derive(Debug)]
-pub enum FlowError {
+pub enum FlowErrorKind {
     /// FSM synthesis failed (FF baseline).
     Synth(SynthError),
     /// EMB mapping failed.
@@ -182,21 +275,59 @@ pub enum FlowError {
     Minimize(String),
 }
 
-impl fmt::Display for FlowError {
+impl fmt::Display for FlowErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlowError::Synth(e) => write!(f, "synthesis: {e}"),
-            FlowError::Map(e) => write!(f, "mapping: {e}"),
-            FlowError::ClockControl(e) => write!(f, "clock control: {e}"),
-            FlowError::Verify(e) => write!(f, "verification: {e}"),
-            FlowError::Place(e) => write!(f, "placement: {e}"),
-            FlowError::Route(e) => write!(f, "routing: {e}"),
-            FlowError::Netlist(e) => write!(f, "netlist: {e}"),
-            FlowError::NeedsOracle => {
+            FlowErrorKind::Synth(e) => write!(f, "synthesis: {e}"),
+            FlowErrorKind::Map(e) => write!(f, "mapping: {e}"),
+            FlowErrorKind::ClockControl(e) => write!(f, "clock control: {e}"),
+            FlowErrorKind::Verify(e) => write!(f, "verification: {e}"),
+            FlowErrorKind::Place(e) => write!(f, "placement: {e}"),
+            FlowErrorKind::Route(e) => write!(f, "routing: {e}"),
+            FlowErrorKind::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowErrorKind::NeedsOracle => {
                 write!(f, "idle-biased stimulus needs an STG oracle")
             }
-            FlowError::Minimize(e) => write!(f, "state minimization: {e}"),
+            FlowErrorKind::Minimize(e) => write!(f, "state minimization: {e}"),
         }
+    }
+}
+
+/// A flow failure, carrying the benchmark and pipeline stage it came from
+/// so harness logs and checkpoints stay actionable without a backtrace.
+#[derive(Debug)]
+pub struct FlowError {
+    /// The machine / netlist being implemented.
+    pub benchmark: String,
+    /// Where in the pipeline it failed.
+    pub stage: FlowStage,
+    /// The stage-specific cause.
+    pub kind: FlowErrorKind,
+}
+
+impl FlowError {
+    /// Builds an error tagged with benchmark and stage context.
+    #[must_use]
+    pub fn new(benchmark: impl Into<String>, stage: FlowStage, kind: FlowErrorKind) -> Self {
+        FlowError { benchmark: benchmark.into(), stage, kind }
+    }
+
+    /// True when the failure is a capacity/fitting exhaustion — the input
+    /// machine is well-formed but does not fit the attempted resources —
+    /// rather than a correctness failure. These are the failures the
+    /// degradation ladder may absorb (see [`emb_flow_with_fallback`]).
+    #[must_use]
+    pub fn is_capacity(&self) -> bool {
+        matches!(
+            self.kind,
+            FlowErrorKind::Map(_) | FlowErrorKind::Place(_) | FlowErrorKind::Route(_)
+        )
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.benchmark, self.stage, self.kind)
     }
 }
 
@@ -206,7 +337,9 @@ impl std::error::Error for FlowError {}
 fn prepared(stg: &Stg, cfg: &FlowConfig) -> Result<Stg, FlowError> {
     if cfg.minimize_states {
         Ok(fsm_model::minimize::minimize(stg)
-            .map_err(FlowError::Minimize)?
+            .map_err(|e| {
+                FlowError::new(stg.name(), FlowStage::Prepare, FlowErrorKind::Minimize(e))
+            })?
             .stg)
     } else {
         Ok(stg.clone())
@@ -225,7 +358,9 @@ pub fn ff_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let impl_stg = prepared(stg, cfg)?;
-    let synth = synthesize(&impl_stg, synth_opts).map_err(FlowError::Synth)?;
+    let synth = synthesize(&impl_stg, synth_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e)))?;
+    let downgrades = synth_downgrades(&synth);
     let (netlist, _) = ff_netlist(&synth, false);
     verify_against_stg(
         &netlist,
@@ -234,8 +369,18 @@ pub fn ff_flow(
         cfg.verify_cycles,
         cfg.seed,
     )
-    .map_err(FlowError::Verify)?;
-    implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg)
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+    implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades)
+}
+
+/// Downgrades to record for a synthesized machine (budget overruns).
+fn synth_downgrades(synth: &logic_synth::synth::SynthesizedFsm) -> Vec<Downgrade> {
+    match synth.budget {
+        logic_synth::synth::SynthBudget::Completed => Vec::new(),
+        logic_synth::synth::SynthBudget::Exhausted { skipped_functions, .. } => {
+            vec![Downgrade::SynthBudgetExhausted { skipped_functions }]
+        }
+    }
 }
 
 /// Runs the FF flow with clock-enable gating on the state register.
@@ -250,9 +395,13 @@ pub fn ff_clock_gated_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let impl_stg = prepared(stg, cfg)?;
-    let synth = synthesize(&impl_stg, synth_opts).map_err(FlowError::Synth)?;
-    let (netlist, control) =
-        attach_ff_clock_gating(&synth, &impl_stg, synth_opts.map).map_err(FlowError::ClockControl)?;
+    let synth = synthesize(&impl_stg, synth_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e)))?;
+    let downgrades = synth_downgrades(&synth);
+    let (netlist, control) = attach_ff_clock_gating(&synth, &impl_stg, synth_opts.map)
+        .map_err(|e| {
+            FlowError::new(stg.name(), FlowStage::ClockControl, FlowErrorKind::ClockControl(e))
+        })?;
     verify_against_stg(
         &netlist,
         stg,
@@ -260,13 +409,13 @@ pub fn ff_clock_gated_flow(
         cfg.verify_cycles,
         cfg.seed,
     )
-    .map_err(FlowError::Verify)?;
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
     let stats = ClockControlStats {
         luts: control.num_luts(),
         slices: control.num_slices(),
         idle_cubes: control.idle_cubes,
     };
-    implement(stg, netlist, ImplKind::FfClockGated, Some(stats), stimulus, cfg)
+    implement(stg, netlist, ImplKind::FfClockGated, Some(stats), stimulus, cfg, downgrades)
 }
 
 /// Runs the EMB flow (Fig. 1b).
@@ -281,7 +430,8 @@ pub fn emb_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let impl_stg = prepared(stg, cfg)?;
-    let emb = map_fsm_into_embs(&impl_stg, emb_opts).map_err(FlowError::Map)?;
+    let emb = map_fsm_into_embs(&impl_stg, emb_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
     let netlist = emb.to_netlist();
     verify_against_stg(
         &netlist,
@@ -290,8 +440,38 @@ pub fn emb_flow(
         cfg.verify_cycles,
         cfg.seed,
     )
-    .map_err(FlowError::Verify)?;
-    implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg)
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+    implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, Vec::new())
+}
+
+/// Runs the EMB flow with the full degradation ladder: if mapping (or
+/// fitting the mapped design) fails at every rung — direct, column
+/// compaction, series join, device upsize — the machine is implemented as
+/// the conventional FF+LUT baseline instead, and the downgrade is recorded
+/// in the report. This mirrors the paper's framing of EMB mapping as an
+/// *alternative* to the FF implementation: any well-formed machine
+/// completes. Correctness failures (synthesis/verify bugs) still propagate.
+///
+/// # Errors
+///
+/// Only non-capacity failures — see [`FlowError::is_capacity`].
+pub fn emb_flow_with_fallback(
+    stg: &Stg,
+    emb_opts: &EmbOptions,
+    synth_opts: SynthOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    match emb_flow(stg, emb_opts, stimulus, cfg) {
+        Ok(report) => Ok(report),
+        Err(e) if e.is_capacity() => {
+            let reason = e.to_string();
+            let mut report = ff_flow(stg, synth_opts, stimulus, cfg)?;
+            report.downgrades.push(Downgrade::EmbToFf { reason });
+            Ok(report)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// Runs the EMB flow with Sec. 6 clock control.
@@ -306,9 +486,11 @@ pub fn emb_clock_controlled_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let impl_stg = prepared(stg, cfg)?;
-    let emb = map_fsm_into_embs(&impl_stg, emb_opts).map_err(FlowError::Map)?;
-    let (netlist, control) =
-        attach_emb_clock_control(&emb, emb_opts.lut_map).map_err(FlowError::ClockControl)?;
+    let emb = map_fsm_into_embs(&impl_stg, emb_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
+    let (netlist, control) = attach_emb_clock_control(&emb, emb_opts.lut_map).map_err(|e| {
+        FlowError::new(stg.name(), FlowStage::ClockControl, FlowErrorKind::ClockControl(e))
+    })?;
     verify_against_stg(
         &netlist,
         stg,
@@ -316,7 +498,7 @@ pub fn emb_clock_controlled_flow(
         cfg.verify_cycles,
         cfg.seed,
     )
-    .map_err(FlowError::Verify)?;
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
     let stats = ClockControlStats {
         luts: control.num_luts(),
         slices: control.num_slices(),
@@ -329,10 +511,12 @@ pub fn emb_clock_controlled_flow(
         Some(stats),
         stimulus,
         cfg,
+        Vec::new(),
     )
 }
 
 /// Maps an already-built netlist onto the device, simulates, and reports.
+#[allow(clippy::too_many_arguments)]
 fn implement(
     stg: &Stg,
     netlist: Netlist,
@@ -340,6 +524,7 @@ fn implement(
     clock_control: Option<ClockControlStats>,
     stimulus: &Stimulus,
     cfg: &FlowConfig,
+    downgrades: Vec<Downgrade>,
 ) -> Result<FlowReport, FlowError> {
     let vectors: Vec<Vec<bool>> = match stimulus {
         Stimulus::Random => netstim::random(stg.num_inputs(), cfg.cycles, cfg.seed),
@@ -348,7 +533,7 @@ fn implement(
     };
     let oracle_trace = trace(stg, vectors.clone());
     let idle = idle_fraction(stg, &oracle_trace);
-    physical(stg.name(), netlist, kind, clock_control, &vectors, idle, cfg)
+    physical(stg.name(), netlist, kind, clock_control, &vectors, idle, cfg, downgrades)
 }
 
 /// Implements a netlist that has no STG oracle (external BLIF input):
@@ -368,13 +553,20 @@ pub(crate) fn implement_external(
     let vectors: Vec<Vec<bool>> = match stimulus {
         Stimulus::Replay(v) => v.clone(),
         Stimulus::Random => netstim::random(num_inputs, cfg.cycles, cfg.seed),
-        Stimulus::IdleBiased(_) => return Err(FlowError::NeedsOracle),
+        Stimulus::IdleBiased(_) => {
+            return Err(FlowError::new(
+                netlist.name.clone(),
+                FlowStage::Simulate,
+                FlowErrorKind::NeedsOracle,
+            ))
+        }
     };
     let name = netlist.name.clone();
-    physical(&name, netlist, kind, clock_control, &vectors, 0.0, cfg)
+    physical(&name, netlist, kind, clock_control, &vectors, 0.0, cfg, Vec::new())
 }
 
 /// The physical half of a flow: pack, place, route, simulate, estimate.
+#[allow(clippy::too_many_arguments)]
 fn physical(
     name: &str,
     netlist: Netlist,
@@ -383,8 +575,11 @@ fn physical(
     vectors: &[Vec<bool>],
     idle: f64,
     cfg: &FlowConfig,
+    mut downgrades: Vec<Downgrade>,
 ) -> Result<FlowReport, FlowError> {
-    netlist.validate().map_err(FlowError::Netlist)?;
+    netlist
+        .validate()
+        .map_err(|e| FlowError::new(name, FlowStage::Pack, FlowErrorKind::Netlist(e)))?;
     let packed = pack(&netlist);
     // Place and route, upsizing through the family on capacity failures.
     let family_from: Vec<Device> = fpga_fabric::device::FAMILY
@@ -403,20 +598,31 @@ fn physical(
         match place(&netlist, &packed, device, cfg.place) {
             Ok(placement) => match route(&netlist, &packed, &placement, cfg.route) {
                 Ok(routed) => {
-                    implemented = Some((device, routed));
+                    implemented = Some((device, placement.budget, routed));
                     break;
                 }
-                Err(e) => last_err = Some(FlowError::Route(e)),
+                Err(e) => {
+                    last_err = Some(FlowError::new(name, FlowStage::Route, FlowErrorKind::Route(e)));
+                }
             },
-            Err(e) => last_err = Some(FlowError::Place(e)),
+            Err(e) => {
+                last_err = Some(FlowError::new(name, FlowStage::Place, FlowErrorKind::Place(e)));
+            }
         }
     }
-    let Some((device, routed)) = implemented else {
+    let Some((device, place_budget, routed)) = implemented else {
         return Err(last_err.expect("at least one device attempted"));
     };
+    if device.name != cfg.device.name {
+        downgrades.push(Downgrade::DeviceUpsized { from: cfg.device.name, to: device.name });
+    }
+    if let fpga_fabric::place::BudgetOutcome::Exhausted { spent } = place_budget {
+        downgrades.push(Downgrade::PlaceBudgetExhausted { spent });
+    }
     let timing = analyze(&netlist, &routed, &cfg.delay);
 
-    let mut sim = Simulator::new(&netlist).map_err(FlowError::Netlist)?;
+    let mut sim = Simulator::new(&netlist)
+        .map_err(|e| FlowError::new(name, FlowStage::Simulate, FlowErrorKind::Netlist(e)))?;
     for v in vectors {
         sim.clock(v);
     }
@@ -437,6 +643,7 @@ fn physical(
         clock_control,
         total_wirelength: routed.total_wirelength,
         device,
+        downgrades,
     })
 }
 
@@ -447,7 +654,8 @@ fn physical(
 ///
 /// Propagates mapping failures.
 pub fn mapping_for(stg: &Stg, emb_opts: &EmbOptions) -> Result<EmbFsm, FlowError> {
-    map_fsm_into_embs(stg, emb_opts).map_err(FlowError::Map)
+    map_fsm_into_embs(stg, emb_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))
 }
 
 #[cfg(test)]
@@ -459,7 +667,7 @@ mod tests {
         FlowConfig {
             cycles: 600,
             verify_cycles: 200,
-            place: PlaceOptions { seed: 1, effort: 2.0 },
+            place: PlaceOptions { seed: 1, effort: 2.0, ..PlaceOptions::default() },
             ..FlowConfig::default()
         }
     }

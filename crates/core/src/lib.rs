@@ -57,6 +57,7 @@ pub mod clock_control;
 pub mod compaction;
 pub mod contents;
 pub mod eco;
+pub mod faultinject;
 pub mod flow;
 pub mod map;
 pub mod netlist_build;

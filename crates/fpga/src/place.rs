@@ -23,6 +23,18 @@ pub struct PlaceOptions {
     pub seed: u64,
     /// Effort multiplier: moves per temperature ≈ `effort · entities^{4/3}`.
     pub effort: f64,
+    /// Hard cap on annealing moves. When the cap is hit the anneal stops
+    /// where it is, the best-seen configuration is polished and returned,
+    /// and [`Placement::budget`] is flagged [`BudgetOutcome::Exhausted`] —
+    /// so no effort setting can hang the experiment harness. The default
+    /// is far above what any paper benchmark spends (~200k moves), so
+    /// results are unchanged unless a caller tightens it.
+    pub max_moves: u64,
+}
+
+impl PlaceOptions {
+    /// Default annealing-move cap (see [`PlaceOptions::max_moves`]).
+    pub const DEFAULT_MAX_MOVES: u64 = 50_000_000;
 }
 
 impl Default for PlaceOptions {
@@ -30,7 +42,31 @@ impl Default for PlaceOptions {
         PlaceOptions {
             seed: 1,
             effort: 10.0,
+            max_moves: Self::DEFAULT_MAX_MOVES,
         }
+    }
+}
+
+/// Whether an iterative optimization ran to its natural end or was cut
+/// off by its move/iteration budget (in which case the best state seen
+/// so far is returned, flagged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetOutcome {
+    /// The optimization converged (or exhausted its schedule) normally.
+    #[default]
+    Completed,
+    /// The budget ran out first; the result is the best seen so far.
+    Exhausted {
+        /// Moves/iterations spent when the budget cut in.
+        spent: u64,
+    },
+}
+
+impl BudgetOutcome {
+    /// True when the budget ran out.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, BudgetOutcome::Exhausted { .. })
     }
 }
 
@@ -73,6 +109,9 @@ pub struct Placement {
     pub iob_loc: Vec<(usize, usize)>,
     /// Final HPWL cost.
     pub hpwl: f64,
+    /// Whether the anneal ran its full schedule or hit
+    /// [`PlaceOptions::max_moves`] (best-seen returned either way).
+    pub budget: BudgetOutcome,
 }
 
 impl Placement {
@@ -351,6 +390,7 @@ pub fn place(
             bram_loc,
             iob_loc,
             hpwl: 0.0,
+            budget: BudgetOutcome::Completed,
         });
     }
 
@@ -429,9 +469,16 @@ pub fn place(
         let dy = a.1.abs_diff(b.1);
         (dx.max(dy) as f64) <= r
     };
-    while temperature > min_t {
+    let mut moves_spent = 0u64;
+    let mut budget = BudgetOutcome::Completed;
+    'anneal: while temperature > min_t {
         let mut accepted = 0usize;
         for _ in 0..moves_per_t {
+            if moves_spent >= opts.max_moves {
+                budget = BudgetOutcome::Exhausted { spent: moves_spent };
+                break 'anneal;
+            }
+            moves_spent += 1;
             // Pick an entity class weighted by population.
             let pick = rng.random_range(0..num_entities);
             let (kind, idx) = if pick < packed.clbs.len() {
@@ -602,6 +649,7 @@ pub fn place(
         bram_loc,
         iob_loc,
         hpwl: polished,
+        budget,
     })
 }
 
@@ -658,8 +706,8 @@ mod tests {
         // Initial cost = cost of sites in order; effort 0 approximates it by
         // freezing immediately (temperature decays but moves still run);
         // compare low vs high effort instead.
-        let lo = place(&n, &p, device, PlaceOptions { seed: 3, effort: 0.05 }).unwrap();
-        let hi = place(&n, &p, device, PlaceOptions { seed: 3, effort: 12.0 }).unwrap();
+        let lo = place(&n, &p, device, PlaceOptions { seed: 3, effort: 0.05, ..PlaceOptions::default() }).unwrap();
+        let hi = place(&n, &p, device, PlaceOptions { seed: 3, effort: 12.0, ..PlaceOptions::default() }).unwrap();
         assert!(
             hi.hpwl <= lo.hpwl * 1.05,
             "more effort should not be much worse: lo={} hi={}",
@@ -701,6 +749,40 @@ mod tests {
         let p = pack(&n);
         let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
         assert_eq!(pl.hpwl, 0.0);
+        assert_eq!(pl.budget, BudgetOutcome::Completed);
     }
 
+    #[test]
+    fn move_budget_returns_best_seen_flagged() {
+        let n = chain(60);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let full = place(&n, &p, device, PlaceOptions { seed: 3, effort: 8.0, ..PlaceOptions::default() }).unwrap();
+        assert_eq!(full.budget, BudgetOutcome::Completed);
+        let capped = place(
+            &n,
+            &p,
+            device,
+            PlaceOptions { seed: 3, effort: 8.0, max_moves: 500 },
+        )
+        .unwrap();
+        assert!(capped.budget.is_exhausted(), "tiny budget must be flagged");
+        // Still a legal, quench-polished placement: never worse than the
+        // deterministic descent baseline alone would be (sanity: finite).
+        assert!(capped.hpwl.is_finite());
+        let sites = device.clb_sites();
+        for loc in &capped.clb_loc {
+            assert!(sites.contains(loc));
+        }
+        // Determinism under a budget.
+        let again = place(
+            &n,
+            &p,
+            device,
+            PlaceOptions { seed: 3, effort: 8.0, max_moves: 500 },
+        )
+        .unwrap();
+        assert_eq!(capped.clb_loc, again.clb_loc);
+        assert_eq!(capped.budget, again.budget);
+    }
 }

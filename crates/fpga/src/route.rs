@@ -25,6 +25,17 @@ pub struct RouteOptions {
     pub tile_capacity: usize,
     /// Maximum rip-up-and-reroute rounds.
     pub max_rounds: usize,
+    /// Hard cap on total search expansions (heap pops) across the whole
+    /// route, so no rip-up loop can hang the harness. Exceeding it
+    /// returns [`RouteError::BudgetExhausted`]. The default is orders of
+    /// magnitude above what the paper benchmarks spend (~2M on the
+    /// largest), so results are unchanged unless a caller tightens it.
+    pub max_expansions: u64,
+}
+
+impl RouteOptions {
+    /// Default search-expansion cap (see [`RouteOptions::max_expansions`]).
+    pub const DEFAULT_MAX_EXPANSIONS: u64 = 100_000_000;
 }
 
 impl Default for RouteOptions {
@@ -32,6 +43,7 @@ impl Default for RouteOptions {
         RouteOptions {
             tile_capacity: 160,
             max_rounds: 4,
+            max_expansions: Self::DEFAULT_MAX_EXPANSIONS,
         }
     }
 }
@@ -47,6 +59,12 @@ pub enum RouteError {
         /// Tiles still over capacity.
         overflowed_tiles: usize,
     },
+    /// The search-expansion budget ran out mid-route. Unlike placement
+    /// there is no legal partial result to return, so this is an error.
+    BudgetExhausted {
+        /// Expansions spent when the budget cut in.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -55,6 +73,9 @@ impl fmt::Display for RouteError {
             RouteError::Unroutable(n) => write!(f, "net {} is unroutable", n.0),
             RouteError::CongestionUnresolved { overflowed_tiles } => {
                 write!(f, "congestion unresolved on {overflowed_tiles} tiles")
+            }
+            RouteError::BudgetExhausted { spent } => {
+                write!(f, "search budget exhausted after {spent} expansions")
             }
         }
     }
@@ -165,6 +186,7 @@ pub fn route(
     let mut usage = vec![0usize; w * h];
     let mut history = vec![0.0f64; w * h];
     let mut routes: Vec<Option<NetRoute>> = vec![None; netlist.num_nets()];
+    let mut expansions = 0u64;
 
     for round in 0..opts.max_rounds {
         // (Re)route every net against current congestion costs.
@@ -183,8 +205,13 @@ pub fn route(
                 &history,
                 opts.tile_capacity,
                 round,
+                opts.max_expansions,
+                &mut expansions,
             )
-            .ok_or(RouteError::Unroutable(net))?;
+            .map_err(|stop| match stop {
+                RouteStop::Unreachable => RouteError::Unroutable(net),
+                RouteStop::Budget => RouteError::BudgetExhausted { spent: expansions },
+            })?;
             for t in &tree {
                 usage[t.1 * w + t.0] += 1;
             }
@@ -220,8 +247,17 @@ pub fn route(
     Err(RouteError::CongestionUnresolved { overflowed_tiles })
 }
 
+/// Why [`route_net`] stopped without a tree.
+enum RouteStop {
+    /// A sink is unreachable (disconnected grid).
+    Unreachable,
+    /// The global expansion budget ran out.
+    Budget,
+}
+
 /// Routes one net: grows a Steiner tree with Dijkstra searches from the
 /// current tree to each remaining sink.
+#[allow(clippy::too_many_arguments)]
 fn route_net(
     terminals: &[(usize, usize)],
     w: usize,
@@ -230,7 +266,9 @@ fn route_net(
     history: &[f64],
     capacity: usize,
     round: usize,
-) -> Option<Vec<(usize, usize)>> {
+    max_expansions: u64,
+    expansions: &mut u64,
+) -> Result<Vec<(usize, usize)>, RouteStop> {
     let tile_cost = |x: usize, y: usize| -> f64 {
         let i = y * w + x;
         let u = usage[i];
@@ -259,6 +297,10 @@ fn route_net(
         }
         let mut reached: Option<(usize, usize)> = None;
         while let Some((std::cmp::Reverse(ordered::F64(d)), (x, y))) = heap.pop() {
+            *expansions += 1;
+            if *expansions > max_expansions {
+                return Err(RouteStop::Budget);
+            }
             if dist.get(&(x, y)).copied().unwrap_or(f64::INFINITY) < d {
                 continue;
             }
@@ -285,7 +327,7 @@ fn route_net(
                 }
             }
         }
-        let sink = reached?;
+        let sink = reached.ok_or(RouteStop::Unreachable)?;
         // Back-trace into the tree.
         let mut cur = sink;
         while !tree.contains(&cur) {
@@ -298,7 +340,7 @@ fn route_net(
     }
     let mut tiles: Vec<(usize, usize)> = tree.into_iter().collect();
     tiles.sort_unstable();
-    Some(tiles)
+    Ok(tiles)
 }
 
 /// Total-order wrapper for f64 path costs (never NaN).
@@ -434,7 +476,7 @@ mod tests {
         }
         let p = pack(&n);
         let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
-        let opts = RouteOptions { tile_capacity: 1, max_rounds: 3 };
+        let opts = RouteOptions { tile_capacity: 1, max_rounds: 3, ..RouteOptions::default() };
         match route(&n, &p, &pl, opts) {
             Ok(r) => assert!(r.peak_usage <= 1, "capacity respected"),
             Err(RouteError::CongestionUnresolved { overflowed_tiles }) => {
@@ -449,5 +491,32 @@ mod tests {
         let (_, r1) = routed_chain(15);
         let (_, r2) = routed_chain(15);
         assert_eq!(r1.total_wirelength, r2.total_wirelength);
+    }
+
+    #[test]
+    fn expansion_budget_exhaustion_is_typed() {
+        let mut n = Netlist::new("chain");
+        let input = n.add_net("in");
+        n.add_input("in", input);
+        let mut prev = input;
+        for i in 0..30 {
+            let l = n.add_net(format!("l{i}"));
+            let q = n.add_net(format!("q{i}"));
+            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
+            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            prev = q;
+        }
+        n.add_output("out", prev);
+        let p = pack(&n);
+        let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
+        let opts = RouteOptions { max_expansions: 1, ..RouteOptions::default() };
+        match route(&n, &p, &pl, opts) {
+            Err(RouteError::BudgetExhausted { spent }) => assert!(spent > 1),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // An ample budget routes identically to the default.
+        let ample = RouteOptions { max_expansions: RouteOptions::DEFAULT_MAX_EXPANSIONS, ..RouteOptions::default() };
+        let r = route(&n, &p, &pl, ample).unwrap();
+        assert!(r.total_wirelength > 0);
     }
 }

@@ -41,6 +41,18 @@ pub enum ParseKiss2Error {
         /// Observed value.
         observed: usize,
     },
+    /// A transition line's input or output field width disagrees with the
+    /// declared `.i`/`.o` count.
+    WidthMismatch {
+        /// 1-based line number of the offending transition.
+        line: usize,
+        /// Which field disagreed: `"input"` or `"output"`.
+        field: &'static str,
+        /// Width declared by `.i`/`.o`.
+        declared: usize,
+        /// Width found on the transition line.
+        found: usize,
+    },
     /// The `.r` reset state never appears in the body.
     UnknownReset(String),
     /// Structural validation failed after parsing.
@@ -58,6 +70,15 @@ impl fmt::Display for ParseKiss2Error {
                 declared,
                 observed,
             } => write!(f, "{what} declared {declared} but body has {observed}"),
+            ParseKiss2Error::WidthMismatch {
+                line,
+                field,
+                declared,
+                found,
+            } => write!(
+                f,
+                "line {line}: {field} field is {found} bits wide, declaration says {declared}"
+            ),
             ParseKiss2Error::UnknownReset(s) => write!(f, "reset state {s:?} not found"),
             ParseKiss2Error::Invalid(e) => write!(f, "invalid machine: {e}"),
         }
@@ -189,23 +210,19 @@ pub fn parse(text: &str, name: &str) -> Result<Stg, ParseKiss2Error> {
     let mut builder = StgBuilder::new(name, num_inputs, num_outputs);
     for (lineno, [input, from, to, output]) in &body {
         if input.len() != num_inputs {
-            return Err(ParseKiss2Error::Malformed {
+            return Err(ParseKiss2Error::WidthMismatch {
                 line: *lineno,
-                reason: format!(
-                    "input field has {} bits, .i declares {}",
-                    input.len(),
-                    num_inputs
-                ),
+                field: "input",
+                declared: num_inputs,
+                found: input.len(),
             });
         }
         if output.len() != num_outputs {
-            return Err(ParseKiss2Error::Malformed {
+            return Err(ParseKiss2Error::WidthMismatch {
                 line: *lineno,
-                reason: format!(
-                    "output field has {} bits, .o declares {}",
-                    output.len(),
-                    num_outputs
-                ),
+                field: "output",
+                declared: num_outputs,
+                found: output.len(),
             });
         }
         for (field, what) in [(input, "input"), (output, "output")] {
@@ -335,10 +352,33 @@ mod tests {
     }
 
     #[test]
-    fn bad_width_detected() {
+    fn bad_input_width_is_typed() {
         let text = ".i 2\n.o 1\n1 a a 0\n.e\n";
         let err = parse(text, "t").unwrap_err();
-        assert!(matches!(err, ParseKiss2Error::Malformed { .. }));
+        assert_eq!(
+            err,
+            ParseKiss2Error::WidthMismatch {
+                line: 3,
+                field: "input",
+                declared: 2,
+                found: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_output_width_is_typed() {
+        let text = ".i 1\n.o 2\n1 a a 00\n0 a b 0\n.e\n";
+        let err = parse(text, "t").unwrap_err();
+        assert_eq!(
+            err,
+            ParseKiss2Error::WidthMismatch {
+                line: 4,
+                field: "output",
+                declared: 2,
+                found: 1,
+            }
+        );
     }
 
     #[test]

@@ -26,12 +26,57 @@ use fsm_model::stg::Stg;
 use std::fmt;
 
 /// Options controlling FSM synthesis.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SynthOptions {
     /// State encoding style.
     pub encoding: EncodingStyle,
     /// Technology-mapping options.
     pub map: MapOptions,
+    /// Largest onset (in cubes) fed to the espresso minimizer. Functions
+    /// whose onset exceeds this keep their raw flattened cover — still an
+    /// exact implementation, just unminimized — and the result is flagged
+    /// [`SynthBudget::Exhausted`]. The default is far above any paper
+    /// benchmark, so default-option results are unchanged.
+    pub max_minimize_cubes: usize,
+}
+
+impl SynthOptions {
+    /// Default espresso input-size budget (see [`Self::max_minimize_cubes`]).
+    pub const DEFAULT_MAX_MINIMIZE_CUBES: usize = 1_000_000;
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            encoding: EncodingStyle::default(),
+            map: MapOptions::default(),
+            max_minimize_cubes: Self::DEFAULT_MAX_MINIMIZE_CUBES,
+        }
+    }
+}
+
+/// Whether synthesis stayed within its minimization budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthBudget {
+    /// Every function was minimized normally.
+    #[default]
+    Completed,
+    /// Some functions exceeded [`SynthOptions::max_minimize_cubes`] and kept
+    /// their raw (exact but unminimized) covers.
+    Exhausted {
+        /// Number of functions whose minimization was skipped.
+        skipped_functions: usize,
+        /// Cube count of the largest skipped onset.
+        largest_onset: usize,
+    },
+}
+
+impl SynthBudget {
+    /// True when any function blew the minimization budget.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, SynthBudget::Exhausted { .. })
+    }
 }
 
 /// Errors from FSM synthesis.
@@ -90,6 +135,8 @@ pub struct SynthesizedFsm {
     /// Total cubes across all minimized functions (a synthesis-quality
     /// metric reported by the experiment harness).
     pub total_cubes: usize,
+    /// Whether minimization stayed within [`SynthOptions::max_minimize_cubes`].
+    pub budget: SynthBudget,
 }
 
 impl SynthesizedFsm {
@@ -267,9 +314,19 @@ pub fn synthesize(stg: &Stg, opts: SynthOptions) -> Result<SynthesizedFsm, Synth
     // with common-cube extraction (the algebraic step SIS adds on top of
     // two-level minimization).
     let mut total_cubes = 0usize;
+    let mut skipped_functions = 0usize;
+    let mut largest_onset = 0usize;
     let minimized: Vec<Cover> = onsets
         .iter()
         .map(|onset| {
+            if onset.len() > opts.max_minimize_cubes {
+                // Over budget: keep the raw flattened cover. It is already
+                // an exact cover of the onset, just not minimal.
+                skipped_functions += 1;
+                largest_onset = largest_onset.max(onset.len());
+                total_cubes += onset.len();
+                return onset.clone();
+            }
             let m = espresso::minimize(onset, &dcset).cover;
             debug_assert!(espresso::is_exact_cover(&m, onset, &dcset));
             total_cubes += m.len();
@@ -338,6 +395,11 @@ pub fn synthesize(stg: &Stg, opts: SynthOptions) -> Result<SynthesizedFsm, Synth
         network,
         luts,
         total_cubes,
+        budget: if skipped_functions > 0 {
+            SynthBudget::Exhausted { skipped_functions, largest_onset }
+        } else {
+            SynthBudget::Completed
+        },
     })
 }
 
@@ -376,7 +438,7 @@ mod tests {
             stg,
             SynthOptions {
                 encoding: style,
-                map: MapOptions::default(),
+                ..SynthOptions::default()
             },
         )
         .unwrap();
@@ -496,5 +558,35 @@ mod tests {
     fn moore_benchmark_synthesizes() {
         let stg = fsm_model::benchmarks::traffic_light();
         lockstep_check(&stg, EncodingStyle::Binary, 200, 0x7777);
+    }
+
+    #[test]
+    fn minimize_budget_skips_but_stays_exact() {
+        let stg = sequence_detector_0101();
+        let synth = synthesize(
+            &stg,
+            SynthOptions { max_minimize_cubes: 0, ..SynthOptions::default() },
+        )
+        .unwrap();
+        assert!(synth.budget.is_exhausted());
+        // The raw covers are larger than the minimized ones but still exact:
+        // lockstep against the oracle must hold.
+        let mut oracle = StgSimulator::new(&stg);
+        let mut code = 0u64;
+        let mut x = 0x5eedu64;
+        for cycle in 0..200 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let inputs: Vec<bool> = (0..stg.num_inputs()).map(|i| x >> i & 1 == 1).collect();
+            let want = oracle.clock(&inputs).to_vec();
+            let (next, got) = synth.step(code, &inputs);
+            assert_eq!(got, want, "outputs diverged at cycle {cycle}");
+            code = next;
+        }
+        // Default options never trip the budget on paper-scale machines.
+        let default = synthesize(&stg, SynthOptions::default()).unwrap();
+        assert_eq!(default.budget, SynthBudget::Completed);
+        assert!(default.total_cubes <= synth.total_cubes);
     }
 }

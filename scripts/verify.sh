@@ -7,6 +7,16 @@
 # makes any such attempt a hard, immediate error instead of a hang or a
 # silent download.
 #
+# Beyond build+test, two robustness gates run (ISSUE 2):
+#
+#  * panic-site budget — the number of unwrap()/expect(/panic!( sites in
+#    non-test library code must not grow past the recorded baseline;
+#  * bench regression — a fresh run of the place_sa/keyb micro-benchmark
+#    must be no more than 25% slower than the committed baseline in
+#    results/bench_substrates.json. Skip with VERIFY_SKIP_BENCH=1 on
+#    machines too noisy to time (the gate itself, not the build, is
+#    skipped).
+#
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
 
@@ -28,5 +38,40 @@ cargo build --release --offline --workspace \
 echo "== cargo test -q --offline" >&2
 cargo test -q --offline --workspace "$@" \
     || fail "test suite failed"
+
+# -- Panic-site budget ------------------------------------------------------
+# Counts unwrap()/expect(/panic!( in library sources (bins excluded, and
+# everything below a file's `#[cfg(test)]` marker skipped — test modules
+# sit at the bottom of each file in this workspace). The budget is the
+# count recorded after the ISSUE 2 panic-sweep; lower it when you remove
+# sites, never raise it without a review.
+PANIC_BUDGET=73
+echo "== panic-site budget (<= $PANIC_BUDGET)" >&2
+panic_sites=$(find crates/*/src -name '*.rs' -not -path '*/src/bin/*' \
+    | xargs awk 'FNR==1{skip=0} /#\[cfg\(test\)\]/{skip=1} !skip && /unwrap\(\)|expect\(|panic!\(/{n++} END{print n+0}')
+echo "   $panic_sites panic sites in library code" >&2
+[ "$panic_sites" -le "$PANIC_BUDGET" ] \
+    || fail "panic-site count $panic_sites exceeds budget $PANIC_BUDGET (new unwrap/expect/panic! in library code — return a typed error instead, or lower the budget only with review)"
+
+# -- Bench regression gate --------------------------------------------------
+if [ "${VERIFY_SKIP_BENCH:-0}" = "1" ]; then
+    echo "== bench regression gate skipped (VERIFY_SKIP_BENCH=1)" >&2
+else
+    echo "== bench regression gate (place_sa/keyb, fresh vs committed)" >&2
+    baseline=$(sed -n 's#.*"name": "place_sa/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
+        results/bench_substrates.json)
+    [ -n "$baseline" ] || fail "no place_sa/keyb baseline in results/bench_substrates.json"
+    fresh_dir=target/bench_fresh
+    rm -rf "$fresh_dir"
+    BENCH_FILTER=place_sa BENCH_RESULTS_DIR="$fresh_dir" \
+        cargo bench -q --offline -p paper-bench --bench substrates \
+        || fail "bench run failed"
+    fresh=$(sed -n 's#.*"name": "place_sa/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
+        "$fresh_dir/bench_substrates.json")
+    [ -n "$fresh" ] || fail "fresh bench run produced no place_sa/keyb result"
+    echo "   baseline ${baseline} ns, fresh ${fresh} ns" >&2
+    awk -v fresh="$fresh" -v base="$baseline" 'BEGIN{exit !(fresh <= base * 1.25)}' \
+        || fail "place_sa/keyb regressed: fresh ${fresh} ns > 1.25 x baseline ${baseline} ns"
+fi
 
 echo "verify.sh: OK" >&2

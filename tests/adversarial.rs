@@ -1,0 +1,172 @@
+//! Adversarial KISS2 corpus: every malformed or degenerate input must
+//! produce a typed error (or a valid report) — never a panic.
+//!
+//! Two layers are attacked:
+//!
+//! 1. the parser (`fsm::kiss2::parse`) with malformed headers, count
+//!    mismatches, width mismatches, duplicate transitions and
+//!    don't-care-only rows;
+//! 2. the flow (`emb::flow`) with the degenerate-but-parseable machines
+//!    the corpus yields (0-input machines, single-state machines,
+//!    don't-care-only rows).
+
+use romfsm::emb::flow::{emb_flow, ff_flow, FlowConfig, Stimulus};
+use romfsm::emb::map::EmbOptions;
+use romfsm::fpga::place::PlaceOptions;
+use romfsm::fsm::kiss2::{self, ParseKiss2Error};
+use romfsm::logic::synth::SynthOptions;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn quick_cfg() -> FlowConfig {
+    FlowConfig {
+        cycles: 400,
+        verify_cycles: 100,
+        place: PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+            ..PlaceOptions::default()
+        },
+        ..FlowConfig::default()
+    }
+}
+
+/// Parses adversarial text inside `catch_unwind`: the parser must return
+/// `Err`, not panic, and not succeed.
+fn must_reject(label: &str, text: &str) -> ParseKiss2Error {
+    let outcome = catch_unwind(AssertUnwindSafe(|| kiss2::parse(text, label)));
+    match outcome {
+        Ok(Err(e)) => e,
+        Ok(Ok(_)) => panic!("{label}: adversarial input parsed successfully"),
+        Err(_) => panic!("{label}: parser PANICKED instead of returning an error"),
+    }
+}
+
+#[test]
+fn malformed_headers_are_rejected_with_typed_errors() {
+    let corpus: &[(&str, &str)] = &[
+        ("missing-i", ".o 1\n1 a a 0\n.e\n"),
+        ("missing-o", ".i 1\n1 a a 0\n.e\n"),
+        ("empty", ""),
+        ("only-end", ".e\n"),
+        ("i-no-arg", ".i\n.o 1\n1 a a 0\n.e\n"),
+        ("i-non-numeric", ".i one\n.o 1\n1 a a 0\n.e\n"),
+        ("unknown-directive", ".i 1\n.o 1\n.zz 3\n1 a a 0\n.e\n"),
+        ("r-no-arg", ".i 1\n.o 1\n.r\n1 a a 0\n.e\n"),
+        ("r-unknown-state", ".i 1\n.o 1\n.r ghost\n1 a a 0\n.e\n"),
+        ("three-fields", ".i 1\n.o 1\n1 a a\n.e\n"),
+        ("five-fields", ".i 1\n.o 1\n1 a a 0 extra\n.e\n"),
+        ("garbage-bits", ".i 1\n.o 1\nx a a 0\n.e\n"),
+        ("garbage-output", ".i 1\n.o 1\n1 a a 2\n.e\n"),
+    ];
+    for (label, text) in corpus {
+        let e = must_reject(label, text);
+        // Every rejection formats without panicking too.
+        let _ = e.to_string();
+    }
+}
+
+#[test]
+fn count_mismatches_are_typed() {
+    let e = must_reject("p-mismatch", ".i 1\n.o 1\n.p 9\n1 a a 0\n0 a b 1\n.e\n");
+    assert!(matches!(e, ParseKiss2Error::CountMismatch { what: ".p", .. }));
+
+    let e = must_reject("s-mismatch", ".i 1\n.o 1\n.s 7\n1 a a 0\n0 a b 1\n.e\n");
+    assert!(matches!(e, ParseKiss2Error::CountMismatch { what: ".s", .. }));
+}
+
+#[test]
+fn width_mismatches_are_typed() {
+    let e = must_reject("narrow-input", ".i 3\n.o 1\n10 a a 0\n.e\n");
+    assert!(matches!(
+        e,
+        ParseKiss2Error::WidthMismatch {
+            field: "input",
+            declared: 3,
+            found: 2,
+            ..
+        }
+    ));
+
+    let e = must_reject("wide-output", ".i 1\n.o 1\n1 a a 01\n.e\n");
+    assert!(matches!(
+        e,
+        ParseKiss2Error::WidthMismatch {
+            field: "output",
+            declared: 1,
+            found: 2,
+            ..
+        }
+    ));
+}
+
+/// Machines that parse but are structurally extreme. The flow may refuse
+/// them with a typed `FlowError`, but it must never panic, and whatever
+/// report it does produce must be internally consistent.
+#[test]
+fn degenerate_machines_flow_without_panicking() {
+    let corpus: &[(&str, &str)] = &[
+        // Duplicate transition rows: same condition listed twice. The
+        // parser keeps both; determinism analysis and synthesis must cope.
+        (
+            "dup-transitions",
+            ".i 1\n.o 1\n1 a b 0\n1 a b 0\n0 a a 0\n- b a 1\n.e\n",
+        ),
+        // Every row fully don't-care on inputs.
+        (
+            "dontcare-only",
+            ".i 2\n.o 1\n-- a b 0\n-- b a 1\n.e\n",
+        ),
+        // Single state, self-loop only.
+        ("single-state", ".i 1\n.o 1\n- a a 1\n.e\n"),
+        // Zero-input machine (legal KISS2: empty input field is not
+        // representable, so a 0-bit field collapses the line to 3 fields —
+        // use a 1-input machine that ignores its input instead, plus a
+        // genuinely 0-output-ish all-dontcare output).
+        ("output-dontcare", ".i 1\n.o 2\n- a a --\n.e\n"),
+        // Moore-ish machine where outputs conflict between rows.
+        (
+            "conflicting-outputs",
+            ".i 1\n.o 1\n1 a a 0\n0 a a 1\n1 b a 1\n0 a b 0\n.e\n",
+        ),
+    ];
+    let cfg = quick_cfg();
+    for (label, text) in corpus {
+        let stg = match kiss2::parse(text, label) {
+            Ok(stg) => stg,
+            Err(_) => continue, // typed rejection is also acceptable
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let ff = ff_flow(&stg, SynthOptions::default(), &Stimulus::Random, &cfg);
+            let emb = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg);
+            (ff.map(|r| r.area.luts), emb.map(|r| r.area.brams))
+        }));
+        match outcome {
+            Ok((ff, emb)) => {
+                // Either side may refuse with a typed error; both errors
+                // must format cleanly.
+                if let Err(e) = ff {
+                    let _ = e.to_string();
+                }
+                if let Err(e) = emb {
+                    let _ = e.to_string();
+                }
+            }
+            Err(_) => panic!("{label}: flow PANICKED on a degenerate machine"),
+        }
+    }
+}
+
+/// KISS2 zero-width declarations: `.i 0` / `.o 0` make transition lines
+/// unrepresentable (an empty field drops the line to three tokens), so the
+/// parser must reject the file with a typed error rather than panic.
+#[test]
+fn zero_width_declarations_never_panic() {
+    for (label, text) in [
+        ("zero-inputs", ".i 0\n.o 1\n a a 0\n.e\n"),
+        ("zero-outputs", ".i 1\n.o 0\n1 a a \n.e\n"),
+        ("zero-both", ".i 0\n.o 0\n a a \n.e\n"),
+    ] {
+        let e = must_reject(label, text);
+        let _ = e.to_string();
+    }
+}

@@ -12,7 +12,7 @@ fn quick_cfg() -> FlowConfig {
     FlowConfig {
         cycles: 800,
         verify_cycles: 200,
-        place: PlaceOptions { seed: 1, effort: 3.0 },
+        place: PlaceOptions { seed: 1, effort: 3.0, ..PlaceOptions::default() },
         ..FlowConfig::default()
     }
 }

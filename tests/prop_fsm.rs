@@ -11,7 +11,7 @@ use romfsm::emb::verify::{verify_against_stg, OutputTiming};
 use romfsm::fsm::generate::{generate, StgSpec};
 use romfsm::fsm::simulate::StgSimulator;
 use romfsm::fsm::{kiss2, machine, minimize, Stg};
-use xrand::proptest_lite::run_cases;
+use xrand::proptest_lite::{run_cases, run_sized_cases};
 use xrand::SmallRng;
 
 /// A small random-but-valid machine spec.
@@ -25,6 +25,32 @@ fn arb_spec(rng: &mut SmallRng) -> StgSpec {
     let seed: u64 = rng.random();
     StgSpec {
         name: format!("p{seed:x}"),
+        states,
+        inputs,
+        outputs,
+        transitions,
+        max_support: None,
+        self_loop_bias: 0.3,
+        moore,
+        idle_line: if idle { Some(0) } else { None },
+        seed,
+    }
+}
+
+/// Like [`arb_spec`] but with complexity bounded by `size`: at most
+/// `size + 1` states and `4 * size` transitions. Used with
+/// `run_sized_cases` so failing cases shrink toward small machines.
+fn arb_spec_sized(rng: &mut SmallRng, size: u32) -> StgSpec {
+    let size = size as usize;
+    let states = rng.random_range(2usize..(size + 2).max(3));
+    let inputs = rng.random_range(1usize..5);
+    let outputs = rng.random_range(1usize..5);
+    let transitions = rng.random_range(4usize..(4 * size + 5).max(6));
+    let moore: bool = rng.random();
+    let idle: bool = rng.random();
+    let seed: u64 = rng.random();
+    StgSpec {
+        name: format!("ps{seed:x}"),
         states,
         inputs,
         outputs,
@@ -124,8 +150,10 @@ fn moore_transform_preserves_behaviour() {
 
 #[test]
 fn emb_mapping_is_cycle_exact() {
-    run_cases(24, |rng| {
-        let spec = arb_spec(rng);
+    // Sized harness: `size` bounds the machine's state count, so a failure
+    // here shrinks by re-generating the same seed with fewer states.
+    run_sized_cases(24, 10, |rng, size| {
+        let spec = arb_spec_sized(rng, size);
         let stg = generate(&spec);
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
         let netlist = emb.to_netlist();
