@@ -28,7 +28,14 @@ fn describe(n: &Netlist) -> Vec<String> {
 fn main() {
     println!("Figure 1: FF/LUT (1a) vs EMB (1b) architecture, structurally\n");
     let mut table = TextTable::new(vec![
-        "benchmark", "impl", "LUTs", "FFs", "BRAMs", "nets", "ins", "outs",
+        "benchmark",
+        "impl",
+        "LUTs",
+        "FFs",
+        "BRAMs",
+        "nets",
+        "ins",
+        "outs",
     ]);
     for name in ["keyb", "planet"] {
         let stg = fsm_model::benchmarks::by_name(name).expect("paper benchmark");

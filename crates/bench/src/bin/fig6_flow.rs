@@ -21,8 +21,13 @@ fn main() {
     let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
     println!("Figure 6: the experimental flow (benchmark: keyb)\n");
 
-    println!("[1] STG: {} states, {} inputs, {} outputs, {} transitions",
-        stg.num_states(), stg.num_inputs(), stg.num_outputs(), stg.transitions().len());
+    println!(
+        "[1] STG: {} states, {} inputs, {} outputs, {} transitions",
+        stg.num_states(),
+        stg.num_inputs(),
+        stg.num_outputs(),
+        stg.transitions().len()
+    );
 
     let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
     println!(
@@ -32,7 +37,10 @@ fn main() {
         synth.num_state_bits()
     );
     let blif = logic_synth::blif::write(&synth.to_blif());
-    println!("    BLIF netlist: {} lines (latches + .names)", blif.lines().count());
+    println!(
+        "    BLIF netlist: {} lines (latches + .names)",
+        blif.lines().count()
+    );
 
     println!(
         "[3] technology mapping (Synplify role): {} LUT4s, depth {}",
@@ -71,7 +79,16 @@ fn main() {
     );
 
     let timing = analyze(&netlist, &routed, &DelayModel::default());
-    let power = estimate(&netlist, &routed, sim.activity(), 100.0, &PowerParams::default());
+    let power = estimate(
+        &netlist,
+        &routed,
+        sim.activity(),
+        100.0,
+        &PowerParams::default(),
+    );
     println!("[7] estimation (XPower role): {power}");
-    println!("    critical path {:.2} ns (fmax {:.1} MHz)", timing.critical_path_ns, timing.fmax_mhz);
+    println!(
+        "    critical path {:.2} ns (fmax {:.1} MHz)",
+        timing.critical_path_ns, timing.fmax_mhz
+    );
 }

@@ -20,21 +20,27 @@ fn main() {
         "EMB fmax",
     ]);
     let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
-    let out = run(&RunnerOptions::new("sweep_timing"), &items, 6, |name, attempt| {
-        let stg = fsm_model::benchmarks::by_name(name)
-            .ok_or_else(|| format!("unknown benchmark {name}"))?;
-        let mut cfg = paper_config();
-        cfg.seed += u64::from(attempt);
-        let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
-        Ok(vec![vec![
-            name.to_string(),
-            stg.transitions().len().to_string(),
-            format!("{:.2}", ff.timing.critical_path_ns),
-            format!("{:.1}", ff.timing.fmax_mhz),
-            format!("{:.2}", emb.timing.critical_path_ns),
-            format!("{:.1}", emb.timing.fmax_mhz),
-        ]])
-    });
+    let out = run(
+        &RunnerOptions::new("sweep_timing"),
+        &items,
+        6,
+        |name, attempt| {
+            let stg = fsm_model::benchmarks::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark {name}"))?;
+            let mut cfg = paper_config();
+            cfg.seed += u64::from(attempt);
+            let (ff, emb) =
+                try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
+            Ok(vec![vec![
+                name.to_string(),
+                stg.transitions().len().to_string(),
+                format!("{:.2}", ff.timing.critical_path_ns),
+                format!("{:.1}", ff.timing.fmax_mhz),
+                format!("{:.2}", emb.timing.critical_path_ns),
+                format!("{:.1}", emb.timing.fmax_mhz),
+            ]])
+        },
+    );
     // Footer statistics from the successful rows (columns 2 and 4).
     let mut ff_paths: Vec<f64> = Vec::new();
     let mut emb_paths: Vec<f64> = Vec::new();

@@ -31,7 +31,8 @@ fn main() {
         cfg.seed += u64::from(attempt);
         let (ff, emb) = try_compare(&stg, &Stimulus::Random, &cfg).map_err(|e| e.to_string())?;
         let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
-            r.power_at(f).map_or(f64::NAN, powermodel::PowerReport::total_mw)
+            r.power_at(f)
+                .map_or(f64::NAN, powermodel::PowerReport::total_mw)
         };
         Ok(vec![vec![
             name.to_string(),

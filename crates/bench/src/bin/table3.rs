@@ -33,7 +33,8 @@ fn main() {
         let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
             .map_err(|e| e.to_string())?;
         let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
-            r.power_at(f).map_or(f64::NAN, powermodel::PowerReport::total_mw)
+            r.power_at(f)
+                .map_or(f64::NAN, powermodel::PowerReport::total_mw)
         };
         Ok(vec![vec![
             name.to_string(),
@@ -48,7 +49,10 @@ fn main() {
         table.row(row);
     }
     println!("Table 3: EMB power with clock-control logic (mW)");
-    println!("(idle-biased stimulus targeting 50% idle, {} cycles)", cfg.cycles);
+    println!(
+        "(idle-biased stimulus targeting 50% idle, {} cycles)",
+        cfg.cycles
+    );
     println!();
     print!("{}", table.render());
 }

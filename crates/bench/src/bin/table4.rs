@@ -15,25 +15,30 @@ use paper_bench::{suite_names, TextTable};
 fn main() {
     let mut table = TextTable::new(vec!["Benchmark", "LUTs", "Slices", "idle cubes", "cone"]);
     let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
-    let out = run(&RunnerOptions::new("table4"), &items, 5, |name, _attempt| {
-        let stg = fsm_model::benchmarks::by_name(name)
-            .ok_or_else(|| format!("unknown benchmark {name}"))?;
-        let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
-            .map_err(|e| format!("mapping failed: {e}"))?;
-        let (_, cc) = attach_emb_clock_control(&emb, MapOptions::default())
-            .map_err(|e| format!("clock control failed: {e}"))?;
-        Ok(vec![vec![
-            name.to_string(),
-            cc.num_luts().to_string(),
-            cc.num_slices().to_string(),
-            cc.idle_cubes.to_string(),
-            if cc.uses_outputs {
-                "state+inputs+outputs".to_string()
-            } else {
-                "state+inputs".to_string()
-            },
-        ]])
-    });
+    let out = run(
+        &RunnerOptions::new("table4"),
+        &items,
+        5,
+        |name, _attempt| {
+            let stg = fsm_model::benchmarks::by_name(name)
+                .ok_or_else(|| format!("unknown benchmark {name}"))?;
+            let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
+                .map_err(|e| format!("mapping failed: {e}"))?;
+            let (_, cc) = attach_emb_clock_control(&emb, MapOptions::default())
+                .map_err(|e| format!("clock control failed: {e}"))?;
+            Ok(vec![vec![
+                name.to_string(),
+                cc.num_luts().to_string(),
+                cc.num_slices().to_string(),
+                cc.idle_cubes.to_string(),
+                if cc.uses_outputs {
+                    "state+inputs+outputs".to_string()
+                } else {
+                    "state+inputs".to_string()
+                },
+            ]])
+        },
+    );
     for row in out.rows {
         table.row(row);
     }

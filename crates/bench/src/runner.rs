@@ -1,4 +1,4 @@
-//! Resilient experiment runner.
+//! Resilient, optionally parallel experiment runner.
 //!
 //! The table/sweep/ablation binaries used to run every benchmark inline:
 //! one panic or flow failure blanked the whole table, and a killed run
@@ -13,11 +13,20 @@
 //!   seed deterministically (attempt 0 is always the canonical seed, so
 //!   an uninterrupted run's output never depends on the retry machinery),
 //! - **JSONL checkpointing** — every finished item is appended to
-//!   `results/checkpoint_<label>.jsonl`; a killed run resumes from the
+//!   `results/checkpoint_<label>.jsonl` and fsync'd, so a kill cannot
+//!   lose buffered completed items; a killed run resumes from the
 //!   checkpoint and re-emits the recorded rows byte-identically, and the
 //!   file is removed once all items complete,
 //! - **partial-result emission** — an item that fails every attempt
-//!   yields a placeholder row instead of aborting the table.
+//!   yields a placeholder row instead of aborting the table,
+//! - **work-stealing parallelism** — pending items are claimed from a
+//!   shared atomic cursor by [`RunnerOptions::threads`] scoped worker
+//!   threads (default: the `RUNNER_THREADS` environment variable, else
+//!   the machine's available parallelism). Results are reassembled in
+//!   input order and checkpoint appends are serialized through a mutex,
+//!   so the emitted rows are identical whatever the thread count.
+//!   `RUNNER_THREADS=1` takes the exact sequential path (items computed
+//!   and checkpointed strictly in input order).
 //!
 //! The checkpoint line format is a flat JSON object per line:
 //!
@@ -30,6 +39,9 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration for one resilient run.
 #[derive(Debug, Clone)]
@@ -40,6 +52,11 @@ pub struct RunnerOptions {
     pub max_attempts: u32,
     /// Directory the checkpoint lives in.
     pub checkpoint_dir: PathBuf,
+    /// Worker-thread count. `None` defers to the `RUNNER_THREADS`
+    /// environment variable, falling back to the machine's available
+    /// parallelism; `Some(1)` (or `RUNNER_THREADS=1`) forces the exact
+    /// sequential path.
+    pub threads: Option<usize>,
 }
 
 impl RunnerOptions {
@@ -51,12 +68,29 @@ impl RunnerOptions {
             label: label.into(),
             max_attempts: 3,
             checkpoint_dir: workspace_results_dir(),
+            threads: None,
         }
     }
 
     fn checkpoint_path(&self) -> PathBuf {
         self.checkpoint_dir
             .join(format!("checkpoint_{}.jsonl", self.label))
+    }
+
+    /// The worker count this run will use: the explicit option, else the
+    /// `RUNNER_THREADS` environment variable, else available parallelism
+    /// (always ≥ 1).
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        let n = self.threads.or_else(|| {
+            std::env::var("RUNNER_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        });
+        n.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .max(1)
     }
 }
 
@@ -87,12 +121,19 @@ pub struct RunOutcome {
     pub resumed: usize,
 }
 
-/// Runs `f` over `items` with isolation, retry, and checkpointing.
+/// Runs `f` over `items` with isolation, retry, checkpointing, and
+/// (when more than one worker is configured) work-stealing parallelism.
 ///
 /// `f` is called as `f(item, attempt)` with `attempt` starting at 0; use
 /// it to derive a retry seed (`cfg.seed + attempt`) so reruns are
 /// deterministic. `placeholder_cols` is the table width used for failure
 /// placeholder rows.
+///
+/// Whatever the worker count, the returned rows (and therefore every
+/// table built from them) are assembled in input order, so a parallel
+/// run's output is identical to a sequential run's. The checkpoint file
+/// may record items in completion order under parallelism; resume keys
+/// items by name, so a resumed run still re-emits rows byte-identically.
 ///
 /// # Panics
 ///
@@ -100,8 +141,9 @@ pub struct RunOutcome {
 /// an experiment that cannot record its progress is a failed experiment.
 pub fn run<F>(opts: &RunnerOptions, items: &[String], placeholder_cols: usize, f: F) -> RunOutcome
 where
-    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String>,
+    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String> + Sync,
 {
+    let started = Instant::now();
     let path = opts.checkpoint_path();
     let mut done: HashMap<String, ItemOutcome> = load_checkpoint(&path);
     if !done.is_empty() {
@@ -113,16 +155,71 @@ where
     }
     let resumed = done.len();
 
+    // Work list: items the checkpoint does not already cover. Duplicated
+    // item names each get their own computation slot in the sequential
+    // path; under parallelism a duplicate is computed once per pending
+    // occurrence too (the pending list is positional).
+    let pending: Vec<(usize, &String)> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| !done.contains_key(*item))
+        .collect();
+    let threads = opts.effective_threads().min(pending.len().max(1));
+
+    let mut computed: Vec<Option<ItemOutcome>> = (0..items.len()).map(|_| None).collect();
+    if threads <= 1 {
+        // Exact sequential path: compute and checkpoint strictly in input
+        // order (byte-identical checkpoints to the historical runner).
+        for &(idx, item) in &pending {
+            let o = run_one(item, opts.max_attempts, &f);
+            append_checkpoint(&path, item, &o);
+            computed[idx] = Some(o);
+        }
+    } else {
+        // Work stealing: workers claim the next pending index from a
+        // shared cursor; checkpoint appends are serialized by a mutex so
+        // rows never interleave mid-line.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ItemOutcome>>> =
+            (0..pending.len()).map(|_| Mutex::new(None)).collect();
+        let checkpoint_lock = Mutex::new(());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, item)) = pending.get(k) else {
+                        break;
+                    };
+                    let o = run_one(item, opts.max_attempts, &f);
+                    {
+                        let _guard = lock_unpoisoned(&checkpoint_lock);
+                        append_checkpoint(&path, item, &o);
+                    }
+                    *lock_unpoisoned(&slots[k]) = Some(o);
+                });
+            }
+        });
+        for (&(idx, _), slot) in pending.iter().zip(slots) {
+            computed[idx] = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    // Reassemble in input order, preferring checkpointed outcomes.
     let mut rows = Vec::new();
     let mut failures = Vec::new();
-    for item in items {
+    for (idx, item) in items.iter().enumerate() {
         let outcome = match done.remove(item) {
             Some(o) => o,
-            None => {
-                let o = run_one(item, opts.max_attempts, &f);
-                append_checkpoint(&path, item, &o);
-                o
-            }
+            None => match computed[idx].take() {
+                Some(o) => o,
+                // A duplicate item name resolved from the checkpoint on
+                // its first occurrence; recompute is unreachable in
+                // practice (paper bins use unique items) but a duplicate
+                // after resume lands here — rerun it inline.
+                None => run_one(item, opts.max_attempts, &f),
+            },
         };
         match outcome {
             ItemOutcome::Ok(item_rows) => rows.extend(item_rows),
@@ -137,7 +234,26 @@ where
     }
     // All items accounted for: the checkpoint has served its purpose.
     let _ = std::fs::remove_file(&path);
-    RunOutcome { rows, failures, resumed }
+    eprintln!(
+        "[runner] {}: {} item(s) ({} resumed) on {} thread(s) in {:.2?}",
+        opts.label,
+        items.len(),
+        resumed,
+        threads,
+        started.elapsed()
+    );
+    RunOutcome {
+        rows,
+        failures,
+        resumed,
+    }
+}
+
+/// Locks a mutex, tolerating poisoning: a poisoned runner mutex only
+/// means another worker panicked past its `catch_unwind` fence, and the
+/// protected state (an appended line / a result slot) is always valid.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One item: bounded attempts, panics fenced at this boundary only.
@@ -156,7 +272,10 @@ where
             Err(payload) => last_error = format!("panic: {}", panic_message(&*payload)),
         }
     }
-    ItemOutcome::Failed { error: last_error, attempts: max_attempts.max(1) }
+    ItemOutcome::Failed {
+        error: last_error,
+        attempts: max_attempts.max(1),
+    }
 }
 
 /// Best-effort text of a panic payload.
@@ -197,18 +316,27 @@ fn load_checkpoint(path: &Path) -> HashMap<String, ItemOutcome> {
 }
 
 /// Appends one finished item to the checkpoint (created on first use).
+///
+/// The row is flushed **and fsync'd** before this returns: a `kill -9`
+/// right after an item completes can no longer lose it to OS buffering —
+/// the resume contract is "every item whose append returned is on disk".
 fn append_checkpoint(path: &Path, item: &str, outcome: &ItemOutcome) {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create checkpoint dir");
-    }
     let line = checkpoint_line(item, outcome);
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .expect("open checkpoint");
-    writeln!(file, "{line}").expect("append checkpoint");
-    file.flush().expect("flush checkpoint");
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{line}")?;
+        file.flush()?;
+        file.sync_data()
+    };
+    if let Err(e) = write() {
+        panic!("cannot record checkpoint {}: {e}", path.display());
+    }
 }
 
 /// Renders one checkpoint line.
@@ -218,8 +346,7 @@ fn checkpoint_line(item: &str, outcome: &ItemOutcome) -> String {
             let rows_json: Vec<String> = rows
                 .iter()
                 .map(|row| {
-                    let cells: Vec<String> =
-                        row.iter().map(|c| json_string(c)).collect();
+                    let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
                     format!("[{}]", cells.join(","))
                 })
                 .collect();
@@ -285,7 +412,13 @@ fn parse_checkpoint_line(line: &str) -> Option<(String, ItemOutcome)> {
     let item = item?;
     match ok? {
         true => Some((item, ItemOutcome::Ok(rows?))),
-        false => Some((item, ItemOutcome::Failed { error: error?, attempts })),
+        false => Some((
+            item,
+            ItemOutcome::Failed {
+                error: error?,
+                attempts,
+            },
+        )),
     }
 }
 
@@ -296,7 +429,9 @@ struct JsonCursor<'a> {
 
 impl<'a> JsonCursor<'a> {
     fn new(s: &'a str) -> Self {
-        JsonCursor { chars: s.chars().peekable() }
+        JsonCursor {
+            chars: s.chars().peekable(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -413,7 +548,12 @@ mod tests {
             .join("../../target")
             .join(format!("test_runner_{label}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        RunnerOptions { label: label.to_string(), max_attempts: 3, checkpoint_dir: dir }
+        RunnerOptions {
+            label: label.to_string(),
+            max_attempts: 3,
+            checkpoint_dir: dir,
+            threads: Some(1),
+        }
     }
 
     #[test]
@@ -426,7 +566,10 @@ mod tests {
         let (item, parsed) = parse_checkpoint_line(&line).unwrap();
         assert_eq!(item, "key\"b");
         assert_eq!(parsed, outcome);
-        let fail = ItemOutcome::Failed { error: "boom: {x}".to_string(), attempts: 3 };
+        let fail = ItemOutcome::Failed {
+            error: "boom: {x}".to_string(),
+            attempts: 3,
+        };
         let line = checkpoint_line("b", &fail);
         let (item, parsed) = parse_checkpoint_line(&line).unwrap();
         assert_eq!(item, "b");
@@ -438,12 +581,20 @@ mod tests {
     #[test]
     fn isolates_panics_and_emits_placeholder() {
         let opts = temp_opts("panics");
-        let items = vec!["good".to_string(), "bad".to_string(), "also-good".to_string()];
+        let items = vec![
+            "good".to_string(),
+            "bad".to_string(),
+            "also-good".to_string(),
+        ];
         let out = run(&opts, &items, 3, |item, _| {
             if item == "bad" {
                 panic!("injected panic for {item}");
             }
-            Ok(vec![vec![item.to_string(), "1".to_string(), "2".to_string()]])
+            Ok(vec![vec![
+                item.to_string(),
+                "1".to_string(),
+                "2".to_string(),
+            ]])
         });
         assert_eq!(out.rows.len(), 3);
         assert_eq!(out.rows[0][0], "good");
@@ -468,7 +619,10 @@ mod tests {
             }
         });
         assert_eq!(calls.load(Ordering::SeqCst), 3);
-        assert_eq!(out.rows, vec![vec!["flaky".to_string(), "seed+2".to_string()]]);
+        assert_eq!(
+            out.rows,
+            vec![vec!["flaky".to_string(), "seed+2".to_string()]]
+        );
         assert!(out.failures.is_empty());
         let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
     }
@@ -478,8 +632,10 @@ mod tests {
         let opts = temp_opts("resume");
         let items: Vec<String> = ["a", "b", "c"].iter().map(ToString::to_string).collect();
         let work = |item: &str, _attempt: u32| -> Result<Vec<Vec<String>>, String> {
-            Ok(vec![vec![item.to_string(), format!("{item}-row1")],
-                    vec![item.to_string(), format!("{item}-row2")]])
+            Ok(vec![
+                vec![item.to_string(), format!("{item}-row1")],
+                vec![item.to_string(), format!("{item}-row2")],
+            ])
         };
         // Uninterrupted reference run.
         let reference = run(&opts, &items, 2, work);
@@ -499,7 +655,10 @@ mod tests {
         });
         assert_eq!(recomputed.load(Ordering::SeqCst), 1);
         assert_eq!(resumed.resumed, 2);
-        assert_eq!(resumed.rows, reference.rows, "resume must be byte-identical");
+        assert_eq!(
+            resumed.rows, reference.rows,
+            "resume must be byte-identical"
+        );
         // The checkpoint is cleaned up after a complete run.
         assert!(!opts.checkpoint_path().exists());
         let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);

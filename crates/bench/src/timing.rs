@@ -35,6 +35,10 @@ const SAMPLES: usize = 15;
 const WARMUP_SAMPLES: usize = 3;
 /// Target wall-clock duration of one sample.
 const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+/// Calibration stops doubling once one batch takes at least this long —
+/// long enough that the per-iteration estimate is trustworthy, short
+/// enough that calibration stays a fraction of the measured samples.
+const CALIBRATION_FLOOR: Duration = Duration::from_millis(1);
 /// Upper bound on iterations per sample (very fast bodies).
 const MAX_ITERS: u64 = 1 << 22;
 
@@ -85,17 +89,27 @@ impl Harness {
                 return;
             }
         }
-        // Calibrate: how many iterations fill TARGET_SAMPLE?
-        let once = {
+        // Calibrate: how many iterations fill TARGET_SAMPLE? The first
+        // call of a body pays cold caches, allocation, and page faults;
+        // timing it alone over-estimated the per-iteration cost so badly
+        // that sub-millisecond bodies were "calibrated" to 1 iteration
+        // per sample and the reported median rode on scheduler jitter.
+        // Instead, double the batch size until one *warmed* batch runs
+        // for at least CALIBRATION_FLOOR, then scale that trustworthy
+        // per-iteration estimate up to TARGET_SAMPLE.
+        let mut calib_iters: u64 = 1;
+        let per_iter_ns = loop {
             let t = Instant::now();
-            black_box(f());
-            t.elapsed()
+            for _ in 0..calib_iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= CALIBRATION_FLOOR || calib_iters >= MAX_ITERS {
+                break elapsed.as_nanos().max(1) as f64 / calib_iters as f64;
+            }
+            calib_iters = calib_iters.saturating_mul(2).min(MAX_ITERS);
         };
-        let iters = if once.is_zero() {
-            MAX_ITERS
-        } else {
-            ((TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)) as u64).clamp(1, MAX_ITERS)
-        };
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns) as u64).clamp(1, MAX_ITERS);
 
         let sample = |f: &mut F| -> f64 {
             let t = Instant::now();

@@ -1,0 +1,49 @@
+//! Placement-quality regression gate for the adaptive annealing
+//! schedule: on the bench configuration (`keyb`, seed 1, effort 2.0 —
+//! the same input `benches/substrates.rs` times as `place_sa/keyb`) the
+//! placer must be equal-or-better than the fixed-schedule baseline on
+//! both wirelength objectives while spending measurably fewer moves.
+//!
+//! Baseline (fixed 0.85 cooling, crude T0), recorded before the switch:
+//! Σhpwl = 1772, Σhpwl² = 13248, at 31722 moves.
+
+use emb_fsm::baseline::ff_netlist;
+use fpga_fabric::device::Device;
+use fpga_fabric::pack::pack;
+use fpga_fabric::place::{place, PlaceOptions};
+use logic_synth::synth::{synthesize, SynthOptions};
+
+#[test]
+fn adaptive_schedule_is_equal_or_better_at_fewer_moves() {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+    let netlist = ff_netlist(&synth, false).0;
+    let packed = pack(&netlist);
+    let placement = place(
+        &netlist,
+        &packed,
+        Device::xc2v250(),
+        PlaceOptions {
+            seed: 1,
+            effort: 2.0,
+            ..PlaceOptions::default()
+        },
+    )
+    .expect("places");
+
+    assert!(
+        placement.hpwl <= 1772.0,
+        "Σhpwl regressed past the fixed-schedule baseline: {}",
+        placement.hpwl
+    );
+    assert!(
+        placement.hpwl_sq <= 13248.0,
+        "Σhpwl² regressed past the fixed-schedule baseline: {}",
+        placement.hpwl_sq
+    );
+    assert!(
+        placement.moves < 31722,
+        "adaptive schedule must spend fewer moves than the baseline's 31722, spent {}",
+        placement.moves
+    );
+}

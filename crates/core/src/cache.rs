@@ -1,0 +1,874 @@
+//! Content-addressed flow-artifact cache (DESIGN.md §9.2).
+//!
+//! Every experiment binary walks the same nine benchmarks through the
+//! same deterministic front-end (synthesize / map / verify) and the same
+//! placer, so table2, table3 and the sweeps used to redo work table1 had
+//! already finished. This module memoizes the two expensive artifact
+//! classes behind stable content hashes:
+//!
+//! * **front-end netlists** — the implementation netlist a flow derives
+//!   from an STG (the FF realization of the synthesized cover, the EMB
+//!   mapped netlist, and their clock-controlled variants), together with
+//!   the clock-control stats and synthesis-budget downgrades needed to
+//!   rebuild the report. A hit skips synthesis/mapping *and* oracle
+//!   verification: the artifact is addressed by every input that
+//!   determines it, and it was verified by the run that produced it.
+//! * **placements** — keyed by the encoded netlist bytes, the device,
+//!   and the placement options, so the dominant pipeline stage runs once
+//!   per distinct (netlist, device, options) triple across all binaries.
+//!
+//! The cache is two-level: a per-process map (so e.g. the idle sweep's
+//! five stimulus levels share one placement within a run) over an
+//! on-disk store under `results/cache/` (so separate binaries share
+//! artifacts across processes). Artifacts are stored as self-describing
+//! text records; a record that fails to decode — truncation, a version
+//! bump, a hand edit — is treated as a miss and rewritten.
+//!
+//! **Invalidation** is by key construction, not by deletion: keys mix in
+//! a format version, a per-stage algorithm version
+//! ([`fpga_fabric::place::ALGORITHM_VERSION`] for placements,
+//! [`FRONTEND_VERSION`] for netlists), and every option field. Changing
+//! an algorithm or an option changes the key, and stale entries are
+//! simply never addressed again. `results/cache/` can always be deleted
+//! wholesale; nothing references it by name.
+//!
+//! Environment knobs:
+//!
+//! * `FLOW_CACHE=0` (or `off`) — bypass the cache entirely: every lookup
+//!   misses without counting, nothing is stored. Flows recompute exactly
+//!   as if this module did not exist.
+//! * `FLOW_CACHE_DIR=<dir>` — on-disk store location (default
+//!   `results/cache/` at the workspace root; relative paths resolve
+//!   against the workspace root).
+//!
+//! Hit/miss counters are kept per thread (each experiment item runs
+//! wholly on one runner worker) and surfaced as
+//! [`CacheStats`](crate::flow::FlowReport::cache) deltas in every
+//! `FlowReport`.
+
+use crate::flow::ClockControlStats;
+use fpga_fabric::device::{BramShape, Device};
+use fpga_fabric::netlist::{BramWrite, Cell, NetId, Netlist};
+use fpga_fabric::place::{BudgetOutcome, PlaceOptions, Placement};
+use fsm_model::stg::Stg;
+use logic_synth::synth::SynthOptions;
+use std::cell::Cell as StdCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Bump when the *meaning* of a front-end artifact changes (netlist
+/// construction, verification semantics, or the record layout).
+pub const FRONTEND_VERSION: u32 = 1;
+
+/// Bump when the record layout of any artifact changes.
+const FORMAT_VERSION: u32 = 1;
+
+// --- statistics -------------------------------------------------------
+
+/// Cache hit/miss counters (a snapshot or a delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifact lookups answered from memory or disk.
+    pub hits: u64,
+    /// Artifact lookups that fell through to recomputation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// The counter movement since `earlier` (both from the same thread).
+    #[must_use]
+    pub fn since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} hit(s) / {} miss(es)", self.hits, self.misses)
+    }
+}
+
+thread_local! {
+    static TL_HITS: StdCell<u64> = const { StdCell::new(0) };
+    static TL_MISSES: StdCell<u64> = const { StdCell::new(0) };
+}
+
+/// This thread's cumulative counters. Take one at flow entry and one at
+/// exit; the [`CacheStats::since`] delta is the flow's own traffic.
+#[must_use]
+pub fn stats_snapshot() -> CacheStats {
+    CacheStats {
+        hits: TL_HITS.with(StdCell::get),
+        misses: TL_MISSES.with(StdCell::get),
+    }
+}
+
+fn note(hit: bool) {
+    if hit {
+        TL_HITS.with(|c| c.set(c.get() + 1));
+    } else {
+        TL_MISSES.with(|c| c.set(c.get() + 1));
+    }
+}
+
+// --- configuration ----------------------------------------------------
+
+struct Config {
+    enabled: bool,
+    dir: Option<PathBuf>,
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let enabled = !matches!(
+            std::env::var("FLOW_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("OFF") | Ok("false")
+        );
+        let dir = if enabled {
+            let d = std::env::var("FLOW_CACHE_DIR").map_or_else(
+                |_| workspace_root().join("results").join("cache"),
+                |d| {
+                    let d = PathBuf::from(d);
+                    if d.is_absolute() {
+                        d
+                    } else {
+                        workspace_root().join(d)
+                    }
+                },
+            );
+            // A store we cannot create degrades to memory-only caching.
+            std::fs::create_dir_all(&d).ok().map(|()| d)
+        } else {
+            None
+        };
+        Config { enabled, dir }
+    })
+}
+
+/// The workspace root (two levels above this crate's manifest).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+}
+
+fn memory() -> &'static Mutex<HashMap<String, Vec<u8>>> {
+    static MEM: OnceLock<Mutex<HashMap<String, Vec<u8>>>> = OnceLock::new();
+    MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops the in-process layer (the on-disk store is untouched). Lets
+/// tests and the harness benchmark distinguish cold / disk-warm /
+/// memory-warm behavior inside one process.
+pub fn reset_memory() {
+    memory()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+}
+
+// --- keys -------------------------------------------------------------
+
+/// A finished content address: artifact kind plus 128-bit hex digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    kind: &'static str,
+    digest: String,
+}
+
+impl Key {
+    fn file_name(&self) -> String {
+        format!("{}_{}.txt", self.kind, self.digest)
+    }
+}
+
+/// Incremental content hasher: two independent FNV-1a-64 streams give a
+/// 128-bit digest — collision-safe at this workload's scale without
+/// pulling in a crypto dependency (the build is hermetic).
+struct KeyWriter {
+    kind: &'static str,
+    h1: u64,
+    h2: u64,
+}
+
+impl KeyWriter {
+    fn new(kind: &'static str) -> Self {
+        let mut w = KeyWriter {
+            kind,
+            h1: 0xcbf2_9ce4_8422_2325,
+            h2: 0x6c62_272e_07bb_0142, // FNV-1a-128's offset, truncated
+        };
+        w.bytes(kind.as_bytes());
+        w.u64(u64::from(FORMAT_VERSION));
+        w
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        // Length-prefix every field so adjacent fields cannot alias.
+        for &byte in (b.len() as u64).to_le_bytes().iter().chain(b) {
+            self.h1 = (self.h1 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+            self.h2 = (self.h2 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_0193);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(self) -> Key {
+        Key {
+            kind: self.kind,
+            digest: format!("{:016x}{:016x}", self.h1, self.h2),
+        }
+    }
+}
+
+/// Stable byte serialization of an STG: everything that determines the
+/// downstream artifacts, nothing that does not.
+fn stg_bytes(stg: &Stg) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "stg {} {} {} {} {}\n",
+        esc(stg.name()),
+        stg.num_inputs(),
+        stg.num_outputs(),
+        stg.num_states(),
+        stg.reset_state().0
+    );
+    for id in stg.states() {
+        let _ = writeln!(s, "s {}", esc(stg.state_name(id)));
+    }
+    for t in stg.transitions() {
+        let _ = writeln!(s, "t {} {} {} {}", t.from.0, t.input, t.to.0, t.output);
+    }
+    s.into_bytes()
+}
+
+fn key_synth_opts(w: &mut KeyWriter, o: SynthOptions) {
+    w.str(&format!("{}", o.encoding));
+    w.u64(o.map.k as u64);
+    w.u64(o.map.cuts_per_node as u64);
+    w.u64(o.max_minimize_cubes as u64);
+}
+
+fn key_emb_opts(w: &mut KeyWriter, o: &crate::map::EmbOptions) {
+    w.str(&format!("{}", o.encoding));
+    w.str(match o.output_mode {
+        crate::map::OutputMode::Auto => "auto",
+        crate::map::OutputMode::InMemory => "inmem",
+        crate::map::OutputMode::MooreLuts => "moore",
+    });
+    w.u64(u64::from(o.allow_compaction));
+    w.u64(u64::from(o.allow_series));
+    w.u64(o.max_series_banks as u64);
+    w.u64(o.lut_map.k as u64);
+    w.u64(o.lut_map.cuts_per_node as u64);
+}
+
+/// Key for an FF-style front-end artifact (`kind` is `"ff"` or `"ffg"`).
+#[must_use]
+pub fn ff_frontend_key(
+    kind_tag: &'static str,
+    stg: &Stg,
+    opts: SynthOptions,
+    minimize_states: bool,
+) -> Key {
+    let mut w = KeyWriter::new(kind_tag);
+    w.u64(u64::from(FRONTEND_VERSION));
+    w.bytes(&stg_bytes(stg));
+    key_synth_opts(&mut w, opts);
+    w.u64(u64::from(minimize_states));
+    w.finish()
+}
+
+/// Key for an EMB-style front-end artifact (`kind` is `"emb"` or
+/// `"embcc"`).
+#[must_use]
+pub fn emb_frontend_key(
+    kind_tag: &'static str,
+    stg: &Stg,
+    opts: &crate::map::EmbOptions,
+    minimize_states: bool,
+) -> Key {
+    let mut w = KeyWriter::new(kind_tag);
+    w.u64(u64::from(FRONTEND_VERSION));
+    w.bytes(&stg_bytes(stg));
+    key_emb_opts(&mut w, opts);
+    w.u64(u64::from(minimize_states));
+    w.finish()
+}
+
+/// Key for a placement of the given (already encoded) netlist.
+#[must_use]
+pub fn place_key(netlist_bytes: &[u8], device: &Device, opts: PlaceOptions) -> Key {
+    let mut w = KeyWriter::new("place");
+    w.u64(u64::from(fpga_fabric::place::ALGORITHM_VERSION));
+    w.bytes(netlist_bytes);
+    w.str(device.name);
+    w.u64(opts.seed);
+    w.f64(opts.effort);
+    w.u64(opts.max_moves);
+    w.finish()
+}
+
+// --- raw store --------------------------------------------------------
+
+fn lookup_raw(key: &Key) -> Option<Vec<u8>> {
+    let cfg = config();
+    if !cfg.enabled {
+        return None;
+    }
+    let name = key.file_name();
+    {
+        let mem = memory()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(bytes) = mem.get(&name) {
+            return Some(bytes.clone());
+        }
+    }
+    let dir = cfg.dir.as_ref()?;
+    let bytes = std::fs::read(dir.join(&name)).ok()?;
+    memory()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(name, bytes.clone());
+    Some(bytes)
+}
+
+fn store_raw(key: &Key, bytes: Vec<u8>) {
+    let cfg = config();
+    if !cfg.enabled {
+        return;
+    }
+    let name = key.file_name();
+    if let Some(dir) = &cfg.dir {
+        // Atomic publish: concurrent binaries may race on the same key;
+        // rename makes the winner's record appear whole or not at all.
+        let tmp = dir.join(format!(
+            ".{name}.tmp.{}.{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, dir.join(&name)).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+    memory()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(name, bytes);
+}
+
+// --- escaping ---------------------------------------------------------
+
+/// Space/control-safe token escaping for names inside records.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\_"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '_' => out.push(' '),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+// --- netlist codec ----------------------------------------------------
+
+/// Stable, self-describing text encoding of a netlist. Also the byte
+/// stream [`place_key`] hashes, so "same netlist" and "same placement
+/// key" coincide by construction.
+#[must_use]
+pub fn encode_netlist(n: &Netlist) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "netlist {}", esc(&n.name));
+    let _ = writeln!(s, "nets {}", n.num_nets());
+    for i in 0..n.num_nets() {
+        let _ = writeln!(s, "t {}", esc(n.net_name(NetId(i as u32))));
+    }
+    for (name, id) in n.inputs() {
+        let _ = writeln!(s, "i {} {}", esc(name), id.0);
+    }
+    for (name, id) in n.outputs() {
+        let _ = writeln!(s, "o {} {}", esc(name), id.0);
+    }
+    for cell in n.cells() {
+        match cell {
+            Cell::Lut {
+                inputs,
+                output,
+                truth,
+            } => {
+                let _ = write!(s, "L {} {truth:x}", output.0);
+                for i in inputs {
+                    let _ = write!(s, " {}", i.0);
+                }
+                s.push('\n');
+            }
+            Cell::Ff { d, q, ce, init } => {
+                let ce = ce.map_or_else(|| "-".to_string(), |c| c.0.to_string());
+                let _ = writeln!(s, "F {} {} {ce} {}", d.0, q.0, u8::from(*init));
+            }
+            Cell::Const { output, value } => {
+                let _ = writeln!(s, "C {} {}", output.0, u8::from(*value));
+            }
+            Cell::Bram {
+                shape,
+                addr,
+                dout,
+                en,
+                init,
+                output_init,
+                write,
+            } => {
+                let en = en.map_or_else(|| "-".to_string(), |c| c.0.to_string());
+                let _ = write!(
+                    s,
+                    "B {} {} {en} {output_init:x} a{}",
+                    shape.addr_bits,
+                    shape.data_bits,
+                    addr.len()
+                );
+                for a in addr {
+                    let _ = write!(s, " {}", a.0);
+                }
+                let _ = write!(s, " d{}", dout.len());
+                for d in dout {
+                    let _ = write!(s, " {}", d.0);
+                }
+                let _ = write!(s, " m{}", init.len());
+                for word in init {
+                    let _ = write!(s, " {word:x}");
+                }
+                if let Some(w) = write {
+                    let _ = write!(s, " W{}", w.addr.len());
+                    for a in &w.addr {
+                        let _ = write!(s, " {}", a.0);
+                    }
+                    let _ = write!(s, " D{}", w.data.len());
+                    for d in &w.data {
+                        let _ = write!(s, " {}", d.0);
+                    }
+                    let _ = write!(s, " {}", w.we.0);
+                }
+                s.push('\n');
+            }
+        }
+    }
+    s.into_bytes()
+}
+
+/// Rebuilds a netlist from [`encode_netlist`] bytes; `None` on any
+/// malformation (the caller treats that as a cache miss).
+#[must_use]
+pub fn decode_netlist(bytes: &[u8]) -> Option<Netlist> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    let name = unesc(lines.next()?.strip_prefix("netlist ")?)?;
+    let num_nets: usize = lines.next()?.strip_prefix("nets ")?.parse().ok()?;
+    let mut n = Netlist::new(name);
+    let mut expect_net = 0usize;
+    for line in lines {
+        let (tag, rest) = line.split_once(' ')?;
+        match tag {
+            "t" => {
+                n.add_net(unesc(rest)?);
+                expect_net += 1;
+            }
+            "i" => {
+                let (name, id) = rest.split_once(' ')?;
+                n.add_input(unesc(name)?, NetId(id.parse().ok()?));
+            }
+            "o" => {
+                let (name, id) = rest.split_once(' ')?;
+                n.add_output(unesc(name)?, NetId(id.parse().ok()?));
+            }
+            "L" => {
+                let mut it = rest.split(' ');
+                let output = NetId(it.next()?.parse().ok()?);
+                let truth = u64::from_str_radix(it.next()?, 16).ok()?;
+                let inputs = it
+                    .map(|t| t.parse().ok().map(NetId))
+                    .collect::<Option<Vec<_>>>()?;
+                n.add_cell(Cell::Lut {
+                    inputs,
+                    output,
+                    truth,
+                });
+            }
+            "F" => {
+                let mut it = rest.split(' ');
+                let d = NetId(it.next()?.parse().ok()?);
+                let q = NetId(it.next()?.parse().ok()?);
+                let ce = match it.next()? {
+                    "-" => None,
+                    v => Some(NetId(v.parse().ok()?)),
+                };
+                let init = it.next()? == "1";
+                n.add_cell(Cell::Ff { d, q, ce, init });
+            }
+            "C" => {
+                let (output, value) = rest.split_once(' ')?;
+                n.add_cell(Cell::Const {
+                    output: NetId(output.parse().ok()?),
+                    value: value == "1",
+                });
+            }
+            "B" => {
+                let mut it = rest.split(' ');
+                let addr_bits: usize = it.next()?.parse().ok()?;
+                let data_bits: usize = it.next()?.parse().ok()?;
+                let shape = BramShape::ALL
+                    .into_iter()
+                    .find(|s| s.addr_bits == addr_bits && s.data_bits == data_bits)?;
+                let en = match it.next()? {
+                    "-" => None,
+                    v => Some(NetId(v.parse().ok()?)),
+                };
+                let output_init = u64::from_str_radix(it.next()?, 16).ok()?;
+                let na: usize = it.next()?.strip_prefix('a')?.parse().ok()?;
+                let addr = (0..na)
+                    .map(|_| it.next().and_then(|t| t.parse().ok()).map(NetId))
+                    .collect::<Option<Vec<_>>>()?;
+                let nd: usize = it.next()?.strip_prefix('d')?.parse().ok()?;
+                let dout = (0..nd)
+                    .map(|_| it.next().and_then(|t| t.parse().ok()).map(NetId))
+                    .collect::<Option<Vec<_>>>()?;
+                let nm: usize = it.next()?.strip_prefix('m')?.parse().ok()?;
+                let init = (0..nm)
+                    .map(|_| it.next().and_then(|t| u64::from_str_radix(t, 16).ok()))
+                    .collect::<Option<Vec<_>>>()?;
+                let write = match it.next() {
+                    None => None,
+                    Some(wa) => {
+                        let nwa: usize = wa.strip_prefix('W')?.parse().ok()?;
+                        let waddr = (0..nwa)
+                            .map(|_| it.next().and_then(|t| t.parse().ok()).map(NetId))
+                            .collect::<Option<Vec<_>>>()?;
+                        let nwd: usize = it.next()?.strip_prefix('D')?.parse().ok()?;
+                        let wdata = (0..nwd)
+                            .map(|_| it.next().and_then(|t| t.parse().ok()).map(NetId))
+                            .collect::<Option<Vec<_>>>()?;
+                        let we = NetId(it.next()?.parse().ok()?);
+                        Some(BramWrite {
+                            addr: waddr,
+                            data: wdata,
+                            we,
+                        })
+                    }
+                };
+                n.add_cell(Cell::Bram {
+                    shape,
+                    addr,
+                    dout,
+                    en,
+                    init,
+                    output_init,
+                    write,
+                });
+            }
+            _ => return None,
+        }
+    }
+    (expect_net == num_nets).then_some(n)
+}
+
+// --- front-end artifacts ----------------------------------------------
+
+/// A cached flow front-end: the implementation netlist plus the metadata
+/// [`crate::flow`] needs to rebuild an identical report.
+#[derive(Debug)]
+pub struct Frontend {
+    /// The verified implementation netlist.
+    pub netlist: Netlist,
+    /// Clock-control overhead, for the gated/controlled variants.
+    pub clock_control: Option<ClockControlStats>,
+    /// `Downgrade::SynthBudgetExhausted` payload, when synthesis overran.
+    pub synth_skipped_functions: Option<usize>,
+}
+
+/// Encodes a front-end record (also usable as placement key material via
+/// its embedded netlist — but callers hash [`encode_netlist`] directly).
+#[must_use]
+pub fn encode_frontend(
+    netlist: &Netlist,
+    clock_control: Option<ClockControlStats>,
+    synth_skipped_functions: Option<usize>,
+) -> Vec<u8> {
+    let mut s = String::from("frontend 1\n");
+    if let Some(cc) = clock_control {
+        s.push_str(&format!("cc {} {} {}\n", cc.luts, cc.slices, cc.idle_cubes));
+    }
+    if let Some(k) = synth_skipped_functions {
+        s.push_str(&format!("skipped {k}\n"));
+    }
+    let mut bytes = s.into_bytes();
+    bytes.extend_from_slice(&encode_netlist(netlist));
+    bytes
+}
+
+fn decode_frontend(bytes: &[u8]) -> Option<Frontend> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut clock_control = None;
+    let mut skipped = None;
+    let mut offset = 0usize;
+    for line in text.lines() {
+        if line.starts_with("netlist ") {
+            break;
+        }
+        offset += line.len() + 1;
+        if line == "frontend 1" {
+            continue;
+        } else if let Some(rest) = line.strip_prefix("cc ") {
+            let mut it = rest.split(' ');
+            clock_control = Some(ClockControlStats {
+                luts: it.next()?.parse().ok()?,
+                slices: it.next()?.parse().ok()?,
+                idle_cubes: it.next()?.parse().ok()?,
+            });
+        } else if let Some(rest) = line.strip_prefix("skipped ") {
+            skipped = Some(rest.parse().ok()?);
+        } else {
+            return None;
+        }
+    }
+    let netlist = decode_netlist(&bytes[offset..])?;
+    Some(Frontend {
+        netlist,
+        clock_control,
+        synth_skipped_functions: skipped,
+    })
+}
+
+/// Looks up a front-end artifact, counting a hit or miss.
+#[must_use]
+pub fn load_frontend(key: &Key) -> Option<Frontend> {
+    if !config().enabled {
+        return None;
+    }
+    let found = lookup_raw(key).and_then(|b| decode_frontend(&b));
+    note(found.is_some());
+    found
+}
+
+/// Publishes a front-end artifact (no-op under `FLOW_CACHE=0`).
+pub fn store_frontend(
+    key: &Key,
+    netlist: &Netlist,
+    clock_control: Option<ClockControlStats>,
+    synth_skipped_functions: Option<usize>,
+) {
+    store_raw(
+        key,
+        encode_frontend(netlist, clock_control, synth_skipped_functions),
+    );
+}
+
+// --- placement artifacts ----------------------------------------------
+
+fn encode_placement(p: &Placement) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "placement 1 {}", p.device.name);
+    let _ = writeln!(s, "hpwl {:x} {:x}", p.hpwl.to_bits(), p.hpwl_sq.to_bits());
+    let _ = writeln!(s, "moves {}", p.moves);
+    match p.budget {
+        BudgetOutcome::Completed => {
+            let _ = writeln!(s, "budget completed");
+        }
+        BudgetOutcome::Exhausted { spent } => {
+            let _ = writeln!(s, "budget exhausted {spent}");
+        }
+    }
+    for (tag, locs) in [
+        ("clb", &p.clb_loc),
+        ("bram", &p.bram_loc),
+        ("iob", &p.iob_loc),
+    ] {
+        let _ = write!(s, "{tag} {}", locs.len());
+        for (x, y) in locs {
+            let _ = write!(s, " {x} {y}");
+        }
+        s.push('\n');
+    }
+    s.into_bytes()
+}
+
+fn decode_placement(bytes: &[u8]) -> Option<Placement> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    let device = Device::by_name(lines.next()?.strip_prefix("placement 1 ")?)?;
+    let (h, hs) = lines.next()?.strip_prefix("hpwl ")?.split_once(' ')?;
+    let hpwl = f64::from_bits(u64::from_str_radix(h, 16).ok()?);
+    let hpwl_sq = f64::from_bits(u64::from_str_radix(hs, 16).ok()?);
+    let moves: u64 = lines.next()?.strip_prefix("moves ")?.parse().ok()?;
+    let budget = match lines.next()?.strip_prefix("budget ")? {
+        "completed" => BudgetOutcome::Completed,
+        other => BudgetOutcome::Exhausted {
+            spent: other.strip_prefix("exhausted ")?.parse().ok()?,
+        },
+    };
+    let mut read_locs = |tag: &str| -> Option<Vec<(usize, usize)>> {
+        let line = lines.next()?;
+        let rest = line.strip_prefix(tag)?.strip_prefix(' ')?;
+        let mut it = rest.split(' ');
+        let count: usize = it.next()?.parse().ok()?;
+        (0..count)
+            .map(|_| {
+                let x = it.next()?.parse().ok()?;
+                let y = it.next()?.parse().ok()?;
+                Some((x, y))
+            })
+            .collect()
+    };
+    Some(Placement {
+        device,
+        clb_loc: read_locs("clb")?,
+        bram_loc: read_locs("bram")?,
+        iob_loc: read_locs("iob")?,
+        hpwl,
+        hpwl_sq,
+        moves,
+        budget,
+    })
+}
+
+/// Looks up a placement artifact, counting a hit or miss.
+#[must_use]
+pub fn load_placement(key: &Key) -> Option<Placement> {
+    if !config().enabled {
+        return None;
+    }
+    let found = lookup_raw(key).and_then(|b| decode_placement(&b));
+    note(found.is_some());
+    found
+}
+
+/// Publishes a placement artifact (no-op under `FLOW_CACHE=0`).
+pub fn store_placement(key: &Key, placement: &Placement) {
+    store_raw(key, encode_placement(placement));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_model::benchmarks::sequence_detector_0101;
+
+    #[test]
+    fn netlist_roundtrips_through_codec() {
+        let stg = sequence_detector_0101();
+        let emb = crate::map::map_fsm_into_embs(&stg, &crate::map::EmbOptions::default()).unwrap();
+        let n = emb.to_netlist();
+        let bytes = encode_netlist(&n);
+        let back = decode_netlist(&bytes).unwrap();
+        assert_eq!(n.name, back.name);
+        assert_eq!(n.num_nets(), back.num_nets());
+        assert_eq!(n.cells(), back.cells());
+        assert_eq!(n.inputs(), back.inputs());
+        assert_eq!(n.outputs(), back.outputs());
+        // Encoding is stable: same netlist, same bytes, same key.
+        assert_eq!(bytes, encode_netlist(&back));
+    }
+
+    #[test]
+    fn frontend_record_roundtrips() {
+        let stg = sequence_detector_0101();
+        let emb = crate::map::map_fsm_into_embs(&stg, &crate::map::EmbOptions::default()).unwrap();
+        let n = emb.to_netlist();
+        let cc = ClockControlStats {
+            luts: 3,
+            slices: 2,
+            idle_cubes: 5,
+        };
+        let rec = encode_frontend(&n, Some(cc), Some(7));
+        let back = decode_frontend(&rec).unwrap();
+        assert_eq!(back.clock_control, Some(cc));
+        assert_eq!(back.synth_skipped_functions, Some(7));
+        assert_eq!(back.netlist.cells(), n.cells());
+        let plain = decode_frontend(&encode_frontend(&n, None, None)).unwrap();
+        assert_eq!(plain.clock_control, None);
+        assert_eq!(plain.synth_skipped_functions, None);
+        assert!(decode_frontend(b"garbage").is_none());
+    }
+
+    #[test]
+    fn keys_separate_kinds_options_and_machines() {
+        let a = sequence_detector_0101();
+        let b = fsm_model::benchmarks::traffic_light();
+        let k1 = ff_frontend_key("ff", &a, SynthOptions::default(), false);
+        let k2 = ff_frontend_key("ffg", &a, SynthOptions::default(), false);
+        let k3 = ff_frontend_key("ff", &b, SynthOptions::default(), false);
+        let k4 = ff_frontend_key("ff", &a, SynthOptions::default(), true);
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k1, k4);
+        assert_eq!(
+            k1,
+            ff_frontend_key("ff", &a, SynthOptions::default(), false)
+        );
+        let e1 = emb_frontend_key("emb", &a, &crate::map::EmbOptions::default(), false);
+        let e2 = emb_frontend_key(
+            "emb",
+            &a,
+            &crate::map::EmbOptions {
+                allow_compaction: false,
+                ..crate::map::EmbOptions::default()
+            },
+            false,
+        );
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        for s in [
+            "plain",
+            "with space",
+            "tab\tand\nnewline",
+            "back\\slash",
+            "",
+        ] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+        }
+    }
+}

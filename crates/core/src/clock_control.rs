@@ -75,7 +75,11 @@ pub fn synthesize_enable(
 ) -> Result<ClockControl, MapError> {
     let num_inputs = stg.num_inputs();
     let s = encoding.num_bits();
-    let num_outputs = if include_outputs { stg.num_outputs() } else { 0 };
+    let num_outputs = if include_outputs {
+        stg.num_outputs()
+    } else {
+        0
+    };
     let num_vars = num_inputs + s + num_outputs;
 
     // For Moore machines the latched outputs are a function of the state
@@ -212,7 +216,8 @@ pub fn attach_emb_clock_control(
 
     // Gather the cone's input nets by port name.
     let cone_nets = control_cone_nets(&netlist, &emb.stg, emb.num_state_bits(), include_outputs);
-    let outs = crate::netlist_build::instantiate_luts(&mut netlist, &control.luts, &cone_nets, "cc");
+    let outs =
+        crate::netlist_build::instantiate_luts(&mut netlist, &control.luts, &cone_nets, "cc");
     // EN = NOT idle, realized by the final inverting LUT.
     netlist.add_cell(Cell::Lut {
         inputs: vec![outs[0]],
@@ -241,7 +246,8 @@ pub fn attach_ff_clock_gating(
     let (mut netlist, ce_net) = crate::baseline::ff_netlist(synth, true);
     let ce_net = ce_net.expect("gating requested");
     let cone_nets = control_cone_nets(&netlist, stg, synth.num_state_bits(), false);
-    let outs = crate::netlist_build::instantiate_luts(&mut netlist, &control.luts, &cone_nets, "cc");
+    let outs =
+        crate::netlist_build::instantiate_luts(&mut netlist, &control.luts, &cone_nets, "cc");
     // CE = NOT idle.
     netlist.add_cell(Cell::Lut {
         inputs: vec![outs[0]],
@@ -306,7 +312,11 @@ mod tests {
 
     #[test]
     fn clock_controlled_emb_is_cycle_exact() {
-        for stg in [traffic_light(), rotary_sequencer(), sequence_detector_0101()] {
+        for stg in [
+            traffic_light(),
+            rotary_sequencer(),
+            sequence_detector_0101(),
+        ] {
             let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
             let (n, cc) = attach_emb_clock_control(&emb, MapOptions::default()).unwrap();
             assert!(cc.num_luts() >= 1, "{}", stg.name());

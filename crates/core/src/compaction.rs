@@ -60,7 +60,12 @@ impl CompactionPlan {
     ///
     /// Panics if `compacted` has fewer than `width` bits.
     #[must_use]
-    pub fn expand_inputs(&self, state: StateId, compacted: &[bool], num_inputs: usize) -> Vec<bool> {
+    pub fn expand_inputs(
+        &self,
+        state: StateId,
+        compacted: &[bool],
+        num_inputs: usize,
+    ) -> Vec<bool> {
         assert!(compacted.len() >= self.width, "compacted vector too short");
         let mut inputs = vec![false; num_inputs];
         for (k, sel) in self.sel[state.index()].iter().enumerate() {

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn init_strings_shape() {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut words = vec![0u64; 512];
         words[0] = 0xF; // low nibble of the stream
         let lines = init_strings(shape, &words);
@@ -212,7 +215,10 @@ mod tests {
 
     #[test]
     fn init_strings_roundtrip_bits() {
-        let shape = BramShape { addr_bits: 14, data_bits: 1 };
+        let shape = BramShape {
+            addr_bits: 14,
+            data_bits: 1,
+        };
         let mut words = vec![0u64; 16384];
         for (i, w) in words.iter_mut().enumerate() {
             *w = u64::from(i % 7 == 0);

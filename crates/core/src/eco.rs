@@ -47,15 +47,24 @@ impl fmt::Display for EcoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EcoError::InterfaceChanged => write!(f, "input/output widths changed"),
-            EcoError::TooManyStates { new_states, capacity } => {
-                write!(f, "{new_states} states exceed the {capacity} available codes")
+            EcoError::TooManyStates {
+                new_states,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "{new_states} states exceed the {capacity} available codes"
+                )
             }
             EcoError::SupportEscapesMux { state } => write!(
                 f,
                 "state {state} now reads inputs outside its frozen mux selection"
             ),
             EcoError::LutOutputsFrozen => {
-                write!(f, "LUT-realized outputs cannot be changed by rewriting memory")
+                write!(
+                    f,
+                    "LUT-realized outputs cannot be changed by rewriting memory"
+                )
             }
             EcoError::NetlistMismatch(m) => write!(f, "netlist mismatch: {m}"),
             EcoError::ResetNotStateZero => {
@@ -146,11 +155,7 @@ pub fn rewrite(emb: &EmbFsm, new_stg: &Stg) -> Result<EcoRewrite, EcoError> {
         OutputRealization::Luts(_) => 0,
     };
     let rom = contents::logical_rom(new_stg, &encoding, &address, outputs_in_word);
-    let words_changed = rom
-        .iter()
-        .zip(&emb.rom)
-        .filter(|(a, b)| a != b)
-        .count()
+    let words_changed = rom.iter().zip(&emb.rom).filter(|(a, b)| a != b).count()
         + rom.len().abs_diff(emb.rom.len());
 
     let mut updated = emb.clone();
@@ -200,9 +205,9 @@ impl EcoRewrite {
             )));
         }
         for (old_idx, (_, new_init)) in old_bram_ids.iter().zip(new_inits) {
-            netlist.replace_bram_init(*old_idx, new_init).map_err(|e| {
-                EcoError::NetlistMismatch(e)
-            })?;
+            netlist
+                .replace_bram_init(*old_idx, new_init)
+                .map_err(|e| EcoError::NetlistMismatch(e))?;
         }
         Ok(())
     }

@@ -194,7 +194,10 @@ pub fn corrupt_stg(stg: &Stg, seed: u64) -> Option<(Stg, StgFault)> {
         }
     };
 
-    let names: Vec<String> = stg.states().map(|s| stg.state_name(s).to_string()).collect();
+    let names: Vec<String> = stg
+        .states()
+        .map(|s| stg.state_name(s).to_string())
+        .collect();
     let corrupted = Stg::new(
         stg.name().to_string(),
         stg.num_inputs(),
@@ -234,7 +237,9 @@ pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, Netlist
     // only data bits that are wired out are worth flipping (the rest of the
     // init plane is padding that no simulation can observe).
     let (bram_words, bram_bits) = match &netlist.cells()[target] {
-        Cell::Bram { addr, dout, init, .. } => {
+        Cell::Bram {
+            addr, dout, init, ..
+        } => {
             let drivers = netlist.driver_map();
             let live_addr = addr
                 .iter()
@@ -245,7 +250,10 @@ pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, Netlist
                     )
                 })
                 .count();
-            ((1usize << live_addr.min(20)).min(init.len()), dout.len().max(1))
+            (
+                (1usize << live_addr.min(20)).min(init.len()),
+                dout.len().max(1),
+            )
         }
         _ => (0, 0),
     };
@@ -266,7 +274,11 @@ pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, Netlist
                 let word = rng.random_range(0..bram_words.max(1));
                 let bit = rng.random_range(0..bram_bits) as u32;
                 init[word] ^= 1u64 << bit;
-                NetlistFault::FlipBramInitBit { cell: target, word, bit }
+                NetlistFault::FlipBramInitBit {
+                    cell: target,
+                    word,
+                    bit,
+                }
             }
             Cell::Const { .. } => unreachable!("constants are filtered out"),
         });
@@ -352,7 +364,9 @@ mod tests {
             | NetlistFault::FlipBramInitBit { cell, .. } => cell,
         };
         assert_eq!(changed, vec![cell]);
-        corrupted.validate().expect("corruption keeps netlist valid");
+        corrupted
+            .validate()
+            .expect("corruption keeps netlist valid");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! as the paper's tables.
 
 use crate::baseline::ff_netlist;
+use crate::cache::{self, Frontend};
 use crate::clock_control::{attach_emb_clock_control, attach_ff_clock_gating};
 use crate::map::{map_fsm_into_embs, EmbFsm, EmbOptions};
 use crate::verify::{verify_against_stg, OutputTiming, VerifyError};
@@ -138,6 +139,9 @@ pub struct FlowReport {
     /// Graceful degradations taken to complete the flow (empty when the
     /// requested implementation succeeded as asked).
     pub downgrades: Vec<Downgrade>,
+    /// Flow-artifact cache traffic attributable to this run (zero under
+    /// `FLOW_CACHE=0`).
+    pub cache: cache::CacheStats,
 }
 
 /// A graceful degradation recorded in a [`FlowReport`]: the flow completed,
@@ -309,7 +313,11 @@ impl FlowError {
     /// Builds an error tagged with benchmark and stage context.
     #[must_use]
     pub fn new(benchmark: impl Into<String>, stage: FlowStage, kind: FlowErrorKind) -> Self {
-        FlowError { benchmark: benchmark.into(), stage, kind }
+        FlowError {
+            benchmark: benchmark.into(),
+            stage,
+            kind,
+        }
     }
 
     /// True when the failure is a capacity/fitting exhaustion — the input
@@ -357,30 +365,60 @@ pub fn ff_flow(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
-    let impl_stg = prepared(stg, cfg)?;
-    let synth = synthesize(&impl_stg, synth_opts)
-        .map_err(|e| FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e)))?;
-    let downgrades = synth_downgrades(&synth);
-    let (netlist, _) = ff_netlist(&synth, false);
-    verify_against_stg(
-        &netlist,
-        stg,
-        OutputTiming::Combinational,
-        cfg.verify_cycles,
-        cfg.seed,
-    )
-    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-    implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades)
+    let entry = cache::stats_snapshot();
+    let key = cache::ff_frontend_key("ff", stg, synth_opts, cfg.minimize_states);
+    let (netlist, downgrades) = match cache::load_frontend(&key) {
+        Some(fe) => (fe.netlist, skipped_downgrades(fe.synth_skipped_functions)),
+        None => {
+            let impl_stg = prepared(stg, cfg)?;
+            let synth = synthesize(&impl_stg, synth_opts).map_err(|e| {
+                FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e))
+            })?;
+            let downgrades = synth_downgrades(&synth);
+            let (netlist, _) = ff_netlist(&synth, false);
+            verify_against_stg(
+                &netlist,
+                stg,
+                OutputTiming::Combinational,
+                cfg.verify_cycles,
+                cfg.seed,
+            )
+            .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            cache::store_frontend(&key, &netlist, None, skipped_of(&downgrades));
+            (netlist, downgrades)
+        }
+    };
+    let mut report = implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades)?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
 }
 
 /// Downgrades to record for a synthesized machine (budget overruns).
 fn synth_downgrades(synth: &logic_synth::synth::SynthesizedFsm) -> Vec<Downgrade> {
     match synth.budget {
         logic_synth::synth::SynthBudget::Completed => Vec::new(),
-        logic_synth::synth::SynthBudget::Exhausted { skipped_functions, .. } => {
+        logic_synth::synth::SynthBudget::Exhausted {
+            skipped_functions, ..
+        } => {
             vec![Downgrade::SynthBudgetExhausted { skipped_functions }]
         }
     }
+}
+
+/// The `SynthBudgetExhausted` payload, if present (cache record material).
+fn skipped_of(downgrades: &[Downgrade]) -> Option<usize> {
+    downgrades.iter().find_map(|d| match d {
+        Downgrade::SynthBudgetExhausted { skipped_functions } => Some(*skipped_functions),
+        _ => None,
+    })
+}
+
+/// Rebuilds the synth-budget downgrade list from a cached front-end.
+fn skipped_downgrades(skipped: Option<usize>) -> Vec<Downgrade> {
+    skipped
+        .map(|skipped_functions| Downgrade::SynthBudgetExhausted { skipped_functions })
+        .into_iter()
+        .collect()
 }
 
 /// Runs the FF flow with clock-enable gating on the state register.
@@ -394,28 +432,56 @@ pub fn ff_clock_gated_flow(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
-    let impl_stg = prepared(stg, cfg)?;
-    let synth = synthesize(&impl_stg, synth_opts)
-        .map_err(|e| FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e)))?;
-    let downgrades = synth_downgrades(&synth);
-    let (netlist, control) = attach_ff_clock_gating(&synth, &impl_stg, synth_opts.map)
-        .map_err(|e| {
-            FlowError::new(stg.name(), FlowStage::ClockControl, FlowErrorKind::ClockControl(e))
-        })?;
-    verify_against_stg(
-        &netlist,
-        stg,
-        OutputTiming::Combinational,
-        cfg.verify_cycles,
-        cfg.seed,
-    )
-    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-    let stats = ClockControlStats {
-        luts: control.num_luts(),
-        slices: control.num_slices(),
-        idle_cubes: control.idle_cubes,
+    let entry = cache::stats_snapshot();
+    let key = cache::ff_frontend_key("ffg", stg, synth_opts, cfg.minimize_states);
+    let (netlist, stats, downgrades) = match cache::load_frontend(&key) {
+        Some(Frontend {
+            netlist,
+            clock_control: Some(stats),
+            synth_skipped_functions,
+        }) => (netlist, stats, skipped_downgrades(synth_skipped_functions)),
+        _ => {
+            let impl_stg = prepared(stg, cfg)?;
+            let synth = synthesize(&impl_stg, synth_opts).map_err(|e| {
+                FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e))
+            })?;
+            let downgrades = synth_downgrades(&synth);
+            let (netlist, control) = attach_ff_clock_gating(&synth, &impl_stg, synth_opts.map)
+                .map_err(|e| {
+                    FlowError::new(
+                        stg.name(),
+                        FlowStage::ClockControl,
+                        FlowErrorKind::ClockControl(e),
+                    )
+                })?;
+            verify_against_stg(
+                &netlist,
+                stg,
+                OutputTiming::Combinational,
+                cfg.verify_cycles,
+                cfg.seed,
+            )
+            .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            let stats = ClockControlStats {
+                luts: control.num_luts(),
+                slices: control.num_slices(),
+                idle_cubes: control.idle_cubes,
+            };
+            cache::store_frontend(&key, &netlist, Some(stats), skipped_of(&downgrades));
+            (netlist, stats, downgrades)
+        }
     };
-    implement(stg, netlist, ImplKind::FfClockGated, Some(stats), stimulus, cfg, downgrades)
+    let mut report = implement(
+        stg,
+        netlist,
+        ImplKind::FfClockGated,
+        Some(stats),
+        stimulus,
+        cfg,
+        downgrades,
+    )?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
 }
 
 /// Runs the EMB flow (Fig. 1b).
@@ -429,19 +495,30 @@ pub fn emb_flow(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
-    let impl_stg = prepared(stg, cfg)?;
-    let emb = map_fsm_into_embs(&impl_stg, emb_opts)
-        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
-    let netlist = emb.to_netlist();
-    verify_against_stg(
-        &netlist,
-        stg,
-        OutputTiming::Registered,
-        cfg.verify_cycles,
-        cfg.seed,
-    )
-    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-    implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, Vec::new())
+    let entry = cache::stats_snapshot();
+    let key = cache::emb_frontend_key("emb", stg, emb_opts, cfg.minimize_states);
+    let netlist = match cache::load_frontend(&key) {
+        Some(fe) => fe.netlist,
+        None => {
+            let impl_stg = prepared(stg, cfg)?;
+            let emb = map_fsm_into_embs(&impl_stg, emb_opts)
+                .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
+            let netlist = emb.to_netlist();
+            verify_against_stg(
+                &netlist,
+                stg,
+                OutputTiming::Registered,
+                cfg.verify_cycles,
+                cfg.seed,
+            )
+            .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            cache::store_frontend(&key, &netlist, None, None);
+            netlist
+        }
+    };
+    let mut report = implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, Vec::new())?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
 }
 
 /// Runs the EMB flow with the full degradation ladder: if mapping (or
@@ -462,12 +539,15 @@ pub fn emb_flow_with_fallback(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
+    let entry = cache::stats_snapshot();
     match emb_flow(stg, emb_opts, stimulus, cfg) {
         Ok(report) => Ok(report),
         Err(e) if e.is_capacity() => {
             let reason = e.to_string();
             let mut report = ff_flow(stg, synth_opts, stimulus, cfg)?;
             report.downgrades.push(Downgrade::EmbToFf { reason });
+            // Span both attempts: the EMB misses belong to this run too.
+            report.cache = cache::stats_snapshot().since(entry);
             Ok(report)
         }
         Err(e) => Err(e),
@@ -485,26 +565,44 @@ pub fn emb_clock_controlled_flow(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
-    let impl_stg = prepared(stg, cfg)?;
-    let emb = map_fsm_into_embs(&impl_stg, emb_opts)
-        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
-    let (netlist, control) = attach_emb_clock_control(&emb, emb_opts.lut_map).map_err(|e| {
-        FlowError::new(stg.name(), FlowStage::ClockControl, FlowErrorKind::ClockControl(e))
-    })?;
-    verify_against_stg(
-        &netlist,
-        stg,
-        OutputTiming::Registered,
-        cfg.verify_cycles,
-        cfg.seed,
-    )
-    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-    let stats = ClockControlStats {
-        luts: control.num_luts(),
-        slices: control.num_slices(),
-        idle_cubes: control.idle_cubes,
+    let entry = cache::stats_snapshot();
+    let key = cache::emb_frontend_key("embcc", stg, emb_opts, cfg.minimize_states);
+    let (netlist, stats) = match cache::load_frontend(&key) {
+        Some(Frontend {
+            netlist,
+            clock_control: Some(stats),
+            ..
+        }) => (netlist, stats),
+        _ => {
+            let impl_stg = prepared(stg, cfg)?;
+            let emb = map_fsm_into_embs(&impl_stg, emb_opts)
+                .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
+            let (netlist, control) =
+                attach_emb_clock_control(&emb, emb_opts.lut_map).map_err(|e| {
+                    FlowError::new(
+                        stg.name(),
+                        FlowStage::ClockControl,
+                        FlowErrorKind::ClockControl(e),
+                    )
+                })?;
+            verify_against_stg(
+                &netlist,
+                stg,
+                OutputTiming::Registered,
+                cfg.verify_cycles,
+                cfg.seed,
+            )
+            .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            let stats = ClockControlStats {
+                luts: control.num_luts(),
+                slices: control.num_slices(),
+                idle_cubes: control.idle_cubes,
+            };
+            cache::store_frontend(&key, &netlist, Some(stats), None);
+            (netlist, stats)
+        }
     };
-    implement(
+    let mut report = implement(
         stg,
         netlist,
         ImplKind::EmbClockControlled,
@@ -512,7 +610,9 @@ pub fn emb_clock_controlled_flow(
         stimulus,
         cfg,
         Vec::new(),
-    )
+    )?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
 }
 
 /// Maps an already-built netlist onto the device, simulates, and reports.
@@ -533,7 +633,16 @@ fn implement(
     };
     let oracle_trace = trace(stg, vectors.clone());
     let idle = idle_fraction(stg, &oracle_trace);
-    physical(stg.name(), netlist, kind, clock_control, &vectors, idle, cfg, downgrades)
+    physical(
+        stg.name(),
+        netlist,
+        kind,
+        clock_control,
+        &vectors,
+        idle,
+        cfg,
+        downgrades,
+    )
 }
 
 /// Implements a netlist that has no STG oracle (external BLIF input):
@@ -562,7 +671,19 @@ pub(crate) fn implement_external(
         }
     };
     let name = netlist.name.clone();
-    physical(&name, netlist, kind, clock_control, &vectors, 0.0, cfg, Vec::new())
+    let entry = cache::stats_snapshot();
+    let mut report = physical(
+        &name,
+        netlist,
+        kind,
+        clock_control,
+        &vectors,
+        0.0,
+        cfg,
+        Vec::new(),
+    )?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
 }
 
 /// The physical half of a flow: pack, place, route, simulate, estimate.
@@ -594,19 +715,37 @@ fn physical(
     };
     let mut implemented = None;
     let mut last_err = None;
+    let netlist_bytes = cache::encode_netlist(&netlist);
     for &device in devices {
-        match place(&netlist, &packed, device, cfg.place) {
-            Ok(placement) => match route(&netlist, &packed, &placement, cfg.route) {
-                Ok(routed) => {
-                    implemented = Some((device, placement.budget, routed));
-                    break;
+        let pkey = cache::place_key(&netlist_bytes, &device, cfg.place);
+        let placement = match cache::load_placement(&pkey) {
+            Some(p) => p,
+            None => match place(&netlist, &packed, device, cfg.place) {
+                Ok(p) => {
+                    cache::store_placement(&pkey, &p);
+                    p
                 }
                 Err(e) => {
-                    last_err = Some(FlowError::new(name, FlowStage::Route, FlowErrorKind::Route(e)));
+                    last_err = Some(FlowError::new(
+                        name,
+                        FlowStage::Place,
+                        FlowErrorKind::Place(e),
+                    ));
+                    continue;
                 }
             },
+        };
+        match route(&netlist, &packed, &placement, cfg.route) {
+            Ok(routed) => {
+                implemented = Some((device, placement.budget, routed));
+                break;
+            }
             Err(e) => {
-                last_err = Some(FlowError::new(name, FlowStage::Place, FlowErrorKind::Place(e)));
+                last_err = Some(FlowError::new(
+                    name,
+                    FlowStage::Route,
+                    FlowErrorKind::Route(e),
+                ));
             }
         }
     }
@@ -614,7 +753,10 @@ fn physical(
         return Err(last_err.expect("at least one device attempted"));
     };
     if device.name != cfg.device.name {
-        downgrades.push(Downgrade::DeviceUpsized { from: cfg.device.name, to: device.name });
+        downgrades.push(Downgrade::DeviceUpsized {
+            from: cfg.device.name,
+            to: device.name,
+        });
     }
     if let fpga_fabric::place::BudgetOutcome::Exhausted { spent } = place_budget {
         downgrades.push(Downgrade::PlaceBudgetExhausted { spent });
@@ -644,6 +786,7 @@ fn physical(
         total_wirelength: routed.total_wirelength,
         device,
         downgrades,
+        cache: cache::CacheStats::default(),
     })
 }
 
@@ -667,7 +810,11 @@ mod tests {
         FlowConfig {
             cycles: 600,
             verify_cycles: 200,
-            place: PlaceOptions { seed: 1, effort: 2.0, ..PlaceOptions::default() },
+            place: PlaceOptions {
+                seed: 1,
+                effort: 2.0,
+                ..PlaceOptions::default()
+            },
             ..FlowConfig::default()
         }
     }

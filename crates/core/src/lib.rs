@@ -53,6 +53,7 @@
 
 pub mod baseline;
 pub mod blif_flow;
+pub mod cache;
 pub mod clock_control;
 pub mod compaction;
 pub mod contents;

@@ -237,10 +237,10 @@ pub fn map_fsm_into_embs(stg: &Stg, opts: &EmbOptions) -> Result<EmbFsm, MapFsmE
         match machine::moore_outputs(stg) {
             Some(outs) => (stg.clone(), outs),
             None => {
-                let moore = machine::to_moore(stg)
-                    .map_err(|e| MapFsmError::Logic(e.to_string()))?;
-                let outs = machine::moore_outputs(&moore)
-                    .expect("to_moore produces a Moore machine");
+                let moore =
+                    machine::to_moore(stg).map_err(|e| MapFsmError::Logic(e.to_string()))?;
+                let outs =
+                    machine::moore_outputs(&moore).expect("to_moore produces a Moore machine");
                 (moore, outs)
             }
         }
@@ -252,7 +252,11 @@ pub fn map_fsm_into_embs(stg: &Stg, opts: &EmbOptions) -> Result<EmbFsm, MapFsmE
     let s = encoding.num_bits();
     let num_inputs = mapped_stg.num_inputs();
     let num_outputs = mapped_stg.num_outputs();
-    let data_width = if use_luts_for_outputs { s } else { s + num_outputs };
+    let data_width = if use_luts_for_outputs {
+        s
+    } else {
+        s + num_outputs
+    };
 
     // Enumerate address-plan candidates and pick the one using the fewest
     // BRAMs. Fig. 5 presents compaction as the fallback when `I + s`
@@ -280,8 +284,7 @@ pub fn map_fsm_into_embs(stg: &Stg, opts: &EmbOptions) -> Result<EmbFsm, MapFsmE
                 return;
             }
             let series_bits = addr_bits - max_addr;
-            if series_bits >= usize::BITS as usize
-                || 1usize << series_bits > opts.max_series_banks
+            if series_bits >= usize::BITS as usize || 1usize << series_bits > opts.max_series_banks
             {
                 return;
             }
@@ -526,7 +529,10 @@ impl EmbFsm {
                 return g;
             }
             let g = n.add_net("gnd");
-            n.add_cell(Cell::Const { output: g, value: false });
+            n.add_cell(Cell::Const {
+                output: g,
+                value: false,
+            });
             ground = Some(g);
             g
         };
@@ -551,9 +557,7 @@ impl EmbFsm {
             for p in 0..self.parallel {
                 let lo_bit = p * self.shape.data_bits;
                 let hi_bit = ((p + 1) * self.shape.data_bits).min(self.data_width);
-                let dout: Vec<NetId> = (lo_bit..hi_bit)
-                    .map(|b| bank_word_nets[bank][b])
-                    .collect();
+                let dout: Vec<NetId> = (lo_bit..hi_bit).map(|b| bank_word_nets[bank][b]).collect();
                 // Address pins: logical low bits, padded with ground.
                 let mut addr: Vec<NetId> = logical_addr[..low_addr_bits].to_vec();
                 while addr.len() < self.shape.addr_bits {

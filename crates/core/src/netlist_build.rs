@@ -32,7 +32,10 @@ pub fn instantiate_luts(
             return n;
         }
         let n = netlist.add_net(format!("{prefix}_const{}", u8::from(v)));
-        netlist.add_cell(Cell::Const { output: n, value: v });
+        netlist.add_cell(Cell::Const {
+            output: n,
+            value: v,
+        });
         const_nets[usize::from(v)] = Some(n);
         n
     };

@@ -148,7 +148,10 @@ impl ReconfigurableFsm {
     pub fn clock_without_write(&self, sim: &mut Simulator<'_>, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(inputs.len(), self.fsm_inputs, "input width");
         let mut vec = inputs.to_vec();
-        vec.extend(std::iter::repeat_n(false, self.addr_bits + self.data_bits + 1));
+        vec.extend(std::iter::repeat_n(
+            false,
+            self.addr_bits + self.data_bits + 1,
+        ));
         sim.clock(&vec)
     }
 }
@@ -286,9 +289,7 @@ mod tests {
         let updates = update_sequence(&emb, &detector_0110()).unwrap();
         // Reset-state words (state code 0 -> high address bits 0) last.
         let input_bits = 1;
-        let first_reset = updates
-            .iter()
-            .position(|(a, _)| a >> input_bits == 0);
+        let first_reset = updates.iter().position(|(a, _)| a >> input_bits == 0);
         if let Some(pos) = first_reset {
             assert!(
                 updates[pos..].iter().all(|(a, _)| a >> input_bits == 0),

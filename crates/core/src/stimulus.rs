@@ -40,7 +40,11 @@ pub fn idle_biased(stg: &Stg, cycles: usize, idle_prob: f64, seed: u64) -> Vec<V
         } else {
             pick_active_vector(stg, &sim, &mut rng)
         }
-        .unwrap_or_else(|| (0..stg.num_inputs()).map(|_| rng.random_bool(0.5)).collect());
+        .unwrap_or_else(|| {
+            (0..stg.num_inputs())
+                .map(|_| rng.random_bool(0.5))
+                .collect()
+        });
         let before = (sim.state(), sim.outputs().to_vec());
         sim.clock(&vector);
         if sim.state() == before.0 && sim.outputs() == before.1 {
@@ -178,7 +182,13 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let stg = rotary_sequencer();
-        assert_eq!(idle_biased(&stg, 100, 0.5, 1), idle_biased(&stg, 100, 0.5, 1));
-        assert_ne!(idle_biased(&stg, 100, 0.5, 1), idle_biased(&stg, 100, 0.5, 2));
+        assert_eq!(
+            idle_biased(&stg, 100, 0.5, 1),
+            idle_biased(&stg, 100, 0.5, 1)
+        );
+        assert_ne!(
+            idle_biased(&stg, 100, 0.5, 1),
+            idle_biased(&stg, 100, 0.5, 2)
+        );
     }
 }

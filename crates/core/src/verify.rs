@@ -330,7 +330,11 @@ mod tests {
 
     #[test]
     fn ff_baseline_verifies_combinational() {
-        for stg in [sequence_detector_0101(), traffic_light(), rotary_sequencer()] {
+        for stg in [
+            sequence_detector_0101(),
+            traffic_light(),
+            rotary_sequencer(),
+        ] {
             let synth = synthesize(&stg, SynthOptions::default()).unwrap();
             let (n, _) = ff_netlist(&synth, false);
             verify_against_stg(&n, &stg, OutputTiming::Combinational, 500, 42)
@@ -340,7 +344,11 @@ mod tests {
 
     #[test]
     fn emb_mapping_verifies_registered() {
-        for stg in [sequence_detector_0101(), traffic_light(), rotary_sequencer()] {
+        for stg in [
+            sequence_detector_0101(),
+            traffic_light(),
+            rotary_sequencer(),
+        ] {
             let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
             let n = emb.to_netlist();
             verify_against_stg(&n, &stg, OutputTiming::Registered, 500, 43)
@@ -440,8 +448,8 @@ mod tests {
         let stg = sequence_detector_0101();
         let mut emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
         emb.rom[0b111] ^= 0b100; // the detection word (state D, input 1)
-        let err = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
-            .unwrap_err();
+        let err =
+            verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8).unwrap_err();
         match err {
             VerifyError::Mismatch { cycle, .. } => {
                 assert!(cycle >= 1, "needs a prefix to reach state D");
@@ -454,8 +462,8 @@ mod tests {
     fn exhaustive_refuses_wide_inputs() {
         let stg = fsm_model::benchmarks::by_name("sand").unwrap(); // 11 inputs
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
-        let err = verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8)
-            .unwrap_err();
+        let err =
+            verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8).unwrap_err();
         assert!(matches!(err, VerifyError::InputsTooWide { .. }));
     }
 

@@ -1,0 +1,102 @@
+//! Integration test for the flow-artifact cache: a cold run, a
+//! memory-warm run, and a disk-warm run (memory layer dropped) must all
+//! produce the same report, and the hit/miss counters surfaced in
+//! [`FlowReport`] must account for the traffic.
+//!
+//! This file holds a single test function on purpose: the cache reads
+//! `FLOW_CACHE_DIR` once per process, so the variable must be set before
+//! any other code in this binary touches the cache.
+
+use emb_fsm::cache;
+use emb_fsm::flow::{ff_flow, FlowConfig, FlowReport, Stimulus};
+use emb_fsm::EmbOptions;
+use fpga_fabric::place::PlaceOptions;
+use logic_synth::synth::SynthOptions;
+use std::path::PathBuf;
+
+/// The fields a cached rerun must reproduce exactly.
+fn fingerprint(r: &FlowReport) -> (usize, usize, usize, u64, usize, u64, String) {
+    (
+        r.area.luts,
+        r.area.ffs,
+        r.area.brams,
+        r.timing.critical_path_ns.to_bits(),
+        r.total_wirelength,
+        r.power_at(85.0).map_or(0, |p| p.total_mw().to_bits()),
+        format!("{:?}", r.downgrades),
+    )
+}
+
+#[test]
+fn cold_memory_warm_and_disk_warm_runs_agree() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join(format!("itest_flow_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("FLOW_CACHE_DIR", &dir);
+
+    let stg = fsm_model::benchmarks::sequence_detector_0101();
+    let cfg = FlowConfig {
+        cycles: 400,
+        verify_cycles: 150,
+        place: PlaceOptions {
+            seed: 1,
+            effort: 2.0,
+            ..PlaceOptions::default()
+        },
+        ..FlowConfig::default()
+    };
+
+    // Cold: every artifact is computed and stored.
+    let cold = ff_flow(&stg, SynthOptions::default(), &Stimulus::Random, &cfg).unwrap();
+    assert_eq!(cold.cache.hits, 0, "cold run must not hit: {}", cold.cache);
+    assert!(
+        cold.cache.misses >= 2,
+        "cold run misses at least the front-end and one placement: {}",
+        cold.cache
+    );
+
+    // Memory-warm: same process, both layers populated.
+    let warm = ff_flow(&stg, SynthOptions::default(), &Stimulus::Random, &cfg).unwrap();
+    assert_eq!(
+        fingerprint(&warm),
+        fingerprint(&cold),
+        "warm run must equal cold run"
+    );
+    assert_eq!(
+        warm.cache.misses, 0,
+        "warm run must not miss: {}",
+        warm.cache
+    );
+    assert_eq!(
+        warm.cache.hits, cold.cache.misses,
+        "every cold miss becomes a warm hit"
+    );
+
+    // Disk-warm: drop the in-process layer, artifacts come from disk.
+    cache::reset_memory();
+    let disk = ff_flow(&stg, SynthOptions::default(), &Stimulus::Random, &cfg).unwrap();
+    assert_eq!(
+        fingerprint(&disk),
+        fingerprint(&cold),
+        "disk-warm run must equal cold run"
+    );
+    assert_eq!(
+        disk.cache.misses, 0,
+        "disk-warm run must not miss: {}",
+        disk.cache
+    );
+    assert_eq!(disk.cache.hits, cold.cache.misses);
+
+    // A different flavor of the same machine is a different key: the EMB
+    // flow over an already-cached STG still misses its own artifacts.
+    let emb =
+        emb_fsm::flow::emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+    assert!(
+        emb.cache.misses >= 2,
+        "distinct kind tags must not collide: {}",
+        emb.cache
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

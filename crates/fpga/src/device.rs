@@ -173,12 +173,42 @@ impl fmt::Display for Device {
 
 /// The modeled Virtex-II family (slice/BRAM counts from the data sheet).
 pub const FAMILY: [Device; 6] = [
-    Device { name: "XC2V40", clb_rows: 8, clb_cols: 8, bram_cols: 2 },
-    Device { name: "XC2V80", clb_rows: 16, clb_cols: 8, bram_cols: 2 },
-    Device { name: "XC2V250", clb_rows: 24, clb_cols: 16, bram_cols: 4 },
-    Device { name: "XC2V500", clb_rows: 32, clb_cols: 24, bram_cols: 4 },
-    Device { name: "XC2V1000", clb_rows: 40, clb_cols: 32, bram_cols: 4 },
-    Device { name: "XC2V8000", clb_rows: 112, clb_cols: 104, bram_cols: 6 },
+    Device {
+        name: "XC2V40",
+        clb_rows: 8,
+        clb_cols: 8,
+        bram_cols: 2,
+    },
+    Device {
+        name: "XC2V80",
+        clb_rows: 16,
+        clb_cols: 8,
+        bram_cols: 2,
+    },
+    Device {
+        name: "XC2V250",
+        clb_rows: 24,
+        clb_cols: 16,
+        bram_cols: 4,
+    },
+    Device {
+        name: "XC2V500",
+        clb_rows: 32,
+        clb_cols: 24,
+        bram_cols: 4,
+    },
+    Device {
+        name: "XC2V1000",
+        clb_rows: 40,
+        clb_cols: 32,
+        bram_cols: 4,
+    },
+    Device {
+        name: "XC2V8000",
+        clb_rows: 112,
+        clb_cols: 104,
+        bram_cols: 6,
+    },
 ];
 
 /// A block-RAM aspect ratio (address × data organization of the 18-Kbit
@@ -198,12 +228,30 @@ pub struct BramShape {
 impl BramShape {
     /// All legal Virtex-II shapes, widest data first.
     pub const ALL: [BramShape; 6] = [
-        BramShape { addr_bits: 9, data_bits: 36 },
-        BramShape { addr_bits: 10, data_bits: 18 },
-        BramShape { addr_bits: 11, data_bits: 9 },
-        BramShape { addr_bits: 12, data_bits: 4 },
-        BramShape { addr_bits: 13, data_bits: 2 },
-        BramShape { addr_bits: 14, data_bits: 1 },
+        BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        },
+        BramShape {
+            addr_bits: 10,
+            data_bits: 18,
+        },
+        BramShape {
+            addr_bits: 11,
+            data_bits: 9,
+        },
+        BramShape {
+            addr_bits: 12,
+            data_bits: 4,
+        },
+        BramShape {
+            addr_bits: 13,
+            data_bits: 2,
+        },
+        BramShape {
+            addr_bits: 14,
+            data_bits: 1,
+        },
     ];
 
     /// Number of addressable words.
@@ -283,10 +331,7 @@ mod tests {
     fn shapes_are_all_18kbit_class() {
         for s in BramShape::ALL {
             let bits = s.depth() * s.data_bits;
-            assert!(
-                (16_384..=18_432).contains(&bits),
-                "{s} has {bits} bits"
-            );
+            assert!((16_384..=18_432).contains(&bits), "{s} has {bits} bits");
         }
     }
 
@@ -294,15 +339,24 @@ mod tests {
     fn widest_shape_selection() {
         assert_eq!(
             BramShape::widest_with_addr_bits(9),
-            Some(BramShape { addr_bits: 9, data_bits: 36 })
+            Some(BramShape {
+                addr_bits: 9,
+                data_bits: 36
+            })
         );
         assert_eq!(
             BramShape::widest_with_addr_bits(10),
-            Some(BramShape { addr_bits: 10, data_bits: 18 })
+            Some(BramShape {
+                addr_bits: 10,
+                data_bits: 18
+            })
         );
         assert_eq!(
             BramShape::widest_with_addr_bits(14),
-            Some(BramShape { addr_bits: 14, data_bits: 1 })
+            Some(BramShape {
+                addr_bits: 14,
+                data_bits: 1
+            })
         );
         assert_eq!(BramShape::widest_with_addr_bits(15), None);
         assert_eq!(BramShape::max_addr_bits(), 14);

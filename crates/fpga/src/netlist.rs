@@ -122,7 +122,9 @@ impl Cell {
                 v.extend(ce.iter().copied());
                 v
             }
-            Cell::Bram { addr, en, write, .. } => {
+            Cell::Bram {
+                addr, en, write, ..
+            } => {
                 let mut v = addr.clone();
                 v.extend(en.iter().copied());
                 if let Some(w) = write {
@@ -330,7 +332,11 @@ impl Netlist {
     ///
     /// Returns a message if the cell is not a BRAM or the image length is
     /// wrong.
-    pub fn replace_bram_init(&mut self, cell_index: usize, new_init: Vec<u64>) -> Result<(), String> {
+    pub fn replace_bram_init(
+        &mut self,
+        cell_index: usize,
+        new_init: Vec<u64>,
+    ) -> Result<(), String> {
         match self.cells.get_mut(cell_index) {
             Some(Cell::Bram { shape, init, .. }) => {
                 if new_init.len() != shape.depth() {
@@ -386,7 +392,12 @@ impl Netlist {
                     }
                 }
                 Cell::Bram {
-                    shape, addr, dout, init, write, ..
+                    shape,
+                    addr,
+                    dout,
+                    init,
+                    write,
+                    ..
                 } => {
                     if let Some(w) = write {
                         if w.addr.len() != shape.addr_bits {
@@ -411,10 +422,7 @@ impl Netlist {
                     if addr.len() != shape.addr_bits {
                         return Err(NetlistError::Malformed {
                             cell: id,
-                            reason: format!(
-                                "{} address pins for shape {shape}",
-                                addr.len()
-                            ),
+                            reason: format!("{} address pins for shape {shape}", addr.len()),
                         });
                     }
                     if dout.len() > shape.data_bits {
@@ -576,8 +584,18 @@ mod tests {
             output: d1,
             truth: t,
         });
-        n.add_cell(Cell::Ff { d: d0, q: q0, ce: None, init: false });
-        n.add_cell(Cell::Ff { d: d1, q: q1, ce: None, init: false });
+        n.add_cell(Cell::Ff {
+            d: d0,
+            q: q0,
+            ce: None,
+            init: false,
+        });
+        n.add_cell(Cell::Ff {
+            d: d1,
+            q: q1,
+            ce: None,
+            init: false,
+        });
         n
     }
 
@@ -588,7 +606,12 @@ mod tests {
         assert_eq!(order.len(), 2); // two LUTs
         assert_eq!(
             n.cell_counts(),
-            CellCounts { luts: 2, ffs: 2, brams: 0, consts: 0 }
+            CellCounts {
+                luts: 2,
+                ffs: 2,
+                brams: 0,
+                consts: 0
+            }
         );
     }
 
@@ -597,7 +620,11 @@ mod tests {
         let mut n = counter();
         let ghost = n.add_net("ghost");
         let out = n.add_net("bad");
-        n.add_cell(Cell::Lut { inputs: vec![ghost], output: out, truth: 0b10 });
+        n.add_cell(Cell::Lut {
+            inputs: vec![ghost],
+            output: out,
+            truth: 0b10,
+        });
         assert!(matches!(n.validate(), Err(NetlistError::Undriven(_))));
     }
 
@@ -605,7 +632,10 @@ mod tests {
     fn double_driver_detected() {
         let mut n = counter();
         let q0 = NetId(1);
-        n.add_cell(Cell::Const { output: q0, value: true });
+        n.add_cell(Cell::Const {
+            output: q0,
+            value: true,
+        });
         assert!(matches!(n.validate(), Err(NetlistError::MultiplyDriven(_))));
     }
 
@@ -614,8 +644,16 @@ mod tests {
         let mut n = Netlist::new("cyc");
         let a = n.add_net("a");
         let b = n.add_net("b");
-        n.add_cell(Cell::Lut { inputs: vec![b], output: a, truth: 0b01 });
-        n.add_cell(Cell::Lut { inputs: vec![a], output: b, truth: 0b01 });
+        n.add_cell(Cell::Lut {
+            inputs: vec![b],
+            output: a,
+            truth: 0b01,
+        });
+        n.add_cell(Cell::Lut {
+            inputs: vec![a],
+            output: b,
+            truth: 0b01,
+        });
         n.add_output("a", a);
         assert_eq!(n.validate(), Err(NetlistError::CombinationalCycle));
     }
@@ -626,15 +664,27 @@ mod tests {
         let mut n = Netlist::new("loop");
         let q = n.add_net("q");
         let d = n.add_net("d");
-        n.add_cell(Cell::Lut { inputs: vec![q], output: d, truth: 0b01 });
-        n.add_cell(Cell::Ff { d, q, ce: None, init: false });
+        n.add_cell(Cell::Lut {
+            inputs: vec![q],
+            output: d,
+            truth: 0b01,
+        });
+        n.add_cell(Cell::Ff {
+            d,
+            q,
+            ce: None,
+            init: false,
+        });
         n.add_output("q", q);
         assert!(n.validate().is_ok());
     }
 
     #[test]
     fn bram_pin_checks() {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("rom");
         let a: Vec<NetId> = (0..9).map(|i| n.add_net(format!("a{i}"))).collect();
         let d: Vec<NetId> = (0..4).map(|i| n.add_net(format!("d{i}"))).collect();
@@ -697,7 +747,11 @@ mod tests {
         let y = n.add_net("y");
         n.add_input("a", a);
         n.add_output("y", y);
-        n.add_cell(Cell::Lut { inputs: vec![a], output: y, truth: 0b100 });
+        n.add_cell(Cell::Lut {
+            inputs: vec![a],
+            output: y,
+            truth: 0b100,
+        });
         assert!(matches!(n.validate(), Err(NetlistError::Malformed { .. })));
     }
 }

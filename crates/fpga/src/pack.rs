@@ -162,7 +162,10 @@ pub fn pack(netlist: &Netlist) -> PackedDesign {
                 }
             }
             Cell::Ff { .. } if !ff_paired.contains(&id) => {
-                les.push(LogicElement { lut: None, ff: Some(id) });
+                les.push(LogicElement {
+                    lut: None,
+                    ff: Some(id),
+                });
                 le_of_cell.insert(id, les.len() - 1);
             }
             _ => {}
@@ -194,10 +197,10 @@ pub fn pack(netlist: &Netlist) -> PackedDesign {
         let mut clb = Clb::default();
         let mut clb_nets: HashSet<NetId> = HashSet::new();
         let add = |idx: usize,
-                       clb: &mut Clb,
-                       clb_nets: &mut HashSet<NetId>,
-                       assigned: &mut Vec<bool>,
-                       clb_of_le: &mut Vec<usize>| {
+                   clb: &mut Clb,
+                   clb_nets: &mut HashSet<NetId>,
+                   assigned: &mut Vec<bool>,
+                   clb_of_le: &mut Vec<usize>| {
             assigned[idx] = true;
             clb_of_le[idx] = clbs.len();
             clb.les.push(les[idx]);
@@ -240,10 +243,18 @@ pub fn pack(netlist: &Netlist) -> PackedDesign {
     }
     let mut iobs: Vec<Iob> = Vec::new();
     for (name, net) in netlist.inputs() {
-        iobs.push(Iob { name: name.clone(), net: *net, is_input: true });
+        iobs.push(Iob {
+            name: name.clone(),
+            net: *net,
+            is_input: true,
+        });
     }
     for (name, net) in netlist.outputs() {
-        iobs.push(Iob { name: name.clone(), net: *net, is_input: false });
+        iobs.push(Iob {
+            name: name.clone(),
+            net: *net,
+            is_input: false,
+        });
     }
 
     // 6. Cell -> entity map.
@@ -283,9 +294,23 @@ mod tests {
         let q1 = n.add_net("q1");
         n.add_input("in", input);
         n.add_output("out", q1);
-        n.add_cell(Cell::Ff { d: input, q: q0, ce: None, init: false });
-        n.add_cell(Cell::Lut { inputs: vec![q0], output: l, truth: 0b01 });
-        n.add_cell(Cell::Ff { d: l, q: q1, ce: None, init: false });
+        n.add_cell(Cell::Ff {
+            d: input,
+            q: q0,
+            ce: None,
+            init: false,
+        });
+        n.add_cell(Cell::Lut {
+            inputs: vec![q0],
+            output: l,
+            truth: 0b01,
+        });
+        n.add_cell(Cell::Ff {
+            d: l,
+            q: q1,
+            ce: None,
+            init: false,
+        });
         n
     }
 
@@ -319,8 +344,17 @@ mod tests {
         n.add_input("a", a);
         n.add_output("l_out", l); // LUT output visible at a pad
         n.add_output("q_out", q);
-        n.add_cell(Cell::Lut { inputs: vec![a], output: l, truth: 0b10 });
-        n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+        n.add_cell(Cell::Lut {
+            inputs: vec![a],
+            output: l,
+            truth: 0b10,
+        });
+        n.add_cell(Cell::Ff {
+            d: l,
+            q,
+            ce: None,
+            init: false,
+        });
         let p = pack(&n);
         let paired = p
             .clbs
@@ -340,7 +374,11 @@ mod tests {
         n.add_input("a", a);
         for i in 0..20 {
             let o = n.add_net(format!("o{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![a], output: o, truth: 0b10 });
+            n.add_cell(Cell::Lut {
+                inputs: vec![a],
+                output: o,
+                truth: 0b10,
+            });
             n.add_output(format!("o{i}"), o);
         }
         let p = pack(&n);
@@ -355,7 +393,10 @@ mod tests {
 
     #[test]
     fn brams_and_iobs_are_entities() {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("b");
         let a: Vec<_> = (0..9).map(|i| n.add_net(format!("a{i}"))).collect();
         let d = n.add_net("d0");
@@ -383,7 +424,10 @@ mod tests {
     fn constants_are_not_placed() {
         let mut n = Netlist::new("k");
         let one = n.add_net("one");
-        n.add_cell(Cell::Const { output: one, value: true });
+        n.add_cell(Cell::Const {
+            output: one,
+            value: true,
+        });
         n.add_output("one", one);
         let p = pack(&n);
         assert_eq!(p.entity_of_cell[0], None);

@@ -10,11 +10,18 @@
 //! placement (Sec. 4.1).
 
 use crate::device::Device;
-use crate::netlist::{Netlist, NetId};
+use crate::netlist::{NetId, Netlist};
 use crate::pack::{EntityId, PackedDesign};
-use xrand::SmallRng;
 use std::collections::HashMap;
 use std::fmt;
+use xrand::SmallRng;
+
+/// Bumped whenever [`place`] can produce a different placement for the
+/// same (netlist, device, options) input — the flow-artifact cache mixes
+/// it into placement keys so stale artifacts from an older algorithm are
+/// never returned. Version 2: adaptive VPR schedule (T0 from sampled
+/// move-delta stddev, acceptance-keyed cooling, dynamic exit).
+pub const ALGORITHM_VERSION: u32 = 2;
 
 /// Placement options.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +116,12 @@ pub struct Placement {
     pub iob_loc: Vec<(usize, usize)>,
     /// Final HPWL cost.
     pub hpwl: f64,
+    /// Final Σ hpwl² over the same nets — the quadratic tie-breaker the
+    /// descent phases optimize (a cheap timing proxy; see [`quench`]).
+    pub hpwl_sq: f64,
+    /// Annealing moves attempted (excludes the T0 calibration samples
+    /// and the deterministic quench passes).
+    pub moves: u64,
     /// Whether the anneal ran its full schedule or hit
     /// [`PlaceOptions::max_moves`] (best-seen returned either way).
     pub budget: BudgetOutcome,
@@ -195,7 +208,11 @@ fn quench(
 ) {
     let free_of = |locs: &[(usize, usize)], sites: &[(usize, usize)]| -> Vec<(usize, usize)> {
         let used: std::collections::HashSet<(usize, usize)> = locs.iter().copied().collect();
-        sites.iter().copied().filter(|s| !used.contains(s)).collect()
+        sites
+            .iter()
+            .copied()
+            .filter(|s| !used.contains(s))
+            .collect()
     };
     let mut free_clb = free_of(clb_loc, clb_sites);
     let mut free_bram = free_of(bram_loc, bram_sites);
@@ -390,6 +407,8 @@ pub fn place(
             bram_loc,
             iob_loc,
             hpwl: 0.0,
+            hpwl_sq: 0.0,
+            moves: 0,
             budget: BudgetOutcome::Completed,
         });
     }
@@ -411,43 +430,52 @@ pub fn place(
 
     let cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
 
-    // Deterministic descent baseline: quench a COPY of the ordered seed
-    // layout into a local optimum. The anneal itself still explores from
-    // the raw seed layout at full temperature (quenching first would
-    // leave it too cold to escape the baseline's basin), but best-seen
-    // tracking starts at this baseline, so no effort level can return
-    // anything worse than plain greedy descent.
-    let mut base_clb = clb_loc.clone();
-    let mut base_bram = bram_loc.clone();
-    let mut base_iob = iob_loc.clone();
+    // Deterministic descent baseline: quench the ordered seed layout
+    // into a local optimum. The anneal explores FROM this quenched
+    // layout — the fixed-T0 schedule this replaces had to start from the
+    // raw seed (its hand-picked T0 was calibrated against the seed's
+    // average net cost; starting it quenched left the walk too cold to
+    // escape the baseline's basin), burning more than half its moves
+    // re-descending to costs the quench had already reached. With T0
+    // *measured* at the quenched layout (below), the walk starts exactly
+    // warm enough to hop between nearby basins without losing what the
+    // descent already won — and best-seen tracking starts at the
+    // baseline, so no effort level can return anything worse than plain
+    // greedy descent.
     quench(
         &pins,
         &nets_of_entity,
         &clb_sites,
         &bram_sites,
         &iob_sites,
-        &mut base_clb,
-        &mut base_bram,
-        &mut base_iob,
+        &mut clb_loc,
+        &mut bram_loc,
+        &mut iob_loc,
     );
-    let base_cost = cost_all(&base_clb, &base_bram, &base_iob);
+    let base_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+    let base_clb = clb_loc.clone();
+    let base_bram = bram_loc.clone();
+    let base_iob = iob_loc.clone();
 
-    // Free-site pools per type.
-    let mut free_clb: Vec<(usize, usize)> = clb_sites[packed.clbs.len()..].to_vec();
-    let mut free_bram: Vec<(usize, usize)> = bram_sites[packed.brams.len()..].to_vec();
-    let mut free_iob: Vec<(usize, usize)> = iob_sites[packed.iobs.len()..].to_vec();
+    // Free-site pools per type (the quench may have moved entities onto
+    // any site, so derive the pools from actual occupancy).
+    let free_of = |locs: &[(usize, usize)], sites: &[(usize, usize)]| -> Vec<(usize, usize)> {
+        let used: std::collections::HashSet<(usize, usize)> = locs.iter().copied().collect();
+        sites
+            .iter()
+            .copied()
+            .filter(|s| !used.contains(s))
+            .collect()
+    };
+    let mut free_clb = free_of(&clb_loc, &clb_sites);
+    let mut free_bram = free_of(&bram_loc, &bram_sites);
+    let mut free_iob = free_of(&iob_loc, &iob_sites);
 
     // Anneal. The walk returns the BEST configuration it visits, not the
     // final one: at nonzero temperature the walk may drift uphill just
     // before freezing, which made high-effort runs occasionally finish
     // worse than low-effort ones (caught by
     // `annealing_improves_over_initial` the first time the suite ran).
-    let mut cur_cost = cost;
-    let mut best_cost = base_cost;
-    let mut best = (base_clb, base_bram, base_iob);
-    let moves_per_t = ((num_entities as f64).powf(4.0 / 3.0) * opts.effort).ceil() as usize;
-    let mut temperature = (cost / active_nets.len().max(1) as f64).max(1.0) * 2.0;
-    let min_t = 0.005;
     // VPR-style range limiting: moves are confined to a window of radius
     // `rlim` around the entity, and the window shrinks as the acceptance
     // rate drops (target ~44%, Betz & Rose). Without it, low-temperature
@@ -463,26 +491,35 @@ pub fn place(
         .map(|&(x, y)| x.max(y))
         .max()
         .unwrap_or(1) as f64;
-    let mut rlim = span;
     let in_window = |a: (usize, usize), b: (usize, usize), r: f64| -> bool {
         let dx = a.0.abs_diff(b.0);
         let dy = a.1.abs_diff(b.1);
         (dx.max(dy) as f64) <= r
     };
-    let mut moves_spent = 0u64;
-    let mut budget = BudgetOutcome::Completed;
-    'anneal: while temperature > min_t {
-        let mut accepted = 0usize;
-        for _ in 0..moves_per_t {
-            if moves_spent >= opts.max_moves {
-                budget = BudgetOutcome::Exhausted { spent: moves_spent };
-                break 'anneal;
-            }
-            moves_spent += 1;
-            // Pick an entity class weighted by population.
+    // The walk starts from a local optimum, so it opens with a *basin
+    // hop* window — a few sites wide — rather than the device-wide
+    // window a melt would use (rlim can re-grow if the acceptance rate
+    // says the reheat overshot).
+    let w0 = (span / 4.0).clamp(2.0, span);
+
+    // Adaptive initial temperature (VPR, after Betz & Rose): probe the
+    // move distribution by evaluating — not applying — a batch of random
+    // moves from the quenched layout *within the starting window*, and
+    // set T0 to the stddev of the sampled deltas: a typical local
+    // perturbation is accepted with fair odds — a reheat, not a melt.
+    // The previous hand-picked T0 (proportional to the seed layout's
+    // average net cost) over-heated small designs and under-heated
+    // congested ones, and forced the walk to re-descend from a
+    // temperature where device-wide jumps were routinely accepted —
+    // re-randomizing what the quench had already won, then spending more
+    // than half of every run's moves climbing back down.
+    let t0 = {
+        let mut deltas: Vec<f64> = Vec::new();
+        let samples = (num_entities * 2).clamp(64, 1024);
+        for _ in 0..samples {
             let pick = rng.random_range(0..num_entities);
             let (kind, idx) = if pick < packed.clbs.len() {
-                (0, pick)
+                (0usize, pick)
             } else if pick < packed.clbs.len() + packed.brams.len() {
                 (1, pick - packed.clbs.len())
             } else {
@@ -493,132 +530,376 @@ pub fn place(
                 1 => EntityId::Bram(idx),
                 _ => EntityId::Iob(idx),
             };
-            type SitePools<'a> = (&'a mut Vec<(usize, usize)>, &'a mut Vec<(usize, usize)>, usize);
-            let (locs, free, count): SitePools<'_> =
-                match kind {
+            let (locs, free, count) = match kind {
+                0 => (&clb_loc, &free_clb, packed.clbs.len()),
+                1 => (&bram_loc, &free_bram, packed.brams.len()),
+                _ => (&iob_loc, &free_iob, packed.iobs.len()),
+            };
+            let here = locs[idx];
+            let free_cands: Vec<usize> = free
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| in_window(here, s, w0))
+                .map(|(f, _)| f)
+                .collect();
+            let swap_cands: Vec<usize> = (0..count)
+                .filter(|&o| o != idx && in_window(here, locs[o], w0))
+                .collect();
+            let use_free =
+                !free_cands.is_empty() && (swap_cands.is_empty() || rng.random_bool(0.5));
+            let (other, new_site) = if use_free {
+                (
+                    None,
+                    free[free_cands[rng.random_range(0..free_cands.len())]],
+                )
+            } else if !swap_cands.is_empty() {
+                let o = swap_cands[rng.random_range(0..swap_cands.len())];
+                let oe = match kind {
+                    0 => EntityId::Clb(o),
+                    1 => EntityId::Bram(o),
+                    _ => EntityId::Iob(o),
+                };
+                (Some(oe), locs[o])
+            } else {
+                continue;
+            };
+            let mut affected: Vec<NetId> = nets_of_entity.get(&entity).cloned().unwrap_or_default();
+            if let Some(oe) = other {
+                affected.extend(nets_of_entity.get(&oe).cloned().unwrap_or_default());
+                affected.sort_unstable_by_key(|n| n.0);
+                affected.dedup();
+            }
+            let eval = |moved: bool| -> f64 {
+                let loc = |e: EntityId| {
+                    if moved {
+                        if e == entity {
+                            return new_site;
+                        }
+                        if other == Some(e) {
+                            return here;
+                        }
+                    }
+                    match e {
+                        EntityId::Clb(i) => clb_loc[i],
+                        EntityId::Bram(i) => bram_loc[i],
+                        EntityId::Iob(i) => iob_loc[i],
+                    }
+                };
+                affected
+                    .iter()
+                    .map(|n| hpwl_of_net(&pins[n.index()], &loc))
+                    .sum()
+            };
+            deltas.push(eval(true) - eval(false));
+        }
+        let n = deltas.len() as f64;
+        let sd = if deltas.is_empty() {
+            0.0
+        } else {
+            let mean = deltas.iter().sum::<f64>() / n;
+            (deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n).sqrt()
+        };
+        if sd > 0.0 {
+            // A third of a standard deviation accepts a typical uphill
+            // step with modest odds — a reheat, not a melt. The textbook
+            // 20σ (99% acceptance) buys nothing here: it re-randomizes
+            // the quenched layout into a random walk whose whole descent
+            // best-seen tracking then ignores, and even 1σ was measured
+            // to climb hundreds of cost units before cooling caught up.
+            sd / 3.0
+        } else {
+            // Degenerate spread (e.g. a single movable entity): fall
+            // back to the old average-net-cost heuristic.
+            (cost / active_nets.len().max(1) as f64).max(1.0) * 2.0
+        }
+    };
+
+    let mut cur_cost = base_cost;
+    let mut best_cost = base_cost;
+    let mut best = (base_clb, base_bram, base_iob);
+    // Per-level move budget. Most bands get a third of the classic
+    // effort·N^{4/3} budget: the adaptive cooling visits ~3× more,
+    // finer-grained, levels over the same temperature span than the old
+    // fixed 0.85 rate did. The plateau-diffusion band (acceptance
+    // 5–15%) keeps the full budget: rlim has shrunk to 1 there,
+    // zero-cost sideways steps drift across equal-cost shelves into
+    // valleys the deterministic quench cannot see, and the trace shows
+    // that is where the final quality is actually won. Below 5% the
+    // walk is frozen and gets the small budget again.
+    //
+    // Effort beyond 2.0 is spent on additional reheat cycles, not on
+    // longer levels: per-level budgets past ~2·N^{4/3} adapt the
+    // temperature and window so slowly (both update once per level)
+    // that the walk drifts device-wide before it cools, while extra
+    // quench-polished restarts are independent draws from the basin-hop
+    // distribution — min over draws keeps improving where one long
+    // cooldown stalls.
+    let effort_per_cycle = opts.effort.min(2.0);
+    let full_moves =
+        (((num_entities as f64).powf(4.0 / 3.0) * effort_per_cycle).ceil() as usize).max(1);
+    let mid_moves = (full_moves / 3).max(1);
+    let mut moves_per_t = mid_moves;
+    let mut temperature = t0;
+    // VPR exit test: stop once T falls below a small fraction of the
+    // *current* average net cost — past that point even unit-sized
+    // uphill steps are essentially never accepted, so further levels are
+    // pure descent, which the closing quench performs exactly. The
+    // threshold tracks cur_cost as the layout improves, so a walk that
+    // finds a much better layout also earns an earlier exit.
+    let exit_t = |cur: f64| (0.005 * cur / active_nets.len() as f64).max(1e-6);
+    let mut rlim = w0;
+    let mut moves_spent = 0u64;
+    let mut budget = BudgetOutcome::Completed;
+    // Iterated reheats (basin hopping): each cycle reheats the best-seen
+    // layout to t0 and cools back to the exit temperature. A single
+    // reheat is a coin flip — it either tunnels to a better basin or
+    // drifts somewhere unhelpful and gets discarded by best-seen
+    // tracking — so splitting the move budget across independent cycles
+    // from the incumbent buys a second (and third) draw at the cost of
+    // none.
+    let reheat_cycles: u32 = (opts.effort / effort_per_cycle.max(f64::MIN_POSITIVE)).round() as u32;
+    let mut cycle = 0u32;
+    'outer: loop {
+        while temperature > exit_t(cur_cost) {
+            let mut accepted = 0usize;
+            for _ in 0..moves_per_t {
+                if moves_spent >= opts.max_moves {
+                    budget = BudgetOutcome::Exhausted { spent: moves_spent };
+                    break 'outer;
+                }
+                moves_spent += 1;
+                // Pick an entity class weighted by population.
+                let pick = rng.random_range(0..num_entities);
+                let (kind, idx) = if pick < packed.clbs.len() {
+                    (0, pick)
+                } else if pick < packed.clbs.len() + packed.brams.len() {
+                    (1, pick - packed.clbs.len())
+                } else {
+                    (2, pick - packed.clbs.len() - packed.brams.len())
+                };
+                let entity = match kind {
+                    0 => EntityId::Clb(idx),
+                    1 => EntityId::Bram(idx),
+                    _ => EntityId::Iob(idx),
+                };
+                type SitePools<'a> = (
+                    &'a mut Vec<(usize, usize)>,
+                    &'a mut Vec<(usize, usize)>,
+                    usize,
+                );
+                let (locs, free, count): SitePools<'_> = match kind {
                     0 => (&mut clb_loc, &mut free_clb, packed.clbs.len()),
                     1 => (&mut bram_loc, &mut free_bram, packed.brams.len()),
                     _ => (&mut iob_loc, &mut free_iob, packed.iobs.len()),
                 };
 
-            // Candidate: swap with a sibling entity, or move to a free
-            // site — in either case within `rlim` of the current site.
-            let here = locs[idx];
-            let free_cands: Vec<usize> = free
-                .iter()
-                .enumerate()
-                .filter(|&(_, &s)| in_window(here, s, rlim))
-                .map(|(f, _)| f)
-                .collect();
-            let swap_cands: Vec<usize> = (0..count)
-                .filter(|&o| o != idx && in_window(here, locs[o], rlim))
-                .collect();
-            let use_free = !free_cands.is_empty()
-                && (swap_cands.is_empty() || rng.random_bool(0.5));
-            let (other_idx, new_site) = if use_free {
-                let f = free_cands[rng.random_range(0..free_cands.len())];
-                (None, free[f])
-            } else if !swap_cands.is_empty() {
-                let o = swap_cands[rng.random_range(0..swap_cands.len())];
-                (Some(o), locs[o])
-            } else {
-                continue;
-            };
+                // Candidate: swap with a sibling entity, or move to a free
+                // site — in either case within `rlim` of the current site.
+                let here = locs[idx];
+                let free_cands: Vec<usize> = free
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| in_window(here, s, rlim))
+                    .map(|(f, _)| f)
+                    .collect();
+                let swap_cands: Vec<usize> = (0..count)
+                    .filter(|&o| o != idx && in_window(here, locs[o], rlim))
+                    .collect();
+                let use_free =
+                    !free_cands.is_empty() && (swap_cands.is_empty() || rng.random_bool(0.5));
+                let (other_idx, new_site) = if use_free {
+                    let f = free_cands[rng.random_range(0..free_cands.len())];
+                    (None, free[f])
+                } else if !swap_cands.is_empty() {
+                    let o = swap_cands[rng.random_range(0..swap_cands.len())];
+                    (Some(o), locs[o])
+                } else {
+                    continue;
+                };
 
-            // Delta cost over affected nets only.
-            let affected: Vec<NetId> = {
-                let mut v: Vec<NetId> = nets_of_entity.get(&entity).cloned().unwrap_or_default();
-                if let Some(o) = other_idx {
-                    let other_entity = match kind {
-                        0 => EntityId::Clb(o),
-                        1 => EntityId::Bram(o),
-                        _ => EntityId::Iob(o),
+                // Delta cost over affected nets only.
+                let affected: Vec<NetId> = {
+                    let mut v: Vec<NetId> =
+                        nets_of_entity.get(&entity).cloned().unwrap_or_default();
+                    if let Some(o) = other_idx {
+                        let other_entity = match kind {
+                            0 => EntityId::Clb(o),
+                            1 => EntityId::Bram(o),
+                            _ => EntityId::Iob(o),
+                        };
+                        v.extend(
+                            nets_of_entity
+                                .get(&other_entity)
+                                .cloned()
+                                .unwrap_or_default(),
+                        );
+                        v.sort_unstable_by_key(|n| n.0);
+                        v.dedup();
+                    }
+                    v
+                };
+                let old_site = locs[idx];
+                let before: (f64, f64) = {
+                    let loc = |e: EntityId| match e {
+                        EntityId::Clb(i) => clb_loc[i],
+                        EntityId::Bram(i) => bram_loc[i],
+                        EntityId::Iob(i) => iob_loc[i],
                     };
-                    v.extend(nets_of_entity.get(&other_entity).cloned().unwrap_or_default());
-                    v.sort_unstable_by_key(|n| n.0);
-                    v.dedup();
+                    affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
+                        let h = hpwl_of_net(&pins[n.index()], &loc);
+                        (lin + h, sq + h * h)
+                    })
+                };
+                // Apply tentatively.
+                {
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = new_site;
+                    if let Some(o) = other_idx {
+                        locs[o] = old_site;
+                    }
                 }
-                v
-            };
-            let old_site = locs[idx];
-            let before: f64 = {
-                let loc = |e: EntityId| match e {
-                    EntityId::Clb(i) => clb_loc[i],
-                    EntityId::Bram(i) => bram_loc[i],
-                    EntityId::Iob(i) => iob_loc[i],
+                let after: (f64, f64) = {
+                    let loc = |e: EntityId| match e {
+                        EntityId::Clb(i) => clb_loc[i],
+                        EntityId::Bram(i) => bram_loc[i],
+                        EntityId::Iob(i) => iob_loc[i],
+                    };
+                    affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
+                        let h = hpwl_of_net(&pins[n.index()], &loc);
+                        (lin + h, sq + h * h)
+                    })
                 };
-                affected
-                    .iter()
-                    .map(|n| hpwl_of_net(&pins[n.index()], &loc))
-                    .sum()
-            };
-            // Apply tentatively.
-            {
-                let locs: &mut Vec<(usize, usize)> = match kind {
-                    0 => &mut clb_loc,
-                    1 => &mut bram_loc,
-                    _ => &mut iob_loc,
+                let delta = after.0 - before.0;
+                // Zero-linear-cost moves are plateau diffusion; bias them by
+                // the quadratic tie-breaker the quench optimizes, so shelf
+                // drift trades equal-HPWL configurations toward ones without
+                // individually long nets (better Σhpwl² for free, and more
+                // descent openings for the closing quench). Strictly
+                // sq-worsening sideways steps face the same Metropolis test
+                // the linear cost uses, scaled down so the quadratic term
+                // stays a tie-breaker rather than a second objective.
+                let delta_sq = after.1 - before.1;
+                let accept = if delta < -1e-9 {
+                    true
+                } else if delta < 1e-9 {
+                    delta_sq < 1e-9
+                        || rng.random_bool((-delta_sq / (8.0 * temperature)).exp().min(1.0))
+                } else {
+                    rng.random_bool((-delta / temperature).exp().min(1.0))
                 };
-                locs[idx] = new_site;
-                if let Some(o) = other_idx {
-                    locs[o] = old_site;
+                if accept {
+                    accepted += 1;
+                    cur_cost += delta;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+                    }
+                    if use_free {
+                        // The vacated site becomes free.
+                        let free: &mut Vec<(usize, usize)> = match kind {
+                            0 => &mut free_clb,
+                            1 => &mut free_bram,
+                            _ => &mut free_iob,
+                        };
+                        let pos = free
+                            .iter()
+                            .position(|s| *s == new_site)
+                            .expect("site came from the free pool");
+                        free.swap_remove(pos);
+                        free.push(old_site);
+                    }
+                } else {
+                    // Revert.
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = old_site;
+                    if let Some(o) = other_idx {
+                        locs[o] = new_site;
+                    }
                 }
             }
-            let after: f64 = {
-                let loc = |e: EntityId| match e {
-                    EntityId::Clb(i) => clb_loc[i],
-                    EntityId::Bram(i) => bram_loc[i],
-                    EntityId::Iob(i) => iob_loc[i],
-                };
-                affected
-                    .iter()
-                    .map(|n| hpwl_of_net(&pins[n.index()], &loc))
-                    .sum()
-            };
-            let delta = after - before;
-            let accept = delta <= 0.0 || rng.random_bool((-delta / temperature).exp().min(1.0));
-            if accept {
-                accepted += 1;
-                cur_cost += delta;
-                if cur_cost < best_cost {
-                    best_cost = cur_cost;
-                    best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
-                }
-                if use_free {
-                    // The vacated site becomes free.
-                    let free: &mut Vec<(usize, usize)> = match kind {
-                        0 => &mut free_clb,
-                        1 => &mut free_bram,
-                        _ => &mut free_iob,
-                    };
-                    let pos = free
-                        .iter()
-                        .position(|s| *s == new_site)
-                        .expect("site came from the free pool");
-                    free.swap_remove(pos);
-                    free.push(old_site);
-                }
+            // Acceptance-keyed cooling (VPR): linger where moves are being
+            // usefully sorted (mid-range acceptance), sprint through the
+            // too-hot (α ≈ 1: a random walk) and too-cold (α ≈ 0: frozen)
+            // ends that the fixed 0.85 rate used to spend moves on.
+            let success = accepted as f64 / moves_per_t.max(1) as f64;
+            temperature *= if success > 0.96 {
+                0.5
+            } else if success > 0.8 {
+                0.9
+            } else if success > 0.15 {
+                0.95
+            } else if success > 0.05 {
+                0.8
             } else {
-                // Revert.
-                let locs: &mut Vec<(usize, usize)> = match kind {
-                    0 => &mut clb_loc,
-                    1 => &mut bram_loc,
-                    _ => &mut iob_loc,
-                };
-                locs[idx] = old_site;
-                if let Some(o) = other_idx {
-                    locs[o] = new_site;
-                }
+                // Frozen (α ≤ 5%): the walk is down to rare unit
+                // perturbations; sprint to the exit temperature.
+                0.5
+            };
+            // Shrink (or re-grow) the window toward the 44% acceptance sweet
+            // spot: rlim_new = rlim · (0.56 + success_rate), clamped.
+            rlim = (rlim * (0.56 + success)).clamp(1.0, span);
+            moves_per_t = if success > 0.05 && success <= 0.15 {
+                full_moves
+            } else {
+                mid_moves
+            };
+            if std::env::var("PLACE_DEBUG").is_ok() {
+                eprintln!(
+                "level T={temperature:.4} alpha={success:.3} rlim={rlim:.2} cur={cur_cost:.0} best={best_cost:.0} spent={moves_spent}"
+            );
             }
+            // Re-anchor the incremental cost per level so f64 drift cannot
+            // accumulate across tens of thousands of accepted deltas.
+            cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
         }
-        temperature *= 0.85;
-        // Shrink (or re-grow) the window toward the 44% acceptance sweet
-        // spot: rlim_new = rlim · (0.56 + success_rate), clamped.
-        let success = accepted as f64 / moves_per_t.max(1) as f64;
-        rlim = (rlim * (0.56 + success)).clamp(1.0, span);
-        // Re-anchor the incremental cost per level so f64 drift cannot
-        // accumulate across tens of thousands of accepted deltas.
+
+        cycle += 1;
+        if cycle > reheat_cycles {
+            break;
+        }
+        // Reheat (basin hopping with local search): quench the best-seen
+        // layout into its local optimum — the walk's winner is usually
+        // still a few greedy steps above its basin floor — then restart
+        // the walk from that polished incumbent at the measured t0 with
+        // the opening window. Each cycle therefore launches from a layout
+        // at least as good as the previous cycle's polished result, and
+        // best-seen tracking keeps whichever basin floor was deepest.
+        clb_loc = best.0.clone();
+        bram_loc = best.1.clone();
+        iob_loc = best.2.clone();
+        quench(
+            &pins,
+            &nets_of_entity,
+            &clb_sites,
+            &bram_sites,
+            &iob_sites,
+            &mut clb_loc,
+            &mut bram_loc,
+            &mut iob_loc,
+        );
+        free_clb = free_of(&clb_loc, &clb_sites);
+        free_bram = free_of(&bram_loc, &bram_sites);
+        free_iob = free_of(&iob_loc, &iob_sites);
         cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+        best_cost = cur_cost;
+        best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+        // The reheat is gentle — a fraction of the first cycle's t0.
+        // Re-melting all the way destroys the incumbent (the walk climbs
+        // hundreds of cost units and rarely finds its way back down to a
+        // deeper basin); a low reheat does extended plateau exploration
+        // around the incumbent, which is where deeper basins actually
+        // get found at this problem scale.
+        temperature = t0 / 8.0;
+        rlim = w0;
+        moves_per_t = mid_moves;
     }
 
     // Exact costs decide between the walk's end point and its best-seen
@@ -643,12 +924,28 @@ pub fn place(
         &mut iob_loc,
     );
     let polished = cost_all(&clb_loc, &bram_loc, &iob_loc);
+    let polished_sq: f64 = {
+        let loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        active_nets
+            .iter()
+            .map(|n| {
+                let h = hpwl_of_net(&pins[n.index()], &loc);
+                h * h
+            })
+            .sum()
+    };
     Ok(Placement {
         device,
         clb_loc,
         bram_loc,
         iob_loc,
         hpwl: polished,
+        hpwl_sq: polished_sq,
+        moves: moves_spent,
         budget,
     })
 }
@@ -669,8 +966,17 @@ mod tests {
         for i in 0..n_stages {
             let l = n.add_net(format!("l{i}"));
             let q = n.add_net(format!("q{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
-            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            n.add_cell(Cell::Lut {
+                inputs: vec![prev],
+                output: l,
+                truth: 0b01,
+            });
+            n.add_cell(Cell::Ff {
+                d: l,
+                q,
+                ce: None,
+                init: false,
+            });
             prev = q;
         }
         n.add_output("out", prev);
@@ -706,8 +1012,28 @@ mod tests {
         // Initial cost = cost of sites in order; effort 0 approximates it by
         // freezing immediately (temperature decays but moves still run);
         // compare low vs high effort instead.
-        let lo = place(&n, &p, device, PlaceOptions { seed: 3, effort: 0.05, ..PlaceOptions::default() }).unwrap();
-        let hi = place(&n, &p, device, PlaceOptions { seed: 3, effort: 12.0, ..PlaceOptions::default() }).unwrap();
+        let lo = place(
+            &n,
+            &p,
+            device,
+            PlaceOptions {
+                seed: 3,
+                effort: 0.05,
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
+        let hi = place(
+            &n,
+            &p,
+            device,
+            PlaceOptions {
+                seed: 3,
+                effort: 12.0,
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
         assert!(
             hi.hpwl <= lo.hpwl * 1.05,
             "more effort should not be much worse: lo={} hi={}",
@@ -737,10 +1063,21 @@ mod tests {
         // chain on the smallest device.
         let big = chain(2000);
         let pb = pack(&big);
-        let err = place(&big, &pb, Device::by_name("XC2V40").unwrap(), PlaceOptions::default());
+        let err = place(
+            &big,
+            &pb,
+            Device::by_name("XC2V40").unwrap(),
+            PlaceOptions::default(),
+        );
         assert!(matches!(err, Err(PlaceError::DoesNotFit { .. })));
         // Sanity: the small one fits.
-        assert!(place(&n, &p, Device::by_name("XC2V40").unwrap(), PlaceOptions::default()).is_ok());
+        assert!(place(
+            &n,
+            &p,
+            Device::by_name("XC2V40").unwrap(),
+            PlaceOptions::default()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -757,13 +1094,27 @@ mod tests {
         let n = chain(60);
         let p = pack(&n);
         let device = Device::xc2v250();
-        let full = place(&n, &p, device, PlaceOptions { seed: 3, effort: 8.0, ..PlaceOptions::default() }).unwrap();
+        let full = place(
+            &n,
+            &p,
+            device,
+            PlaceOptions {
+                seed: 3,
+                effort: 8.0,
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(full.budget, BudgetOutcome::Completed);
         let capped = place(
             &n,
             &p,
             device,
-            PlaceOptions { seed: 3, effort: 8.0, max_moves: 500 },
+            PlaceOptions {
+                seed: 3,
+                effort: 8.0,
+                max_moves: 500,
+            },
         )
         .unwrap();
         assert!(capped.budget.is_exhausted(), "tiny budget must be flagged");
@@ -779,7 +1130,11 @@ mod tests {
             &n,
             &p,
             device,
-            PlaceOptions { seed: 3, effort: 8.0, max_moves: 500 },
+            PlaceOptions {
+                seed: 3,
+                effort: 8.0,
+                max_moves: 500,
+            },
         )
         .unwrap();
         assert_eq!(capped.clb_loc, again.clb_loc);

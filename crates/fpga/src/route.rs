@@ -130,17 +130,18 @@ fn net_terminals(
     placement: &Placement,
 ) -> Vec<Vec<(usize, usize)>> {
     let mut terminals: Vec<Vec<(usize, usize)>> = vec![Vec::new(); netlist.num_nets()];
-    let push = |net: NetId, tile: (usize, usize), is_driver: bool, t: &mut Vec<Vec<(usize, usize)>>| {
-        let v = &mut t[net.index()];
-        if is_driver {
-            if v.first() != Some(&tile) {
-                v.retain(|x| *x != tile);
-                v.insert(0, tile);
+    let push =
+        |net: NetId, tile: (usize, usize), is_driver: bool, t: &mut Vec<Vec<(usize, usize)>>| {
+            let v = &mut t[net.index()];
+            if is_driver {
+                if v.first() != Some(&tile) {
+                    v.retain(|x| *x != tile);
+                    v.insert(0, tile);
+                }
+            } else if !v.contains(&tile) {
+                v.push(tile);
             }
-        } else if !v.contains(&tile) {
-            v.push(tile);
-        }
-    };
+        };
     // Cell pins.
     for (i, cell) in netlist.cells().iter().enumerate() {
         let Some(entity) = packed.entity_of_cell[i] else {
@@ -224,11 +225,7 @@ pub fn route(
         }
         let overflowed = usage.iter().filter(|&&u| u > opts.tile_capacity).count();
         if overflowed == 0 {
-            let total_wirelength = routes
-                .iter()
-                .flatten()
-                .map(|r| r.wirelength)
-                .sum();
+            let total_wirelength = routes.iter().flatten().map(|r| r.wirelength).sum();
             let peak_usage = usage.iter().copied().max().unwrap_or(0);
             return Ok(RoutedDesign {
                 routes,
@@ -357,7 +354,9 @@ mod ordered {
     }
     impl Ord for F64 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("routing costs are never NaN")
+            self.0
+                .partial_cmp(&other.0)
+                .expect("routing costs are never NaN")
         }
     }
 }
@@ -378,8 +377,17 @@ mod tests {
         for i in 0..stages {
             let l = n.add_net(format!("l{i}"));
             let q = n.add_net(format!("q{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
-            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            n.add_cell(Cell::Lut {
+                inputs: vec![prev],
+                output: l,
+                truth: 0b01,
+            });
+            n.add_cell(Cell::Ff {
+                d: l,
+                q,
+                ce: None,
+                init: false,
+            });
             prev = q;
         }
         n.add_output("out", prev);
@@ -442,12 +450,24 @@ mod tests {
         let q = n.add_net("q");
         n.add_input("a", a);
         n.add_output("q", q);
-        n.add_cell(Cell::Lut { inputs: vec![a], output: l, truth: 0b01 });
-        n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+        n.add_cell(Cell::Lut {
+            inputs: vec![a],
+            output: l,
+            truth: 0b01,
+        });
+        n.add_cell(Cell::Ff {
+            d: l,
+            q,
+            ce: None,
+            init: false,
+        });
         let p = pack(&n);
         let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
         let r = route(&n, &p, &pl, RouteOptions::default()).unwrap();
-        assert!(r.routes[l.index()].is_none(), "intra-LE net routed globally");
+        assert!(
+            r.routes[l.index()].is_none(),
+            "intra-LE net routed globally"
+        );
         assert_eq!(r.wirelength(l), 0);
         assert_eq!(r.switches(l), 0);
     }
@@ -471,12 +491,20 @@ mod tests {
         n.add_input("a", a);
         for i in 0..40 {
             let o = n.add_net(format!("o{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![a], output: o, truth: 0b10 });
+            n.add_cell(Cell::Lut {
+                inputs: vec![a],
+                output: o,
+                truth: 0b10,
+            });
             n.add_output(format!("o{i}"), o);
         }
         let p = pack(&n);
         let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
-        let opts = RouteOptions { tile_capacity: 1, max_rounds: 3, ..RouteOptions::default() };
+        let opts = RouteOptions {
+            tile_capacity: 1,
+            max_rounds: 3,
+            ..RouteOptions::default()
+        };
         match route(&n, &p, &pl, opts) {
             Ok(r) => assert!(r.peak_usage <= 1, "capacity respected"),
             Err(RouteError::CongestionUnresolved { overflowed_tiles }) => {
@@ -502,20 +530,35 @@ mod tests {
         for i in 0..30 {
             let l = n.add_net(format!("l{i}"));
             let q = n.add_net(format!("q{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![prev], output: l, truth: 0b01 });
-            n.add_cell(Cell::Ff { d: l, q, ce: None, init: false });
+            n.add_cell(Cell::Lut {
+                inputs: vec![prev],
+                output: l,
+                truth: 0b01,
+            });
+            n.add_cell(Cell::Ff {
+                d: l,
+                q,
+                ce: None,
+                init: false,
+            });
             prev = q;
         }
         n.add_output("out", prev);
         let p = pack(&n);
         let pl = place(&n, &p, Device::xc2v250(), PlaceOptions::default()).unwrap();
-        let opts = RouteOptions { max_expansions: 1, ..RouteOptions::default() };
+        let opts = RouteOptions {
+            max_expansions: 1,
+            ..RouteOptions::default()
+        };
         match route(&n, &p, &pl, opts) {
             Err(RouteError::BudgetExhausted { spent }) => assert!(spent > 1),
             other => panic!("expected BudgetExhausted, got {other:?}"),
         }
         // An ample budget routes identically to the default.
-        let ample = RouteOptions { max_expansions: RouteOptions::DEFAULT_MAX_EXPANSIONS, ..RouteOptions::default() };
+        let ample = RouteOptions {
+            max_expansions: RouteOptions::DEFAULT_MAX_EXPANSIONS,
+            ..RouteOptions::default()
+        };
         let r = route(&n, &p, &pl, ample).unwrap();
         assert!(r.total_wirelength > 0);
     }

@@ -77,9 +77,8 @@ pub fn analyze(netlist: &Netlist, routed: &RoutedDesign, model: &DelayModel) -> 
         .expect("timing analysis requires a valid netlist");
     let driver = netlist.driver_map();
 
-    let net_delay = |net: NetId| -> f64 {
-        model.net_base + model.net_per_hop * routed.wirelength(net) as f64
-    };
+    let net_delay =
+        |net: NetId| -> f64 { model.net_base + model.net_per_hop * routed.wirelength(net) as f64 };
 
     // Arrival time at each net, plus the predecessor net for path recovery.
     let mut arrival: HashMap<NetId, f64> = HashMap::new();
@@ -214,12 +213,26 @@ mod tests {
         let mut prev = q0;
         for i in 0..depth {
             let o = n.add_net(format!("l{i}"));
-            n.add_cell(Cell::Lut { inputs: vec![prev], output: o, truth: 0b01 });
+            n.add_cell(Cell::Lut {
+                inputs: vec![prev],
+                output: o,
+                truth: 0b01,
+            });
             prev = o;
         }
         let q1 = n.add_net("q1");
-        n.add_cell(Cell::Ff { d: prev, q: q0, ce: None, init: false });
-        n.add_cell(Cell::Ff { d: prev, q: q1, ce: None, init: false });
+        n.add_cell(Cell::Ff {
+            d: prev,
+            q: q0,
+            ce: None,
+            init: false,
+        });
+        n.add_cell(Cell::Ff {
+            d: prev,
+            q: q1,
+            ce: None,
+            init: false,
+        });
         n.add_output("q1", q1);
         n
     }
@@ -263,7 +276,10 @@ mod tests {
             n.add_output("d0", dout[0]);
             n
         };
-        let s9 = BramShape { addr_bits: 9, data_bits: 36 };
+        let s9 = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let small = analyze_netlist(&make(9, 4, s9));
         let large = analyze_netlist(&make(9, 16, s9));
         // Same structure, more data pins: path delay stays within routing

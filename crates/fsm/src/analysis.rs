@@ -5,7 +5,7 @@
 //! [`Stg`]: crate::stg::Stg
 
 use crate::pattern::{Pattern, Trit};
-use crate::stg::{Stg, StateId};
+use crate::stg::{StateId, Stg};
 use std::collections::{BTreeSet, VecDeque};
 
 /// States reachable from the reset state (including it).

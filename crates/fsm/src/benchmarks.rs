@@ -37,15 +37,78 @@ pub struct BenchmarkSignature {
 /// Published signatures of the nine benchmarks in the paper's tables,
 /// in the paper's row order.
 pub const PAPER_BENCHMARKS: [BenchmarkSignature; 9] = [
-    BenchmarkSignature { name: "prep4", inputs: 8, outputs: 8, states: 16, transitions: 61, max_support: 4 },
-    BenchmarkSignature { name: "dk16", inputs: 2, outputs: 3, states: 27, transitions: 108, max_support: 2 },
-    BenchmarkSignature { name: "tbk", inputs: 6, outputs: 3, states: 32, transitions: 1569, max_support: 6 },
-    BenchmarkSignature { name: "keyb", inputs: 7, outputs: 2, states: 19, transitions: 170, max_support: 5 },
-    BenchmarkSignature { name: "donfile", inputs: 2, outputs: 1, states: 24, transitions: 96, max_support: 2 },
-    BenchmarkSignature { name: "sand", inputs: 11, outputs: 9, states: 32, transitions: 184, max_support: 4 },
-    BenchmarkSignature { name: "styr", inputs: 9, outputs: 10, states: 30, transitions: 166, max_support: 4 },
-    BenchmarkSignature { name: "ex1", inputs: 9, outputs: 19, states: 20, transitions: 138, max_support: 4 },
-    BenchmarkSignature { name: "planet", inputs: 7, outputs: 19, states: 48, transitions: 115, max_support: 3 },
+    BenchmarkSignature {
+        name: "prep4",
+        inputs: 8,
+        outputs: 8,
+        states: 16,
+        transitions: 61,
+        max_support: 4,
+    },
+    BenchmarkSignature {
+        name: "dk16",
+        inputs: 2,
+        outputs: 3,
+        states: 27,
+        transitions: 108,
+        max_support: 2,
+    },
+    BenchmarkSignature {
+        name: "tbk",
+        inputs: 6,
+        outputs: 3,
+        states: 32,
+        transitions: 1569,
+        max_support: 6,
+    },
+    BenchmarkSignature {
+        name: "keyb",
+        inputs: 7,
+        outputs: 2,
+        states: 19,
+        transitions: 170,
+        max_support: 5,
+    },
+    BenchmarkSignature {
+        name: "donfile",
+        inputs: 2,
+        outputs: 1,
+        states: 24,
+        transitions: 96,
+        max_support: 2,
+    },
+    BenchmarkSignature {
+        name: "sand",
+        inputs: 11,
+        outputs: 9,
+        states: 32,
+        transitions: 184,
+        max_support: 4,
+    },
+    BenchmarkSignature {
+        name: "styr",
+        inputs: 9,
+        outputs: 10,
+        states: 30,
+        transitions: 166,
+        max_support: 4,
+    },
+    BenchmarkSignature {
+        name: "ex1",
+        inputs: 9,
+        outputs: 19,
+        states: 20,
+        transitions: 138,
+        max_support: 4,
+    },
+    BenchmarkSignature {
+        name: "planet",
+        inputs: 7,
+        outputs: 19,
+        states: 48,
+        transitions: 115,
+        max_support: 3,
+    },
 ];
 
 /// Deterministic seed for a benchmark name (stable across releases).
@@ -189,11 +252,7 @@ mod tests {
             assert_eq!(st.inputs, sig.inputs, "{}", sig.name);
             assert_eq!(st.outputs, sig.outputs, "{}", sig.name);
             assert!(st.max_input_support <= sig.max_support, "{}", sig.name);
-            assert!(
-                stg.is_deterministic(),
-                "{} must be deterministic",
-                sig.name
-            );
+            assert!(stg.is_deterministic(), "{} must be deterministic", sig.name);
             assert_eq!(
                 reachable_states(&stg).len(),
                 sig.states,

@@ -13,7 +13,7 @@
 //! address formed by the *cleared* output latches, i.e. address 0
 //! (Sec. 4.2). All encoders therefore assign code 0 to the reset state.
 
-use crate::stg::{Stg, StateId};
+use crate::stg::{StateId, Stg};
 use std::fmt;
 
 /// The encoding style to apply.

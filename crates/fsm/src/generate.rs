@@ -23,7 +23,7 @@
 //!   the Sec. 6 clock-control experiments).
 
 use crate::pattern::{index_to_bits, Pattern, Trit};
-use crate::stg::{Stg, StgBuilder, StateId};
+use crate::stg::{StateId, Stg, StgBuilder};
 use xrand::SmallRng;
 
 /// Specification of a synthetic machine.
@@ -106,9 +106,7 @@ pub fn generate(spec: &StgSpec) -> Stg {
         .unwrap_or(spec.inputs)
         .min(spec.inputs)
         .saturating_sub(usize::from(idle_line.is_some()));
-    let pool: Vec<usize> = (0..spec.inputs)
-        .filter(|c| Some(*c) != idle_line)
-        .collect();
+    let pool: Vec<usize> = (0..spec.inputs).filter(|c| Some(*c) != idle_line).collect();
     let support_size = split_budget.min(pool.len());
     let supports: Vec<Vec<usize>> = (0..n)
         .map(|_| {
@@ -146,8 +144,7 @@ pub fn generate(spec: &StgSpec) -> Stg {
             if k == 0 {
                 return 0;
             }
-            let available: Vec<usize> =
-                (0..k).filter(|&p| child_count[p] < capacity).collect();
+            let available: Vec<usize> = (0..k).filter(|&p| child_count[p] < capacity).collect();
             assert!(
                 !available.is_empty(),
                 "spanning tree ran out of leaf capacity (support too small)"
@@ -390,10 +387,7 @@ mod tests {
         };
         let stg = generate(&spec);
         for s in stg.states() {
-            let loops: Vec<_> = stg
-                .transitions_from(s)
-                .filter(|t| t.to == s)
-                .collect();
+            let loops: Vec<_> = stg.transitions_from(s).filter(|t| t.to == s).collect();
             for w in loops.windows(2) {
                 assert_eq!(
                     w[0].output, w[1].output,

@@ -152,15 +152,15 @@ pub fn parse(text: &str, name: &str) -> Result<Stg, ParseKiss2Error> {
                 "o" => num_outputs = Some(parse_count("o")?),
                 "p" => declared_products = Some(parse_count("p")?),
                 "s" => declared_states = Some(parse_count("s")?),
-                "r" =>
-
+                "r" => {
                     reset_name = Some(
                         arg.ok_or_else(|| ParseKiss2Error::Malformed {
                             line: lineno,
                             reason: ".r needs a state name".into(),
                         })?
                         .to_string(),
-                    ),
+                    )
+                }
                 // Port-name lists from MCNC files: names are irrelevant
                 // to the semantics, but the files must parse.
                 "ilb" | "ob" => {}
@@ -348,7 +348,10 @@ mod tests {
     fn count_mismatch_detected() {
         let text = ".i 1\n.o 1\n.p 5\n1 a a 0\n.e\n";
         let err = parse(text, "t").unwrap_err();
-        assert!(matches!(err, ParseKiss2Error::CountMismatch { what: ".p", .. }));
+        assert!(matches!(
+            err,
+            ParseKiss2Error::CountMismatch { what: ".p", .. }
+        ));
     }
 
     #[test]

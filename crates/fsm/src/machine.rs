@@ -7,7 +7,7 @@
 //! pair becomes a Moore state whose output is the output produced *on entry*.
 
 use crate::pattern::Pattern;
-use crate::stg::{Stg, StgBuilder, StgError, StateId};
+use crate::stg::{StateId, Stg, StgBuilder, StgError};
 use std::collections::HashMap;
 
 /// Whether an FSM's outputs depend on inputs (Mealy) or on state alone
@@ -129,7 +129,11 @@ pub fn to_moore(stg: &Stg) -> Result<Stg, StgError> {
         }
     }
 
-    let mut b = StgBuilder::new(format!("{}_moore", stg.name()), stg.num_inputs(), stg.num_outputs());
+    let mut b = StgBuilder::new(
+        format!("{}_moore", stg.name()),
+        stg.num_inputs(),
+        stg.num_outputs(),
+    );
     let ids: Vec<StateId> = order
         .iter()
         .map(|(s, o)| {

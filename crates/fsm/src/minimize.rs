@@ -9,7 +9,7 @@
 //! [`TransitionTable`]: crate::stg::TransitionTable
 
 use crate::pattern::{index_to_bits, Pattern};
-use crate::stg::{Stg, StgBuilder, StateId};
+use crate::stg::{StateId, Stg, StgBuilder};
 use std::collections::HashMap;
 
 /// Result of minimization: the reduced machine plus the state mapping.
@@ -118,7 +118,10 @@ pub fn minimize(stg: &Stg) -> Result<Minimized, String> {
         let mut groups: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
         for m in 0..num_minterms {
             let (next, out) = table.entry(r, m);
-            groups.entry((class[next.index()], out)).or_default().push(m);
+            groups
+                .entry((class[next.index()], out))
+                .or_default()
+                .push(m);
         }
         let mut keys: Vec<(usize, u64)> = groups.keys().copied().collect();
         keys.sort_unstable();

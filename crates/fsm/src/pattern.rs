@@ -186,12 +186,10 @@ impl Pattern {
     #[must_use]
     pub fn intersects(&self, other: &Pattern) -> bool {
         assert_eq!(self.width(), other.width(), "pattern width mismatch");
-        self.trits.iter().zip(&other.trits).all(|(a, b)| {
-            !matches!(
-                (a, b),
-                (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)
-            )
-        })
+        self.trits
+            .iter()
+            .zip(&other.trits)
+            .all(|(a, b)| !matches!((a, b), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)))
     }
 
     /// Returns `true` if every vector matching `other` also matches `self`.

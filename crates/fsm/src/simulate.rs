@@ -9,7 +9,7 @@
 //!
 //! [`Stg`]: crate::stg::Stg
 
-use crate::stg::{Stg, StateId};
+use crate::stg::{StateId, Stg};
 
 /// Step-by-step simulator holding the architectural state of the machine.
 #[derive(Debug, Clone)]

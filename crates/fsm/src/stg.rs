@@ -706,15 +706,8 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, StgError::InputWidth { .. }));
-        let err = Stg::new(
-            "d",
-            1,
-            1,
-            vec!["A".into(), "A".into()],
-            vec![],
-            StateId(0),
-        )
-        .unwrap_err();
+        let err =
+            Stg::new("d", 1, 1, vec!["A".into(), "A".into()], vec![], StateId(0)).unwrap_err();
         assert!(matches!(err, StgError::DuplicateStateName(_)));
     }
 }

@@ -163,7 +163,9 @@ pub fn parse(text: &str) -> Result<BlifModel, ParseBlifError> {
                 }
                 ".end" => break,
                 // Tolerated/ignored directives commonly emitted by tools.
-                ".default_input_arrival" | ".default_output_required" | ".wire_load_slope"
+                ".default_input_arrival"
+                | ".default_output_required"
+                | ".wire_load_slope"
                 | ".clock" => {}
                 other => return Err(err(lineno, format!("unsupported directive {other}"))),
             }
@@ -433,7 +435,10 @@ mod tests {
     #[test]
     fn parses_counter() {
         // Remove the intentionally mixed-polarity row for the happy path.
-        let text = COUNTER.replace("-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n", "");
+        let text = COUNTER.replace(
+            "-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n",
+            "",
+        );
         let m = parse(&text).unwrap();
         assert_eq!(m.name, "counter2");
         assert_eq!(m.inputs, vec!["en"]);
@@ -498,7 +503,10 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_behaviour() {
-        let text = COUNTER.replace("-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n", "");
+        let text = COUNTER.replace(
+            "-11 0   # ignored? no: mixing polarities is invalid, keep onset rows only\n",
+            "",
+        );
         let m1 = parse(&text).unwrap();
         let out = write(&m1);
         let m2 = parse(&out).unwrap();
@@ -520,7 +528,8 @@ mod tests {
 
     #[test]
     fn latch_with_type_and_clock() {
-        let text = ".model l\n.inputs d\n.outputs q\n.latch d q re clk 1\n.names q q_buf\n1 1\n.end\n";
+        let text =
+            ".model l\n.inputs d\n.outputs q\n.latch d q re clk 1\n.names q q_buf\n1 1\n.end\n";
         let m = parse(text).unwrap();
         assert!(m.latches[0].init);
         assert_eq!(m.latches[0].input, "d");

@@ -87,7 +87,11 @@ impl Cover {
     ///
     /// Panics if the cube's variable count differs.
     pub fn push(&mut self, cube: Cube) {
-        assert_eq!(cube.num_vars(), self.num_vars, "cube variable-count mismatch");
+        assert_eq!(
+            cube.num_vars(),
+            self.num_vars,
+            "cube variable-count mismatch"
+        );
         self.cubes.push(cube);
     }
 

@@ -225,9 +225,7 @@ mod tests {
             .nodes()
             .iter()
             .filter(|n| match n {
-                Node::Logic { fanins, cover } => {
-                    fanins.len() == 1 && cover == &gates::not1()
-                }
+                Node::Logic { fanins, cover } => fanins.len() == 1 && cover == &gates::not1(),
                 _ => false,
             })
             .count();

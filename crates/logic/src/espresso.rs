@@ -265,8 +265,14 @@ mod tests {
         // everything except 010 and 101? Just validate exactness on a few
         // structured functions.
         let cases: Vec<(Cover, Cover)> = vec![
-            (cover(3, &["000", "001", "011", "111", "110"]), cover(3, &[])),
-            (cover(4, &["1100", "1101", "1111", "1110", "0110", "0111"]), cover(4, &[])),
+            (
+                cover(3, &["000", "001", "011", "111", "110"]),
+                cover(3, &[]),
+            ),
+            (
+                cover(4, &["1100", "1101", "1111", "1110", "0110", "0111"]),
+                cover(4, &[]),
+            ),
             (cover(4, &["0000", "1111"]), cover(4, &["0001", "1110"])),
         ];
         for (onset, dc) in cases {

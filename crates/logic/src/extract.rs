@@ -185,7 +185,12 @@ mod tests {
         // Four cubes all sharing abc: extracting ab first, then (d_ab)c.
         let covers = vec![Cover::from_cubes(
             6,
-            vec![c(6, "111--0"), c(6, "1111--"), c(6, "111-1-"), c(6, "111--1")],
+            vec![
+                c(6, "111--0"),
+                c(6, "1111--"),
+                c(6, "111-1-"),
+                c(6, "111--1"),
+            ],
         )];
         let ex = extract_cubes(&covers, 6, 16, 2);
         assert!(ex.divisors.len() >= 2, "expected ab then ab·c");
@@ -196,10 +201,7 @@ mod tests {
 
     #[test]
     fn negative_literals_extract_too() {
-        let covers = vec![Cover::from_cubes(
-            4,
-            vec![c(4, "001-"), c(4, "00-1")],
-        )];
+        let covers = vec![Cover::from_cubes(4, vec![c(4, "001-"), c(4, "00-1")])];
         let ex = extract_cubes(&covers, 4, 8, 2);
         assert_eq!(ex.divisors.len(), 1);
         let d = ex.divisors[0];
@@ -223,7 +225,12 @@ mod tests {
         // Many shareable pairs but only room for one divisor.
         let covers = vec![Cover::from_cubes(
             6,
-            vec![c(6, "11----"), c(6, "11--1-"), c(6, "--11--"), c(6, "--11-1")],
+            vec![
+                c(6, "11----"),
+                c(6, "11--1-"),
+                c(6, "--11--"),
+                c(6, "--11-1"),
+            ],
         )];
         let ex = extract_cubes(&covers, 6, 7, 2);
         assert_eq!(ex.divisors.len(), 1);

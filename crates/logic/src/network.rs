@@ -144,7 +144,11 @@ impl Network {
     /// # Errors
     ///
     /// Fails if `node` is out of range.
-    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), NetworkError> {
+    pub fn add_output(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+    ) -> Result<(), NetworkError> {
         let name = name.into();
         if node.index() >= self.nodes.len() {
             return Err(NetworkError::BadOutput(name));
@@ -422,10 +426,7 @@ mod tests {
         let b = net.add_input("b");
         let cin = net.add_input("cin");
         // sum = a xor b xor cin as a flat SOP.
-        let sum_cover = Cover::from_cubes(
-            3,
-            vec![pat("100"), pat("010"), pat("001"), pat("111")],
-        );
+        let sum_cover = Cover::from_cubes(3, vec![pat("100"), pat("010"), pat("001"), pat("111")]);
         let sum = net.add_logic(vec![a, b, cin], sum_cover).unwrap();
         let carry_cover = Cover::from_cubes(3, vec![pat("11-"), pat("1-1"), pat("-11")]);
         let carry = net.add_logic(vec![a, b, cin], carry_cover).unwrap();

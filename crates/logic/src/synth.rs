@@ -348,9 +348,7 @@ pub fn synthesize(stg: &Stg, opts: SynthOptions) -> Result<SynthesizedFsm, Synth
     for d in &extraction.divisors {
         let cover = Cover::from_cubes(
             2,
-            vec![Cube::full(2)
-                .with_literal(0, d.a.1)
-                .with_literal(1, d.b.1)],
+            vec![Cube::full(2).with_literal(0, d.a.1).with_literal(1, d.b.1)],
         );
         let node = network
             .add_logic(vec![var_ids[d.a.0], var_ids[d.b.0]], cover)
@@ -396,7 +394,10 @@ pub fn synthesize(stg: &Stg, opts: SynthOptions) -> Result<SynthesizedFsm, Synth
         luts,
         total_cubes,
         budget: if skipped_functions > 0 {
-            SynthBudget::Exhausted { skipped_functions, largest_onset }
+            SynthBudget::Exhausted {
+                skipped_functions,
+                largest_onset,
+            }
         } else {
             SynthBudget::Completed
         },
@@ -504,8 +505,7 @@ mod tests {
         let stg = sequence_detector_0101();
         let rows = flatten(&stg);
         for s in stg.states() {
-            let mine: Vec<&FlatTransition> =
-                rows.iter().filter(|r| r.state == s.index()).collect();
+            let mine: Vec<&FlatTransition> = rows.iter().filter(|r| r.state == s.index()).collect();
             // Complete: every minterm covered exactly once.
             for m in 0..1u64 << stg.num_inputs() {
                 let hits = mine.iter().filter(|r| r.input.contains_minterm(m)).count();
@@ -565,7 +565,10 @@ mod tests {
         let stg = sequence_detector_0101();
         let synth = synthesize(
             &stg,
-            SynthOptions { max_minimize_cubes: 0, ..SynthOptions::default() },
+            SynthOptions {
+                max_minimize_cubes: 0,
+                ..SynthOptions::default()
+            },
         )
         .unwrap();
         assert!(synth.budget.is_exhausted());

@@ -369,7 +369,11 @@ fn cross_product(sets: &[&Vec<Cut>], k: usize, emit: &mut dyn FnMut(&[NodeId])) 
         }
         for cut in sets[idx] {
             let before = acc.clone();
-            let mut merged: Vec<NodeId> = acc.iter().copied().chain(cut.leaves.iter().copied()).collect();
+            let mut merged: Vec<NodeId> = acc
+                .iter()
+                .copied()
+                .chain(cut.leaves.iter().copied())
+                .collect();
             merged.sort_unstable();
             merged.dedup();
             if merged.len() <= k {
@@ -471,7 +475,14 @@ mod tests {
     fn every_lut_is_k_feasible() {
         let net = parity8();
         for k in 2..=6usize {
-            let mapped = map_luts(&net, MapOptions { k, cuts_per_node: 8 }).unwrap();
+            let mapped = map_luts(
+                &net,
+                MapOptions {
+                    k,
+                    cuts_per_node: 8,
+                },
+            )
+            .unwrap();
             for lut in &mapped.luts {
                 assert!(lut.fanins.len() <= k);
                 assert_eq!(lut.truth.num_vars(), lut.fanins.len());
@@ -485,7 +496,12 @@ mod tests {
         let ins: Vec<NodeId> = (0..7).map(|i| net.add_input(format!("x{i}"))).collect();
         let c1 = Cover::from_cubes(
             7,
-            vec![pat("11-----"), pat("--11---"), pat("----111"), pat("0-0-0-0")],
+            vec![
+                pat("11-----"),
+                pat("--11---"),
+                pat("----111"),
+                pat("0-0-0-0"),
+            ],
         );
         let y = net.add_logic(ins.clone(), c1).unwrap();
         net.add_output("y", y).unwrap();
@@ -544,7 +560,14 @@ mod tests {
         let c = Cover::from_cubes(5, vec![pat("11111")]);
         let y = net.add_logic(ins, c).unwrap();
         net.add_output("y", y).unwrap();
-        let err = map_luts(&net, MapOptions { k: 4, cuts_per_node: 8 }).unwrap_err();
+        let err = map_luts(
+            &net,
+            MapOptions {
+                k: 4,
+                cuts_per_node: 8,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, MapError::NodeTooWide { .. }));
     }
 
@@ -552,11 +575,23 @@ mod tests {
     fn bad_k_rejected() {
         let net = parity8();
         assert!(matches!(
-            map_luts(&net, MapOptions { k: 1, cuts_per_node: 4 }),
+            map_luts(
+                &net,
+                MapOptions {
+                    k: 1,
+                    cuts_per_node: 4
+                }
+            ),
             Err(MapError::BadK(1))
         ));
         assert!(matches!(
-            map_luts(&net, MapOptions { k: 9, cuts_per_node: 4 }),
+            map_luts(
+                &net,
+                MapOptions {
+                    k: 9,
+                    cuts_per_node: 4
+                }
+            ),
             Err(MapError::BadK(9))
         ));
     }

@@ -197,8 +197,7 @@ pub fn estimate(
             Cell::Bram { .. } => {
                 // Driving EN low stops the BRAM from being clocked
                 // (Sec. 6): its clock load scales with enable duty.
-                clock_cap +=
-                    params.c_clock_per_bram * activity.bram_enable_fraction(bram_idx);
+                clock_cap += params.c_clock_per_bram * activity.bram_enable_fraction(bram_idx);
                 bram_idx += 1;
                 any_load = true;
             }
@@ -286,9 +285,22 @@ mod tests {
             let d = n.add_net(format!("d{i}"));
             let c = n.add_net(format!("c{i}"));
             // d = q ^ carry ; next carry = q & carry.
-            n.add_cell(Cell::Lut { inputs: vec![q, carry], output: d, truth: 0b0110 });
-            n.add_cell(Cell::Lut { inputs: vec![q, carry], output: c, truth: 0b1000 });
-            n.add_cell(Cell::Ff { d, q, ce: None, init: false });
+            n.add_cell(Cell::Lut {
+                inputs: vec![q, carry],
+                output: d,
+                truth: 0b0110,
+            });
+            n.add_cell(Cell::Lut {
+                inputs: vec![q, carry],
+                output: c,
+                truth: 0b1000,
+            });
+            n.add_cell(Cell::Ff {
+                d,
+                q,
+                ce: None,
+                init: false,
+            });
             carry = c;
         }
         n.add_output("msb", qs[n_bits - 1]);
@@ -296,13 +308,19 @@ mod tests {
     }
 
     fn bram_fsm(with_en: bool) -> Netlist {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("bramfsm");
         let input = n.add_net("in");
         n.add_input("in", input);
         let dout: Vec<NetId> = (0..3).map(|i| n.add_net(format!("d{i}"))).collect();
         let zero = n.add_net("zero");
-        n.add_cell(Cell::Const { output: zero, value: false });
+        n.add_cell(Cell::Const {
+            output: zero,
+            value: false,
+        });
         // addr = [d0, d1, in, 0, 0, ...]: a 4-state ROM FSM.
         let mut addr = vec![dout[0], dout[1], input];
         while addr.len() < 9 {
@@ -362,9 +380,19 @@ mod tests {
             output: fb,
             truth: parity4,
         });
-        n.add_cell(Cell::Ff { d: fb, q: qs[0], ce: None, init: true });
+        n.add_cell(Cell::Ff {
+            d: fb,
+            q: qs[0],
+            ce: None,
+            init: true,
+        });
         for i in 1..bits {
-            n.add_cell(Cell::Ff { d: qs[i - 1], q: qs[i], ce: None, init: i % 3 == 0 });
+            n.add_cell(Cell::Ff {
+                d: qs[i - 1],
+                q: qs[i],
+                ce: None,
+                init: i % 3 == 0,
+            });
         }
         for k in 0..96usize {
             let o = n.add_net(format!("m{k}"));
@@ -374,9 +402,18 @@ mod tests {
                 qs[(k * 17 + 11) % bits],
                 qs[(k * 23 + 2) % bits],
             ];
-            n.add_cell(Cell::Lut { inputs: taps.to_vec(), output: o, truth: parity4 });
+            n.add_cell(Cell::Lut {
+                inputs: taps.to_vec(),
+                output: o,
+                truth: parity4,
+            });
             let q = n.add_net(format!("mq{k}"));
-            n.add_cell(Cell::Ff { d: o, q, ce: None, init: false });
+            n.add_cell(Cell::Ff {
+                d: o,
+                q,
+                ce: None,
+                init: false,
+            });
             if k % 8 == 0 {
                 n.add_output(format!("mq{k}"), q);
             }
@@ -448,7 +485,10 @@ mod tests {
         let (r, a) = flow(&n_const, 300);
         let low = estimate(&n_const, &r, &a, 100.0, &PowerParams::default());
 
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("live");
         let input = n.add_net("in");
         n.add_input("in", input);

@@ -150,7 +150,10 @@ impl<'a> Simulator<'a> {
             }
         }
         for id in &self.brams {
-            if let Cell::Bram { dout, output_init, .. } = self.netlist.cell(*id) {
+            if let Cell::Bram {
+                dout, output_init, ..
+            } = self.netlist.cell(*id)
+            {
                 for (k, d) in dout.iter().enumerate() {
                     self.values[d.index()] = output_init >> k & 1 == 1;
                 }
@@ -181,7 +184,11 @@ impl<'a> Simulator<'a> {
     fn settle(&mut self) {
         for id in &self.comb_order {
             match self.netlist.cell(*id) {
-                Cell::Lut { inputs, output, truth } => {
+                Cell::Lut {
+                    inputs,
+                    output,
+                    truth,
+                } => {
                     let mut idx = 0u64;
                     for (k, net) in inputs.iter().enumerate() {
                         if self.values[net.index()] {
@@ -273,7 +280,10 @@ impl<'a> Simulator<'a> {
         let mut bram_next: Vec<Option<u64>> = Vec::with_capacity(self.brams.len());
         let mut bram_writes: Vec<Option<(usize, u64, u64)>> = Vec::with_capacity(self.brams.len());
         for (k, id) in self.brams.iter().enumerate() {
-            if let Cell::Bram { addr, en, write, .. } = self.netlist.cell(*id) {
+            if let Cell::Bram {
+                addr, en, write, ..
+            } = self.netlist.cell(*id)
+            {
                 let enabled = en.is_none_or(|e| at_edge[e.index()]);
                 if enabled {
                     self.activity.bram_active_cycles[k] += 1;
@@ -384,7 +394,11 @@ mod tests {
         n.add_input("en", en);
         n.add_output("q0", q0);
         n.add_output("q1", q1);
-        n.add_cell(Cell::Lut { inputs: vec![q0, en], output: d0, truth: 0b0110 });
+        n.add_cell(Cell::Lut {
+            inputs: vec![q0, en],
+            output: d0,
+            truth: 0b0110,
+        });
         let mut t = 0u64;
         for m in 0..8u64 {
             let (q1v, q0v, env) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
@@ -392,9 +406,23 @@ mod tests {
                 t |= 1 << m;
             }
         }
-        n.add_cell(Cell::Lut { inputs: vec![q1, q0, en], output: d1, truth: t });
-        n.add_cell(Cell::Ff { d: d0, q: q0, ce: None, init: false });
-        n.add_cell(Cell::Ff { d: d1, q: q1, ce: None, init: false });
+        n.add_cell(Cell::Lut {
+            inputs: vec![q1, q0, en],
+            output: d1,
+            truth: t,
+        });
+        n.add_cell(Cell::Ff {
+            d: d0,
+            q: q0,
+            ce: None,
+            init: false,
+        });
+        n.add_cell(Cell::Ff {
+            d: d1,
+            q: q1,
+            ce: None,
+            init: false,
+        });
         n
     }
 
@@ -426,7 +454,10 @@ mod tests {
 
     #[test]
     fn bram_rom_reads() {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("rom");
         let a0 = n.add_net("a0");
         let mut addr = vec![a0];
@@ -467,7 +498,10 @@ mod tests {
 
     #[test]
     fn bram_enable_holds_output() {
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("rom_en");
         let en = n.add_net("en");
         let addr: Vec<_> = (0..9).map(|i| n.add_net(format!("a{i}"))).collect();
@@ -515,8 +549,16 @@ mod tests {
         // q0 toggles every cycle; q1 every second cycle.
         let q0 = NetId(1);
         let q1 = NetId(2);
-        assert!((act.of(q0) - 1.0).abs() < 1e-9, "q0 activity {}", act.of(q0));
-        assert!((act.of(q1) - 0.5).abs() < 1e-9, "q1 activity {}", act.of(q1));
+        assert!(
+            (act.of(q0) - 1.0).abs() < 1e-9,
+            "q0 activity {}",
+            act.of(q0)
+        );
+        assert!(
+            (act.of(q1) - 0.5).abs() < 1e-9,
+            "q1 activity {}",
+            act.of(q1)
+        );
         // en toggled once (false -> true on the first cycle).
         assert_eq!(act.toggles[0], 1);
     }
@@ -537,7 +579,10 @@ mod tests {
     #[test]
     fn write_port_updates_memory_and_counts() {
         use fpga_fabric::netlist::BramWrite;
-        let shape = BramShape { addr_bits: 9, data_bits: 36 };
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
         let mut n = Netlist::new("rw");
         let raddr: Vec<_> = (0..9).map(|i| n.add_net(format!("ra{i}"))).collect();
         let waddr: Vec<_> = (0..9).map(|i| n.add_net(format!("wa{i}"))).collect();
@@ -560,7 +605,11 @@ mod tests {
             en: None,
             init: vec![0; 512],
             output_init: 0,
-            write: Some(BramWrite { addr: waddr, data: vec![wdata], we }),
+            write: Some(BramWrite {
+                addr: waddr,
+                data: vec![wdata],
+                we,
+            }),
         });
         let mut sim = Simulator::new(&n).unwrap();
         // Cycle 1: write 1 to address 3 while reading address 3 -> the
@@ -594,7 +643,12 @@ mod tests {
         n.add_input("ce", ce);
         n.add_input("d", d);
         n.add_output("q", q);
-        n.add_cell(Cell::Ff { d, q, ce: Some(ce), init: false });
+        n.add_cell(Cell::Ff {
+            d,
+            q,
+            ce: Some(ce),
+            init: false,
+        });
         let mut sim = Simulator::new(&n).unwrap();
         sim.clock(&[false, true]); // ce low at the edge: hold
         assert_eq!(sim.outputs(), vec![false]);

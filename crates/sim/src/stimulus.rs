@@ -93,9 +93,7 @@ mod tests {
     fn bias_shifts_density() {
         let lo = biased(8, 500, 0.05, 3);
         let hi = biased(8, 500, 0.95, 3);
-        let ones = |vs: &[Vec<bool>]| -> usize {
-            vs.iter().flatten().filter(|&&b| b).count()
-        };
+        let ones = |vs: &[Vec<bool>]| -> usize { vs.iter().flatten().filter(|&&b| b).count() };
         assert!(ones(&lo) < ones(&hi) / 4);
     }
 

@@ -143,7 +143,12 @@ mod tests {
         let q = n.add_net("q");
         n.add_input("a", a);
         n.add_output("q", q);
-        n.add_cell(Cell::Ff { d: a, q, ce: None, init: false });
+        n.add_cell(Cell::Ff {
+            d: a,
+            q,
+            ce: None,
+            init: false,
+        });
         let mut sim = Simulator::new(&n).unwrap();
         let mut rec = VcdRecorder::all_nets(&n);
         rec.sample(|net| sim.value(net));

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         control.num_luts(),
         control.num_slices(),
         control.idle_cubes,
-        if control.uses_outputs { "state+inputs+outputs" } else { "state+inputs" },
+        if control.uses_outputs {
+            "state+inputs+outputs"
+        } else {
+            "state+inputs"
+        },
     );
 
     verify_against_stg(&netlist, &stg, OutputTiming::Registered, 2000, 11)?;

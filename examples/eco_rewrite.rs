@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rewrite.apply_to_netlist(&mut netlist)?;
 
     verify_against_stg(&netlist, &new, OutputTiming::Registered, 500, 8)?;
-    println!("same netlist now implements {:?} — no re-synthesis, no re-P&R", new.name());
+    println!(
+        "same netlist now implements {:?} — no re-synthesis, no re-P&R",
+        new.name()
+    );
 
     // And it no longer implements the old function:
     assert!(verify_against_stg(&netlist, &old, OutputTiming::Registered, 500, 9).is_err());

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Round-trip the minimized machine back out as KISS2.
     let text = kiss2::write(&stg);
-    println!("\nminimized machine as KISS2 ({} lines):", text.lines().count());
+    println!(
+        "\nminimized machine as KISS2 ({} lines):",
+        text.lines().count()
+    );
     print!("{text}");
     Ok(())
 }

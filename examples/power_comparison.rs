@@ -46,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Table 3 scenario: roughly half the cycles idle.
     let stim = Stimulus::IdleBiased(0.5);
 
-    println!("benchmark keyb: {} states, {} inputs, {} outputs\n", stg.num_states(), stg.num_inputs(), stg.num_outputs());
+    println!(
+        "benchmark keyb: {} states, {} inputs, {} outputs\n",
+        stg.num_states(),
+        stg.num_inputs(),
+        stg.num_outputs()
+    );
     let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg)?;
     show(&ff);
     println!();

@@ -33,15 +33,15 @@ fn detector_0110() -> romfsm::fsm::Stg {
     b.build().expect("valid machine")
 }
 
-fn drive(
-    rc: &reconfig::ReconfigurableFsm,
-    sim: &mut Simulator<'_>,
-    bits: &[u8],
-) -> String {
+fn drive(rc: &reconfig::ReconfigurableFsm, sim: &mut Simulator<'_>, bits: &[u8]) -> String {
     bits.iter()
         .map(|&b| {
             let out = rc.clock_without_write(sim, &[b == 1]);
-            if out[0] { '1' } else { '0' }
+            if out[0] {
+                '1'
+            } else {
+                '0'
+            }
         })
         .collect()
 }
@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sim = Simulator::new(&rc.netlist)?;
     let probe = [0u8, 1, 0, 1, 0, 1, 1, 0, 1, 1, 0];
-    println!("inputs          {}", probe.iter().map(|b| b.to_string()).collect::<String>());
+    println!(
+        "inputs          {}",
+        probe.iter().map(|b| b.to_string()).collect::<String>()
+    );
     println!("as 0101 machine {}", drive(&rc, &mut sim, &probe));
 
     // Park in state A (input 1 self-loops there), then stream the update.

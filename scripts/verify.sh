@@ -7,12 +7,15 @@
 # makes any such attempt a hard, immediate error instead of a hang or a
 # silent download.
 #
-# Beyond build+test, two robustness gates run (ISSUE 2):
+# Beyond build+test, three robustness gates run (ISSUE 2 / ISSUE 3):
 #
 #  * panic-site budget — the number of unwrap()/expect(/panic!( sites in
 #    non-test library code must not grow past the recorded baseline;
-#  * bench regression — a fresh run of the place_sa/keyb micro-benchmark
-#    must be no more than 25% slower than the committed baseline in
+#  * runner determinism — a RUNNER_THREADS=1 and a RUNNER_THREADS=4 run
+#    of the table1 harness bin must print byte-identical tables;
+#  * bench regression — a fresh run of the keyb micro-benchmarks must
+#    leave synthesize_fsm/keyb, place_sa/keyb, and route/keyb each no
+#    more than 25% slower than the committed baseline in
 #    results/bench_substrates.json. Skip with VERIFY_SKIP_BENCH=1 on
 #    machines too noisy to time (the gate itself, not the build, is
 #    skipped).
@@ -53,25 +56,41 @@ echo "   $panic_sites panic sites in library code" >&2
 [ "$panic_sites" -le "$PANIC_BUDGET" ] \
     || fail "panic-site count $panic_sites exceeds budget $PANIC_BUDGET (new unwrap/expect/panic! in library code — return a typed error instead, or lower the budget only with review)"
 
+# -- Runner determinism gate ------------------------------------------------
+# The same harness bin, serial then 4-way parallel, must print the same
+# bytes: reassembly order, checkpointing, and the flow cache may not leak
+# thread-count-dependent state into a table. The first run also warms the
+# flow cache (results/cache/), so the second costs almost nothing.
+echo "== runner determinism (table1, RUNNER_THREADS=1 vs 4)" >&2
+RUNNER_THREADS=1 ./target/release/table1 > target/verify_table1_serial.out 2>/dev/null \
+    || fail "serial table1 run failed"
+RUNNER_THREADS=4 ./target/release/table1 > target/verify_table1_parallel.out 2>/dev/null \
+    || fail "parallel table1 run failed"
+cmp -s target/verify_table1_serial.out target/verify_table1_parallel.out \
+    || fail "table1 output differs between RUNNER_THREADS=1 and RUNNER_THREADS=4"
+echo "   serial and parallel table1 outputs are byte-identical" >&2
+
 # -- Bench regression gate --------------------------------------------------
 if [ "${VERIFY_SKIP_BENCH:-0}" = "1" ]; then
     echo "== bench regression gate skipped (VERIFY_SKIP_BENCH=1)" >&2
 else
-    echo "== bench regression gate (place_sa/keyb, fresh vs committed)" >&2
-    baseline=$(sed -n 's#.*"name": "place_sa/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
-        results/bench_substrates.json)
-    [ -n "$baseline" ] || fail "no place_sa/keyb baseline in results/bench_substrates.json"
+    echo "== bench regression gate (keyb substrates, fresh vs committed)" >&2
     fresh_dir=target/bench_fresh
     rm -rf "$fresh_dir"
-    BENCH_FILTER=place_sa BENCH_RESULTS_DIR="$fresh_dir" \
+    BENCH_FILTER=keyb BENCH_RESULTS_DIR="$fresh_dir" \
         cargo bench -q --offline -p paper-bench --bench substrates \
         || fail "bench run failed"
-    fresh=$(sed -n 's#.*"name": "place_sa/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
-        "$fresh_dir/bench_substrates.json")
-    [ -n "$fresh" ] || fail "fresh bench run produced no place_sa/keyb result"
-    echo "   baseline ${baseline} ns, fresh ${fresh} ns" >&2
-    awk -v fresh="$fresh" -v base="$baseline" 'BEGIN{exit !(fresh <= base * 1.25)}' \
-        || fail "place_sa/keyb regressed: fresh ${fresh} ns > 1.25 x baseline ${baseline} ns"
+    for gate in synthesize_fsm/keyb place_sa/keyb route/keyb; do
+        baseline=$(sed -n 's#.*"name": "'"$gate"'", "median_ns": \([0-9.]*\).*#\1#p' \
+            results/bench_substrates.json)
+        [ -n "$baseline" ] || fail "no $gate baseline in results/bench_substrates.json"
+        fresh=$(sed -n 's#.*"name": "'"$gate"'", "median_ns": \([0-9.]*\).*#\1#p' \
+            "$fresh_dir/bench_substrates.json")
+        [ -n "$fresh" ] || fail "fresh bench run produced no $gate result"
+        echo "   $gate: baseline ${baseline} ns, fresh ${fresh} ns" >&2
+        awk -v fresh="$fresh" -v base="$baseline" 'BEGIN{exit !(fresh <= base * 1.25)}' \
+            || fail "$gate regressed: fresh ${fresh} ns > 1.25 x baseline ${baseline} ns"
+    done
 fi
 
 echo "verify.sh: OK" >&2

@@ -82,8 +82,16 @@ struct Flags {
 
 /// Flags that take a value (everything else is boolean).
 const VALUED: &[&str] = &[
-    "--vhdl", "--blif", "--encoding", "--idle", "--cycles", "--states", "--inputs",
-    "--outputs", "--transitions", "--seed",
+    "--vhdl",
+    "--blif",
+    "--encoding",
+    "--idle",
+    "--cycles",
+    "--states",
+    "--inputs",
+    "--outputs",
+    "--transitions",
+    "--seed",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -163,8 +171,15 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("transitions   {}", st.transitions);
     println!("self loops    {}", st.self_loops);
     println!("input dc      {:.0}%", st.input_dc_density * 100.0);
-    println!("max support   {} (column compaction width)", st.max_input_support);
-    println!("reachable     {}/{}", analysis::reachable_states(&stg).len(), st.states);
+    println!(
+        "max support   {} (column compaction width)",
+        st.max_input_support
+    );
+    println!(
+        "reachable     {}/{}",
+        analysis::reachable_states(&stg).len(),
+        st.states
+    );
     println!("deterministic {}", stg.is_deterministic());
     println!("complete      {}", stg.is_complete());
     Ok(())
@@ -186,7 +201,12 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
     println!("machine      {}", stg.name());
     println!("state bits   {}", emb.num_state_bits());
     println!("shape        {}", emb.shape);
-    println!("brams        {} ({} bank(s) x {} parallel)", emb.num_brams(), emb.banks, emb.parallel);
+    println!(
+        "brams        {} ({} bank(s) x {} parallel)",
+        emb.num_brams(),
+        emb.banks,
+        emb.parallel
+    );
     println!("address bits {}", emb.logical_addr_bits());
     println!(
         "addressing   {}",
@@ -205,7 +225,13 @@ fn cmd_map(args: &[String]) -> Result<(), String> {
         println!();
         print!(
             "{}",
-            romfsm::emb::contents::memory_map_table(&emb.stg, &emb.encoding, &emb.rom, input_bits, outs)
+            romfsm::emb::contents::memory_map_table(
+                &emb.stg,
+                &emb.encoding,
+                &emb.rom,
+                input_bits,
+                outs
+            )
         );
     }
     if let Some(path) = flags.value("--vhdl") {
@@ -293,7 +319,10 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         show(&cc);
         if let Some(stats) = cc.clock_control {
-            println!("  control logic: {} LUTs / {} slices", stats.luts, stats.slices);
+            println!(
+                "  control logic: {} LUTs / {} slices",
+                stats.luts, stats.slices
+            );
         }
     }
     let pf = ff.power_at(100.0).expect("100MHz").total_mw();
@@ -316,7 +345,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         max_support: None,
         self_loop_bias: 0.2,
         moore: flags.has("--moore"),
-        idle_line: if flags.has("--idle-line") { Some(0) } else { None },
+        idle_line: if flags.has("--idle-line") {
+            Some(0)
+        } else {
+            None
+        },
         seed: flags.number("--seed")?.unwrap_or(1),
     };
     let stg = romfsm::fsm::generate::generate(&spec);

@@ -68,10 +68,16 @@ fn malformed_headers_are_rejected_with_typed_errors() {
 #[test]
 fn count_mismatches_are_typed() {
     let e = must_reject("p-mismatch", ".i 1\n.o 1\n.p 9\n1 a a 0\n0 a b 1\n.e\n");
-    assert!(matches!(e, ParseKiss2Error::CountMismatch { what: ".p", .. }));
+    assert!(matches!(
+        e,
+        ParseKiss2Error::CountMismatch { what: ".p", .. }
+    ));
 
     let e = must_reject("s-mismatch", ".i 1\n.o 1\n.s 7\n1 a a 0\n0 a b 1\n.e\n");
-    assert!(matches!(e, ParseKiss2Error::CountMismatch { what: ".s", .. }));
+    assert!(matches!(
+        e,
+        ParseKiss2Error::CountMismatch { what: ".s", .. }
+    ));
 }
 
 #[test]
@@ -112,10 +118,7 @@ fn degenerate_machines_flow_without_panicking() {
             ".i 1\n.o 1\n1 a b 0\n1 a b 0\n0 a a 0\n- b a 1\n.e\n",
         ),
         // Every row fully don't-care on inputs.
-        (
-            "dontcare-only",
-            ".i 2\n.o 1\n-- a b 0\n-- b a 1\n.e\n",
-        ),
+        ("dontcare-only", ".i 2\n.o 1\n-- a b 0\n-- b a 1\n.e\n"),
         // Single state, self-loop only.
         ("single-state", ".i 1\n.o 1\n- a a 1\n.e\n"),
         // Zero-input machine (legal KISS2: empty input field is not

@@ -32,8 +32,14 @@ fn emb_mapping_matches_oracle_on_all_benchmarks() {
     for stg in benchmarks::paper_suite() {
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
-        verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 0xB)
-            .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+        verify_against_stg(
+            &emb.to_netlist(),
+            &stg,
+            OutputTiming::Registered,
+            CYCLES,
+            0xB,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
     }
 }
 
@@ -74,8 +80,14 @@ fn moore_lut_output_variant_matches_oracle() {
             },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
-        verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 0xE)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify_against_stg(
+            &emb.to_netlist(),
+            &stg,
+            OutputTiming::Registered,
+            CYCLES,
+            0xE,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -93,8 +105,7 @@ fn handwritten_machines_match_in_every_style() {
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("mapping");
         verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, CYCLES, 2)
             .unwrap_or_else(|e| panic!("{} emb: {e}", stg.name()));
-        let (cc, _) =
-            attach_emb_clock_control(&emb, MapOptions::default()).expect("clock control");
+        let (cc, _) = attach_emb_clock_control(&emb, MapOptions::default()).expect("clock control");
         verify_against_stg(&cc, &stg, OutputTiming::Registered, CYCLES, 3)
             .unwrap_or_else(|e| panic!("{} emb+cc: {e}", stg.name()));
     }

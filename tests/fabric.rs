@@ -20,8 +20,7 @@ fn ff_benchmark_netlists_place_and_route_legally() {
         let (netlist, _) = ff_netlist(&synth, false);
         let packed = pack(&netlist);
         let device = Device::xc2v250();
-        let placement =
-            place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
+        let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
 
         // Site legality and exclusivity per entity class.
         let clb_sites: HashSet<_> = device.clb_sites().into_iter().collect();

@@ -8,9 +8,7 @@
 //! ">= 500 seeded injection cases ... zero panics").
 
 use romfsm::emb::faultinject::{corrupt_netlist, corrupt_stg};
-use romfsm::emb::flow::{
-    emb_flow, emb_flow_with_fallback, FlowConfig, Downgrade, Stimulus,
-};
+use romfsm::emb::flow::{emb_flow, emb_flow_with_fallback, Downgrade, FlowConfig, Stimulus};
 use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
 use romfsm::emb::verify::{verify_against_stg, OutputTiming};
 use romfsm::fpga::place::PlaceOptions;
@@ -48,8 +46,8 @@ fn stg_corruption_campaign_is_panic_free() {
             };
             cases += 1;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let emb = map_fsm_into_embs(&bad, &EmbOptions::default())
-                    .map_err(|e| e.to_string())?;
+                let emb =
+                    map_fsm_into_embs(&bad, &EmbOptions::default()).map_err(|e| e.to_string())?;
                 verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, 200, seed)
                     .map_err(|e| e.to_string())
             }));
@@ -109,7 +107,10 @@ fn corrupted_machines_flow_without_panicking() {
                 .map(|r| r.downgrades.len())
                 .map_err(|e| e.to_string())
         }));
-        assert!(outcome.is_ok(), "seed {seed}: flow PANICKED on fault {fault}");
+        assert!(
+            outcome.is_ok(),
+            "seed {seed}: flow PANICKED on fault {fault}"
+        );
     }
 }
 

@@ -3,11 +3,11 @@
 //! catch the corruption. A verifier that passes everything is worthless;
 //! these tests measure its teeth.
 
-use xrand::SmallRng;
 use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
 use romfsm::emb::verify::{verify_against_stg, verify_exhaustive, OutputTiming};
 use romfsm::fpga::netlist::{Cell, Netlist};
 use romfsm::fsm::benchmarks::sequence_detector_0101;
+use xrand::SmallRng;
 
 /// Rebuilds `netlist` with truth-table bit `bit` of the LUT at cell
 /// index `target` flipped (cells/nets keep ids because insertion order
@@ -188,15 +188,19 @@ fn enable_logic_mutations_are_caught_exactly() {
         for bit in 0..1u64 << inputs.len().max(1) {
             let mutant = flip_lut_bit(&netlist, i, bit);
             total += 1;
-            let is_observable = !netlists_equivalent(&netlist, &mutant, 4)
-                .expect("product walk runs");
-            let caught =
-                verify_exhaustive(&mutant, &stg, OutputTiming::Registered, 4).is_err();
+            let is_observable =
+                !netlists_equivalent(&netlist, &mutant, 4).expect("product walk runs");
+            let caught = verify_exhaustive(&mutant, &stg, OutputTiming::Registered, 4).is_err();
             assert_eq!(
-                caught, is_observable,
+                caught,
+                is_observable,
                 "cell {i} bit {bit}: verifier {} an {} mutation",
                 if caught { "flagged" } else { "missed" },
-                if is_observable { "observable" } else { "unobservable" },
+                if is_observable {
+                    "observable"
+                } else {
+                    "unobservable"
+                },
             );
             observable += usize::from(is_observable);
         }

@@ -211,7 +211,13 @@ fn regression_shrunk_5state_1in_1out_mealy() {
     random_walk_equiv(&stg, &moore, 500, spec.seed ^ 1).expect("moore transform equivalent");
 
     let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
-    let r = verify_against_stg(&emb.to_netlist(), &stg, OutputTiming::Registered, 500, spec.seed);
+    let r = verify_against_stg(
+        &emb.to_netlist(),
+        &stg,
+        OutputTiming::Registered,
+        500,
+        spec.seed,
+    );
     assert!(r.is_ok(), "emb mapping not cycle-exact: {:?}", r.err());
 
     let eco = romfsm::emb::eco::rewrite(&emb, &stg).expect("identity rewrite");
