@@ -5,12 +5,21 @@
 //! The paper's scenario: "an average case (with 50% idle states)". Both
 //! implementations are driven by the same idle-biased stimulus; the
 //! measured idle occupancy is printed per row.
+//!
+//! The clock-controlled flow places its base as an ECO on top of the
+//! plain EMB design (pinned coordinates, delta-only anneal); the `ECO`
+//! column shows `pinned+delta` entity counts (or `full` when the flow
+//! fell back). When the `TABLE3_COORDS` environment variable names a
+//! file, each successful row also appends
+//! `name <plain-coord-digest> <gated-base-coord-digest>` to it — the two
+//! digests must be byte-identical, which `scripts/verify.sh` gates on.
 
-use emb_fsm::flow::{emb_clock_controlled_flow, ff_flow, Stimulus};
+use emb_fsm::flow::{emb_clock_controlled_flow, emb_flow, ff_flow, Stimulus};
 use emb_fsm::map::EmbOptions;
 use logic_synth::synth::SynthOptions;
 use paper_bench::runner::{run, RunnerOptions};
 use paper_bench::{mw, paper_config, pct, saving, suite_names, TextTable};
+use std::io::Write as _;
 
 fn main() {
     let cfg = paper_config();
@@ -21,21 +30,36 @@ fn main() {
         "cc 100MHz",
         "idle",
         "saving vs FF@100",
+        "ECO",
     ]);
     let items: Vec<String> = suite_names().iter().map(ToString::to_string).collect();
-    let out = run(&RunnerOptions::new("table3"), &items, 6, |name, attempt| {
+    // Two trailing hidden cells per row carry the plain design's
+    // coordinate digest and the gated design's pinned-base digest for the
+    // TABLE3_COORDS side file; they are stripped before printing.
+    let out = run(&RunnerOptions::new("table3"), &items, 9, |name, attempt| {
         let stg = fsm_model::benchmarks::by_name(name)
             .ok_or_else(|| format!("unknown benchmark {name}"))?;
         let mut cfg = paper_config();
         cfg.seed += u64::from(attempt);
         let stim = Stimulus::IdleBiased(0.5);
         let ff = ff_flow(&stg, SynthOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
+        let emb =
+            emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).map_err(|e| e.to_string())?;
         let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
             .map_err(|e| e.to_string())?;
         let p = |r: &emb_fsm::flow::FlowReport, f: f64| {
             r.power_at(f)
                 .map_or(f64::NAN, powermodel::PowerReport::total_mw)
         };
+        let (eco_cell, base_digest) = cc.eco.as_ref().map_or_else(
+            || ("full".to_string(), String::new()),
+            |e| {
+                (
+                    format!("{}+{}", e.pinned_entities, e.delta_entities),
+                    e.base_coord_digest.clone(),
+                )
+            },
+        );
         Ok(vec![vec![
             name.to_string(),
             mw(p(&cc, 50.0)),
@@ -43,10 +67,29 @@ fn main() {
             mw(p(&cc, 100.0)),
             format!("{:.0}%", cc.idle_fraction * 100.0),
             pct(saving(p(&ff, 100.0), p(&cc, 100.0))),
+            eco_cell,
+            emb.coord_digest.clone(),
+            base_digest,
         ]])
     });
-    for row in out.rows {
+    let coords_path = std::env::var("TABLE3_COORDS").ok();
+    let mut coords = String::new();
+    for mut row in out.rows {
+        if row.len() >= 9 {
+            let base_digest = row.pop().unwrap_or_default();
+            let plain_digest = row.pop().unwrap_or_default();
+            if !plain_digest.is_empty() && !base_digest.is_empty() {
+                coords.push_str(&format!("{} {plain_digest} {base_digest}\n", row[0]));
+            }
+        }
+        row.resize(7, String::new());
         table.row(row);
+    }
+    if let Some(path) = coords_path {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(coords.as_bytes())) {
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
     }
     println!("Table 3: EMB power with clock-control logic (mW)");
     println!(

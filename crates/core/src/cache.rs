@@ -49,7 +49,7 @@
 use crate::flow::ClockControlStats;
 use fpga_fabric::device::{BramShape, Device};
 use fpga_fabric::netlist::{BramWrite, Cell, NetId, Netlist};
-use fpga_fabric::place::{BudgetOutcome, PlaceOptions, Placement};
+use fpga_fabric::place::{BudgetOutcome, EcoPlacement, PlaceOptions, Placement};
 use fsm_model::stg::Stg;
 use logic_synth::synth::SynthOptions;
 use std::cell::Cell as StdCell;
@@ -59,7 +59,15 @@ use std::sync::{Mutex, OnceLock};
 
 /// Bump when the *meaning* of a front-end artifact changes (netlist
 /// construction, verification semantics, or the record layout).
-pub const FRONTEND_VERSION: u32 = 1;
+/// Version 2: rewrite verification is exhaustive (product-walk proof)
+/// up to the configured input cap, with a recorded sampled fallback —
+/// records from the sampling-only era must not satisfy the new check.
+pub const FRONTEND_VERSION: u32 = 2;
+
+/// Bump when [`fpga_fabric::place::place_incremental`] can produce a
+/// different result for the same inputs (mixed into ECO placement keys
+/// alongside [`fpga_fabric::place::ALGORITHM_VERSION`]).
+pub const ECO_PLACE_VERSION: u32 = 1;
 
 /// Bump when the record layout of any artifact changes.
 const FORMAT_VERSION: u32 = 1;
@@ -325,6 +333,51 @@ pub fn place_key(netlist_bytes: &[u8], device: &Device, opts: PlaceOptions) -> K
     w.f64(opts.effort);
     w.u64(opts.max_moves);
     w.finish()
+}
+
+/// Key for an incremental (ECO) placement: the gated netlist, the device,
+/// the placement options, **and** the base placement's coordinate digest —
+/// the ECO result depends on exactly where the pins are, so reusing a
+/// cached ECO placement against a different base would silently violate
+/// the pinning contract.
+#[must_use]
+pub fn eco_place_key(
+    netlist_bytes: &[u8],
+    device: &Device,
+    opts: PlaceOptions,
+    base_coord_digest: &str,
+) -> Key {
+    let mut w = KeyWriter::new("ecoplace");
+    w.u64(u64::from(ECO_PLACE_VERSION));
+    w.u64(u64::from(fpga_fabric::place::ALGORITHM_VERSION));
+    w.bytes(netlist_bytes);
+    w.str(device.name);
+    w.u64(opts.seed);
+    w.f64(opts.effort);
+    w.u64(opts.max_moves);
+    w.str(base_coord_digest);
+    w.finish()
+}
+
+/// Content digest of a set of placement coordinates (CLB, BRAM and IOB
+/// site lists, in entity order). Two placements agree on every entity's
+/// coordinates iff their digests are equal — this is what the ECO report
+/// and the `verify.sh` base-coordinate gate compare.
+#[must_use]
+pub fn coords_digest(
+    clb: &[(usize, usize)],
+    bram: &[(usize, usize)],
+    iob: &[(usize, usize)],
+) -> String {
+    let mut w = KeyWriter::new("coords");
+    for locs in [clb, bram, iob] {
+        w.u64(locs.len() as u64);
+        for &(x, y) in locs {
+            w.u64(x as u64);
+            w.u64(y as u64);
+        }
+    }
+    w.finish().digest
 }
 
 // --- raw store --------------------------------------------------------
@@ -625,6 +678,12 @@ pub struct Frontend {
     pub clock_control: Option<ClockControlStats>,
     /// `Downgrade::SynthBudgetExhausted` payload, when synthesis overran.
     pub synth_skipped_functions: Option<usize>,
+    /// When the producing run could only *sample* rewrite verification
+    /// (inputs too wide for the exhaustive proof), the machine's input
+    /// count — replayed as a `Downgrade::VerifySampled` on every hit.
+    /// `None` means the artifact was proven exhaustively (or predates
+    /// the rewrite path, e.g. FF front-ends).
+    pub verify_sampled_inputs: Option<usize>,
 }
 
 /// Encodes a front-end record (also usable as placement key material via
@@ -634,6 +693,7 @@ pub fn encode_frontend(
     netlist: &Netlist,
     clock_control: Option<ClockControlStats>,
     synth_skipped_functions: Option<usize>,
+    verify_sampled_inputs: Option<usize>,
 ) -> Vec<u8> {
     let mut s = String::from("frontend 1\n");
     if let Some(cc) = clock_control {
@@ -641,6 +701,9 @@ pub fn encode_frontend(
     }
     if let Some(k) = synth_skipped_functions {
         s.push_str(&format!("skipped {k}\n"));
+    }
+    if let Some(n) = verify_sampled_inputs {
+        s.push_str(&format!("sampled {n}\n"));
     }
     let mut bytes = s.into_bytes();
     bytes.extend_from_slice(&encode_netlist(netlist));
@@ -651,6 +714,7 @@ fn decode_frontend(bytes: &[u8]) -> Option<Frontend> {
     let text = std::str::from_utf8(bytes).ok()?;
     let mut clock_control = None;
     let mut skipped = None;
+    let mut sampled = None;
     let mut offset = 0usize;
     for line in text.lines() {
         if line.starts_with("netlist ") {
@@ -668,6 +732,8 @@ fn decode_frontend(bytes: &[u8]) -> Option<Frontend> {
             });
         } else if let Some(rest) = line.strip_prefix("skipped ") {
             skipped = Some(rest.parse().ok()?);
+        } else if let Some(rest) = line.strip_prefix("sampled ") {
+            sampled = Some(rest.parse().ok()?);
         } else {
             return None;
         }
@@ -677,6 +743,7 @@ fn decode_frontend(bytes: &[u8]) -> Option<Frontend> {
         netlist,
         clock_control,
         synth_skipped_functions: skipped,
+        verify_sampled_inputs: sampled,
     })
 }
 
@@ -697,10 +764,16 @@ pub fn store_frontend(
     netlist: &Netlist,
     clock_control: Option<ClockControlStats>,
     synth_skipped_functions: Option<usize>,
+    verify_sampled_inputs: Option<usize>,
 ) {
     store_raw(
         key,
-        encode_frontend(netlist, clock_control, synth_skipped_functions),
+        encode_frontend(
+            netlist,
+            clock_control,
+            synth_skipped_functions,
+            verify_sampled_inputs,
+        ),
     );
 }
 
@@ -789,6 +862,53 @@ pub fn store_placement(key: &Key, placement: &Placement) {
     store_raw(key, encode_placement(placement));
 }
 
+// --- ECO placement artifacts ------------------------------------------
+
+fn encode_eco_placement(p: &EcoPlacement) -> Vec<u8> {
+    let mut bytes = format!(
+        "ecoplace 1 {} {} {:x}\n",
+        p.pinned_entities,
+        p.delta_entities,
+        p.delta_hpwl.to_bits()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(&encode_placement(&p.placement));
+    bytes
+}
+
+fn decode_eco_placement(bytes: &[u8]) -> Option<EcoPlacement> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let header = text.lines().next()?;
+    let rest = header.strip_prefix("ecoplace 1 ")?;
+    let mut it = rest.split(' ');
+    let pinned_entities: usize = it.next()?.parse().ok()?;
+    let delta_entities: usize = it.next()?.parse().ok()?;
+    let delta_hpwl = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    let placement = decode_placement(&bytes[header.len() + 1..])?;
+    Some(EcoPlacement {
+        placement,
+        pinned_entities,
+        delta_entities,
+        delta_hpwl,
+    })
+}
+
+/// Looks up an ECO placement artifact, counting a hit or miss.
+#[must_use]
+pub fn load_eco_placement(key: &Key) -> Option<EcoPlacement> {
+    if !config().enabled {
+        return None;
+    }
+    let found = lookup_raw(key).and_then(|b| decode_eco_placement(&b));
+    note(found.is_some());
+    found
+}
+
+/// Publishes an ECO placement artifact (no-op under `FLOW_CACHE=0`).
+pub fn store_eco_placement(key: &Key, placement: &EcoPlacement) {
+    store_raw(key, encode_eco_placement(placement));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,12 +940,12 @@ mod tests {
             slices: 2,
             idle_cubes: 5,
         };
-        let rec = encode_frontend(&n, Some(cc), Some(7));
+        let rec = encode_frontend(&n, Some(cc), Some(7), None);
         let back = decode_frontend(&rec).unwrap();
         assert_eq!(back.clock_control, Some(cc));
         assert_eq!(back.synth_skipped_functions, Some(7));
         assert_eq!(back.netlist.cells(), n.cells());
-        let plain = decode_frontend(&encode_frontend(&n, None, None)).unwrap();
+        let plain = decode_frontend(&encode_frontend(&n, None, None, None)).unwrap();
         assert_eq!(plain.clock_control, None);
         assert_eq!(plain.synth_skipped_functions, None);
         assert!(decode_frontend(b"garbage").is_none());
@@ -857,6 +977,69 @@ mod tests {
             false,
         );
         assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn frontend_sampled_flag_roundtrips() {
+        let stg = sequence_detector_0101();
+        let emb = crate::map::map_fsm_into_embs(&stg, &crate::map::EmbOptions::default()).unwrap();
+        let n = emb.to_netlist();
+        let rec = encode_frontend(&n, None, None, Some(21));
+        let back = decode_frontend(&rec).unwrap();
+        assert_eq!(back.verify_sampled_inputs, Some(21));
+        let proven = decode_frontend(&encode_frontend(&n, None, None, None)).unwrap();
+        assert_eq!(proven.verify_sampled_inputs, None);
+    }
+
+    #[test]
+    fn eco_placement_record_roundtrips() {
+        let device = Device::xc2v250();
+        let placement = Placement {
+            device,
+            clb_loc: vec![(1, 2), (3, 4)],
+            bram_loc: vec![(0, 5)],
+            iob_loc: vec![(0, 0), (0, 1), (0, 2)],
+            hpwl: 12.5,
+            hpwl_sq: 80.25,
+            moves: 321,
+            budget: BudgetOutcome::Completed,
+        };
+        let eco = EcoPlacement {
+            placement,
+            pinned_entities: 4,
+            delta_entities: 2,
+            delta_hpwl: 3.5,
+        };
+        let back = decode_eco_placement(&encode_eco_placement(&eco)).unwrap();
+        assert_eq!(back.pinned_entities, 4);
+        assert_eq!(back.delta_entities, 2);
+        assert_eq!(back.delta_hpwl, 3.5);
+        assert_eq!(back.placement.clb_loc, eco.placement.clb_loc);
+        assert_eq!(back.placement.iob_loc, eco.placement.iob_loc);
+        assert!(decode_eco_placement(b"nonsense").is_none());
+    }
+
+    #[test]
+    fn eco_keys_depend_on_the_base_digest() {
+        let device = Device::xc2v250();
+        let bytes = b"netlist-bytes";
+        let d1 = coords_digest(&[(1, 2)], &[], &[(0, 0)]);
+        let d2 = coords_digest(&[(1, 3)], &[], &[(0, 0)]);
+        assert_ne!(d1, d2, "different coordinates, different digest");
+        assert_eq!(d1, coords_digest(&[(1, 2)], &[], &[(0, 0)]));
+        // Kind boundaries cannot alias: a CLB at (1,2) is not a BRAM there.
+        assert_ne!(
+            coords_digest(&[(1, 2)], &[], &[]),
+            coords_digest(&[], &[(1, 2)], &[])
+        );
+        let k1 = eco_place_key(bytes, &device, PlaceOptions::default(), &d1);
+        let k2 = eco_place_key(bytes, &device, PlaceOptions::default(), &d2);
+        assert_ne!(k1, k2, "a different base placement must miss");
+        assert_eq!(
+            k1,
+            eco_place_key(bytes, &device, PlaceOptions::default(), &d1)
+        );
+        assert_ne!(k1, place_key(bytes, &device, PlaceOptions::default()));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! verification mismatch) or a flagged degraded report — never a panic.
 
 use fpga_fabric::netlist::{Cell, NetId, Netlist};
+use fpga_fabric::place::{EcoPlacement, PinnedEntities};
 use fsm_model::pattern::Trit;
 use fsm_model::stg::{StateId, Stg};
 use std::fmt;
@@ -111,6 +112,127 @@ impl fmt::Display for NetlistFault {
             }
         }
     }
+}
+
+/// A single targeted corruption of an ECO placement artifact.
+///
+/// These model the defects the incremental-placement contract exists to
+/// catch: a pinned base entity that silently drifted off its coordinate,
+/// and an enable-cone entity that vanished from the placement entirely.
+/// Every fault in this class must be rejected by
+/// [`fpga_fabric::place::verify_eco_placement`] as a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoFault {
+    /// A *pinned* entity's coordinate was moved to a different (legal)
+    /// site of its kind, violating the pin.
+    MovePinnedCoordinate {
+        /// Entity kind ("CLBs", "BRAMs" or "IOBs").
+        kind: &'static str,
+        /// Entity index within the kind.
+        index: usize,
+        /// The pinned coordinate the entity was at.
+        from: (usize, usize),
+        /// Where the fault moved it.
+        to: (usize, usize),
+    },
+    /// A movable (enable-cone) entity's placement entry was deleted, so
+    /// the coordinate list no longer covers the packed design.
+    DropConeEntity {
+        /// Entity kind.
+        kind: &'static str,
+        /// Entity index within the kind.
+        index: usize,
+    },
+}
+
+impl fmt::Display for EcoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoFault::MovePinnedCoordinate {
+                kind,
+                index,
+                from,
+                to,
+            } => write!(
+                f,
+                "pinned {kind} {index} moved from {from:?} to {to:?}"
+            ),
+            EcoFault::DropConeEntity { kind, index } => {
+                write!(f, "cone {kind} {index} dropped from the placement")
+            }
+        }
+    }
+}
+
+/// Produces a corrupted copy of `eco` with exactly one seeded ECO fault,
+/// or `None` when the artifact admits no corruption (no entities, or every
+/// kind has a single legal site so pins cannot move).
+///
+/// The corruption targets the ECO *contract* rather than bit-level state:
+/// either a pinned coordinate stops honouring its pin, or a cone entity's
+/// placement disappears. Both must surface as typed
+/// [`EcoPlaceError`](fpga_fabric::place::EcoPlaceError)s, never panics.
+#[must_use]
+pub fn corrupt_eco(
+    eco: &EcoPlacement,
+    pins: &PinnedEntities,
+    seed: u64,
+) -> Option<(EcoPlacement, EcoFault)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let device = eco.placement.device;
+    // Candidate mutations: (class, kind index, entity index). Class 0
+    // moves a pinned coordinate (needs somewhere else to move to); class 1
+    // drops a movable entity's placement entry.
+    let mut candidates: Vec<(u8, usize, usize)> = Vec::new();
+    let kind_pins: [&Vec<Option<(usize, usize)>>; 3] = [&pins.clb, &pins.bram, &pins.iob];
+    let site_count = [
+        device.clb_sites().len(),
+        device.bram_sites().len(),
+        device.iob_sites().len(),
+    ];
+    for (k, pin) in kind_pins.iter().enumerate() {
+        for (i, p) in pin.iter().enumerate() {
+            match p {
+                Some(_) if site_count[k] > 1 => candidates.push((0, k, i)),
+                None => candidates.push((1, k, i)),
+                _ => {}
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+    let (class, k, index) = candidates[rng.random_range(0..candidates.len())];
+    let mut corrupted = eco.clone();
+    let (kind, loc, sites) = match k {
+        0 => ("CLBs", &mut corrupted.placement.clb_loc, device.clb_sites()),
+        1 => (
+            "BRAMs",
+            &mut corrupted.placement.bram_loc,
+            device.bram_sites(),
+        ),
+        _ => ("IOBs", &mut corrupted.placement.iob_loc, device.iob_sites()),
+    };
+    let fault = if class == 0 {
+        let from = loc[index];
+        let pick = rng.random_range(0..sites.len());
+        let to = if sites[pick] == from {
+            sites[(pick + 1) % sites.len()]
+        } else {
+            sites[pick]
+        };
+        loc[index] = to;
+        EcoFault::MovePinnedCoordinate {
+            kind,
+            index,
+            from,
+            to,
+        }
+    } else {
+        loc.remove(index);
+        EcoFault::DropConeEntity { kind, index }
+    };
+    Some((corrupted, fault))
 }
 
 /// Produces a corrupted copy of `stg` with exactly one seeded semantic
@@ -367,6 +489,49 @@ mod tests {
         corrupted
             .validate()
             .expect("corruption keeps netlist valid");
+    }
+
+    #[test]
+    fn eco_corruption_is_deterministic_and_always_detected() {
+        use crate::clock_control::attach_emb_clock_control;
+        use fpga_fabric::device::Device;
+        use fpga_fabric::pack::{pack, pack_partitioned};
+        use fpga_fabric::place::{
+            place, place_incremental, verify_eco_placement, PinnedEntities, PlaceOptions,
+        };
+
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let plain = emb.to_netlist();
+        let (gated, _) = attach_emb_clock_control(&emb, Default::default()).unwrap();
+        let device = Device::xc2v250();
+        let opts = PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+            ..PlaceOptions::default()
+        };
+        let plain_packed = pack(&plain);
+        let base = place(&plain, &plain_packed, device, opts).unwrap();
+        let packed = pack_partitioned(&gated, &plain_packed, plain.cells().len()).unwrap();
+        let pins = PinnedEntities::pin_base(&base, &packed);
+        let eco = place_incremental(&gated, &packed, device, opts, &pins).unwrap();
+        assert!(verify_eco_placement(&eco.placement, &pins).is_ok());
+
+        let (a, fa) = corrupt_eco(&eco, &pins, 42).unwrap();
+        let (b, fb) = corrupt_eco(&eco, &pins, 42).unwrap();
+        assert_eq!(fa, fb);
+        assert_eq!(a.placement.clb_loc, b.placement.clb_loc);
+
+        let mut classes = std::collections::HashSet::new();
+        for seed in 0..32 {
+            let (bad, fault) = corrupt_eco(&eco, &pins, seed).unwrap();
+            classes.insert(std::mem::discriminant(&fault));
+            assert!(
+                verify_eco_placement(&bad.placement, &pins).is_err(),
+                "seed {seed}: fault must be detected: {fault}"
+            );
+        }
+        assert_eq!(classes.len(), 2, "both ECO fault classes must appear");
     }
 
     #[test]

@@ -12,11 +12,13 @@ use crate::baseline::ff_netlist;
 use crate::cache::{self, Frontend};
 use crate::clock_control::{attach_emb_clock_control, attach_ff_clock_gating};
 use crate::map::{map_fsm_into_embs, EmbFsm, EmbOptions};
-use crate::verify::{verify_against_stg, OutputTiming, VerifyError};
+use crate::verify::{verify_against_stg, verify_rewrite, OutputTiming, VerificationMethod, VerifyError};
 use fpga_fabric::device::Device;
 use fpga_fabric::netlist::Netlist;
-use fpga_fabric::pack::{pack, AreaReport};
-use fpga_fabric::place::{place, PlaceError, PlaceOptions};
+use fpga_fabric::pack::{pack, pack_partitioned, AreaReport, PackedDesign};
+use fpga_fabric::place::{
+    place, place_incremental, verify_eco_placement, PinnedEntities, PlaceError, PlaceOptions,
+};
 use fpga_fabric::route::{route, RouteError, RouteOptions};
 use fpga_fabric::timing::{analyze, DelayModel, TimingReport};
 use fsm_model::simulate::{idle_fraction, trace};
@@ -58,6 +60,18 @@ pub struct FlowConfig {
     /// compares against the *original* machine, so this also checks the
     /// minimizer end to end.
     pub minimize_states: bool,
+    /// Incremental (ECO) placement for the clock-controlled flow: reuse
+    /// the plain design's placement, pin every base entity at those exact
+    /// coordinates, and place only the enable-cone delta. Makes the
+    /// gated-vs-plain timing comparison structural instead of statistical
+    /// (Sec. 6); any ECO failure falls back to a full placement with a
+    /// recorded [`Downgrade::EcoFallback`].
+    pub eco_place: bool,
+    /// Input-count cap for the exhaustive rewrite-verification proof:
+    /// machines with at most this many inputs (and never more than 20)
+    /// are verified by the product-walk oracle; wider machines fall back
+    /// to sampling with a recorded [`Downgrade::VerifySampled`].
+    pub exhaustive_verify_max_inputs: usize,
 }
 
 impl Default for FlowConfig {
@@ -74,6 +88,8 @@ impl Default for FlowConfig {
             seed: 2004,
             allow_device_upsize: true,
             minimize_states: false,
+            eco_place: true,
+            exhaustive_verify_max_inputs: 20,
         }
     }
 }
@@ -142,6 +158,32 @@ pub struct FlowReport {
     /// Flow-artifact cache traffic attributable to this run (zero under
     /// `FLOW_CACHE=0`).
     pub cache: cache::CacheStats,
+    /// Digest over the final placement's coordinates (CLB, BRAM, IOB site
+    /// lists in entity order). Two reports with equal digests were placed
+    /// identically — the hook the ECO gate compares against.
+    pub coord_digest: String,
+    /// ECO placement evidence, present when the clock-controlled flow
+    /// reused the plain design's placement (see [`FlowConfig::eco_place`]).
+    pub eco: Option<EcoReport>,
+}
+
+/// Evidence that a clock-controlled implementation was placed as an ECO on
+/// top of the plain design: every base entity pinned at the plain
+/// coordinates, only the enable-cone delta placed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoReport {
+    /// Base entities pinned at the plain design's coordinates.
+    pub pinned_entities: usize,
+    /// Enable-cone entities placed by the range-limited local anneal.
+    pub delta_entities: usize,
+    /// Total HPWL of the nets touching at least one delta entity.
+    pub delta_hpwl: f64,
+    /// True when the base placement came out of the flow-artifact cache
+    /// (the plain flow already ran); false when this run computed it.
+    pub base_reuse_cache_hit: bool,
+    /// Digest over the base (pinned) coordinates — byte-identical to the
+    /// plain flow's [`FlowReport::coord_digest`] on the same device.
+    pub base_coord_digest: String,
 }
 
 /// A graceful degradation recorded in a [`FlowReport`]: the flow completed,
@@ -173,6 +215,20 @@ pub enum Downgrade {
         /// Number of functions left unminimized.
         skipped_functions: usize,
     },
+    /// ECO placement was requested but could not be completed (partition,
+    /// incremental-place, or routing failure on the ECO result); the flow
+    /// fell back to a full from-scratch placement.
+    EcoFallback {
+        /// Display of the failure that forced the fallback.
+        reason: String,
+    },
+    /// Rewrite verification could not take the exhaustive product-walk
+    /// path (machine wider than the input cap) and fell back to sampled
+    /// lockstep simulation.
+    VerifySampled {
+        /// The machine's primary-input count.
+        inputs: usize,
+    },
 }
 
 impl fmt::Display for Downgrade {
@@ -189,6 +245,15 @@ impl fmt::Display for Downgrade {
             }
             Downgrade::SynthBudgetExhausted { skipped_functions } => {
                 write!(f, "{skipped_functions} function(s) left unminimized")
+            }
+            Downgrade::EcoFallback { reason } => {
+                write!(f, "ECO placement fell back to full placement ({reason})")
+            }
+            Downgrade::VerifySampled { inputs } => {
+                write!(
+                    f,
+                    "rewrite verification sampled ({inputs} inputs exceed the exhaustive cap)"
+                )
             }
         }
     }
@@ -384,11 +449,11 @@ pub fn ff_flow(
                 cfg.seed,
             )
             .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-            cache::store_frontend(&key, &netlist, None, skipped_of(&downgrades));
+            cache::store_frontend(&key, &netlist, None, skipped_of(&downgrades), None);
             (netlist, downgrades)
         }
     };
-    let mut report = implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades)?;
+    let mut report = implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades, None)?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
 }
@@ -421,6 +486,22 @@ fn skipped_downgrades(skipped: Option<usize>) -> Vec<Downgrade> {
         .collect()
 }
 
+/// The `VerifySampled` cache payload for a verification outcome.
+fn sampled_of(stg: &Stg, method: &VerificationMethod) -> Option<usize> {
+    match method {
+        VerificationMethod::Exhaustive(_) => None,
+        VerificationMethod::Sampled { .. } => Some(stg.num_inputs()),
+    }
+}
+
+/// Rebuilds the sampled-verification downgrade list from its cache payload.
+fn sampled_downgrades(sampled: Option<usize>) -> Vec<Downgrade> {
+    sampled
+        .map(|inputs| Downgrade::VerifySampled { inputs })
+        .into_iter()
+        .collect()
+}
+
 /// Runs the FF flow with clock-enable gating on the state register.
 ///
 /// # Errors
@@ -439,6 +520,7 @@ pub fn ff_clock_gated_flow(
             netlist,
             clock_control: Some(stats),
             synth_skipped_functions,
+            ..
         }) => (netlist, stats, skipped_downgrades(synth_skipped_functions)),
         _ => {
             let impl_stg = prepared(stg, cfg)?;
@@ -467,7 +549,7 @@ pub fn ff_clock_gated_flow(
                 slices: control.num_slices(),
                 idle_cubes: control.idle_cubes,
             };
-            cache::store_frontend(&key, &netlist, Some(stats), skipped_of(&downgrades));
+            cache::store_frontend(&key, &netlist, Some(stats), skipped_of(&downgrades), None);
             (netlist, stats, downgrades)
         }
     };
@@ -479,6 +561,7 @@ pub fn ff_clock_gated_flow(
         stimulus,
         cfg,
         downgrades,
+        None,
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
@@ -496,29 +579,42 @@ pub fn emb_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
-    let key = cache::emb_frontend_key("emb", stg, emb_opts, cfg.minimize_states);
-    let netlist = match cache::load_frontend(&key) {
-        Some(fe) => fe.netlist,
-        None => {
-            let impl_stg = prepared(stg, cfg)?;
-            let emb = map_fsm_into_embs(&impl_stg, emb_opts)
-                .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
-            let netlist = emb.to_netlist();
-            verify_against_stg(
-                &netlist,
-                stg,
-                OutputTiming::Registered,
-                cfg.verify_cycles,
-                cfg.seed,
-            )
-            .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
-            cache::store_frontend(&key, &netlist, None, None);
-            netlist
-        }
-    };
-    let mut report = implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, Vec::new())?;
+    let (netlist, downgrades) = emb_frontend(stg, emb_opts, cfg)?;
+    let mut report = implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, downgrades, None)?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
+}
+
+/// The shared plain-EMB front-end: maps the machine into BRAMs and proves
+/// the rewrite through the verification ladder (exhaustive product walk up
+/// to [`FlowConfig::exhaustive_verify_max_inputs`] inputs, sampled lockstep
+/// beyond). Cached under the `"emb"` key, so [`emb_flow`] and the
+/// clock-controlled flow's ECO base resolve to the identical netlist.
+fn emb_frontend(
+    stg: &Stg,
+    emb_opts: &EmbOptions,
+    cfg: &FlowConfig,
+) -> Result<(Netlist, Vec<Downgrade>), FlowError> {
+    let key = cache::emb_frontend_key("emb", stg, emb_opts, cfg.minimize_states);
+    if let Some(fe) = cache::load_frontend(&key) {
+        return Ok((fe.netlist, sampled_downgrades(fe.verify_sampled_inputs)));
+    }
+    let impl_stg = prepared(stg, cfg)?;
+    let emb = map_fsm_into_embs(&impl_stg, emb_opts)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
+    let netlist = emb.to_netlist();
+    let method = verify_rewrite(
+        &netlist,
+        stg,
+        OutputTiming::Registered,
+        cfg.exhaustive_verify_max_inputs,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+    let sampled = sampled_of(stg, &method);
+    cache::store_frontend(&key, &netlist, None, None, sampled);
+    Ok((netlist, sampled_downgrades(sampled)))
 }
 
 /// Runs the EMB flow with the full degradation ladder: if mapping (or
@@ -567,12 +663,13 @@ pub fn emb_clock_controlled_flow(
 ) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
     let key = cache::emb_frontend_key("embcc", stg, emb_opts, cfg.minimize_states);
-    let (netlist, stats) = match cache::load_frontend(&key) {
+    let (netlist, stats, mut downgrades) = match cache::load_frontend(&key) {
         Some(Frontend {
             netlist,
             clock_control: Some(stats),
+            verify_sampled_inputs,
             ..
-        }) => (netlist, stats),
+        }) => (netlist, stats, sampled_downgrades(verify_sampled_inputs)),
         _ => {
             let impl_stg = prepared(stg, cfg)?;
             let emb = map_fsm_into_embs(&impl_stg, emb_opts)
@@ -585,10 +682,11 @@ pub fn emb_clock_controlled_flow(
                         FlowErrorKind::ClockControl(e),
                     )
                 })?;
-            verify_against_stg(
+            let method = verify_rewrite(
                 &netlist,
                 stg,
                 OutputTiming::Registered,
+                cfg.exhaustive_verify_max_inputs,
                 cfg.verify_cycles,
                 cfg.seed,
             )
@@ -598,9 +696,26 @@ pub fn emb_clock_controlled_flow(
                 slices: control.num_slices(),
                 idle_cubes: control.idle_cubes,
             };
-            cache::store_frontend(&key, &netlist, Some(stats), None);
-            (netlist, stats)
+            let sampled = sampled_of(stg, &method);
+            cache::store_frontend(&key, &netlist, Some(stats), None, sampled);
+            (netlist, stats, sampled_downgrades(sampled))
         }
+    };
+    // The ECO base: the plain design this clock-controlled netlist extends.
+    // Resolving it can only fail if the plain mapping fails, in which case
+    // the gated flow still completes with a full placement.
+    let eco_base = if cfg.eco_place {
+        match emb_frontend(stg, emb_opts, cfg) {
+            Ok((plain, _)) => Some(plain),
+            Err(e) => {
+                downgrades.push(Downgrade::EcoFallback {
+                    reason: e.to_string(),
+                });
+                None
+            }
+        }
+    } else {
+        None
     };
     let mut report = implement(
         stg,
@@ -609,7 +724,8 @@ pub fn emb_clock_controlled_flow(
         Some(stats),
         stimulus,
         cfg,
-        Vec::new(),
+        downgrades,
+        eco_base.as_ref(),
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
@@ -625,6 +741,7 @@ fn implement(
     stimulus: &Stimulus,
     cfg: &FlowConfig,
     downgrades: Vec<Downgrade>,
+    eco_base: Option<&Netlist>,
 ) -> Result<FlowReport, FlowError> {
     let vectors: Vec<Vec<bool>> = match stimulus {
         Stimulus::Random => netstim::random(stg.num_inputs(), cfg.cycles, cfg.seed),
@@ -642,6 +759,7 @@ fn implement(
         idle,
         cfg,
         downgrades,
+        eco_base,
     )
 }
 
@@ -681,9 +799,80 @@ pub(crate) fn implement_external(
         0.0,
         cfg,
         Vec::new(),
+        None,
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
+}
+
+/// One device's worth of physical implementation evidence: what was
+/// packed and placed, how the placer's budget fared, and (when the ECO
+/// path produced it) the incremental-placement report.
+struct Implemented {
+    device: Device,
+    packed: PackedDesign,
+    place_budget: fpga_fabric::place::BudgetOutcome,
+    routed: fpga_fabric::route::RoutedDesign,
+    coord_digest: String,
+    eco: Option<EcoReport>,
+}
+
+/// Attempts the ECO path on one device: reuse (or compute and cache) the
+/// base netlist's placement, pack the gated netlist as base + delta, pin
+/// every base entity, place only the delta, and route. Any failure is
+/// returned as a display string for the [`Downgrade::EcoFallback`] record.
+fn try_eco(
+    netlist: &Netlist,
+    netlist_bytes: &[u8],
+    base: &Netlist,
+    device: Device,
+    cfg: &FlowConfig,
+) -> Result<(PackedDesign, fpga_fabric::place::EcoPlacement, EcoReport), String> {
+    let base_packed = pack(base);
+    let base_bytes = cache::encode_netlist(base);
+    let bkey = cache::place_key(&base_bytes, &device, cfg.place);
+    let (base_placement, base_hit) = match cache::load_placement(&bkey) {
+        Some(p) => (p, true),
+        None => {
+            let p = place(base, &base_packed, device, cfg.place)
+                .map_err(|e| format!("base placement: {e}"))?;
+            cache::store_placement(&bkey, &p);
+            (p, false)
+        }
+    };
+    let packed = pack_partitioned(netlist, &base_packed, base.cells().len())
+        .map_err(|e| format!("partitioned pack: {e}"))?;
+    let pins = PinnedEntities::pin_base(&base_placement, &packed);
+    let base_digest = cache::coords_digest(
+        &base_placement.clb_loc,
+        &base_placement.bram_loc,
+        &base_placement.iob_loc,
+    );
+    let ekey = cache::eco_place_key(netlist_bytes, &device, cfg.place, &base_digest);
+    let eco = match cache::load_eco_placement(&ekey) {
+        // A cached ECO placement must still honour today's pin map (the
+        // key makes collisions unlikely; the check makes them harmless).
+        Some(e)
+            if e.placement.device.name == device.name
+                && verify_eco_placement(&e.placement, &pins).is_ok() =>
+        {
+            e
+        }
+        _ => {
+            let e = place_incremental(netlist, &packed, device, cfg.place, &pins)
+                .map_err(|e| format!("eco placement: {e}"))?;
+            cache::store_eco_placement(&ekey, &e);
+            e
+        }
+    };
+    let report = EcoReport {
+        pinned_entities: eco.pinned_entities,
+        delta_entities: eco.delta_entities,
+        delta_hpwl: eco.delta_hpwl,
+        base_reuse_cache_hit: base_hit,
+        base_coord_digest: base_digest,
+    };
+    Ok((packed, eco, report))
 }
 
 /// The physical half of a flow: pack, place, route, simulate, estimate.
@@ -697,6 +886,7 @@ fn physical(
     idle: f64,
     cfg: &FlowConfig,
     mut downgrades: Vec<Downgrade>,
+    eco_base: Option<&Netlist>,
 ) -> Result<FlowReport, FlowError> {
     netlist
         .validate()
@@ -713,10 +903,39 @@ fn physical(
     } else {
         std::slice::from_ref(&cfg.device)
     };
-    let mut implemented = None;
+    let mut implemented: Option<Implemented> = None;
     let mut last_err = None;
+    let mut eco_failure: Option<String> = None;
     let netlist_bytes = cache::encode_netlist(&netlist);
-    for &device in devices {
+    'devices: for &device in devices {
+        // ECO first: pin the base at the plain design's coordinates and
+        // place only the delta. Any failure falls through to the full
+        // placement on the same device.
+        if let Some(base) = eco_base {
+            match try_eco(&netlist, &netlist_bytes, base, device, cfg) {
+                Ok((eco_packed, eco, report)) => {
+                    match route(&netlist, &eco_packed, &eco.placement, cfg.route) {
+                        Ok(routed) => {
+                            implemented = Some(Implemented {
+                                device,
+                                coord_digest: cache::coords_digest(
+                                    &eco.placement.clb_loc,
+                                    &eco.placement.bram_loc,
+                                    &eco.placement.iob_loc,
+                                ),
+                                packed: eco_packed,
+                                place_budget: eco.placement.budget,
+                                routed,
+                                eco: Some(report),
+                            });
+                            break 'devices;
+                        }
+                        Err(e) => eco_failure = Some(format!("routing: {e}")),
+                    }
+                }
+                Err(reason) => eco_failure = Some(reason),
+            }
+        }
         let pkey = cache::place_key(&netlist_bytes, &device, cfg.place);
         let placement = match cache::load_placement(&pkey) {
             Some(p) => p,
@@ -737,7 +956,18 @@ fn physical(
         };
         match route(&netlist, &packed, &placement, cfg.route) {
             Ok(routed) => {
-                implemented = Some((device, placement.budget, routed));
+                implemented = Some(Implemented {
+                    device,
+                    packed: packed.clone(),
+                    place_budget: placement.budget,
+                    coord_digest: cache::coords_digest(
+                        &placement.clb_loc,
+                        &placement.bram_loc,
+                        &placement.iob_loc,
+                    ),
+                    routed,
+                    eco: None,
+                });
                 break;
             }
             Err(e) => {
@@ -749,9 +979,34 @@ fn physical(
             }
         }
     }
-    let Some((device, place_budget, routed)) = implemented else {
-        return Err(last_err.expect("at least one device attempted"));
+    let Some(Implemented {
+        device,
+        packed,
+        place_budget,
+        routed,
+        coord_digest,
+        eco,
+    }) = implemented
+    else {
+        return Err(last_err.unwrap_or_else(|| {
+            FlowError::new(
+                name,
+                FlowStage::Place,
+                FlowErrorKind::Place(PlaceError::DoesNotFit {
+                    what: "devices",
+                    need: 1,
+                    have: 0,
+                }),
+            )
+        }));
     };
+    // An ECO failure is only a downgrade if the flow did NOT end up on the
+    // ECO path (a later device may have succeeded incrementally).
+    if eco.is_none() {
+        if let Some(reason) = eco_failure {
+            downgrades.push(Downgrade::EcoFallback { reason });
+        }
+    }
     if device.name != cfg.device.name {
         downgrades.push(Downgrade::DeviceUpsized {
             from: cfg.device.name,
@@ -787,6 +1042,8 @@ fn physical(
         device,
         downgrades,
         cache: cache::CacheStats::default(),
+        coord_digest,
+        eco,
     })
 }
 
@@ -857,6 +1114,36 @@ mod tests {
             p_cc < p_emb,
             "clock control must save power: {p_cc:.2} vs {p_emb:.2}"
         );
+    }
+
+    #[test]
+    fn eco_placement_pins_the_plain_design_exactly() {
+        let stg = rotary_sequencer();
+        let cfg = quick_cfg();
+        let stim = Stimulus::IdleBiased(0.5);
+        let emb = emb_flow(&stg, &EmbOptions::default(), &stim, &cfg).unwrap();
+        let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg).unwrap();
+        let eco = cc.eco.as_ref().expect("ECO path must engage on a fitting design");
+        assert_eq!(
+            eco.base_coord_digest, emb.coord_digest,
+            "pinned base coordinates must be byte-identical to the plain placement"
+        );
+        assert!(eco.pinned_entities > 0, "base entities are pinned");
+        assert!(eco.delta_entities > 0, "the enable cone is the delta");
+        assert!(
+            !cc.downgrades
+                .iter()
+                .any(|d| matches!(d, Downgrade::EcoFallback { .. })),
+            "no fallback on the happy path: {:?}",
+            cc.downgrades
+        );
+        // Opting out really opts out.
+        let cfg_off = FlowConfig {
+            eco_place: false,
+            ..quick_cfg()
+        };
+        let full = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg_off).unwrap();
+        assert!(full.eco.is_none());
     }
 
     #[test]

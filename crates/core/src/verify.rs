@@ -250,6 +250,58 @@ pub struct ExhaustiveReport {
     pub edges_checked: usize,
 }
 
+/// How a rewrite was verified: by the exhaustive product-walk proof, or —
+/// when the input space is too wide to enumerate — by sampled lockstep
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationMethod {
+    /// Every reachable joint state was expanded under all input vectors:
+    /// a proof of equivalence, with walk statistics.
+    Exhaustive(ExhaustiveReport),
+    /// Random-stimulus lockstep comparison over this many cycles (the
+    /// typed fallback for machines with too many inputs to enumerate).
+    Sampled {
+        /// Cycles simulated.
+        cycles: usize,
+    },
+}
+
+impl VerificationMethod {
+    /// True when the rewrite was proven, not sampled.
+    #[must_use]
+    pub fn is_exhaustive(&self) -> bool {
+        matches!(self, VerificationMethod::Exhaustive(_))
+    }
+}
+
+/// Verification ladder for netlist-producing rewrites (EMB mapping with
+/// compaction / Mealy→Moore output transform / series banks, and the
+/// clock-control rewrite): run the exhaustive product-walk proof whenever
+/// the machine's input count permits (`inputs ≤ min(max_inputs, 20)`),
+/// and fall back to sampled lockstep simulation — a typed downgrade, not
+/// a silent one — above that.
+///
+/// # Errors
+///
+/// Any divergence from the oracle, by either rung, as a [`VerifyError`].
+pub fn verify_rewrite(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: OutputTiming,
+    max_inputs: usize,
+    cycles: usize,
+    seed: u64,
+) -> Result<VerificationMethod, VerifyError> {
+    match verify_exhaustive(netlist, stg, timing, max_inputs) {
+        Ok(report) => Ok(VerificationMethod::Exhaustive(report)),
+        Err(VerifyError::InputsTooWide { .. }) => {
+            verify_against_stg(netlist, stg, timing, cycles, seed)?;
+            Ok(VerificationMethod::Sampled { cycles })
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Exhaustively decides whether two netlists are observationally
 /// equivalent: a BFS product walk from the joint reset state expands
 /// every reachable (state of `a`, state of `b`) pair under all `2^I`
@@ -489,6 +541,38 @@ mod tests {
             netlists_equivalent(&n, &n, 8),
             Err(VerifyError::InputsTooWide { .. })
         ));
+    }
+
+    #[test]
+    fn rewrite_ladder_proves_narrow_and_samples_wide() {
+        // Narrow machine: the ladder takes the exhaustive rung.
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let method =
+            verify_rewrite(&emb.to_netlist(), &stg, OutputTiming::Registered, 20, 200, 7).unwrap();
+        assert!(method.is_exhaustive(), "{method:?}");
+
+        // Wide machine (sand, 11 inputs) against a tight cap: typed
+        // fallback to sampling, not an error.
+        let wide = fsm_model::benchmarks::by_name("sand").unwrap();
+        let emb = map_fsm_into_embs(&wide, &EmbOptions::default()).unwrap();
+        let method =
+            verify_rewrite(&emb.to_netlist(), &wide, OutputTiming::Registered, 8, 200, 7).unwrap();
+        assert_eq!(method, VerificationMethod::Sampled { cycles: 200 });
+
+        // A divergent netlist still fails through the ladder.
+        let mut broken = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        broken.rom[0] ^= 0b100;
+        let err = verify_rewrite(
+            &broken.to_netlist(),
+            &stg,
+            OutputTiming::Registered,
+            20,
+            200,
+            7,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::Mismatch { .. }), "{err}");
     }
 
     #[test]

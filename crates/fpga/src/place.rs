@@ -195,6 +195,9 @@ fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f
 /// nets — a cheap timing proxy, since the critical path is hostage to
 /// its longest hops. Total HPWL never increases, so the effort-
 /// monotonicity argument above is unaffected.
+/// When `movable` is given (ECO mode), only entities whose mask entry is
+/// `true` are relocated, and swap partners are restricted to movable
+/// siblings — pinned entities keep their exact coordinates.
 #[allow(clippy::too_many_arguments)]
 fn quench(
     pins: &[Vec<EntityId>],
@@ -205,6 +208,7 @@ fn quench(
     clb_loc: &mut Vec<(usize, usize)>,
     bram_loc: &mut Vec<(usize, usize)>,
     iob_loc: &mut Vec<(usize, usize)>,
+    movable: Option<[&[bool]; 3]>,
 ) {
     let free_of = |locs: &[(usize, usize)], sites: &[(usize, usize)]| -> Vec<(usize, usize)> {
         let used: std::collections::HashSet<(usize, usize)> = locs.iter().copied().collect();
@@ -218,10 +222,14 @@ fn quench(
     let mut free_bram = free_of(bram_loc, bram_sites);
     let mut free_iob = free_of(iob_loc, iob_sites);
     let counts = [clb_loc.len(), bram_loc.len(), iob_loc.len()];
+    let may_move = |kind: usize, idx: usize| movable.is_none_or(|m| m[kind][idx]);
     for _ in 0..16 {
         let mut improved = false;
         for kind in 0..3usize {
             for idx in 0..counts[kind] {
+                if !may_move(kind, idx) {
+                    continue;
+                }
                 let entity = match kind {
                     0 => EntityId::Clb(idx),
                     1 => EntityId::Bram(idx),
@@ -287,7 +295,7 @@ fn quench(
                     }
                 }
                 for o in 0..counts[kind] {
-                    if o == idx {
+                    if o == idx || !may_move(kind, o) {
                         continue;
                     }
                     let other = match kind {
@@ -451,6 +459,7 @@ pub fn place(
         &mut clb_loc,
         &mut bram_loc,
         &mut iob_loc,
+        None,
     );
     let base_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
     let base_clb = clb_loc.clone();
@@ -884,6 +893,7 @@ pub fn place(
             &mut clb_loc,
             &mut bram_loc,
             &mut iob_loc,
+            None,
         );
         free_clb = free_of(&clb_loc, &clb_sites);
         free_bram = free_of(&bram_loc, &bram_sites);
@@ -922,6 +932,7 @@ pub fn place(
         &mut clb_loc,
         &mut bram_loc,
         &mut iob_loc,
+        None,
     );
     let polished = cost_all(&clb_loc, &bram_loc, &iob_loc);
     let polished_sq: f64 = {
@@ -947,6 +958,648 @@ pub fn place(
         hpwl_sq: polished_sq,
         moves: moves_spent,
         budget,
+    })
+}
+
+/// Per-entity pin map for ECO placement: `Some(site)` pins the entity at
+/// that exact coordinate, `None` leaves it movable. Vectors are indexed
+/// like the corresponding `PackedDesign` entity lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinnedEntities {
+    /// CLB pins (indexed like `PackedDesign::clbs`).
+    pub clb: Vec<Option<(usize, usize)>>,
+    /// BRAM pins.
+    pub bram: Vec<Option<(usize, usize)>>,
+    /// IOB pins.
+    pub iob: Vec<Option<(usize, usize)>>,
+}
+
+impl PinnedEntities {
+    /// Pins every entity of `packed` that exists in the base placement at
+    /// the base's coordinates, leaving entities beyond the base prefix
+    /// movable. This is the ECO contract for the clock-control rewrite:
+    /// the gated design's packed entities are the plain design's entities
+    /// followed by the appended enable-cone CLBs, so the base prefix pins
+    /// verbatim and only the cone is placed.
+    #[must_use]
+    pub fn pin_base(base: &Placement, packed: &PackedDesign) -> PinnedEntities {
+        let prefix = |locs: &[(usize, usize)], n: usize| -> Vec<Option<(usize, usize)>> {
+            (0..n)
+                .map(|i| if i < locs.len() { Some(locs[i]) } else { None })
+                .collect()
+        };
+        PinnedEntities {
+            clb: prefix(&base.clb_loc, packed.clbs.len()),
+            bram: prefix(&base.bram_loc, packed.brams.len()),
+            iob: prefix(&base.iob_loc, packed.iobs.len()),
+        }
+    }
+
+    /// Number of pinned entities across all kinds.
+    #[must_use]
+    pub fn pinned_count(&self) -> usize {
+        [&self.clb, &self.bram, &self.iob]
+            .into_iter()
+            .map(|v| v.iter().filter(|p| p.is_some()).count())
+            .sum()
+    }
+
+    /// Number of movable (unpinned) entities across all kinds.
+    #[must_use]
+    pub fn movable_count(&self) -> usize {
+        self.clb.len() + self.bram.len() + self.iob.len() - self.pinned_count()
+    }
+}
+
+/// Errors from incremental (ECO) placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcoPlaceError {
+    /// The design does not fit the device.
+    DoesNotFit {
+        /// What overflowed ("CLBs", "BRAMs" or "IOBs").
+        what: &'static str,
+        /// Required count.
+        need: usize,
+        /// Available sites.
+        have: usize,
+    },
+    /// The pin map's length disagrees with the packed design.
+    PinCount {
+        /// Which entity kind disagreed.
+        what: &'static str,
+        /// Pin-map entries for that kind.
+        pins: usize,
+        /// Packed entities of that kind.
+        entities: usize,
+    },
+    /// A pinned coordinate is not a legal site of that kind on the device.
+    IllegalPin {
+        /// Which entity kind.
+        what: &'static str,
+        /// Entity index within the kind.
+        index: usize,
+        /// The offending coordinate.
+        site: (usize, usize),
+    },
+    /// Two entities of the same kind are pinned (or placed) on one site.
+    DuplicatePin {
+        /// Which entity kind.
+        what: &'static str,
+        /// Entity index of the second occupant.
+        index: usize,
+        /// The contested site.
+        site: (usize, usize),
+    },
+    /// Post-placement self-check: a pinned entity is not at its pin.
+    PinMoved {
+        /// Which entity kind.
+        what: &'static str,
+        /// Entity index within the kind.
+        index: usize,
+        /// Where the pin says the entity must be.
+        expected: (usize, usize),
+        /// Where the placement actually put it.
+        got: (usize, usize),
+    },
+}
+
+impl fmt::Display for EcoPlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcoPlaceError::DoesNotFit { what, need, have } => {
+                write!(f, "eco: design needs {need} {what}, device has {have}")
+            }
+            EcoPlaceError::PinCount {
+                what,
+                pins,
+                entities,
+            } => write!(
+                f,
+                "eco: pin map has {pins} {what} entries for {entities} entities"
+            ),
+            EcoPlaceError::IllegalPin { what, index, site } => {
+                write!(f, "eco: {what} {index} pinned at illegal site {site:?}")
+            }
+            EcoPlaceError::DuplicatePin { what, index, site } => {
+                write!(f, "eco: {what} {index} duplicates occupied site {site:?}")
+            }
+            EcoPlaceError::PinMoved {
+                what,
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "eco: {what} {index} pinned at {expected:?} but placed at {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EcoPlaceError {}
+
+/// Result of an incremental (ECO) placement: the full placement plus the
+/// ECO accounting the flow report surfaces.
+#[derive(Debug, Clone)]
+pub struct EcoPlacement {
+    /// The complete placement (pinned entities at their pins, movable
+    /// entities wherever the delta anneal left them).
+    pub placement: Placement,
+    /// How many entities were pinned.
+    pub pinned_entities: usize,
+    /// How many entities the delta anneal placed.
+    pub delta_entities: usize,
+    /// Σ HPWL over the nets touching at least one movable entity — the
+    /// wirelength actually decided by the ECO pass.
+    pub delta_hpwl: f64,
+}
+
+/// Checks a placement against a pin map: lengths agree, every pinned
+/// entity sits exactly at its pin, every location is a legal site of its
+/// kind, and no two entities of a kind share a site.
+///
+/// # Errors
+///
+/// The first violated invariant, as a typed [`EcoPlaceError`].
+pub fn verify_eco_placement(
+    placement: &Placement,
+    pins: &PinnedEntities,
+) -> Result<(), EcoPlaceError> {
+    let kinds: [(&'static str, &[Option<(usize, usize)>], &[(usize, usize)], Vec<(usize, usize)>);
+        3] = [
+        ("CLBs", &pins.clb, &placement.clb_loc, placement.device.clb_sites()),
+        (
+            "BRAMs",
+            &pins.bram,
+            &placement.bram_loc,
+            placement.device.bram_sites(),
+        ),
+        ("IOBs", &pins.iob, &placement.iob_loc, placement.device.iob_sites()),
+    ];
+    for (what, pin, loc, sites) in kinds {
+        if pin.len() != loc.len() {
+            return Err(EcoPlaceError::PinCount {
+                what,
+                pins: pin.len(),
+                entities: loc.len(),
+            });
+        }
+        let legal: std::collections::HashSet<(usize, usize)> = sites.iter().copied().collect();
+        let mut used: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for (index, &site) in loc.iter().enumerate() {
+            if !legal.contains(&site) {
+                return Err(EcoPlaceError::IllegalPin { what, index, site });
+            }
+            if !used.insert(site) {
+                return Err(EcoPlaceError::DuplicatePin { what, index, site });
+            }
+            if let Some(expected) = pin[index] {
+                if site != expected {
+                    return Err(EcoPlaceError::PinMoved {
+                        what,
+                        index,
+                        expected,
+                        got: site,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Incremental (ECO) placement: pinned entities keep their exact
+/// coordinates; only the movable delta is placed, by a short range-limited
+/// local anneal bracketed by the same deterministic quench [`place`] uses
+/// (restricted to movable entities). The returned placement is self-checked
+/// with [`verify_eco_placement`] before it leaves this function.
+///
+/// # Errors
+///
+/// Typed [`EcoPlaceError`] on capacity overflow, a malformed pin map, or a
+/// failed post-placement self-check.
+pub fn place_incremental(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    device: Device,
+    opts: PlaceOptions,
+    pins_map: &PinnedEntities,
+) -> Result<EcoPlacement, EcoPlaceError> {
+    let clb_sites = device.clb_sites();
+    let bram_sites = device.bram_sites();
+    let iob_sites = device.iob_sites();
+    let caps = [
+        ("CLBs", packed.clbs.len(), clb_sites.len()),
+        ("BRAMs", packed.brams.len(), bram_sites.len()),
+        ("IOBs", packed.iobs.len(), iob_sites.len()),
+    ];
+    for (what, need, have) in caps {
+        if need > have {
+            return Err(EcoPlaceError::DoesNotFit { what, need, have });
+        }
+    }
+    let counts = [
+        ("CLBs", pins_map.clb.len(), packed.clbs.len()),
+        ("BRAMs", pins_map.bram.len(), packed.brams.len()),
+        ("IOBs", pins_map.iob.len(), packed.iobs.len()),
+    ];
+    for (what, pins, entities) in counts {
+        if pins != entities {
+            return Err(EcoPlaceError::PinCount {
+                what,
+                pins,
+                entities,
+            });
+        }
+    }
+
+    // Validate the pins and seed locations: pinned entities at their pins,
+    // movable entities on the first free sites (the quench below turns the
+    // seed into a baseline local optimum).
+    let seed_kind = |pin: &[Option<(usize, usize)>],
+                     sites: &[(usize, usize)],
+                     what: &'static str|
+     -> Result<(Vec<(usize, usize)>, Vec<bool>), EcoPlaceError> {
+        let legal: std::collections::HashSet<(usize, usize)> = sites.iter().copied().collect();
+        let mut used: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for (index, p) in pin.iter().enumerate() {
+            if let Some(site) = *p {
+                if !legal.contains(&site) {
+                    return Err(EcoPlaceError::IllegalPin { what, index, site });
+                }
+                if !used.insert(site) {
+                    return Err(EcoPlaceError::DuplicatePin { what, index, site });
+                }
+            }
+        }
+        let mut free = sites.iter().copied().filter(|s| !used.contains(s));
+        let mut loc = Vec::with_capacity(pin.len());
+        let mut movable = Vec::with_capacity(pin.len());
+        for p in pin {
+            match *p {
+                Some(site) => {
+                    loc.push(site);
+                    movable.push(false);
+                }
+                None => {
+                    // Capacity was checked above, so a free site exists.
+                    let site = free.next().ok_or(EcoPlaceError::DoesNotFit {
+                        what,
+                        need: pin.len(),
+                        have: sites.len(),
+                    })?;
+                    loc.push(site);
+                    movable.push(true);
+                }
+            }
+        }
+        Ok((loc, movable))
+    };
+    let (mut clb_loc, clb_mov) = seed_kind(&pins_map.clb, &clb_sites, "CLBs")?;
+    let (mut bram_loc, bram_mov) = seed_kind(&pins_map.bram, &bram_sites, "BRAMs")?;
+    let (mut iob_loc, iob_mov) = seed_kind(&pins_map.iob, &iob_sites, "IOBs")?;
+    let movable_mask: [&[bool]; 3] = [&clb_mov, &bram_mov, &iob_mov];
+
+    let pins = build_net_pins(netlist, packed);
+    let active_nets: Vec<NetId> = (0..netlist.num_nets())
+        .map(|i| NetId(i as u32))
+        .filter(|n| pins[n.index()].len() >= 2)
+        .collect();
+    let mut nets_of_entity: HashMap<EntityId, Vec<NetId>> = HashMap::new();
+    for &net in &active_nets {
+        for &e in &pins[net.index()] {
+            nets_of_entity.entry(e).or_default().push(net);
+        }
+    }
+    let is_movable = |e: EntityId| match e {
+        EntityId::Clb(i) => clb_mov[i],
+        EntityId::Bram(i) => bram_mov[i],
+        EntityId::Iob(i) => iob_mov[i],
+    };
+    // Indices of movable entities, flattened for uniform random picks.
+    let movable_entities: Vec<(usize, usize)> = (0..clb_mov.len())
+        .filter(|&i| clb_mov[i])
+        .map(|i| (0usize, i))
+        .chain((0..bram_mov.len()).filter(|&i| bram_mov[i]).map(|i| (1, i)))
+        .chain((0..iob_mov.len()).filter(|&i| iob_mov[i]).map(|i| (2, i)))
+        .collect();
+
+    let cost_all = |clb_loc: &Vec<(usize, usize)>,
+                    bram_loc: &Vec<(usize, usize)>,
+                    iob_loc: &Vec<(usize, usize)>|
+     -> (f64, f64) {
+        let loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        active_nets.iter().fold((0.0, 0.0), |(lin, sq), n| {
+            let h = hpwl_of_net(&pins[n.index()], &loc);
+            (lin + h, sq + h * h)
+        })
+    };
+
+    let mut moves_spent = 0u64;
+    let mut budget = BudgetOutcome::Completed;
+    if !movable_entities.is_empty() && !active_nets.is_empty() {
+        // Baseline: deterministic descent over the movable delta only.
+        quench(
+            &pins,
+            &nets_of_entity,
+            &clb_sites,
+            &bram_sites,
+            &iob_sites,
+            &mut clb_loc,
+            &mut bram_loc,
+            &mut iob_loc,
+            Some(movable_mask),
+        );
+
+        let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x0ec0_5eed_ba5e_11f7);
+        let span = clb_sites
+            .iter()
+            .chain(bram_sites.iter())
+            .chain(iob_sites.iter())
+            .map(|&(x, y)| x.max(y))
+            .max()
+            .unwrap_or(1) as f64;
+        let in_window = |a: (usize, usize), b: (usize, usize), r: f64| -> bool {
+            (a.0.abs_diff(b.0).max(a.1.abs_diff(b.1)) as f64) <= r
+        };
+        let w0 = (span / 4.0).clamp(2.0, span);
+        let free_of =
+            |locs: &[(usize, usize)], sites: &[(usize, usize)]| -> Vec<(usize, usize)> {
+                let used: std::collections::HashSet<(usize, usize)> =
+                    locs.iter().copied().collect();
+                sites.iter().copied().filter(|s| !used.contains(s)).collect()
+            };
+        let mut free_clb = free_of(&clb_loc, &clb_sites);
+        let mut free_bram = free_of(&bram_loc, &bram_sites);
+        let mut free_iob = free_of(&iob_loc, &iob_sites);
+
+        // Proposal generator shared by the T0 probe and the walk: a random
+        // movable entity, moved to a free site or swapped with a movable
+        // sibling, within the window. Returns (kind, idx, other, new_site).
+        #[allow(clippy::type_complexity)]
+        let propose = |rng: &mut SmallRng,
+                           clb_loc: &[(usize, usize)],
+                           bram_loc: &[(usize, usize)],
+                           iob_loc: &[(usize, usize)],
+                           free: [&Vec<(usize, usize)>; 3],
+                           r: f64|
+         -> Option<(usize, usize, Option<usize>, (usize, usize))> {
+            let (kind, idx) = movable_entities[rng.random_range(0..movable_entities.len())];
+            let locs: &[(usize, usize)] = match kind {
+                0 => clb_loc,
+                1 => bram_loc,
+                _ => iob_loc,
+            };
+            let mov: &[bool] = movable_mask[kind];
+            let here = locs[idx];
+            let free_cands: Vec<usize> = free[kind]
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| in_window(here, s, r))
+                .map(|(f, _)| f)
+                .collect();
+            let swap_cands: Vec<usize> = (0..locs.len())
+                .filter(|&o| o != idx && mov[o] && in_window(here, locs[o], r))
+                .collect();
+            let use_free = !free_cands.is_empty() && (swap_cands.is_empty() || rng.random_bool(0.5));
+            if use_free {
+                let f = free_cands[rng.random_range(0..free_cands.len())];
+                Some((kind, idx, None, free[kind][f]))
+            } else if !swap_cands.is_empty() {
+                let o = swap_cands[rng.random_range(0..swap_cands.len())];
+                Some((kind, idx, Some(o), locs[o]))
+            } else {
+                None
+            }
+        };
+        let entity_of = |kind: usize, idx: usize| match kind {
+            0 => EntityId::Clb(idx),
+            1 => EntityId::Bram(idx),
+            _ => EntityId::Iob(idx),
+        };
+        let affected_nets = |kind: usize, idx: usize, other: Option<usize>| -> Vec<NetId> {
+            let mut v: Vec<NetId> = nets_of_entity
+                .get(&entity_of(kind, idx))
+                .cloned()
+                .unwrap_or_default();
+            if let Some(o) = other {
+                v.extend(
+                    nets_of_entity
+                        .get(&entity_of(kind, o))
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+                v.sort_unstable_by_key(|n| n.0);
+                v.dedup();
+            }
+            v
+        };
+
+        // T0 probe: stddev/3 of sampled in-window move deltas (see `place`).
+        let t0 = {
+            let mut deltas = Vec::new();
+            let samples = (movable_entities.len() * 4).clamp(32, 256);
+            for _ in 0..samples {
+                let Some((kind, idx, other, new_site)) = propose(
+                    &mut rng,
+                    &clb_loc,
+                    &bram_loc,
+                    &iob_loc,
+                    [&free_clb, &free_bram, &free_iob],
+                    w0,
+                ) else {
+                    continue;
+                };
+                let here = match kind {
+                    0 => clb_loc[idx],
+                    1 => bram_loc[idx],
+                    _ => iob_loc[idx],
+                };
+                let nets = affected_nets(kind, idx, other);
+                let entity = entity_of(kind, idx);
+                let other_entity = other.map(|o| entity_of(kind, o));
+                let eval = |moved: bool| -> f64 {
+                    let loc = |e: EntityId| {
+                        if moved {
+                            if e == entity {
+                                return new_site;
+                            }
+                            if other_entity == Some(e) {
+                                return here;
+                            }
+                        }
+                        match e {
+                            EntityId::Clb(i) => clb_loc[i],
+                            EntityId::Bram(i) => bram_loc[i],
+                            EntityId::Iob(i) => iob_loc[i],
+                        }
+                    };
+                    nets.iter().map(|n| hpwl_of_net(&pins[n.index()], &loc)).sum()
+                };
+                deltas.push(eval(true) - eval(false));
+            }
+            let n = deltas.len() as f64;
+            let sd = if deltas.is_empty() {
+                0.0
+            } else {
+                let mean = deltas.iter().sum::<f64>() / n;
+                (deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n).sqrt()
+            };
+            if sd > 0.0 {
+                sd / 3.0
+            } else {
+                1.0
+            }
+        };
+
+        let (mut cur_cost, _) = cost_all(&clb_loc, &bram_loc, &iob_loc);
+        let mut best_cost = cur_cost;
+        let mut best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+        let m = movable_entities.len() as f64;
+        let moves_per_t = ((m.powf(4.0 / 3.0) * opts.effort.max(0.1)).ceil() as usize).max(16);
+        let mut temperature = t0;
+        let mut rlim = w0;
+        let exit_t = (0.005 * cur_cost / active_nets.len() as f64).max(1e-6);
+        'anneal: while temperature > exit_t {
+            let mut accepted = 0usize;
+            for _ in 0..moves_per_t {
+                if moves_spent >= opts.max_moves {
+                    budget = BudgetOutcome::Exhausted { spent: moves_spent };
+                    break 'anneal;
+                }
+                moves_spent += 1;
+                let Some((kind, idx, other, new_site)) = propose(
+                    &mut rng,
+                    &clb_loc,
+                    &bram_loc,
+                    &iob_loc,
+                    [&free_clb, &free_bram, &free_iob],
+                    rlim,
+                ) else {
+                    continue;
+                };
+                let nets = affected_nets(kind, idx, other);
+                let old_site = match kind {
+                    0 => clb_loc[idx],
+                    1 => bram_loc[idx],
+                    _ => iob_loc[idx],
+                };
+                let eval = |clb: &[(usize, usize)],
+                            bram: &[(usize, usize)],
+                            iob: &[(usize, usize)]|
+                 -> f64 {
+                    let loc = |e: EntityId| match e {
+                        EntityId::Clb(i) => clb[i],
+                        EntityId::Bram(i) => bram[i],
+                        EntityId::Iob(i) => iob[i],
+                    };
+                    nets.iter().map(|n| hpwl_of_net(&pins[n.index()], &loc)).sum()
+                };
+                let before = eval(&clb_loc, &bram_loc, &iob_loc);
+                {
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = new_site;
+                    if let Some(o) = other {
+                        locs[o] = old_site;
+                    }
+                }
+                let after = eval(&clb_loc, &bram_loc, &iob_loc);
+                let delta = after - before;
+                let accept = delta < 1e-9
+                    || rng.random_bool((-delta / temperature).exp().min(1.0));
+                if accept {
+                    accepted += 1;
+                    cur_cost += delta;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+                    }
+                    if other.is_none() {
+                        let free: &mut Vec<(usize, usize)> = match kind {
+                            0 => &mut free_clb,
+                            1 => &mut free_bram,
+                            _ => &mut free_iob,
+                        };
+                        if let Some(pos) = free.iter().position(|s| *s == new_site) {
+                            free.swap_remove(pos);
+                            free.push(old_site);
+                        }
+                    }
+                } else {
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = old_site;
+                    if let Some(o) = other {
+                        locs[o] = new_site;
+                    }
+                }
+            }
+            let success = accepted as f64 / moves_per_t.max(1) as f64;
+            temperature *= if success > 0.8 { 0.7 } else { 0.85 };
+            rlim = (rlim * (0.56 + success)).clamp(1.0, span);
+            cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc).0;
+        }
+        if best_cost < cost_all(&clb_loc, &bram_loc, &iob_loc).0 {
+            clb_loc = best.0;
+            bram_loc = best.1;
+            iob_loc = best.2;
+        }
+        // Polish the delta with the masked deterministic descent.
+        quench(
+            &pins,
+            &nets_of_entity,
+            &clb_sites,
+            &bram_sites,
+            &iob_sites,
+            &mut clb_loc,
+            &mut bram_loc,
+            &mut iob_loc,
+            Some(movable_mask),
+        );
+    }
+
+    let (hpwl, hpwl_sq) = cost_all(&clb_loc, &bram_loc, &iob_loc);
+    // The wirelength actually decided by this pass: nets touching at
+    // least one movable entity.
+    let delta_hpwl: f64 = {
+        let loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        active_nets
+            .iter()
+            .filter(|n| pins[n.index()].iter().any(|&e| is_movable(e)))
+            .map(|n| hpwl_of_net(&pins[n.index()], &loc))
+            .sum()
+    };
+    let placement = Placement {
+        device,
+        clb_loc,
+        bram_loc,
+        iob_loc,
+        hpwl,
+        hpwl_sq,
+        moves: moves_spent,
+        budget,
+    };
+    verify_eco_placement(&placement, pins_map)?;
+    Ok(EcoPlacement {
+        placement,
+        pinned_entities: pins_map.pinned_count(),
+        delta_entities: pins_map.movable_count(),
+        delta_hpwl,
     })
 }
 
@@ -1139,5 +1792,105 @@ mod tests {
         .unwrap();
         assert_eq!(capped.clb_loc, again.clb_loc);
         assert_eq!(capped.budget, again.budget);
+    }
+
+    #[test]
+    fn eco_all_pinned_reproduces_the_base_exactly() {
+        let n = chain(30);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let base = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        let pins = PinnedEntities::pin_base(&base, &p);
+        assert_eq!(pins.movable_count(), 0);
+        let eco = place_incremental(&n, &p, device, PlaceOptions::default(), &pins).unwrap();
+        assert_eq!(eco.placement.clb_loc, base.clb_loc);
+        assert_eq!(eco.placement.bram_loc, base.bram_loc);
+        assert_eq!(eco.placement.iob_loc, base.iob_loc);
+        assert_eq!(eco.delta_entities, 0);
+        assert_eq!(eco.delta_hpwl, 0.0);
+        assert_eq!(eco.pinned_entities, p.num_entities());
+    }
+
+    #[test]
+    fn eco_moves_only_the_unpinned_delta() {
+        let n = chain(30);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let base = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        let mut pins = PinnedEntities::pin_base(&base, &p);
+        // Release the last two CLBs: the ECO pass may move them, nothing
+        // else.
+        let k = pins.clb.len();
+        assert!(k >= 2, "chain(30) packs into at least two CLBs");
+        pins.clb[k - 1] = None;
+        pins.clb[k - 2] = None;
+        let eco = place_incremental(&n, &p, device, PlaceOptions::default(), &pins).unwrap();
+        assert_eq!(eco.delta_entities, 2);
+        assert_eq!(eco.pinned_entities, p.num_entities() - 2);
+        for i in 0..k - 2 {
+            assert_eq!(eco.placement.clb_loc[i], base.clb_loc[i], "pinned CLB {i} moved");
+        }
+        assert_eq!(eco.placement.bram_loc, base.bram_loc);
+        assert_eq!(eco.placement.iob_loc, base.iob_loc);
+        assert!(eco.delta_hpwl.is_finite());
+        assert!(eco.delta_hpwl <= eco.placement.hpwl + 1e-9);
+        // Legality of the delta sites, including no collision with pins.
+        verify_eco_placement(&eco.placement, &pins).unwrap();
+        // Determinism.
+        let again = place_incremental(&n, &p, device, PlaceOptions::default(), &pins).unwrap();
+        assert_eq!(eco.placement.clb_loc, again.placement.clb_loc);
+        assert_eq!(eco.delta_hpwl, again.delta_hpwl);
+    }
+
+    #[test]
+    fn eco_rejects_malformed_pin_maps() {
+        let n = chain(10);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let base = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        let good = PinnedEntities::pin_base(&base, &p);
+
+        let mut short = good.clone();
+        short.clb.pop();
+        let err = place_incremental(&n, &p, device, PlaceOptions::default(), &short);
+        assert!(matches!(err, Err(EcoPlaceError::PinCount { .. })), "{err:?}");
+
+        let mut illegal = good.clone();
+        illegal.clb[0] = Some((usize::MAX, usize::MAX));
+        let err = place_incremental(&n, &p, device, PlaceOptions::default(), &illegal);
+        assert!(matches!(err, Err(EcoPlaceError::IllegalPin { .. })), "{err:?}");
+
+        let mut dup = good.clone();
+        if dup.clb.len() >= 2 {
+            dup.clb[1] = dup.clb[0];
+            let err = place_incremental(&n, &p, device, PlaceOptions::default(), &dup);
+            assert!(
+                matches!(err, Err(EcoPlaceError::DuplicatePin { .. })),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eco_self_check_catches_a_moved_pin() {
+        let n = chain(10);
+        let p = pack(&n);
+        let device = Device::xc2v250();
+        let base = place(&n, &p, device, PlaceOptions::default()).unwrap();
+        let pins = PinnedEntities::pin_base(&base, &p);
+        let mut bad = base.clone();
+        // Teleport the first CLB to a free legal site.
+        let used: std::collections::HashSet<(usize, usize)> =
+            bad.clb_loc.iter().copied().collect();
+        let free = device
+            .clb_sites()
+            .into_iter()
+            .find(|s| !used.contains(s))
+            .expect("free CLB site");
+        bad.clb_loc[0] = free;
+        let err = verify_eco_placement(&bad, &pins);
+        assert!(matches!(err, Err(EcoPlaceError::PinMoved { .. })), "{err:?}");
+        // And the untouched base passes.
+        verify_eco_placement(&base, &pins).unwrap();
     }
 }

@@ -7,7 +7,7 @@
 # makes any such attempt a hard, immediate error instead of a hang or a
 # silent download.
 #
-# Beyond build+test, three robustness gates run (ISSUE 2 / ISSUE 3):
+# Beyond build+test, five robustness gates run (ISSUE 2 / 3 / 4):
 #
 #  * panic-site budget — the number of unwrap()/expect(/panic!( sites in
 #    non-test library code must not grow past the recorded baseline;
@@ -18,7 +18,12 @@
 #    more than 25% slower than the committed baseline in
 #    results/bench_substrates.json. Skip with VERIFY_SKIP_BENCH=1 on
 #    machines too noisy to time (the gate itself, not the build, is
-#    skipped).
+#    skipped);
+#  * ECO base coordinates — table3's clock-controlled flows must pin
+#    every base entity at exactly the plain design's coordinates (the
+#    plain and gated-base coordinate digests per row are byte-identical);
+#  * flow-cache growth — a second identical table3 run must be served
+#    from the flow cache without growing results/cache/ at all.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -92,5 +97,42 @@ else
             || fail "$gate regressed: fresh ${fresh} ns > 1.25 x baseline ${baseline} ns"
     done
 fi
+
+# -- ECO base-coordinate gate -----------------------------------------------
+# table3 appends "name <plain-digest> <gated-base-digest>" per successful
+# row to $TABLE3_COORDS. ECO placement's whole claim is that the gated
+# design's base entities sit at EXACTLY the plain design's coordinates,
+# so the two digests must be byte-identical — and a missing row means a
+# benchmark silently fell back to full placement.
+echo "== ECO base-coordinate gate (table3 plain vs gated digests)" >&2
+coords=target/verify_table3_coords.txt
+TABLE3_COORDS="$coords" ./target/release/table3 > target/verify_table3.out 2>/dev/null \
+    || fail "table3 run failed"
+[ -s "$coords" ] || fail "table3 wrote no coordinate digests"
+rows=$(wc -l < "$coords")
+[ "$rows" -eq 9 ] \
+    || fail "expected 9 coordinate rows, got $rows (a benchmark fell back to full placement)"
+while read -r name plain gated; do
+    [ -n "$plain" ] && [ "$plain" = "$gated" ] \
+        || fail "$name: gated base coordinates differ from the plain placement"
+done < "$coords"
+echo "   all 9 benchmarks: gated base coordinates byte-identical to plain" >&2
+
+# -- Flow-cache growth bound ------------------------------------------------
+# Keys are deterministic, so a second identical table3 run must be served
+# entirely from the warm cache: any growth of results/cache/ means a key
+# is unstable and the cache re-stores artifacts it should be hitting.
+echo "== flow-cache growth bound (second table3 run)" >&2
+size_mid=$(du -sk results/cache 2>/dev/null | cut -f1)
+size_mid=${size_mid:-0}
+TABLE3_COORDS="$coords" ./target/release/table3 > target/verify_table3_again.out 2>/dev/null \
+    || fail "second table3 run failed"
+size_after=$(du -sk results/cache 2>/dev/null | cut -f1)
+size_after=${size_after:-0}
+[ "$size_after" -le "$size_mid" ] \
+    || fail "flow cache grew from ${size_mid}kB to ${size_after}kB on an identical rerun (unstable cache keys)"
+cmp -s target/verify_table3.out target/verify_table3_again.out \
+    || fail "table3 output differs between warm-cache reruns"
+echo "   cache stable at ${size_after}kB; rerun output byte-identical" >&2
 
 echo "verify.sh: OK" >&2

@@ -114,6 +114,58 @@ fn corrupted_machines_flow_without_panicking() {
     }
 }
 
+/// 100 seeded ECO-placement corruptions across two benchmarks: a moved
+/// pinned coordinate or a dropped cone entity must be rejected by
+/// `verify_eco_placement` as a typed `EcoPlaceError` — detection is
+/// mandatory (the fault classes are observable by construction) and a
+/// panic is an instant failure.
+#[test]
+fn eco_corruption_campaign_is_panic_free() {
+    use romfsm::emb::clock_control::attach_emb_clock_control;
+    use romfsm::emb::faultinject::corrupt_eco;
+    use romfsm::fpga::device::Device;
+    use romfsm::fpga::pack::{pack, pack_partitioned};
+    use romfsm::fpga::place::{
+        place, place_incremental, verify_eco_placement, PinnedEntities,
+    };
+    use romfsm::logic::techmap::MapOptions;
+
+    let mut cases = 0usize;
+    for name in ["keyb", "donfile"] {
+        let stg = romfsm::fsm::benchmarks::by_name(name).expect("paper benchmark");
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        let plain = emb.to_netlist();
+        let (gated, _) =
+            attach_emb_clock_control(&emb, MapOptions::default()).expect("clock control");
+        let device = Device::xc2v250();
+        let opts = PlaceOptions {
+            seed: 1,
+            effort: 1.0,
+            ..PlaceOptions::default()
+        };
+        let plain_packed = pack(&plain);
+        let base = place(&plain, &plain_packed, device, opts).expect("base placement");
+        let packed = pack_partitioned(&gated, &plain_packed, plain.cells().len())
+            .expect("partitioned pack");
+        let pins = PinnedEntities::pin_base(&base, &packed);
+        let eco = place_incremental(&gated, &packed, device, opts, &pins).expect("eco placement");
+        for seed in 0..50u64 {
+            let Some((bad, fault)) = corrupt_eco(&eco, &pins, seed) else {
+                continue;
+            };
+            cases += 1;
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| verify_eco_placement(&bad.placement, &pins)));
+            match outcome {
+                Ok(Err(_)) => {} // typed rejection, as the contract demands
+                Ok(Ok(())) => panic!("{name}/seed {seed}: fault {fault} went undetected"),
+                Err(_) => panic!("{name}/seed {seed}: PANIC checking fault {fault}"),
+            }
+        }
+    }
+    assert!(cases >= 100, "campaign ran only {cases} ECO cases");
+}
+
 /// Builds a fully-specified machine with `inputs` primary inputs and four
 /// states. Fully-specified cubes defeat column compaction, and
 /// `inputs + 2` address bits exceed every rung of the ladder when large

@@ -125,12 +125,11 @@ fn clock_control_logic_slows_the_clock() {
     // proportional to the delay introduced by the clock control logic"
     // (the enable sits in the BRAM's setup path).
     //
-    // The two designs are placed by independent anneals, so their fmax
-    // ratio carries placement noise on top of the enable-cone delay
-    // (ROADMAP: an ECO/incremental placement mode would pin the shared
-    // entities and make this exact). Until then: the gated design must
-    // actually carry enable logic, and its fmax may exceed the plain
-    // design's only within the placement-noise band.
+    // ECO placement makes this comparison structural instead of
+    // statistical: the gated flow pins every shared entity at EXACTLY the
+    // plain design's coordinates and places only the enable cone, so the
+    // fmax difference is attributable to the clock-control logic alone —
+    // no placement-noise band needed.
     let cfg = quick_cfg();
     let stg = romfsm::fsm::benchmarks::by_name("keyb").expect("keyb");
     let stim = Stimulus::IdleBiased(0.5);
@@ -138,9 +137,19 @@ fn clock_control_logic_slows_the_clock() {
     let gated = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg).expect("cc");
     let control = gated.clock_control.expect("clock-control stats");
     assert!(control.luts >= 1, "enable cone must exist in the netlist");
+    let eco = gated
+        .eco
+        .as_ref()
+        .expect("the gated flow must take the ECO placement path");
+    assert_eq!(
+        eco.base_coord_digest, plain.coord_digest,
+        "every base entity must sit at exactly the plain design's coordinates"
+    );
+    assert!(eco.pinned_entities > 0, "base entities are pinned");
+    assert!(eco.delta_entities > 0, "the enable cone is placed as a delta");
     assert!(
-        gated.timing.fmax_mhz <= plain.timing.fmax_mhz * 1.10,
-        "enable logic must not speed the design up beyond placement noise: {:.1} vs {:.1}",
+        gated.timing.fmax_mhz <= plain.timing.fmax_mhz,
+        "with the base placement pinned, enable logic can only slow the clock: {:.3} vs {:.3}",
         gated.timing.fmax_mhz,
         plain.timing.fmax_mhz
     );

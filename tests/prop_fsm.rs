@@ -163,6 +163,58 @@ fn emb_mapping_is_cycle_exact() {
 }
 
 #[test]
+fn eco_placement_pins_base_and_bounds_delta_wirelength() {
+    // The ECO placement contract, as a property over random machines:
+    // every base coordinate is byte-identical to the plain placement, the
+    // entity accounting closes, and the total wirelength never exceeds
+    // the base wirelength plus the enable-cone delta (pinning means the
+    // ECO pass cannot have perturbed any base-only net).
+    use romfsm::emb::clock_control::attach_emb_clock_control;
+    use romfsm::fpga::device::Device;
+    use romfsm::fpga::pack::{pack, pack_partitioned};
+    use romfsm::fpga::place::{place, place_incremental, PinnedEntities, PlaceOptions};
+    use romfsm::logic::techmap::MapOptions;
+
+    run_sized_cases(24, 10, |rng, size| {
+        let spec = arb_spec_sized(rng, size);
+        let stg = generate(&spec);
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
+        let plain = emb.to_netlist();
+        let (gated, _) = attach_emb_clock_control(&emb, MapOptions::default())
+            .unwrap_or_else(|e| panic!("{}: clock control: {e} ({spec:?})", stg.name()));
+        let device = Device::xc2v250();
+        let opts = PlaceOptions {
+            seed: spec.seed,
+            effort: 1.0,
+            ..PlaceOptions::default()
+        };
+        let plain_packed = pack(&plain);
+        let base = place(&plain, &plain_packed, device, opts).expect("base placement");
+        let packed = pack_partitioned(&gated, &plain_packed, plain.cells().len())
+            .unwrap_or_else(|e| panic!("{}: partitioned pack: {e} ({spec:?})", stg.name()));
+        let pins = PinnedEntities::pin_base(&base, &packed);
+        let eco = place_incremental(&gated, &packed, device, opts, &pins)
+            .unwrap_or_else(|e| panic!("{}: eco place: {e} ({spec:?})", stg.name()));
+        let p = &eco.placement;
+        assert_eq!(&p.clb_loc[..base.clb_loc.len()], &base.clb_loc[..], "{spec:?}");
+        assert_eq!(&p.bram_loc[..base.bram_loc.len()], &base.bram_loc[..], "{spec:?}");
+        assert_eq!(&p.iob_loc[..base.iob_loc.len()], &base.iob_loc[..], "{spec:?}");
+        assert_eq!(
+            eco.pinned_entities + eco.delta_entities,
+            p.clb_loc.len() + p.bram_loc.len() + p.iob_loc.len(),
+            "{spec:?}"
+        );
+        assert!(
+            p.hpwl <= base.hpwl + eco.delta_hpwl + 1e-6,
+            "total hpwl {} must stay within base {} + delta {} ({spec:?})",
+            p.hpwl,
+            base.hpwl,
+            eco.delta_hpwl
+        );
+    });
+}
+
+#[test]
 fn eco_identity_rewrite_changes_nothing() {
     run_cases(24, |rng| {
         let spec = arb_spec(rng);
