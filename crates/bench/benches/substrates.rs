@@ -5,6 +5,7 @@
 //! `results/bench_substrates.json`.
 
 use emb_fsm::baseline::ff_netlist;
+use emb_fsm::verify::{verify_exhaustive, verify_exhaustive_scalar, OutputTiming};
 use fpga_fabric::device::Device;
 use fpga_fabric::pack::pack;
 use fpga_fabric::place::{place, PlaceOptions};
@@ -95,6 +96,34 @@ fn bench_simulation(h: &mut Harness) {
     });
 }
 
+fn bench_verify(h: &mut Harness) {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let netlist = keyb_ff_netlist();
+    // The batched product walk (64 input vectors per word) against the
+    // scalar walk on the same netlist: the ratio is the kernel's whole
+    // reason to exist, so both are recorded and verify.sh gates on it.
+    h.bench("verify_exhaustive/keyb", || {
+        verify_exhaustive(
+            black_box(&netlist),
+            &stg,
+            OutputTiming::Combinational,
+            16,
+        )
+        .expect("keyb is exhaustively equivalent")
+        .edges_checked
+    });
+    h.bench("verify_exhaustive_scalar/keyb", || {
+        verify_exhaustive_scalar(
+            black_box(&netlist),
+            &stg,
+            OutputTiming::Combinational,
+            16,
+        )
+        .expect("keyb is exhaustively equivalent")
+        .edges_checked
+    });
+}
+
 fn main() {
     let mut h = Harness::new("substrates");
     bench_espresso(&mut h);
@@ -102,5 +131,6 @@ fn main() {
     bench_techmap(&mut h);
     bench_place_route(&mut h);
     bench_simulation(&mut h);
+    bench_verify(&mut h);
     h.finish();
 }

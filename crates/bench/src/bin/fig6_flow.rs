@@ -85,7 +85,8 @@ fn main() {
         sim.activity(),
         100.0,
         &PowerParams::default(),
-    );
+    )
+    .expect("activity was recorded on this netlist");
     println!("[7] estimation (XPower role): {power}");
     println!(
         "    critical path {:.2} ns (fmax {:.1} MHz)",

@@ -40,6 +40,15 @@
 //! * `FLOW_CACHE_DIR=<dir>` — on-disk store location (default
 //!   `results/cache/` at the workspace root; relative paths resolve
 //!   against the workspace root).
+//! * `FLOW_CACHE_MAX_BYTES=<n>` — byte budget for the on-disk store.
+//!   After every store the record files are summed; while they exceed
+//!   the budget the least-recently-used record is deleted (a disk hit
+//!   refreshes its record's mtime, so mtime order *is* LRU order).
+//!   Deletion is one `remove_file` per record — an atomic unlink, so a
+//!   concurrent reader that already opened the record keeps its bytes
+//!   and a racing lookup degrades to an ordinary miss. Unset means
+//!   unlimited (and hits skip the mtime refresh entirely). Eviction
+//!   changes only what stays cached, never what a flow computes.
 //!
 //! Hit/miss counters are kept per thread (each experiment item runs
 //! wholly on one runner worker) and surfaced as
@@ -128,6 +137,8 @@ fn note(hit: bool) {
 struct Config {
     enabled: bool,
     dir: Option<PathBuf>,
+    /// On-disk byte budget (`FLOW_CACHE_MAX_BYTES`); `None` = unlimited.
+    max_bytes: Option<u64>,
 }
 
 fn config() -> &'static Config {
@@ -137,6 +148,9 @@ fn config() -> &'static Config {
             std::env::var("FLOW_CACHE").as_deref(),
             Ok("0") | Ok("off") | Ok("OFF") | Ok("false")
         );
+        let max_bytes = std::env::var("FLOW_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
         let dir = if enabled {
             let d = std::env::var("FLOW_CACHE_DIR").map_or_else(
                 |_| workspace_root().join("results").join("cache"),
@@ -154,7 +168,11 @@ fn config() -> &'static Config {
         } else {
             None
         };
-        Config { enabled, dir }
+        Config {
+            enabled,
+            dir,
+            max_bytes,
+        }
     })
 }
 
@@ -397,12 +415,72 @@ fn lookup_raw(key: &Key) -> Option<Vec<u8>> {
         }
     }
     let dir = cfg.dir.as_ref()?;
-    let bytes = std::fs::read(dir.join(&name)).ok()?;
+    let path = dir.join(&name);
+    let bytes = std::fs::read(&path).ok()?;
+    // LRU touch: under a byte budget a disk hit refreshes the record's
+    // mtime so eviction deletes cold records first. Without a budget the
+    // refresh is skipped — the read path stays write-free.
+    if cfg.max_bytes.is_some() {
+        touch_record(&path);
+    }
     memory()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .insert(name, bytes.clone());
     Some(bytes)
+}
+
+/// Sets a record's mtime to now (best effort; a failure just makes the
+/// record look colder to the evictor than it is).
+fn touch_record(path: &std::path::Path) {
+    if let Ok(f) = std::fs::File::options().append(true).open(path) {
+        let _ = f.set_times(std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()));
+    }
+}
+
+/// Shrinks the on-disk store to `max_bytes` by deleting record files
+/// (`*.txt`) least-recently-modified first. With hits refreshing mtimes
+/// (see [`touch_record`]) modification order is access order, so this is
+/// LRU eviction. Each delete is a single atomic unlink: a reader that
+/// already opened the record keeps its bytes, a racing lookup misses and
+/// recomputes. Non-record files (temp files mid-publish, stray notes)
+/// are never touched.
+fn enforce_budget(dir: &std::path::Path, max_bytes: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut records: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+    let mut total = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "txt") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else {
+            continue;
+        };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta
+            .modified()
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        total += meta.len();
+        records.push((mtime, meta.len(), path));
+    }
+    if total <= max_bytes {
+        return;
+    }
+    // Oldest first; the path tie-breaks equal mtimes deterministically.
+    records.sort();
+    for (_, len, path) in records {
+        if total <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+        }
+    }
 }
 
 fn store_raw(key: &Key, bytes: Vec<u8>) {
@@ -421,6 +499,14 @@ fn store_raw(key: &Key, bytes: Vec<u8>) {
         ));
         if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, dir.join(&name)).is_err() {
             let _ = std::fs::remove_file(&tmp);
+        }
+        // Evict after publishing: the store may momentarily overshoot the
+        // budget, but every store leaves it within budget again. The
+        // fresh record has the newest mtime, so it is evicted last — and
+        // even if a sub-record-sized budget deletes it, this process
+        // still holds the artifact in the memory layer below.
+        if let Some(max_bytes) = cfg.max_bytes {
+            enforce_budget(dir, max_bytes);
         }
     }
     memory()
@@ -1040,6 +1126,61 @@ mod tests {
             eco_place_key(bytes, &device, PlaceOptions::default(), &d1)
         );
         assert_ne!(k1, place_key(bytes, &device, PlaceOptions::default()));
+    }
+
+    /// Writes a 100-byte record with a deterministic mtime `secs` past a
+    /// fixed epoch offset, so LRU order is under the test's control.
+    fn record_with_age(dir: &std::path::Path, name: &str, secs: u64) {
+        let path = dir.join(format!("place_{name}.txt"));
+        std::fs::write(&path, vec![b'x'; 100]).unwrap();
+        let t = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000 + secs);
+        let f = std::fs::File::options().append(true).open(&path).unwrap();
+        f.set_times(std::fs::FileTimes::new().set_modified(t))
+            .unwrap();
+    }
+
+    #[test]
+    fn eviction_deletes_least_recently_used_first() {
+        let dir = std::env::temp_dir().join(format!("romfsm-cache-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        record_with_age(&dir, "old", 0);
+        record_with_age(&dir, "mid", 100);
+        record_with_age(&dir, "new", 200);
+        std::fs::write(dir.join("notes.md"), b"keep").unwrap();
+
+        // 300 bytes of records fit a 300-byte budget: nothing deleted.
+        enforce_budget(&dir, 300);
+        assert!(dir.join("place_old.txt").exists());
+        assert!(dir.join("place_mid.txt").exists());
+        assert!(dir.join("place_new.txt").exists());
+
+        // A 250-byte budget deletes exactly the least-recently-used one.
+        enforce_budget(&dir, 250);
+        assert!(!dir.join("place_old.txt").exists(), "LRU record survived");
+        assert!(dir.join("place_mid.txt").exists());
+        assert!(dir.join("place_new.txt").exists());
+        assert!(dir.join("notes.md").exists(), "non-record file deleted");
+
+        // A refreshed mtime protects an otherwise-cold record: after
+        // touching `mid`, a one-record budget keeps it and evicts `new`.
+        touch_record(&dir.join("place_mid.txt"));
+        enforce_budget(&dir, 100);
+        assert!(dir.join("place_mid.txt").exists(), "touched record evicted");
+        assert!(!dir.join("place_new.txt").exists());
+
+        // Zero budget clears every record, and only records.
+        enforce_budget(&dir, 0);
+        assert!(!dir.join("place_mid.txt").exists());
+        assert!(dir.join("notes.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_survives_a_missing_store() {
+        // A store directory that vanished (or never existed) is a no-op,
+        // not a panic.
+        enforce_budget(std::path::Path::new("/nonexistent/romfsm-cache"), 10);
     }
 
     #[test]

@@ -332,11 +332,17 @@ pub fn corrupt_stg(stg: &Stg, seed: u64) -> Option<(Stg, StgFault)> {
     Some((corrupted, fault))
 }
 
-/// Produces a corrupted copy of `netlist` with exactly one seeded bit-level
-/// fault in a LUT truth table, FF init value, or BRAM ROM word, or `None`
-/// when the netlist holds no corruptible cell.
+/// Deterministically picks the single bit-level fault that seed `seed`
+/// injects into `netlist`, without materializing the corrupted copy, or
+/// `None` when the netlist holds no corruptible cell.
+///
+/// This is the seed→fault map shared by [`corrupt_netlist`] (which
+/// rebuilds a corrupted netlist) and the batched
+/// [`netlist_fault_campaign`] (which applies the same fault to one lane
+/// of a [`BatchSimulator`]): both paths see the identical fault for the
+/// identical seed.
 #[must_use]
-pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, NetlistFault)> {
+pub fn pick_netlist_fault(netlist: &Netlist, seed: u64) -> Option<NetlistFault> {
     let mut rng = SmallRng::seed_from_u64(seed);
     // Candidate cells: index plus what can be flipped there.
     let candidates: Vec<usize> = netlist
@@ -355,13 +361,19 @@ pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, Netlist
     }
     let target = candidates[rng.random_range(0..candidates.len())];
 
-    // Targeted BRAM corruption: only words a non-tied address can reach and
-    // only data bits that are wired out are worth flipping (the rest of the
-    // init plane is padding that no simulation can observe).
-    let (bram_words, bram_bits) = match &netlist.cells()[target] {
+    Some(match &netlist.cells()[target] {
+        Cell::Lut { inputs, .. } => {
+            let bit = rng.random_range(0..1u64 << inputs.len().min(6)) as u32;
+            NetlistFault::FlipLutTruthBit { cell: target, bit }
+        }
+        Cell::Ff { .. } => NetlistFault::FlipFfInit { cell: target },
         Cell::Bram {
             addr, dout, init, ..
         } => {
+            // Targeted BRAM corruption: only words a non-tied address can
+            // reach and only data bits that are wired out are worth
+            // flipping (the rest of the init plane is padding that no
+            // simulation can observe).
             let drivers = netlist.driver_map();
             let live_addr = addr
                 .iter()
@@ -372,41 +384,162 @@ pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, Netlist
                     )
                 })
                 .count();
-            (
-                (1usize << live_addr.min(20)).min(init.len()),
-                dout.len().max(1),
-            )
+            let bram_words = (1usize << live_addr.min(20)).min(init.len());
+            let bram_bits = dout.len().max(1);
+            let word = rng.random_range(0..bram_words.max(1));
+            let bit = rng.random_range(0..bram_bits) as u32;
+            NetlistFault::FlipBramInitBit {
+                cell: target,
+                word,
+                bit,
+            }
         }
-        _ => (0, 0),
-    };
+        Cell::Const { .. } => unreachable!("constants are filtered out"),
+    })
+}
 
-    let mut fault = None;
-    let corrupted = rebuild_with(netlist, target, |cell| {
-        fault = Some(match cell {
-            Cell::Lut { inputs, truth, .. } => {
-                let bit = rng.random_range(0..1u64 << inputs.len().min(6)) as u32;
-                *truth ^= 1u64 << bit;
-                NetlistFault::FlipLutTruthBit { cell: target, bit }
+/// Produces a corrupted copy of `netlist` with exactly one seeded bit-level
+/// fault in a LUT truth table, FF init value, or BRAM ROM word, or `None`
+/// when the netlist holds no corruptible cell.
+#[must_use]
+pub fn corrupt_netlist(netlist: &Netlist, seed: u64) -> Option<(Netlist, NetlistFault)> {
+    let fault = pick_netlist_fault(netlist, seed)?;
+    let target = match fault {
+        NetlistFault::FlipLutTruthBit { cell, .. }
+        | NetlistFault::FlipFfInit { cell }
+        | NetlistFault::FlipBramInitBit { cell, .. } => cell,
+    };
+    let corrupted = rebuild_with(netlist, target, |cell| match (&fault, cell) {
+        (NetlistFault::FlipLutTruthBit { bit, .. }, Cell::Lut { truth, .. }) => {
+            *truth ^= 1u64 << bit;
+        }
+        (NetlistFault::FlipFfInit { .. }, Cell::Ff { init, .. }) => {
+            *init = !*init;
+        }
+        (NetlistFault::FlipBramInitBit { word, bit, .. }, Cell::Bram { init, .. }) => {
+            init[*word] ^= 1u64 << bit;
+        }
+        _ => unreachable!("fault kind matches the targeted cell kind"),
+    });
+    Some((corrupted, fault))
+}
+
+/// Outcome of one case in a batched netlist fault campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The seed that produced the fault.
+    pub seed: u64,
+    /// The injected fault.
+    pub fault: NetlistFault,
+    /// First cycle (0-based) at which the faulty variant's outputs
+    /// diverged from the intact oracle, or `None` when the fault stayed
+    /// silent over the whole stimulus (e.g. it hit an unreachable word).
+    pub detected_at: Option<usize>,
+}
+
+/// Runs a seeded single-fault detection campaign on the bit-parallel
+/// kernel: up to 64 faulty variants of `netlist` share one
+/// [`BatchSimulator`] batch — per-lane truth-table, FF power-on and BRAM
+/// image edits model the faults of [`pick_netlist_fault`] — and all lanes
+/// are driven by the same deterministic stimulus while being compared
+/// against the same STG oracle trace.
+///
+/// Each case's result is what a scalar [`corrupt_netlist`] +
+/// [`verify_against_stg`](crate::verify::verify_against_stg) run with the
+/// same seed would report: the same fault, detected at the same cycle.
+///
+/// Seeds whose netlist admits no corruption are skipped (the returned
+/// vector is then empty).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from netlist validation.
+pub fn netlist_fault_campaign(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: crate::verify::OutputTiming,
+    seeds: std::ops::Range<u64>,
+    cycles: usize,
+    stim_seed: u64,
+) -> Result<Vec<FaultOutcome>, fpga_fabric::netlist::NetlistError> {
+    use crate::verify::OutputTiming;
+    use fsm_model::simulate::StgSimulator;
+    use netsim::kernel::{BatchSimulator, LANES};
+
+    assert!(
+        netlist.outputs().len() >= stg.num_outputs(),
+        "netlist must expose at least the machine's outputs"
+    );
+    let cases: Vec<(u64, NetlistFault)> = seeds
+        .filter_map(|s| pick_netlist_fault(netlist, s).map(|f| (s, f)))
+        .collect();
+    if cases.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // One oracle trace serves every lane of every batch: all variants are
+    // driven by the same stimulus.
+    let stimulus = netsim::stimulus::random(stg.num_inputs(), cycles, stim_seed);
+    let mut oracle = StgSimulator::new(stg);
+    let expected: Vec<Vec<bool>> = stimulus.iter().map(|v| oracle.clock(v).to_vec()).collect();
+
+    let mut outcomes = Vec::with_capacity(cases.len());
+    for chunk in cases.chunks(LANES) {
+        let mut sim = BatchSimulator::new(netlist)?;
+        for (lane, (_, fault)) in chunk.iter().enumerate() {
+            let applied = match *fault {
+                NetlistFault::FlipLutTruthBit { cell, bit } => {
+                    sim.flip_lane_truth(cell, lane, bit)
+                }
+                NetlistFault::FlipBramInitBit { cell, word, bit } => {
+                    sim.flip_lane_bram_init(cell, lane, word, bit)
+                }
+                NetlistFault::FlipFfInit { cell } => {
+                    match &netlist.cells()[cell] {
+                        // The power-on flip: override the lane's q after
+                        // reset. The next clock's settle propagates it.
+                        Cell::Ff { q, init, .. } => sim.set_lane_value(*q, lane, !init),
+                        _ => unreachable!("FlipFfInit targets an FF"),
+                    }
+                    Ok(())
+                }
+            };
+            assert!(
+                applied.is_ok(),
+                "picked fault must be applicable to its own netlist"
+            );
+        }
+        let mut detected: Vec<Option<usize>> = vec![None; chunk.len()];
+        let mut undetected = chunk.len();
+        for (cycle, vector) in stimulus.iter().enumerate() {
+            if undetected == 0 {
+                break;
             }
-            Cell::Ff { init, .. } => {
-                *init = !*init;
-                NetlistFault::FlipFfInit { cell: target }
-            }
-            Cell::Bram { init, .. } => {
-                let word = rng.random_range(0..bram_words.max(1));
-                let bit = rng.random_range(0..bram_bits) as u32;
-                init[word] ^= 1u64 << bit;
-                NetlistFault::FlipBramInitBit {
-                    cell: target,
-                    word,
-                    bit,
+            let words: Vec<u64> = vector.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+            sim.clock_words(&words);
+            for (lane, slot) in detected.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                let got_all = match timing {
+                    OutputTiming::Registered => sim.lane_outputs(lane),
+                    OutputTiming::Combinational => sim.lane_pre_edge_outputs(lane),
+                };
+                if got_all[..stg.num_outputs()] != expected[cycle][..] {
+                    *slot = Some(cycle);
+                    undetected -= 1;
                 }
             }
-            Cell::Const { .. } => unreachable!("constants are filtered out"),
-        });
-    });
-    let fault = fault.expect("target cell visited during rebuild");
-    Some((corrupted, fault))
+        }
+        for ((seed, fault), detected_at) in chunk.iter().zip(detected) {
+            outcomes.push(FaultOutcome {
+                seed: *seed,
+                fault: fault.clone(),
+                detected_at,
+            });
+        }
+    }
+    Ok(outcomes)
 }
 
 /// Clones `netlist` applying `mutate` to the cell at `target`.
@@ -532,6 +665,45 @@ mod tests {
             );
         }
         assert_eq!(classes.len(), 2, "both ECO fault classes must appear");
+    }
+
+    #[test]
+    fn batched_campaign_matches_scalar_fault_by_fault() {
+        // Every batched case must report exactly what the scalar path —
+        // corrupt_netlist + verify_against_stg with the same seed and
+        // stimulus — reports: same fault, same detection cycle (or same
+        // silence).
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let netlist = emb.to_netlist();
+        let outcomes =
+            netlist_fault_campaign(&netlist, &stg, OutputTiming::Registered, 0..80, 300, 9)
+                .unwrap();
+        assert_eq!(outcomes.len(), 80);
+        for out in &outcomes {
+            let (bad, fault) = corrupt_netlist(&netlist, out.seed).unwrap();
+            assert_eq!(fault, out.fault, "seed {}", out.seed);
+            let scalar = match verify_against_stg(&bad, &stg, OutputTiming::Registered, 300, 9) {
+                Err(VerifyError::Mismatch { cycle, .. }) => Some(cycle),
+                Ok(()) => None,
+                Err(e) => panic!("seed {}: unexpected error {e}", out.seed),
+            };
+            assert_eq!(scalar, out.detected_at, "seed {}: {}", out.seed, out.fault);
+        }
+        // The campaign must exercise detection both ways to be a real test.
+        assert!(outcomes.iter().any(|o| o.detected_at.is_some()));
+    }
+
+    #[test]
+    fn pick_and_corrupt_agree_on_the_fault() {
+        let stg = sequence_detector_0101();
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        let netlist = emb.to_netlist();
+        for seed in 0..64 {
+            let picked = pick_netlist_fault(&netlist, seed).unwrap();
+            let (_, applied) = corrupt_netlist(&netlist, seed).unwrap();
+            assert_eq!(picked, applied, "seed {seed}");
+        }
     }
 
     #[test]

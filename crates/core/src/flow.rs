@@ -24,7 +24,7 @@ use fpga_fabric::timing::{analyze, DelayModel, TimingReport};
 use fsm_model::simulate::{idle_fraction, trace};
 use fsm_model::stg::Stg;
 use logic_synth::synth::{synthesize, SynthError, SynthOptions};
-use netsim::engine::Simulator;
+use netsim::kernel::BatchSimulator;
 use netsim::stimulus as netstim;
 use powermodel::{estimate, PowerParams, PowerReport};
 use std::fmt;
@@ -337,6 +337,9 @@ pub enum FlowErrorKind {
     Route(RouteError),
     /// Netlist validation failed.
     Netlist(fpga_fabric::netlist::NetlistError),
+    /// Power estimation was handed an activity record from a different
+    /// netlist.
+    Power(powermodel::ActivityMismatch),
     /// The requested stimulus needs an STG oracle (idle biasing), but the
     /// flow was given an external netlist without one.
     NeedsOracle,
@@ -354,6 +357,7 @@ impl fmt::Display for FlowErrorKind {
             FlowErrorKind::Place(e) => write!(f, "placement: {e}"),
             FlowErrorKind::Route(e) => write!(f, "routing: {e}"),
             FlowErrorKind::Netlist(e) => write!(f, "netlist: {e}"),
+            FlowErrorKind::Power(e) => write!(f, "power estimation: {e}"),
             FlowErrorKind::NeedsOracle => {
                 write!(f, "idle-biased stimulus needs an STG oracle")
             }
@@ -1018,17 +1022,22 @@ fn physical(
     }
     let timing = analyze(&netlist, &routed, &cfg.delay);
 
-    let mut sim = Simulator::new(&netlist)
+    // Activity recording runs on the bit-parallel kernel in single-lane
+    // mode: the stimulus is one sequential stream, so only one lane
+    // carries it, but toggle counting still goes through the word-wide
+    // XOR/popcount path and is bit-identical to the scalar engine.
+    let mut sim = BatchSimulator::new(&netlist)
         .map_err(|e| FlowError::new(name, FlowStage::Simulate, FlowErrorKind::Netlist(e)))?;
-    for v in vectors {
-        sim.clock(v);
-    }
+    sim.run_sequential(vectors);
     let activity = sim.activity();
     let power: Vec<PowerReport> = cfg
         .freqs_mhz
         .iter()
-        .map(|&f| estimate(&netlist, &routed, activity, f, &cfg.power))
-        .collect();
+        .map(|&f| {
+            estimate(&netlist, &routed, activity, f, &cfg.power)
+                .map_err(|e| FlowError::new(name, FlowStage::Simulate, FlowErrorKind::Power(e)))
+        })
+        .collect::<Result<_, _>>()?;
 
     Ok(FlowReport {
         name: name.to_string(),

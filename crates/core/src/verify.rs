@@ -8,8 +8,9 @@
 
 use fpga_fabric::netlist::{Netlist, NetlistError};
 use fsm_model::simulate::StgSimulator;
-use fsm_model::stg::Stg;
+use fsm_model::stg::{StateId, Stg};
 use netsim::engine::Simulator;
+use netsim::kernel::{BatchSimulator, LANES};
 use netsim::stimulus;
 use std::fmt;
 
@@ -135,6 +136,53 @@ pub fn verify_against_stg(
     Ok(())
 }
 
+/// The input vector of minterm `m`, LSB-first: input `i` is bit `i`.
+fn minterm_inputs(m: u64, num_inputs: usize) -> Vec<bool> {
+    (0..num_inputs).map(|i| m >> i & 1 == 1).collect()
+}
+
+/// Packs bit groups into `u64` words, LSB-first across the concatenation.
+/// Group widths are fixed per walk, so the packing is injective: two
+/// joint states produce equal words iff every bit matches. Keys in the
+/// `seen` set shrink ~64× versus `Vec<bool>` tuples, which is what lets
+/// the batched walks hold the sand/styr product spaces comfortably.
+fn pack_key(groups: &[&[bool]]) -> Vec<u64> {
+    let total: usize = groups.iter().map(|g| g.len()).sum();
+    let mut words = vec![0u64; total.div_ceil(64)];
+    let mut i = 0usize;
+    for g in groups {
+        for &b in *g {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+            i += 1;
+        }
+    }
+    words
+}
+
+/// A discovered joint state in the batched product walk. `parent` and
+/// `minterm` form a parent-pointer tree from which the minimal witness
+/// trace is reconstructed on divergence; node 0 is the reset state.
+struct WalkNode {
+    oracle: StateId,
+    parent: u32,
+    minterm: u64,
+}
+
+/// The input trace that reaches `nodes[idx]` from reset, by walking the
+/// parent chain back to node 0.
+fn trace_to(nodes: &[WalkNode], idx: usize, num_inputs: usize) -> Vec<Vec<bool>> {
+    let mut rev = Vec::new();
+    let mut cur = idx;
+    while cur != 0 {
+        rev.push(minterm_inputs(nodes[cur].minterm, num_inputs));
+        cur = nodes[cur].parent as usize;
+    }
+    rev.reverse();
+    rev
+}
+
 /// Exhaustively verifies `netlist` against `stg` by product-machine
 /// reachability: starting from the joint reset state, every reachable
 /// (oracle state, implementation state) pair is expanded under **all**
@@ -146,6 +194,16 @@ pub fn verify_against_stg(
 /// (FF values and BRAM output latches), so the walk terminates: the
 /// joint state space is finite and only reachable states are visited.
 ///
+/// Edges are expanded through the bit-parallel
+/// [`netsim::kernel::BatchSimulator`], 64 per clock: each lane is loaded
+/// with one frontier state's sequential snapshot and one input minterm.
+/// The frontier is expanded in FIFO node order × minterm order — the
+/// exact global edge order of the scalar walk — so the report counts and
+/// the first-divergence witness are identical to
+/// [`verify_exhaustive_scalar`]. Netlists with BRAM write ports fall back
+/// to the scalar walk (their memory contents are architectural state
+/// beyond the sequential nets, so the lane snapshot would under-key).
+///
 /// # Errors
 ///
 /// Returns a [`VerifyError`] with a minimal-length witness input trace on
@@ -156,6 +214,107 @@ pub fn verify_exhaustive(
     timing: OutputTiming,
     max_inputs: usize,
 ) -> Result<ExhaustiveReport, VerifyError> {
+    check_exhaustive_bounds(netlist, stg, max_inputs)?;
+    let mut batch = BatchSimulator::new(netlist)?;
+    if batch.has_write_ports() {
+        return scalar_exhaustive_walk(netlist, stg, timing);
+    }
+
+    let num_inputs = stg.num_inputs();
+    let num_outputs = stg.num_outputs();
+    let vectors = 1u64 << num_inputs;
+
+    batch.reset();
+    let mut nodes: Vec<WalkNode> = Vec::new();
+    let mut snaps: Vec<Vec<bool>> = Vec::new();
+    let mut seen: std::collections::HashSet<(u32, Vec<u64>)> = std::collections::HashSet::new();
+
+    let root_outputs = vec![false; num_outputs];
+    let root_snap = batch.lane_state(0);
+    seen.insert((stg.reset_state().0, pack_key(&[&root_outputs, &root_snap])));
+    nodes.push(WalkNode {
+        oracle: stg.reset_state(),
+        parent: 0,
+        minterm: 0,
+    });
+    snaps.push(root_snap);
+
+    let mut states_explored = 0usize;
+    let mut edges_checked = 0usize;
+    let mut input_words = vec![0u64; num_inputs];
+    let mut batch_edges: Vec<(usize, u64)> = Vec::with_capacity(LANES);
+    let mut cur_node = 0usize;
+    let mut cur_minterm = 0u64;
+    while cur_node < nodes.len() {
+        // Fill up to 64 lanes with the next edges of the global order.
+        batch_edges.clear();
+        while batch_edges.len() < LANES && cur_node < nodes.len() {
+            if cur_minterm == 0 {
+                states_explored += 1;
+            }
+            batch_edges.push((cur_node, cur_minterm));
+            cur_minterm += 1;
+            if cur_minterm == vectors {
+                cur_minterm = 0;
+                cur_node += 1;
+            }
+        }
+        for w in &mut input_words {
+            *w = 0;
+        }
+        for (lane, &(ni, m)) in batch_edges.iter().enumerate() {
+            batch.load_lane_state(lane, &snaps[ni]);
+            for (k, w) in input_words.iter_mut().enumerate() {
+                if m >> k & 1 == 1 {
+                    *w |= 1u64 << lane;
+                }
+            }
+        }
+        batch.clock_words(&input_words);
+        // Scan lanes in edge order: the first divergence and the seen-set
+        // insertion order match the scalar walk exactly.
+        for (lane, &(ni, m)) in batch_edges.iter().enumerate() {
+            edges_checked += 1;
+            let inputs = minterm_inputs(m, num_inputs);
+            let (next, expected) = stg.step(nodes[ni].oracle, &inputs);
+            let got_all = match timing {
+                OutputTiming::Registered => batch.lane_outputs(lane),
+                OutputTiming::Combinational => batch.lane_pre_edge_outputs(lane),
+            };
+            let got = got_all[..num_outputs].to_vec();
+            if got != expected {
+                let mut witness = trace_to(&nodes, ni, num_inputs);
+                witness.push(inputs.clone());
+                return Err(VerifyError::Mismatch {
+                    cycle: witness.len() - 1,
+                    inputs,
+                    expected,
+                    got,
+                });
+            }
+            let snap = batch.lane_state(lane);
+            if seen.insert((next.0, pack_key(&[&expected, &snap]))) {
+                nodes.push(WalkNode {
+                    oracle: next,
+                    parent: ni as u32,
+                    minterm: m,
+                });
+                snaps.push(snap);
+            }
+        }
+    }
+    Ok(ExhaustiveReport {
+        states_explored,
+        edges_checked,
+    })
+}
+
+/// The shared precondition checks of the exhaustive walks.
+fn check_exhaustive_bounds(
+    netlist: &Netlist,
+    stg: &Stg,
+    max_inputs: usize,
+) -> Result<(), VerifyError> {
     if stg.num_inputs() > max_inputs || stg.num_inputs() > 20 {
         return Err(VerifyError::InputsTooWide {
             inputs: stg.num_inputs(),
@@ -168,6 +327,34 @@ pub fn verify_exhaustive(
             expected: stg.num_outputs(),
         });
     }
+    Ok(())
+}
+
+/// The scalar (one edge per clock) exhaustive product walk — the original
+/// implementation, retained as the differential-testing oracle for the
+/// bit-parallel walk and as the benchmark baseline. [`verify_exhaustive`]
+/// also routes here for netlists with BRAM write ports, whose memory
+/// contents the batched sequential-net snapshot cannot key.
+///
+/// # Errors
+///
+/// Identical contract to [`verify_exhaustive`]: a minimal witness on
+/// divergence, `InputsTooWide` when enumeration is infeasible.
+pub fn verify_exhaustive_scalar(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: OutputTiming,
+    max_inputs: usize,
+) -> Result<ExhaustiveReport, VerifyError> {
+    check_exhaustive_bounds(netlist, stg, max_inputs)?;
+    scalar_exhaustive_walk(netlist, stg, timing)
+}
+
+fn scalar_exhaustive_walk(
+    netlist: &Netlist,
+    stg: &Stg,
+    timing: OutputTiming,
+) -> Result<ExhaustiveReport, VerifyError> {
     let base = Simulator::new(netlist)?;
 
     // Joint state key: oracle (state, latched outputs) + implementation
@@ -206,7 +393,7 @@ pub fn verify_exhaustive(
     while let Some((oracle, hw, trace)) = queue.pop_front() {
         states_explored += 1;
         for m in 0..1u64 << num_inputs {
-            let inputs: Vec<bool> = (0..num_inputs).map(|i| m >> i & 1 == 1).collect();
+            let inputs = minterm_inputs(m, num_inputs);
             let mut o2 = oracle.clone();
             let mut h2 = hw.clone();
             let expected = o2.clock(&inputs).to_vec();
@@ -313,6 +500,11 @@ pub fn verify_rewrite(
 ///
 /// Both netlists must expose the same input and output port counts.
 ///
+/// Like [`verify_exhaustive`], the walk runs on the bit-parallel kernel —
+/// two lockstep [`BatchSimulator`]s expand 64 joint edges per clock — and
+/// falls back to the scalar pairwise walk when either netlist has BRAM
+/// write ports.
+///
 /// # Errors
 ///
 /// Returns `InputsTooWide` when `2^I` enumeration is infeasible,
@@ -335,6 +527,73 @@ pub fn netlists_equivalent(
             expected: a.outputs().len(),
         });
     }
+    let mut ba = BatchSimulator::new(a)?;
+    let mut bb = BatchSimulator::new(b)?;
+    if ba.has_write_ports() || bb.has_write_ports() {
+        return netlists_equivalent_scalar_walk(a, b, num_inputs);
+    }
+
+    let vectors = 1u64 << num_inputs;
+    ba.reset();
+    bb.reset();
+    // The joint frontier: per node, the sequential snapshot of each side.
+    let mut snaps: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+    let sa0 = ba.lane_state(0);
+    let sb0 = bb.lane_state(0);
+    seen.insert(pack_key(&[&sa0, &sb0]));
+    snaps.push((sa0, sb0));
+
+    let mut input_words = vec![0u64; num_inputs];
+    let mut batch_edges: Vec<(usize, u64)> = Vec::with_capacity(LANES);
+    let mut cur_node = 0usize;
+    let mut cur_minterm = 0u64;
+    while cur_node < snaps.len() {
+        batch_edges.clear();
+        while batch_edges.len() < LANES && cur_node < snaps.len() {
+            batch_edges.push((cur_node, cur_minterm));
+            cur_minterm += 1;
+            if cur_minterm == vectors {
+                cur_minterm = 0;
+                cur_node += 1;
+            }
+        }
+        for w in &mut input_words {
+            *w = 0;
+        }
+        for (lane, &(ni, m)) in batch_edges.iter().enumerate() {
+            let (sa, sb) = &snaps[ni];
+            ba.load_lane_state(lane, sa);
+            bb.load_lane_state(lane, sb);
+            for (k, w) in input_words.iter_mut().enumerate() {
+                if m >> k & 1 == 1 {
+                    *w |= 1u64 << lane;
+                }
+            }
+        }
+        ba.clock_words(&input_words);
+        bb.clock_words(&input_words);
+        for (lane, _) in batch_edges.iter().enumerate() {
+            if ba.lane_outputs(lane) != bb.lane_outputs(lane) {
+                return Ok(false);
+            }
+            let sa = ba.lane_state(lane);
+            let sb = bb.lane_state(lane);
+            if seen.insert(pack_key(&[&sa, &sb])) {
+                snaps.push((sa, sb));
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The scalar pairwise product walk backing [`netlists_equivalent`] for
+/// write-port netlists, and serving as its differential oracle in tests.
+fn netlists_equivalent_scalar_walk(
+    a: &Netlist,
+    b: &Netlist,
+    num_inputs: usize,
+) -> Result<bool, VerifyError> {
     let snapshot = |n: &Netlist, sim: &Simulator<'_>| -> Vec<bool> {
         let mut v = Vec::new();
         for cell in n.cells() {
@@ -517,6 +776,34 @@ mod tests {
         let err =
             verify_exhaustive(&emb.to_netlist(), &stg, OutputTiming::Registered, 8).unwrap_err();
         assert!(matches!(err, VerifyError::InputsTooWide { .. }));
+    }
+
+    #[test]
+    fn batched_walk_matches_scalar_reports_and_witnesses() {
+        // The kernel-backed walk must be indistinguishable from the scalar
+        // oracle: same exploration counts on success, same first-divergence
+        // witness on failure.
+        for stg in [
+            sequence_detector_0101(),
+            traffic_light(),
+            rotary_sequencer(),
+        ] {
+            let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+            let n = emb.to_netlist();
+            let batched = verify_exhaustive(&n, &stg, OutputTiming::Registered, 20)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+            let scalar = verify_exhaustive_scalar(&n, &stg, OutputTiming::Registered, 20)
+                .unwrap_or_else(|e| panic!("{}: {e}", stg.name()));
+            assert_eq!(batched, scalar, "{}", stg.name());
+        }
+
+        let stg = sequence_detector_0101();
+        let mut emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
+        emb.rom[0b111] ^= 0b100; // reachable only through a 3-step prefix
+        let n = emb.to_netlist();
+        let b = verify_exhaustive(&n, &stg, OutputTiming::Registered, 8).unwrap_err();
+        let s = verify_exhaustive_scalar(&n, &stg, OutputTiming::Registered, 8).unwrap_err();
+        assert_eq!(b, s, "witnesses must agree edge-for-edge");
     }
 
     #[test]

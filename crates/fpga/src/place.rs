@@ -161,22 +161,59 @@ fn build_net_pins(netlist: &Netlist, packed: &PackedDesign) -> Vec<Vec<EntityId>
     pins
 }
 
+/// Cached bounding box of one net's pins, plus the HPWL derived from it.
+/// The anneal keeps one `NetBox` per active net so the cost of a layout
+/// *before* a move is a table lookup instead of a rescan of every pin;
+/// only the *after* side of a proposal recomputes boxes (a move can shrink
+/// a box, so the moved pin must be rescanned against its net anyway).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NetBox {
+    min_x: usize,
+    max_x: usize,
+    min_y: usize,
+    max_y: usize,
+    /// `((max_x - min_x) + (max_y - min_y)) as f64`; 0.0 for nets with
+    /// fewer than two pins (same convention as the historical scan).
+    hpwl: f64,
+}
+
+impl NetBox {
+    /// Placeholder for nets the cost function never looks at (< 2 pins).
+    const EMPTY: NetBox = NetBox {
+        min_x: 0,
+        max_x: 0,
+        min_y: 0,
+        max_y: 0,
+        hpwl: 0.0,
+    };
+
+    fn compute(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> NetBox {
+        if pins.len() < 2 {
+            return NetBox::EMPTY;
+        }
+        let mut min_x = usize::MAX;
+        let mut max_x = 0;
+        let mut min_y = usize::MAX;
+        let mut max_y = 0;
+        for &p in pins {
+            let (x, y) = loc(p);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        NetBox {
+            min_x,
+            max_x,
+            min_y,
+            max_y,
+            hpwl: ((max_x - min_x) + (max_y - min_y)) as f64,
+        }
+    }
+}
+
 fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f64 {
-    if pins.len() < 2 {
-        return 0.0;
-    }
-    let mut min_x = usize::MAX;
-    let mut max_x = 0;
-    let mut min_y = usize::MAX;
-    let mut max_y = 0;
-    for &p in pins {
-        let (x, y) = loc(p);
-        min_x = min_x.min(x);
-        max_x = max_x.max(x);
-        min_y = min_y.min(y);
-        max_y = max_y.max(y);
-    }
-    ((max_x - min_x) + (max_y - min_y)) as f64
+    NetBox::compute(pins, loc).hpwl
 }
 
 /// Deterministic greedy descent over the full single-move neighborhood
@@ -435,6 +472,24 @@ pub fn place(
             .map(|n| hpwl_of_net(&pins[n.index()], &loc))
             .sum()
     };
+    // Full rebuild of the per-net bounding-box cache from coordinates;
+    // used to seed the anneal and to refresh after each reheat quench
+    // (the quench moves entities without maintaining the cache).
+    let cache_of = |clb_loc: &Vec<(usize, usize)>,
+                    bram_loc: &Vec<(usize, usize)>,
+                    iob_loc: &Vec<(usize, usize)>|
+     -> Vec<NetBox> {
+        let loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        let mut boxes = vec![NetBox::EMPTY; pins.len()];
+        for &n in &active_nets {
+            boxes[n.index()] = NetBox::compute(&pins[n.index()], &loc);
+        }
+        boxes
+    };
 
     let cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
 
@@ -626,6 +681,11 @@ pub fn place(
     let mut cur_cost = base_cost;
     let mut best_cost = base_cost;
     let mut best = (base_clb, base_bram, base_iob);
+    // Per-net bounding-box cache: the walk's layout-before cost is read
+    // from here; accepted moves write the recomputed boxes of their
+    // affected nets back, so the cache tracks the layout exactly.
+    let mut net_box = cache_of(&clb_loc, &bram_loc, &iob_loc);
+    let mut box_scratch: Vec<NetBox> = Vec::new();
     // Per-level move budget. Most bands get a third of the classic
     // effort·N^{4/3} budget: the adaptive cooling visits ~3× more,
     // finer-grained, levels over the same temperature span than the old
@@ -748,17 +808,29 @@ pub fn place(
                     v
                 };
                 let old_site = locs[idx];
-                let before: (f64, f64) = {
-                    let loc = |e: EntityId| match e {
-                        EntityId::Clb(i) => clb_loc[i],
-                        EntityId::Bram(i) => bram_loc[i],
-                        EntityId::Iob(i) => iob_loc[i],
-                    };
-                    affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
-                        let h = hpwl_of_net(&pins[n.index()], &loc);
-                        (lin + h, sq + h * h)
-                    })
-                };
+                // Layout-before cost from the bounding-box cache: one
+                // lookup per affected net instead of a rescan of every
+                // pin. Every HPWL is an integer-valued f64 and the fold
+                // order matches the historical rescan, so the sums are
+                // bit-identical; debug builds recompute the boxes from
+                // coordinates and insist on exact equality.
+                let before: (f64, f64) = affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
+                    let h = net_box[n.index()].hpwl;
+                    (lin + h, sq + h * h)
+                });
+                debug_assert!(
+                    {
+                        let loc = |e: EntityId| match e {
+                            EntityId::Clb(i) => clb_loc[i],
+                            EntityId::Bram(i) => bram_loc[i],
+                            EntityId::Iob(i) => iob_loc[i],
+                        };
+                        affected
+                            .iter()
+                            .all(|n| net_box[n.index()] == NetBox::compute(&pins[n.index()], &loc))
+                    },
+                    "stale bounding-box cache on nets {affected:?}"
+                );
                 // Apply tentatively.
                 {
                     let locs: &mut Vec<(usize, usize)> = match kind {
@@ -771,6 +843,11 @@ pub fn place(
                         locs[o] = old_site;
                     }
                 }
+                // Layout-after cost must rescan the affected nets (a move
+                // can shrink a box, so the cache cannot answer it); the
+                // fresh boxes land in a scratch so an accepted move
+                // installs them without a second scan.
+                box_scratch.clear();
                 let after: (f64, f64) = {
                     let loc = |e: EntityId| match e {
                         EntityId::Clb(i) => clb_loc[i],
@@ -778,8 +855,9 @@ pub fn place(
                         EntityId::Iob(i) => iob_loc[i],
                     };
                     affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
-                        let h = hpwl_of_net(&pins[n.index()], &loc);
-                        (lin + h, sq + h * h)
+                        let b = NetBox::compute(&pins[n.index()], &loc);
+                        box_scratch.push(b);
+                        (lin + b.hpwl, sq + b.hpwl * b.hpwl)
                     })
                 };
                 let delta = after.0 - before.0;
@@ -803,6 +881,9 @@ pub fn place(
                 if accept {
                     accepted += 1;
                     cur_cost += delta;
+                    for (&n, &b) in affected.iter().zip(&box_scratch) {
+                        net_box[n.index()] = b;
+                    }
                     if cur_cost < best_cost {
                         best_cost = cur_cost;
                         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
@@ -866,8 +947,16 @@ pub fn place(
             );
             }
             // Re-anchor the incremental cost per level so f64 drift cannot
-            // accumulate across tens of thousands of accepted deltas.
-            cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+            // accumulate across tens of thousands of accepted deltas. The
+            // cached boxes carry exact integer-valued HPWLs summed in the
+            // same net order as a full recompute, so the anchor is
+            // bit-identical to `cost_all` — debug builds check exactly
+            // that, equal-cost to the last bit.
+            cur_cost = active_nets.iter().map(|n| net_box[n.index()].hpwl).sum();
+            debug_assert!(
+                cur_cost == cost_all(&clb_loc, &bram_loc, &iob_loc),
+                "bounding-box cache re-anchor diverged from recomputed HPWL"
+            );
         }
 
         cycle += 1;
@@ -898,6 +987,8 @@ pub fn place(
         free_clb = free_of(&clb_loc, &clb_sites);
         free_bram = free_of(&bram_loc, &bram_sites);
         free_iob = free_of(&iob_loc, &iob_sites);
+        // The quench moved entities without maintaining the cache.
+        net_box = cache_of(&clb_loc, &bram_loc, &iob_loc);
         cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
         best_cost = cur_cost;
         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
@@ -1459,6 +1550,21 @@ pub fn place_incremental(
         let (mut cur_cost, _) = cost_all(&clb_loc, &bram_loc, &iob_loc);
         let mut best_cost = cur_cost;
         let mut best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+        // Per-net bounding-box cache (see `place`): layout-before costs
+        // are lookups, accepted moves write their rescanned boxes back.
+        let mut net_box: Vec<NetBox> = {
+            let loc = |e: EntityId| match e {
+                EntityId::Clb(i) => clb_loc[i],
+                EntityId::Bram(i) => bram_loc[i],
+                EntityId::Iob(i) => iob_loc[i],
+            };
+            let mut boxes = vec![NetBox::EMPTY; pins.len()];
+            for &n in &active_nets {
+                boxes[n.index()] = NetBox::compute(&pins[n.index()], &loc);
+            }
+            boxes
+        };
+        let mut box_scratch: Vec<NetBox> = Vec::new();
         let m = movable_entities.len() as f64;
         let moves_per_t = ((m.powf(4.0 / 3.0) * opts.effort.max(0.1)).ceil() as usize).max(16);
         let mut temperature = t0;
@@ -1488,18 +1594,21 @@ pub fn place_incremental(
                     1 => bram_loc[idx],
                     _ => iob_loc[idx],
                 };
-                let eval = |clb: &[(usize, usize)],
-                            bram: &[(usize, usize)],
-                            iob: &[(usize, usize)]|
-                 -> f64 {
-                    let loc = |e: EntityId| match e {
-                        EntityId::Clb(i) => clb[i],
-                        EntityId::Bram(i) => bram[i],
-                        EntityId::Iob(i) => iob[i],
-                    };
-                    nets.iter().map(|n| hpwl_of_net(&pins[n.index()], &loc)).sum()
-                };
-                let before = eval(&clb_loc, &bram_loc, &iob_loc);
+                // Layout-before from the cache, layout-after by rescan —
+                // same scheme and same bit-identity argument as `place`.
+                let before: f64 = nets.iter().map(|n| net_box[n.index()].hpwl).sum();
+                debug_assert!(
+                    {
+                        let loc = |e: EntityId| match e {
+                            EntityId::Clb(i) => clb_loc[i],
+                            EntityId::Bram(i) => bram_loc[i],
+                            EntityId::Iob(i) => iob_loc[i],
+                        };
+                        nets.iter()
+                            .all(|n| net_box[n.index()] == NetBox::compute(&pins[n.index()], &loc))
+                    },
+                    "stale bounding-box cache on nets {nets:?}"
+                );
                 {
                     let locs: &mut Vec<(usize, usize)> = match kind {
                         0 => &mut clb_loc,
@@ -1511,13 +1620,30 @@ pub fn place_incremental(
                         locs[o] = old_site;
                     }
                 }
-                let after = eval(&clb_loc, &bram_loc, &iob_loc);
+                box_scratch.clear();
+                let after: f64 = {
+                    let loc = |e: EntityId| match e {
+                        EntityId::Clb(i) => clb_loc[i],
+                        EntityId::Bram(i) => bram_loc[i],
+                        EntityId::Iob(i) => iob_loc[i],
+                    };
+                    nets.iter()
+                        .map(|n| {
+                            let b = NetBox::compute(&pins[n.index()], &loc);
+                            box_scratch.push(b);
+                            b.hpwl
+                        })
+                        .sum()
+                };
                 let delta = after - before;
                 let accept = delta < 1e-9
                     || rng.random_bool((-delta / temperature).exp().min(1.0));
                 if accept {
                     accepted += 1;
                     cur_cost += delta;
+                    for (&n, &b) in nets.iter().zip(&box_scratch) {
+                        net_box[n.index()] = b;
+                    }
                     if cur_cost < best_cost {
                         best_cost = cur_cost;
                         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
@@ -1548,7 +1674,13 @@ pub fn place_incremental(
             let success = accepted as f64 / moves_per_t.max(1) as f64;
             temperature *= if success > 0.8 { 0.7 } else { 0.85 };
             rlim = (rlim * (0.56 + success)).clamp(1.0, span);
-            cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc).0;
+            // Cache-summed re-anchor, bit-identical to a recompute (see
+            // the matching comment in `place`).
+            cur_cost = active_nets.iter().map(|n| net_box[n.index()].hpwl).sum();
+            debug_assert!(
+                cur_cost == cost_all(&clb_loc, &bram_loc, &iob_loc).0,
+                "bounding-box cache re-anchor diverged from recomputed HPWL"
+            );
         }
         if best_cost < cost_all(&clb_loc, &bram_loc, &iob_loc).0 {
             clb_loc = best.0;

@@ -132,29 +132,52 @@ impl std::fmt::Display for PowerReport {
     }
 }
 
+/// The activity record handed to [`estimate`] was recorded on a different
+/// netlist: its per-net toggle vector does not cover the nets being
+/// estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityMismatch {
+    /// Nets covered by the activity record.
+    pub activity_nets: usize,
+    /// Nets in the netlist under estimation.
+    pub netlist_nets: usize,
+}
+
+impl std::fmt::Display for ActivityMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "activity record covers {} nets but the netlist has {}",
+            self.activity_nets, self.netlist_nets
+        )
+    }
+}
+
+impl std::error::Error for ActivityMismatch {}
+
 /// Estimates the power of a routed design given recorded activity.
 ///
 /// `freq_mhz` is the clock frequency; activity factors are per-cycle, so
 /// dynamic power scales linearly with frequency (the paper's Table 2
 /// trend).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `activity` was recorded on a different netlist (length
-/// mismatch).
-#[must_use]
+/// Returns [`ActivityMismatch`] when `activity` was recorded on a
+/// different netlist (per-net toggle count differs from the net count).
 pub fn estimate(
     netlist: &Netlist,
     routed: &RoutedDesign,
     activity: &Activity,
     freq_mhz: f64,
     params: &PowerParams,
-) -> PowerReport {
-    assert_eq!(
-        activity.toggles.len(),
-        netlist.num_nets(),
-        "activity/netlist mismatch"
-    );
+) -> Result<PowerReport, ActivityMismatch> {
+    if activity.toggles.len() != netlist.num_nets() {
+        return Err(ActivityMismatch {
+            activity_nets: activity.toggles.len(),
+            netlist_nets: netlist.num_nets(),
+        });
+    }
     // ½·V²·f · Σ activity·C, with C in pF and f in MHz -> µW.
     let half_v2_f = 0.5 * params.vdd * params.vdd * freq_mhz;
     let uw_to_mw = 1e-3;
@@ -241,7 +264,7 @@ pub fn estimate(
         io_uw += half_v2_f * activity.of(*net) * params.c_pad;
     }
 
-    PowerReport {
+    Ok(PowerReport {
         interconnect_mw: interconnect_uw * uw_to_mw,
         logic_mw: logic_uw * uw_to_mw,
         clock_mw: clock_uw * uw_to_mw,
@@ -249,7 +272,7 @@ pub fn estimate(
         io_mw: io_uw * uw_to_mw,
         static_mw: params.static_mw,
         freq_mhz,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -355,8 +378,8 @@ mod tests {
         let n = busy_logic(8);
         let (r, a) = flow(&n, 500);
         let p = PowerParams::default();
-        let p50 = estimate(&n, &r, &a, 50.0, &p);
-        let p100 = estimate(&n, &r, &a, 100.0, &p);
+        let p50 = estimate(&n, &r, &a, 50.0, &p).unwrap();
+        let p100 = estimate(&n, &r, &a, 100.0, &p).unwrap();
         let ratio = p100.dynamic_mw() / p50.dynamic_mw();
         assert!((ratio - 2.0).abs() < 1e-9, "dynamic power ∝ f, got {ratio}");
         assert_eq!(p50.static_mw, p100.static_mw);
@@ -427,7 +450,7 @@ mod tests {
         // 16% logic, 14% clock for Virtex-II (Sec. 2).
         let n = lfsr_mix();
         let (r, a) = flow(&n, 1000);
-        let rep = estimate(&n, &r, &a, 100.0, &PowerParams::default());
+        let rep = estimate(&n, &r, &a, 100.0, &PowerParams::default()).unwrap();
         let dyn_mw = rep.dynamic_mw();
         let int_frac = rep.interconnect_mw / dyn_mw;
         let logic_frac = rep.logic_mw / dyn_mw;
@@ -464,14 +487,14 @@ mod tests {
         for v in stimulus::random(1, 400, 5) {
             sim.clock(&[v[0], true]);
         }
-        let busy = estimate(&n, &r, sim.activity(), 100.0, &PowerParams::default());
+        let busy = estimate(&n, &r, sim.activity(), 100.0, &PowerParams::default()).unwrap();
 
         // Enabled 25% of the time.
         let mut sim = Simulator::new(&n).unwrap();
         for (i, v) in stimulus::random(1, 400, 5).into_iter().enumerate() {
             sim.clock(&[v[0], i % 4 == 0]);
         }
-        let gated = estimate(&n, &r, sim.activity(), 100.0, &PowerParams::default());
+        let gated = estimate(&n, &r, sim.activity(), 100.0, &PowerParams::default()).unwrap();
 
         assert!(gated.clock_mw < busy.clock_mw, "clock power must drop");
         assert!(gated.bram_mw < busy.bram_mw * 0.5, "access power must drop");
@@ -483,7 +506,7 @@ mod tests {
         // access power than one with all 9 bits live.
         let n_const = bram_fsm(false);
         let (r, a) = flow(&n_const, 300);
-        let low = estimate(&n_const, &r, &a, 100.0, &PowerParams::default());
+        let low = estimate(&n_const, &r, &a, 100.0, &PowerParams::default()).unwrap();
 
         let shape = BramShape {
             addr_bits: 9,
@@ -507,15 +530,29 @@ mod tests {
         });
         n.add_output("o", dout[0]);
         let (r2, a2) = flow(&n, 300);
-        let high = estimate(&n, &r2, &a2, 100.0, &PowerParams::default());
+        let high = estimate(&n, &r2, &a2, 100.0, &PowerParams::default()).unwrap();
         assert!(high.bram_mw > low.bram_mw, "more live rows, more power");
+    }
+
+    #[test]
+    fn foreign_activity_is_a_typed_error() {
+        // An activity record from a different netlist must be rejected
+        // with ActivityMismatch, not a panic.
+        let n = busy_logic(4);
+        let (r, _) = flow(&n, 50);
+        let other = busy_logic(8);
+        let (_, foreign) = flow(&other, 50);
+        let err = estimate(&n, &r, &foreign, 100.0, &PowerParams::default()).unwrap_err();
+        assert_eq!(err.netlist_nets, n.num_nets());
+        assert_eq!(err.activity_nets, other.num_nets());
+        assert!(err.to_string().contains("activity record"), "{err}");
     }
 
     #[test]
     fn report_display_and_totals() {
         let n = busy_logic(4);
         let (r, a) = flow(&n, 100);
-        let rep = estimate(&n, &r, &a, 85.0, &PowerParams::default());
+        let rep = estimate(&n, &r, &a, 85.0, &PowerParams::default()).unwrap();
         let total = rep.total_mw();
         assert!(total > rep.dynamic_mw());
         let s = rep.to_string();

@@ -15,7 +15,8 @@
 //! transitions of both settle phases — the transition count a zero-delay
 //! VCD would contain.
 
-use fpga_fabric::netlist::{Cell, CellId, NetId, Netlist, NetlistError};
+use crate::schedule::{write_data_mask, Schedule};
+use fpga_fabric::netlist::{Cell, NetId, Netlist, NetlistError};
 
 /// Per-net switching-activity record.
 #[derive(Debug, Clone, Default)]
@@ -80,13 +81,11 @@ impl Activity {
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
-    /// Topological order of combinational cells.
-    comb_order: Vec<CellId>,
+    /// The levelized evaluation schedule (shared with the bit-parallel
+    /// kernel, so both engines walk cells in the same order).
+    sched: Schedule,
     /// Settled net values.
     values: Vec<bool>,
-    /// Sequential cell ids, in cell order.
-    ffs: Vec<CellId>,
-    brams: Vec<CellId>,
     /// Per-simulator memory images (BRAMs are writable at run time
     /// through their optional second port).
     bram_mem: Vec<Vec<u64>>,
@@ -105,17 +104,9 @@ impl<'a> Simulator<'a> {
     ///
     /// Propagates [`NetlistError`] from validation.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        let comb_order = netlist.validate()?;
-        let mut ffs = Vec::new();
-        let mut brams = Vec::new();
-        for (i, cell) in netlist.cells().iter().enumerate() {
-            match cell {
-                Cell::Ff { .. } => ffs.push(CellId(i as u32)),
-                Cell::Bram { .. } => brams.push(CellId(i as u32)),
-                _ => {}
-            }
-        }
-        let bram_mem: Vec<Vec<u64>> = brams
+        let sched = Schedule::build(netlist)?;
+        let bram_mem: Vec<Vec<u64>> = sched
+            .brams
             .iter()
             .map(|id| match netlist.cell(*id) {
                 Cell::Bram { init, .. } => init.clone(),
@@ -124,17 +115,15 @@ impl<'a> Simulator<'a> {
             .collect();
         let mut sim = Simulator {
             netlist,
-            comb_order,
             values: vec![false; netlist.num_nets()],
             activity: Activity {
                 toggles: vec![0; netlist.num_nets()],
                 cycles: 0,
-                bram_active_cycles: vec![0; brams.len()],
-                ff_active_cycles: vec![0; ffs.len()],
-                bram_write_cycles: vec![0; brams.len()],
+                bram_active_cycles: vec![0; sched.brams.len()],
+                ff_active_cycles: vec![0; sched.ffs.len()],
+                bram_write_cycles: vec![0; sched.brams.len()],
             },
-            ffs,
-            brams,
+            sched,
             bram_mem,
             pre_edge_outputs: Vec::new(),
         };
@@ -144,12 +133,12 @@ impl<'a> Simulator<'a> {
     }
 
     fn apply_reset_state(&mut self) {
-        for id in &self.ffs {
+        for id in &self.sched.ffs {
             if let Cell::Ff { q, init, .. } = self.netlist.cell(*id) {
                 self.values[q.index()] = *init;
             }
         }
-        for id in &self.brams {
+        for id in &self.sched.brams {
             if let Cell::Bram {
                 dout, output_init, ..
             } = self.netlist.cell(*id)
@@ -164,7 +153,7 @@ impl<'a> Simulator<'a> {
     /// Resets the machine state (FF/BRAM latches), restores the original
     /// memory images, and clears activity.
     pub fn reset(&mut self) {
-        for (k, id) in self.brams.iter().enumerate() {
+        for (k, id) in self.sched.brams.iter().enumerate() {
             if let Cell::Bram { init, .. } = self.netlist.cell(*id) {
                 self.bram_mem[k] = init.clone();
             }
@@ -175,14 +164,14 @@ impl<'a> Simulator<'a> {
         self.activity = Activity {
             toggles: vec![0; self.netlist.num_nets()],
             cycles: 0,
-            bram_active_cycles: vec![0; self.brams.len()],
-            ff_active_cycles: vec![0; self.ffs.len()],
-            bram_write_cycles: vec![0; self.brams.len()],
+            bram_active_cycles: vec![0; self.sched.brams.len()],
+            ff_active_cycles: vec![0; self.sched.ffs.len()],
+            bram_write_cycles: vec![0; self.sched.brams.len()],
         };
     }
 
     fn settle(&mut self) {
-        for id in &self.comb_order {
+        for id in &self.sched.comb_order {
             match self.netlist.cell(*id) {
                 Cell::Lut {
                     inputs,
@@ -265,8 +254,8 @@ impl<'a> Simulator<'a> {
 
         // Phase B: the rising edge. Sample FF d/ce and BRAM addr/en from
         // the settled pre-edge state.
-        let mut ff_next: Vec<Option<bool>> = Vec::with_capacity(self.ffs.len());
-        for (k, id) in self.ffs.iter().enumerate() {
+        let mut ff_next: Vec<Option<bool>> = Vec::with_capacity(self.sched.ffs.len());
+        for (k, id) in self.sched.ffs.iter().enumerate() {
             if let Cell::Ff { d, ce, .. } = self.netlist.cell(*id) {
                 let enabled = ce.is_none_or(|c| at_edge[c.index()]);
                 if enabled {
@@ -277,9 +266,9 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        let mut bram_next: Vec<Option<u64>> = Vec::with_capacity(self.brams.len());
-        let mut bram_writes: Vec<Option<(usize, u64, u64)>> = Vec::with_capacity(self.brams.len());
-        for (k, id) in self.brams.iter().enumerate() {
+        let mut bram_next: Vec<Option<u64>> = Vec::with_capacity(self.sched.brams.len());
+        let mut bram_writes: Vec<Option<(usize, u64, u64)>> = Vec::with_capacity(self.sched.brams.len());
+        for (k, id) in self.sched.brams.iter().enumerate() {
             if let Cell::Bram {
                 addr, en, write, ..
             } = self.netlist.cell(*id)
@@ -315,12 +304,7 @@ impl<'a> Simulator<'a> {
                             word |= 1 << bit;
                         }
                     }
-                    let mask = if w.data.len() >= 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << w.data.len()) - 1
-                    };
-                    Some((a, word, mask))
+                    Some((a, word, write_data_mask(w.data.len())))
                 });
                 bram_writes.push(w);
             }
@@ -334,12 +318,12 @@ impl<'a> Simulator<'a> {
         }
 
         // Update sequential outputs and settle the post-edge state.
-        for (id, next) in self.ffs.iter().zip(&ff_next) {
+        for (id, next) in self.sched.ffs.iter().zip(&ff_next) {
             if let (Cell::Ff { q, .. }, Some(v)) = (self.netlist.cell(*id), next) {
                 self.values[q.index()] = *v;
             }
         }
-        for (id, next) in self.brams.iter().zip(&bram_next) {
+        for (id, next) in self.sched.brams.iter().zip(&bram_next) {
             if let (Cell::Bram { dout, .. }, Some(word)) = (self.netlist.cell(*id), next) {
                 for (bit, net) in dout.iter().enumerate() {
                     self.values[net.index()] = word >> bit & 1 == 1;

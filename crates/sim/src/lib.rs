@@ -5,7 +5,10 @@
 //! (the `.vcd` content XPower consumes), and honour the block-RAM enable
 //! port that the clock-control technique of Sec. 6 exercises.
 //!
-//! * [`engine`] — the simulator and [`engine::Activity`] record;
+//! * [`engine`] — the scalar simulator and [`engine::Activity`] record;
+//! * [`kernel`] — the 64-lane bit-parallel [`kernel::BatchSimulator`]
+//!   (one `u64` word per net, 64 independent simulations per clock);
+//! * [`schedule`] — the levelized evaluation schedule both engines share;
 //! * [`stimulus`] — deterministic random / biased / constant input streams;
 //! * [`vcd`] — a minimal VCD writer for waveform inspection.
 //!
@@ -33,8 +36,11 @@
 #![warn(clippy::all)]
 
 pub mod engine;
+pub mod kernel;
+pub mod schedule;
 pub mod stimulus;
 pub mod vcd;
 
 pub use engine::{Activity, Simulator};
+pub use kernel::BatchSimulator;
 pub use vcd::VcdRecorder;

@@ -7,23 +7,28 @@
 # makes any such attempt a hard, immediate error instead of a hang or a
 # silent download.
 #
-# Beyond build+test, five robustness gates run (ISSUE 2 / 3 / 4):
+# Beyond build+test, the robustness gates run (ISSUE 2 / 3 / 4 / 5):
 #
 #  * panic-site budget — the number of unwrap()/expect(/panic!( sites in
 #    non-test library code must not grow past the recorded baseline;
 #  * runner determinism — a RUNNER_THREADS=1 and a RUNNER_THREADS=4 run
 #    of the table1 harness bin must print byte-identical tables;
 #  * bench regression — a fresh run of the keyb micro-benchmarks must
-#    leave synthesize_fsm/keyb, place_sa/keyb, and route/keyb each no
-#    more than 25% slower than the committed baseline in
-#    results/bench_substrates.json. Skip with VERIFY_SKIP_BENCH=1 on
-#    machines too noisy to time (the gate itself, not the build, is
-#    skipped);
+#    leave synthesize_fsm/keyb, place_sa/keyb, route/keyb, and
+#    verify_exhaustive/keyb each no more than 25% slower than the
+#    committed baseline in results/bench_substrates.json, and the
+#    batched exhaustive walk must stay at least 10x faster than the
+#    scalar walk. Skip with VERIFY_SKIP_BENCH=1 on machines too noisy
+#    to time (the gate itself, not the build, is skipped);
+#  * table2 golden — the table2 bin's output must be byte-identical to
+#    the committed results/table2_golden.txt;
 #  * ECO base coordinates — table3's clock-controlled flows must pin
 #    every base entity at exactly the plain design's coordinates (the
 #    plain and gated-base coordinate digests per row are byte-identical);
 #  * flow-cache growth — a second identical table3 run must be served
-#    from the flow cache without growing results/cache/ at all.
+#    from the flow cache without growing results/cache/ at all;
+#  * capped flow cache — a table3 run under FLOW_CACHE_MAX_BYTES=16384
+#    must print byte-identical output and keep the store within budget.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -85,7 +90,7 @@ else
     BENCH_FILTER=keyb BENCH_RESULTS_DIR="$fresh_dir" \
         cargo bench -q --offline -p paper-bench --bench substrates \
         || fail "bench run failed"
-    for gate in synthesize_fsm/keyb place_sa/keyb route/keyb; do
+    for gate in synthesize_fsm/keyb place_sa/keyb route/keyb verify_exhaustive/keyb; do
         baseline=$(sed -n 's#.*"name": "'"$gate"'", "median_ns": \([0-9.]*\).*#\1#p' \
             results/bench_substrates.json)
         [ -n "$baseline" ] || fail "no $gate baseline in results/bench_substrates.json"
@@ -96,7 +101,33 @@ else
         awk -v fresh="$fresh" -v base="$baseline" 'BEGIN{exit !(fresh <= base * 1.25)}' \
             || fail "$gate regressed: fresh ${fresh} ns > 1.25 x baseline ${baseline} ns"
     done
+    # The bit-parallel kernel must keep paying for itself: the batched
+    # exhaustive walk must beat the scalar walk by at least 10x on keyb
+    # (it runs 64 input vectors per word; measured ratio is ~15x, so 10x
+    # leaves headroom for noise without letting the kernel quietly rot
+    # back to scalar speed).
+    batched=$(sed -n 's#.*"name": "verify_exhaustive/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
+        "$fresh_dir/bench_substrates.json")
+    scalar=$(sed -n 's#.*"name": "verify_exhaustive_scalar/keyb", "median_ns": \([0-9.]*\).*#\1#p' \
+        "$fresh_dir/bench_substrates.json")
+    [ -n "$batched" ] && [ -n "$scalar" ] \
+        || fail "fresh bench run is missing a verify_exhaustive result"
+    awk -v b="$batched" -v s="$scalar" 'BEGIN{exit !(s >= b * 10)}' \
+        || fail "batched exhaustive verify is under 10x the scalar walk (batched ${batched} ns, scalar ${scalar} ns)"
+    echo "   verify_exhaustive/keyb speedup: $(awk -v b="$batched" -v s="$scalar" 'BEGIN{printf "%.1f", s / b}')x over scalar (>= 10x required)" >&2
 fi
+
+# -- Table 2 golden gate ----------------------------------------------------
+# Table 2 is the paper's headline result and the one table whose numbers
+# flow through the bit-parallel activity path, so it is pinned to a
+# committed golden byte-for-byte. A legitimate model change must update
+# results/table2_golden.txt in the same commit, with the diff in review.
+echo "== table2 golden gate (vs results/table2_golden.txt)" >&2
+./target/release/table2 > target/verify_table2.out 2>/dev/null \
+    || fail "table2 run failed"
+cmp -s results/table2_golden.txt target/verify_table2.out \
+    || fail "table2 output differs from results/table2_golden.txt (power numbers moved — if intentional, regenerate the golden in this commit)"
+echo "   table2 byte-identical to the committed golden" >&2
 
 # -- ECO base-coordinate gate -----------------------------------------------
 # table3 appends "name <plain-digest> <gated-base-digest>" per successful
@@ -134,5 +165,25 @@ size_after=${size_after:-0}
 cmp -s target/verify_table3.out target/verify_table3_again.out \
     || fail "table3 output differs between warm-cache reruns"
 echo "   cache stable at ${size_after}kB; rerun output byte-identical" >&2
+
+# -- Capped flow-cache gate -------------------------------------------------
+# The same table3 run against a fresh store capped by FLOW_CACHE_MAX_BYTES
+# must (a) print byte-identical output — eviction changes what stays
+# cached, never what a flow computes — and (b) leave the store's record
+# files within the byte budget.
+tiny_budget=16384
+echo "== capped flow-cache gate (FLOW_CACHE_MAX_BYTES=$tiny_budget)" >&2
+tiny_dir=target/verify_cache_tiny
+rm -rf "$tiny_dir"
+FLOW_CACHE_DIR="$tiny_dir" FLOW_CACHE_MAX_BYTES="$tiny_budget" \
+    ./target/release/table3 > target/verify_table3_tiny.out 2>/dev/null \
+    || fail "capped-cache table3 run failed"
+cmp -s target/verify_table3.out target/verify_table3_tiny.out \
+    || fail "table3 output differs under a capped flow cache (eviction leaked into results)"
+tiny_size=$(find "$tiny_dir" -name '*.txt' -type f -exec wc -c {} \; \
+    | awk '{s+=$1} END{print s+0}')
+[ "$tiny_size" -le "$tiny_budget" ] \
+    || fail "capped store holds ${tiny_size} bytes, budget is ${tiny_budget} (eviction not enforced)"
+echo "   capped store at ${tiny_size}/${tiny_budget} bytes; output byte-identical" >&2
 
 echo "verify.sh: OK" >&2

@@ -79,17 +79,15 @@ fn clock_controlled_emb_proves_exhaustively_on_all_benchmarks() {
 fn compaction_and_series_mappings_are_equivalent() {
     // The column-compaction rewrite (Fig. 4) against the series-bank
     // fallback: same machine, two different BRAM decompositions. Both
-    // must prove exhaustively against the oracle AND against each other.
-    //
-    // planet only: the series mapping's bank-select latches multiply the
-    // product state space, so the walk is reachable-state-bound, not
-    // input-bound — styr takes ~40s and sand does not finish within 270s
-    // even in release. planet (7 inputs) completes in ~5s in debug, and
-    // the compacted mappings of all nine benchmarks (sand and styr
-    // included) are already proven exhaustively against the oracle by
-    // emb_mapping_proves_exhaustively_on_all_benchmarks above.
-    for name in ["planet"] {
-        let stg = benchmarks::by_name(name).expect("paper benchmark");
+    // must prove exhaustively against the oracle AND against each other,
+    // for all nine paper benchmarks. The series mapping's bank-select
+    // latches multiply the product state space (sand's series walk used
+    // to exceed 270s in release on the scalar one-edge-per-clock walker);
+    // the 64-lane bit-parallel kernel expands 64 product edges per clock,
+    // which brings the whole suite within budget.
+    for stg in benchmarks::paper_suite() {
+        let name = stg.name().to_owned();
+        let name = name.as_str();
         let compacted = map_fsm_into_embs(&stg, &EmbOptions::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"))
             .to_netlist();
