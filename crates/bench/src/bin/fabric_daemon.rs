@@ -1,0 +1,54 @@
+//! Long-running mapping daemon: serves FF-vs-EMB flow requests over a
+//! Unix socket until told to shut down.
+//!
+//! ```text
+//! fabric_daemon [--socket PATH] [--max-inflight N]
+//! ```
+//!
+//! Defaults come from `FABRIC_SOCKET` (else `./fabric.sock`) and
+//! `FABRIC_MAX_INFLIGHT` (else 4). Protocol: one JSON request line per
+//! connection — `{"bench":"keyb"}` to map, `{"cmd":"ping"|"stats"|
+//! "shutdown"}` for control — one JSON response line back. See
+//! `paper_bench::fabric` and DESIGN.md §12.
+
+use paper_bench::fabric::{serve, DaemonOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let mut socket: PathBuf = std::env::var_os("FABRIC_SOCKET")
+        .map_or_else(|| PathBuf::from("fabric.sock"), PathBuf::from);
+    let mut max_inflight: usize = std::env::var("FABRIC_MAX_INFLIGHT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => match args.next() {
+                Some(p) => socket = PathBuf::from(p),
+                None => usage("--socket needs a path"),
+            },
+            "--max-inflight" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_inflight = n,
+                None => usage("--max-inflight needs a number"),
+            },
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let opts = DaemonOptions {
+        socket,
+        max_inflight,
+    };
+    if let Err(e) = serve(&opts) {
+        eprintln!(
+            "fabric_daemon: cannot serve on {}: {e}",
+            opts.socket.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(why: &str) -> ! {
+    eprintln!("fabric_daemon: {why}\nusage: fabric_daemon [--socket PATH] [--max-inflight N]");
+    std::process::exit(2);
+}

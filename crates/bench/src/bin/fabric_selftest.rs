@@ -1,0 +1,64 @@
+//! Deterministic runner exerciser for the process-backend integration
+//! tests — a harness bin whose "flow" is synthetic, so tests can compare
+//! serial vs multi-process output byte-for-byte in milliseconds and
+//! provoke worker crashes on demand.
+//!
+//! Env contract (all read by the closure, so worker processes inherit
+//! the same behavior):
+//!
+//! * `SELFTEST_ITEMS` — comma-separated item names (default
+//!   `alpha,beta,gamma,delta,epsilon`);
+//! * `SELFTEST_DIR` — checkpoint directory (default the workspace
+//!   `results/` like every real harness bin);
+//! * `SELFTEST_MARKER_DIR` — where `poison-*` items leave their
+//!   been-here marker.
+//!
+//! Item semantics: `poison-<x>` aborts the whole process the first time
+//! any process computes it (the marker file makes the second attempt
+//! succeed) — simulating the `kill -9`-class death the process backend
+//! exists to isolate; `fail-<x>` returns a typed error every attempt
+//! (exercising placeholder rows); everything else yields one stable row.
+
+use paper_bench::runner::{run, RunnerOptions};
+
+fn main() {
+    let items: Vec<String> = std::env::var("SELFTEST_ITEMS")
+        .unwrap_or_else(|_| "alpha,beta,gamma,delta,epsilon".to_string())
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let mut opts = RunnerOptions::new("fabric_selftest");
+    if let Some(dir) = std::env::var_os("SELFTEST_DIR") {
+        opts.checkpoint_dir = dir.into();
+    }
+    let out = run(&opts, &items, 3, |item, attempt| {
+        if item.starts_with("poison-") {
+            let marker = std::env::var_os("SELFTEST_MARKER_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(std::env::temp_dir)
+                .join(item);
+            if !marker.exists() {
+                let _ = std::fs::write(&marker, b"poisoned once\n");
+                // Not a panic: catch_unwind cannot fence an abort, so
+                // this takes down the entire hosting process like a real
+                // OOM-kill or kill -9 would.
+                std::process::abort();
+            }
+        }
+        if item.starts_with("fail-") {
+            return Err(format!("typed failure for {item}"));
+        }
+        Ok(vec![vec![
+            item.to_string(),
+            format!("row-{item}-{attempt}"),
+            "z".to_string(),
+        ]])
+    });
+    for row in &out.rows {
+        println!("{}", row.join("|"));
+    }
+    if !out.unpersisted.is_empty() {
+        println!("unpersisted: {}", out.unpersisted.join(","));
+    }
+}

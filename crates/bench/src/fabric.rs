@@ -1,0 +1,650 @@
+//! Multi-process flow fabric: worker processes and the mapping daemon.
+//!
+//! Two layers sit on top of [`crate::runner`]'s `run()` entry point:
+//!
+//! **Process backend** (`RUNNER_BACKEND=process`). The coordinator — the
+//! ordinary harness binary — spawns `--worker <label>` re-invocations of
+//! *itself* (`std::env::current_exe()`), one per configured worker. A
+//! worker re-executes `main` until it reaches the `run()` call whose
+//! label matches its `--worker` argument, then serves items from stdin
+//! instead of computing the item list: the coordinator writes one
+//! JSON-encoded item name per line, the worker answers each with a
+//! sentinel-prefixed checkpoint line on stdout, and EOF on stdin is the
+//! shutdown signal. The closure `f` exists in the worker because the
+//! worker *is* the same binary — no serialization of work, only of item
+//! names and row results.
+//!
+//! Contract with the other backends:
+//!
+//! * **byte identity** — rows come back through the same
+//!   `ItemOutcome`/checkpoint-line codec, are reassembled in input order
+//!   by the coordinator, and every worker computes attempt 0 with the
+//!   canonical seed, so the emitted table is identical whatever the
+//!   worker count (the serial-vs-parallel gate in `scripts/verify.sh`
+//!   extends verbatim to this backend);
+//! * **checkpointing** — only the coordinator appends to the checkpoint
+//!   file (through the same serialized, fsync'd sink as the thread
+//!   backend), so resume semantics and line sets are unchanged and
+//!   worker processes never contend on the file;
+//! * **crash isolation** — a worker that dies (abort, OOM-kill,
+//!   `kill -9`) costs exactly its in-flight item: the coordinator
+//!   respawns a worker and resubmits, and after
+//!   [`PROCESS_ATTEMPTS_PER_ITEM`] consecutive process deaths on the
+//!   same item falls back to computing it inline under `catch_unwind`
+//!   (so even an unspawnable environment still completes the run);
+//! * **shared store** — workers inherit `FLOW_CACHE_DIR`, so all
+//!   processes share the content-addressed on-disk artifact store; the
+//!   concurrent-process hardening in `emb_fsm::cache` (re-stat before
+//!   evict, ENOENT-safe refresh, atomic publishes) is what makes that
+//!   safe.
+//!
+//! **Daemon mode** ([`serve`], the `fabric_daemon` bin). A long-running
+//! service that accepts mapping requests over a Unix socket: one JSON
+//! request line per connection, one JSON response line back. Admission
+//! control bounds concurrently *running* mapping requests
+//! ([`DaemonOptions::max_inflight`]); a request over the bound gets a
+//! typed `{"ok":false,"kind":"overloaded"}` reject immediately
+//! (backpressure the client can see) instead of queueing without bound.
+//! Repeated requests amortize warm flow-cache hits — the response
+//! carries the per-request cache delta and a `warm` flag so callers (and
+//! the verify.sh smoke gate) can observe it. Control commands (`ping`,
+//! `stats`, `shutdown`) bypass admission so the daemon stays steerable
+//! under load.
+
+use crate::runner::{
+    checkpoint_line, json_string, parse_checkpoint_line, run_one, CheckpointSink, ItemOutcome,
+    JsonCursor, RunnerOptions,
+};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Protocol sentinel prefixing every line a worker writes for the
+/// coordinator. Anything else on the worker's stdout (a stray `println!`
+/// from an unrelated part of the harness binary) is ignored, so the
+/// protocol survives bins that print between `run()` calls.
+const SENTINEL: &str = "RUNNER-WORKER";
+
+/// Distinct worker *processes* tried per item before the coordinator
+/// computes it inline. Process attempts are orthogonal to
+/// [`RunnerOptions::max_attempts`]: each submission runs the full
+/// bounded-retry loop inside whichever process executes it.
+const PROCESS_ATTEMPTS_PER_ITEM: u32 = 2;
+
+// --- worker side ------------------------------------------------------
+
+/// The label this process was spawned to serve, when it is a `--worker`
+/// re-invocation of a harness binary; `None` in ordinary processes.
+#[must_use]
+pub fn worker_invocation_label() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--worker" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Serves items from stdin until EOF, then exits the process (a worker
+/// must never fall through to the harness binary's table-printing code —
+/// its stdout is the protocol channel).
+///
+/// Wire format: the coordinator sends one JSON string (the item name)
+/// per line; the worker answers `RUNNER-WORKER RESULT <checkpoint-line>`
+/// and flushes. Item panics are fenced inside [`run_one`] exactly as in
+/// the other backends; only an abort-class death (the thing this backend
+/// exists to isolate) ends the process early.
+pub(crate) fn worker_loop<F>(opts: &RunnerOptions, f: &F) -> !
+where
+    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String> + Sync,
+{
+    let stdout = std::io::stdout();
+    {
+        let mut out = stdout.lock();
+        let ok = writeln!(out, "{SENTINEL} READY {}", json_string(&opts.label))
+            .and_then(|()| out.flush());
+        if ok.is_err() {
+            std::process::exit(0); // coordinator already gone
+        }
+    }
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => std::process::exit(0), // EOF: clean shutdown
+            Ok(_) => {}
+        }
+        let Some(item) = JsonCursor::new(line.trim()).string() else {
+            // Protocol violation: refuse to guess what the coordinator
+            // meant; exiting surfaces as a dead worker on its side.
+            std::process::exit(2);
+        };
+        let outcome = run_one(&item, opts.max_attempts, f);
+        let mut out = stdout.lock();
+        let ok = writeln!(out, "{SENTINEL} RESULT {}", checkpoint_line(&item, &outcome))
+            .and_then(|()| out.flush());
+        if ok.is_err() {
+            std::process::exit(0);
+        }
+    }
+}
+
+// --- coordinator side -------------------------------------------------
+
+/// One spawned worker process and its protocol pipes.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Worker {
+    /// Spawns a `--worker <label>` re-invocation of the current binary
+    /// and waits for its READY handshake.
+    fn spawn(label: &str) -> std::io::Result<Worker> {
+        let exe = std::env::current_exe()?;
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .arg(label)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit()) // retry/diagnostic lines stay visible
+            .spawn()?;
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take();
+        let (Some(stdin), Some(stdout)) = (stdin, stdout) else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::other("worker pipes unavailable"));
+        };
+        let mut worker = Worker {
+            child,
+            stdin,
+            stdout: BufReader::new(stdout),
+        };
+        let ready = format!("{SENTINEL} READY {}", json_string(label));
+        match worker.read_protocol_line(&ready, "") {
+            Ok(_) => Ok(worker),
+            Err(e) => {
+                worker.dispose();
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads stdout lines until one equals `exact` or starts with
+    /// `prefix` (when non-empty), ignoring non-protocol chatter.
+    fn read_protocol_line(&mut self, exact: &str, prefix: &str) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.stdout.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "worker exited",
+                ));
+            }
+            let t = line.trim_end();
+            if t == exact {
+                return Ok(t.to_string());
+            }
+            if !prefix.is_empty() {
+                if let Some(rest) = t.strip_prefix(prefix) {
+                    return Ok(rest.to_string());
+                }
+            }
+        }
+    }
+
+    /// Submits one item and blocks for its outcome. Any I/O failure —
+    /// including the worker dying mid-item — surfaces as `Err`, and the
+    /// caller discards this worker.
+    fn submit(&mut self, item: &str) -> std::io::Result<ItemOutcome> {
+        writeln!(self.stdin, "{}", json_string(item))?;
+        self.stdin.flush()?;
+        let result_prefix = format!("{SENTINEL} RESULT ");
+        loop {
+            let rest = self.read_protocol_line("", &result_prefix)?;
+            let Some((got_item, outcome)) = parse_checkpoint_line(&rest) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unparseable worker result",
+                ));
+            };
+            if got_item == item {
+                return Ok(outcome);
+            }
+            // A result for some other item (e.g. a stale line after a
+            // protocol hiccup): keep reading for ours.
+        }
+    }
+
+    /// Closes stdin (the worker's EOF shutdown signal) and reaps.
+    fn dispose(self) {
+        drop(self.stdin);
+        let mut child = self.child;
+        let _ = child.wait();
+    }
+}
+
+/// Runs the pending items on `workers` spawned worker processes, writing
+/// results through the coordinator's checkpoint sink. Returns outcomes
+/// aligned with `pending`. See the module docs for the contract.
+pub(crate) fn run_pending_in_workers<F>(
+    opts: &RunnerOptions,
+    sink: &CheckpointSink<'_>,
+    pending: &[(usize, &String)],
+    workers: usize,
+    f: &F,
+) -> Vec<Option<ItemOutcome>>
+where
+    F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String> + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ItemOutcome>>> =
+        (0..pending.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut worker: Option<Worker> = None;
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(_, item)) = pending.get(k) else {
+                        break;
+                    };
+                    let mut outcome: Option<ItemOutcome> = None;
+                    for _ in 0..PROCESS_ATTEMPTS_PER_ITEM {
+                        if worker.is_none() {
+                            worker = match Worker::spawn(&opts.label) {
+                                Ok(w) => Some(w),
+                                Err(e) => {
+                                    eprintln!(
+                                        "[runner] {}: cannot spawn worker process ({e}); computing inline",
+                                        opts.label
+                                    );
+                                    break;
+                                }
+                            };
+                        }
+                        let Some(w) = worker.as_mut() else { break };
+                        match w.submit(item) {
+                            Ok(o) => {
+                                outcome = Some(o);
+                                break;
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "[runner] {}: worker died on '{item}' ({e}); respawning",
+                                    opts.label
+                                );
+                                if let Some(dead) = worker.take() {
+                                    dead.dispose();
+                                }
+                            }
+                        }
+                    }
+                    // Last resort: the item crashed every worker we gave
+                    // it, or workers cannot spawn at all. Inline under
+                    // catch_unwind keeps the run complete (a true abort
+                    // here would kill the coordinator — the trade the
+                    // caller accepted by exhausting process isolation).
+                    let o = outcome
+                        .unwrap_or_else(|| run_one(item, opts.max_attempts, f));
+                    sink.append(item, &o);
+                    *lock_unpoisoned(&slots[k]) = Some(o);
+                }
+                if let Some(w) = worker.take() {
+                    w.dispose();
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+        .collect()
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// --- daemon mode ------------------------------------------------------
+
+/// Configuration for the mapping daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Unix socket path to listen on (created fresh; a stale file is
+    /// removed first).
+    pub socket: PathBuf,
+    /// Admission bound: mapping requests allowed in flight at once.
+    /// Requests beyond it receive a typed `overloaded` reject.
+    pub max_inflight: usize,
+}
+
+impl DaemonOptions {
+    /// Daemon listening on `socket` with a default in-flight bound of 4.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        DaemonOptions {
+            socket: socket.into(),
+            max_inflight: 4,
+        }
+    }
+}
+
+/// Counters the daemon exposes through the `stats` command.
+#[derive(Debug, Default)]
+struct DaemonCounters {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    inflight: AtomicUsize,
+}
+
+/// A parsed request line.
+enum Request {
+    Map { bench: String },
+    Ping,
+    Stats,
+    Shutdown,
+    Malformed(String),
+}
+
+/// Parses one request line: `{"bench":"keyb"}` or `{"cmd":"ping"}` /
+/// `{"cmd":"stats"}` / `{"cmd":"shutdown"}`.
+fn parse_request(line: &str) -> Request {
+    let mut p = JsonCursor::new(line.trim());
+    let bad = |why: &str| Request::Malformed(why.to_string());
+    if p.expect('{').is_none() {
+        return bad("request is not a JSON object");
+    }
+    let mut cmd = None;
+    let mut bench = None;
+    loop {
+        let Some(key) = p.string() else {
+            return bad("expected a string key");
+        };
+        if p.expect(':').is_none() {
+            return bad("expected ':'");
+        }
+        let Some(value) = p.string() else {
+            return bad("expected a string value");
+        };
+        match key.as_str() {
+            "cmd" => cmd = Some(value),
+            "bench" => bench = Some(value),
+            _ => return bad("unknown request field"),
+        }
+        match p.next_non_ws() {
+            Some(',') => continue,
+            Some('}') => break,
+            _ => return bad("expected ',' or '}'"),
+        }
+    }
+    match (cmd.as_deref(), bench) {
+        (None, Some(bench)) => Request::Map { bench },
+        (Some("ping"), None) => Request::Ping,
+        (Some("stats"), None) => Request::Stats,
+        (Some("shutdown"), None) => Request::Shutdown,
+        _ => bad("request needs either \"bench\" or a known \"cmd\""),
+    }
+}
+
+/// A typed reject/error response line.
+fn error_response(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"kind\":{},\"error\":{}}}",
+        json_string(kind),
+        json_string(message)
+    )
+}
+
+/// Runs the FF-vs-EMB mapping flow for one benchmark and renders the
+/// response line, including the request's own flow-cache delta (thread
+/// locals: each connection is handled on a fresh thread, so the delta is
+/// exactly this request's traffic).
+fn handle_map(bench: &str) -> String {
+    let Some(stg) = fsm_model::benchmarks::by_name(bench) else {
+        return error_response(
+            "unknown-bench",
+            &format!("no benchmark named '{bench}' (see fsm_model::benchmarks)"),
+        );
+    };
+    let started = Instant::now();
+    let before = emb_fsm::cache::stats_snapshot();
+    let cfg = crate::paper_config();
+    match crate::try_compare(&stg, &emb_fsm::flow::Stimulus::Random, &cfg) {
+        Err(e) => error_response("flow", &e.to_string()),
+        Ok((ff, emb)) => {
+            let delta = emb_fsm::cache::stats_snapshot().since(before);
+            let warm = delta.misses == 0 && delta.hits > 0;
+            let (ff_mw, emb_mw) = match (ff.power.first(), emb.power.first()) {
+                (Some(a), Some(b)) => (a.total_mw(), b.total_mw()),
+                _ => (0.0, 0.0),
+            };
+            format!(
+                "{{\"ok\":true,\"bench\":{},\"device\":{},\
+                 \"ff\":{{\"luts\":{},\"ffs\":{},\"slices\":{},\"mw\":{ff_mw:.3}}},\
+                 \"emb\":{{\"luts\":{},\"slices\":{},\"brams\":{},\"mw\":{emb_mw:.3}}},\
+                 \"saving_pct\":{:.1},\
+                 \"cache\":{{\"hits\":{},\"misses\":{}}},\"warm\":{warm},\
+                 \"ms\":{}}}",
+                json_string(&ff.name),
+                json_string(ff.device.name),
+                ff.area.luts,
+                ff.area.ffs,
+                ff.area.slices,
+                emb.area.luts,
+                emb.area.slices,
+                emb.area.brams,
+                if ff_mw > 0.0 {
+                    100.0 * (ff_mw - emb_mw) / ff_mw
+                } else {
+                    0.0
+                },
+                delta.hits,
+                delta.misses,
+                started.elapsed().as_millis()
+            )
+        }
+    }
+}
+
+/// Handles one connection: read a request line, write a response line.
+/// Returns `true` when the request asked the daemon to shut down.
+fn handle_connection(stream: UnixStream, opts: &DaemonOptions, counters: &DaemonCounters) -> bool {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    if matches!(reader.read_line(&mut line), Ok(0) | Err(_)) {
+        return false;
+    }
+    let respond = |writer: &mut UnixStream, body: &str| {
+        let _ = writeln!(writer, "{body}");
+        let _ = writer.flush();
+    };
+    match parse_request(&line) {
+        Request::Malformed(why) => {
+            respond(&mut writer, &error_response("bad-request", &why));
+            false
+        }
+        Request::Ping => {
+            respond(&mut writer, "{\"ok\":true,\"pong\":true}");
+            false
+        }
+        Request::Stats => {
+            respond(
+                &mut writer,
+                &format!(
+                    "{{\"ok\":true,\"served\":{},\"rejected\":{},\"inflight\":{},\"max_inflight\":{}}}",
+                    counters.served.load(Ordering::Relaxed),
+                    counters.rejected.load(Ordering::Relaxed),
+                    counters.inflight.load(Ordering::Relaxed),
+                    opts.max_inflight
+                ),
+            );
+            false
+        }
+        Request::Shutdown => {
+            respond(&mut writer, "{\"ok\":true,\"shutdown\":true}");
+            true
+        }
+        Request::Map { bench } => {
+            // Admission control: claim a slot or reject — never block.
+            let admitted = counters
+                .inflight
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < opts.max_inflight).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut writer,
+                    &error_response(
+                        "overloaded",
+                        &format!(
+                            "daemon at capacity ({} mapping request(s) in flight); retry later",
+                            opts.max_inflight
+                        ),
+                    ),
+                );
+                return false;
+            }
+            let response = handle_map(&bench);
+            counters.inflight.fetch_sub(1, Ordering::SeqCst);
+            counters.served.fetch_add(1, Ordering::Relaxed);
+            respond(&mut writer, &response);
+            false
+        }
+    }
+}
+
+/// Runs the mapping daemon until a `shutdown` request arrives.
+///
+/// One request line per connection, one response line back, connection
+/// closed — the simplest protocol that lets `nc`-grade clients talk to
+/// it. Each connection is handled on its own scoped thread; admission
+/// control bounds the *expensive* (mapping) work, not the cheap control
+/// commands.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the socket cannot be bound.
+pub fn serve(opts: &DaemonOptions) -> std::io::Result<()> {
+    // A stale socket file from a previous (killed) daemon blocks bind.
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket)?;
+    let counters = DaemonCounters::default();
+    let stop = AtomicBool::new(false);
+    eprintln!(
+        "[fabric] daemon listening on {} (max {} mapping request(s) in flight)",
+        opts.socket.display(),
+        opts.max_inflight
+    );
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let counters = &counters;
+            let stop = &stop;
+            let opts_ref = opts;
+            scope.spawn(move || {
+                if handle_connection(stream, opts_ref, counters) {
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it observes the flag.
+                    let _ = UnixStream::connect(&opts_ref.socket);
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(&opts.socket);
+    eprintln!(
+        "[fabric] daemon shut down ({} served, {} rejected)",
+        counters.served.load(Ordering::Relaxed),
+        counters.rejected.load(Ordering::Relaxed)
+    );
+    Ok(())
+}
+
+/// Sends one request line over the socket and returns the response line.
+/// The client half of the daemon protocol, shared by the `fabric_client`
+/// bin and the integration tests.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on connect/write/read failure, or
+/// `UnexpectedEof` when the daemon closed without responding.
+pub fn request(socket: &Path, line: &str) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    writeln!(stream, "{line}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without a response",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parser_accepts_the_protocol_and_rejects_junk() {
+        assert!(matches!(
+            parse_request("{\"bench\":\"keyb\"}"),
+            Request::Map { bench } if bench == "keyb"
+        ));
+        assert!(matches!(parse_request("{\"cmd\":\"ping\"}"), Request::Ping));
+        assert!(matches!(
+            parse_request("{\"cmd\":\"stats\"}"),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request("{\"cmd\":\"shutdown\"}"),
+            Request::Shutdown
+        ));
+        for junk in [
+            "",
+            "hello",
+            "{\"cmd\":\"reboot\"}",
+            "{\"bench\":\"keyb\",\"cmd\":\"ping\"}",
+            "{\"wat\":\"x\"}",
+        ] {
+            assert!(
+                matches!(parse_request(junk), Request::Malformed(_)),
+                "accepted junk request: {junk}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_label_extraction_matches_argv_convention() {
+        // This test binary was not started with --worker.
+        assert_eq!(worker_invocation_label(), None);
+    }
+
+    #[test]
+    fn error_responses_are_single_json_lines() {
+        let r = error_response("overloaded", "busy\nretry");
+        assert!(!r.contains('\n'), "response must stay one line: {r}");
+        assert!(r.contains("\"ok\":false"));
+        assert!(r.contains("\"kind\":\"overloaded\""));
+    }
+}

@@ -27,6 +27,13 @@
 //!   so the emitted rows are identical whatever the thread count.
 //!   `RUNNER_THREADS=1` takes the exact sequential path (items computed
 //!   and checkpointed strictly in input order).
+//! - **process-backend isolation** — under [`Backend::Process`]
+//!   (`RUNNER_BACKEND=process`) items are farmed to spawned `--worker`
+//!   re-invocations of the same harness binary over a stdin/stdout
+//!   protocol (see [`crate::fabric`]): a `kill -9` of a worker loses only
+//!   its in-flight item (the coordinator respawns a worker and resubmits),
+//!   all workers share the on-disk flow-artifact cache, and the emitted
+//!   rows and checkpoint lines are identical to the other backends.
 //!
 //! The checkpoint line format is a flat JSON object per line:
 //!
@@ -39,9 +46,24 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// How [`run`] executes its pending items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Strictly in input order on the calling thread (the exact
+    /// historical path: items computed and checkpointed in order).
+    Sequential,
+    /// Work-stealing scoped threads inside this process.
+    Threads,
+    /// Work-stealing worker *processes* — `--worker` re-invocations of
+    /// the current binary coordinated over pipes. Crash isolation goes
+    /// beyond `catch_unwind`: an abort/OOM-kill/`kill -9` in one item
+    /// costs one worker process, not the run.
+    Process,
+}
 
 /// Configuration for one resilient run.
 #[derive(Debug, Clone)]
@@ -57,6 +79,16 @@ pub struct RunnerOptions {
     /// parallelism; `Some(1)` (or `RUNNER_THREADS=1`) forces the exact
     /// sequential path.
     pub threads: Option<usize>,
+    /// Execution backend. `None` defers to the `RUNNER_BACKEND`
+    /// environment variable (`sequential` / `threads` / `process`),
+    /// defaulting to [`Backend::Threads`].
+    pub backend: Option<Backend>,
+    /// Whether checkpointed `ok:false` entries survive a resume as
+    /// placeholder rows instead of being re-attempted. `None` defers to
+    /// the `RUNNER_KEEP_FAILED` environment variable (default: rerun
+    /// failures — a recorded failure may have been transient, e.g. a
+    /// budget-exhausted attempt right before a kill).
+    pub keep_failed: Option<bool>,
 }
 
 impl RunnerOptions {
@@ -69,6 +101,8 @@ impl RunnerOptions {
             max_attempts: 3,
             checkpoint_dir: workspace_results_dir(),
             threads: None,
+            backend: None,
+            keep_failed: None,
         }
     }
 
@@ -91,6 +125,37 @@ impl RunnerOptions {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         })
         .max(1)
+    }
+
+    /// The backend this run will use: the explicit option, else
+    /// `RUNNER_BACKEND`, else [`Backend::Threads`]. Unknown values fall
+    /// back to threads rather than failing an experiment over a typo.
+    #[must_use]
+    pub fn effective_backend(&self) -> Backend {
+        if let Some(b) = self.backend {
+            return b;
+        }
+        match std::env::var("RUNNER_BACKEND")
+            .ok()
+            .as_deref()
+            .map(str::trim)
+        {
+            Some("sequential" | "serial") => Backend::Sequential,
+            Some("process" | "processes") => Backend::Process,
+            _ => Backend::Threads,
+        }
+    }
+
+    /// Whether resume keeps checkpointed failures as placeholders (see
+    /// [`RunnerOptions::keep_failed`]).
+    #[must_use]
+    pub fn effective_keep_failed(&self) -> bool {
+        self.keep_failed.unwrap_or_else(|| {
+            matches!(
+                std::env::var("RUNNER_KEEP_FAILED").ok().as_deref(),
+                Some("1" | "true" | "yes")
+            )
+        })
     }
 }
 
@@ -119,6 +184,56 @@ pub struct RunOutcome {
     pub failures: Vec<(String, String)>,
     /// Items restored from the checkpoint instead of recomputed.
     pub resumed: usize,
+    /// Items (in input order) whose results are in `rows` but whose
+    /// checkpoint append failed (full disk, read-only results dir). The
+    /// resume contract — "every item whose append returned is on disk" —
+    /// stays honest: these items returned *without* an on-disk record,
+    /// so a killed-and-resumed run would recompute exactly them.
+    pub unpersisted: Vec<String>,
+}
+
+/// Serialized checkpoint appends shared by every backend, degrading to
+/// in-memory outcomes (with a one-line warning and a typed note) when
+/// the checkpoint cannot be written: under the thread backend a panic
+/// here would abort the whole scoped-thread run, and under a daemon it
+/// would kill the service — an experiment that cannot record progress
+/// is still a better experiment than no experiment.
+pub(crate) struct CheckpointSink<'a> {
+    path: &'a Path,
+    lock: Mutex<()>,
+    warned: AtomicBool,
+    unpersisted: Mutex<Vec<String>>,
+}
+
+impl<'a> CheckpointSink<'a> {
+    fn new(path: &'a Path) -> Self {
+        CheckpointSink {
+            path,
+            lock: Mutex::new(()),
+            warned: AtomicBool::new(false),
+            unpersisted: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends one finished item, serialized against other workers.
+    pub(crate) fn append(&self, item: &str, outcome: &ItemOutcome) {
+        let _guard = lock_unpoisoned(&self.lock);
+        if let Err(e) = append_checkpoint(self.path, item, outcome) {
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "[runner] warning: cannot record checkpoint {}: {e} — completed items stay in memory only; a killed run would recompute them",
+                    self.path.display()
+                );
+            }
+            lock_unpoisoned(&self.unpersisted).push(item.to_string());
+        }
+    }
+
+    fn into_unpersisted(self) -> Vec<String> {
+        self.unpersisted
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// Runs `f` over `items` with isolation, retry, checkpointing, and
@@ -135,17 +250,27 @@ pub struct RunOutcome {
 /// may record items in completion order under parallelism; resume keys
 /// items by name, so a resumed run still re-emits rows byte-identically.
 ///
-/// # Panics
-///
-/// Panics only if the checkpoint directory cannot be created or written —
-/// an experiment that cannot record its progress is a failed experiment.
+/// When this process is itself a `--worker` re-invocation spawned by a
+/// process-backend coordinator (see [`crate::fabric`]), this call never
+/// returns for the coordinated label: it serves items from stdin and
+/// exits at EOF. A `run` call for a *different* label inside the same
+/// worker binary returns placeholder rows without computing or touching
+/// that label's checkpoint, so control flow reaches the coordinated call.
 pub fn run<F>(opts: &RunnerOptions, items: &[String], placeholder_cols: usize, f: F) -> RunOutcome
 where
     F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String> + Sync,
 {
+    if let Some(worker_label) = crate::fabric::worker_invocation_label() {
+        if worker_label == opts.label {
+            crate::fabric::worker_loop(opts, &f);
+        }
+        return skipped_outcome(items, placeholder_cols);
+    }
+
     let started = Instant::now();
     let path = opts.checkpoint_path();
-    let mut done: HashMap<String, ItemOutcome> = load_checkpoint(&path);
+    let mut done: HashMap<String, ItemOutcome> =
+        load_checkpoint(&path, opts.effective_keep_failed());
     if !done.is_empty() {
         eprintln!(
             "[runner] resuming {} finished item(s) from {}",
@@ -164,16 +289,30 @@ where
         .enumerate()
         .filter(|(_, item)| !done.contains_key(*item))
         .collect();
-    let threads = opts.effective_threads().min(pending.len().max(1));
+    let backend = opts.effective_backend();
+    let threads = match backend {
+        Backend::Sequential => 1,
+        Backend::Threads | Backend::Process => opts.effective_threads(),
+    }
+    .min(pending.len().max(1));
 
+    let sink = CheckpointSink::new(&path);
     let mut computed: Vec<Option<ItemOutcome>> = (0..items.len()).map(|_| None).collect();
     if threads <= 1 {
         // Exact sequential path: compute and checkpoint strictly in input
         // order (byte-identical checkpoints to the historical runner).
         for &(idx, item) in &pending {
             let o = run_one(item, opts.max_attempts, &f);
-            append_checkpoint(&path, item, &o);
+            sink.append(item, &o);
             computed[idx] = Some(o);
+        }
+    } else if backend == Backend::Process {
+        // Process fabric: items farmed to spawned `--worker`
+        // re-invocations of this binary; the coordinator owns the
+        // checkpoint, so its line set matches the other backends.
+        let outcomes = crate::fabric::run_pending_in_workers(opts, &sink, &pending, threads, &f);
+        for (&(idx, _), o) in pending.iter().zip(outcomes) {
+            computed[idx] = o;
         }
     } else {
         // Work stealing: workers claim the next pending index from a
@@ -182,7 +321,6 @@ where
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<ItemOutcome>>> =
             (0..pending.len()).map(|_| Mutex::new(None)).collect();
-        let checkpoint_lock = Mutex::new(());
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
@@ -191,10 +329,7 @@ where
                         break;
                     };
                     let o = run_one(item, opts.max_attempts, &f);
-                    {
-                        let _guard = lock_unpoisoned(&checkpoint_lock);
-                        append_checkpoint(&path, item, &o);
-                    }
+                    sink.append(item, &o);
                     *lock_unpoisoned(&slots[k]) = Some(o);
                 });
             }
@@ -205,6 +340,7 @@ where
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
+    let unpersisted_set = sink.into_unpersisted();
 
     // Reassemble in input order, preferring checkpointed outcomes.
     let mut rows = Vec::new();
@@ -232,20 +368,55 @@ where
             }
         }
     }
-    // All items accounted for: the checkpoint has served its purpose.
+    // Report unpersisted items in input order (appends complete in
+    // arbitrary order under parallelism).
+    let unpersisted: Vec<String> = items
+        .iter()
+        .filter(|i| unpersisted_set.contains(i))
+        .cloned()
+        .collect();
+    // All items accounted for: the checkpoint has served its purpose —
+    // unless some items never made it to disk, in which case deleting it
+    // is the right call anyway (every line it holds was re-emitted).
     let _ = std::fs::remove_file(&path);
     eprintln!(
-        "[runner] {}: {} item(s) ({} resumed) on {} thread(s) in {:.2?}",
+        "[runner] {}: {} item(s) ({} resumed) on {} {} in {:.2?}",
         opts.label,
         items.len(),
         resumed,
         threads,
+        match backend {
+            Backend::Process => "worker process(es)",
+            Backend::Sequential | Backend::Threads => "thread(s)",
+        },
         started.elapsed()
     );
     RunOutcome {
         rows,
         failures,
         resumed,
+        unpersisted,
+    }
+}
+
+/// The outcome a worker process returns for a `run` call whose label is
+/// not the one it was spawned to serve: placeholder rows, no
+/// computation, no checkpoint traffic (touching another label's
+/// checkpoint from a worker would corrupt that run's resume state).
+fn skipped_outcome(items: &[String], placeholder_cols: usize) -> RunOutcome {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for item in items {
+        let mut row = vec![item.clone(), "SKIPPED: worker mode".to_string()];
+        row.resize(placeholder_cols.max(2), String::new());
+        rows.push(row);
+        failures.push((item.clone(), "skipped in worker mode".to_string()));
+    }
+    RunOutcome {
+        rows,
+        failures,
+        resumed: 0,
+        unpersisted: Vec::new(),
     }
 }
 
@@ -257,7 +428,7 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 /// One item: bounded attempts, panics fenced at this boundary only.
-fn run_one<F>(item: &str, max_attempts: u32, f: &F) -> ItemOutcome
+pub(crate) fn run_one<F>(item: &str, max_attempts: u32, f: &F) -> ItemOutcome
 where
     F: Fn(&str, u32) -> Result<Vec<Vec<String>>, String>,
 {
@@ -301,15 +472,28 @@ fn workspace_results_dir() -> PathBuf {
 // --- checkpoint I/O ---------------------------------------------------
 
 /// Loads finished items from a checkpoint, tolerating missing files and
-/// skipping unparseable lines (those items are simply recomputed).
-fn load_checkpoint(path: &Path) -> HashMap<String, ItemOutcome> {
+/// skipping unparseable lines (those items are simply recomputed —
+/// including a final line torn mid-append by a `kill -9`).
+///
+/// Lines are replayed in append (i.e. chronological) order, so the
+/// latest record for an item wins. Unless `keep_failed`, `ok:false`
+/// entries are dropped so the items are re-attempted on resume: a
+/// recorded failure may have been transient (a budget-exhausted attempt
+/// right before the kill), and re-emitting it as a placeholder forever
+/// would make one bad run sticky. `ok:true` entries always replay
+/// byte-identically.
+fn load_checkpoint(path: &Path, keep_failed: bool) -> HashMap<String, ItemOutcome> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return HashMap::new();
     };
     let mut done = HashMap::new();
     for line in text.lines() {
         if let Some((item, outcome)) = parse_checkpoint_line(line) {
-            done.insert(item, outcome);
+            if !keep_failed && matches!(outcome, ItemOutcome::Failed { .. }) {
+                done.remove(&item);
+            } else {
+                done.insert(item, outcome);
+            }
         }
     }
     done
@@ -317,30 +501,28 @@ fn load_checkpoint(path: &Path) -> HashMap<String, ItemOutcome> {
 
 /// Appends one finished item to the checkpoint (created on first use).
 ///
-/// The row is flushed **and fsync'd** before this returns: a `kill -9`
-/// right after an item completes can no longer lose it to OS buffering —
-/// the resume contract is "every item whose append returned is on disk".
-fn append_checkpoint(path: &Path, item: &str, outcome: &ItemOutcome) {
+/// The row is flushed **and fsync'd** before this returns `Ok`: a
+/// `kill -9` right after an item completes can no longer lose it to OS
+/// buffering — the resume contract is "every item whose append returned
+/// *successfully* is on disk". An `Err` (full disk, read-only results
+/// dir) means the item exists in memory only; [`CheckpointSink`] records
+/// it in [`RunOutcome::unpersisted`] instead of aborting the run.
+fn append_checkpoint(path: &Path, item: &str, outcome: &ItemOutcome) -> std::io::Result<()> {
     let line = checkpoint_line(item, outcome);
-    let write = || -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
-        }
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        writeln!(file, "{line}")?;
-        file.flush()?;
-        file.sync_data()
-    };
-    if let Err(e) = write() {
-        panic!("cannot record checkpoint {}: {e}", path.display());
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
     }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")?;
+    file.flush()?;
+    file.sync_data()
 }
 
 /// Renders one checkpoint line.
-fn checkpoint_line(item: &str, outcome: &ItemOutcome) -> String {
+pub(crate) fn checkpoint_line(item: &str, outcome: &ItemOutcome) -> String {
     match outcome {
         ItemOutcome::Ok(rows) => {
             let rows_json: Vec<String> = rows
@@ -365,7 +547,7 @@ fn checkpoint_line(item: &str, outcome: &ItemOutcome) -> String {
 }
 
 /// JSON string literal with the escapes our cell contents can need.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -384,7 +566,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Parses one checkpoint line; `None` on any malformation.
-fn parse_checkpoint_line(line: &str) -> Option<(String, ItemOutcome)> {
+pub(crate) fn parse_checkpoint_line(line: &str) -> Option<(String, ItemOutcome)> {
     let mut p = JsonCursor::new(line);
     p.expect('{')?;
     let mut item = None;
@@ -422,13 +604,14 @@ fn parse_checkpoint_line(line: &str) -> Option<(String, ItemOutcome)> {
     }
 }
 
-/// A minimal cursor over the JSON subset the checkpoint uses.
-struct JsonCursor<'a> {
+/// A minimal cursor over the JSON subset the checkpoint (and the fabric
+/// wire protocol) uses.
+pub(crate) struct JsonCursor<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
 }
 
 impl<'a> JsonCursor<'a> {
-    fn new(s: &'a str) -> Self {
+    pub(crate) fn new(s: &'a str) -> Self {
         JsonCursor {
             chars: s.chars().peekable(),
         }
@@ -440,16 +623,16 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn next_non_ws(&mut self) -> Option<char> {
+    pub(crate) fn next_non_ws(&mut self) -> Option<char> {
         self.skip_ws();
         self.chars.next()
     }
 
-    fn expect(&mut self, want: char) -> Option<()> {
+    pub(crate) fn expect(&mut self, want: char) -> Option<()> {
         (self.next_non_ws()? == want).then_some(())
     }
 
-    fn string(&mut self) -> Option<String> {
+    pub(crate) fn string(&mut self) -> Option<String> {
         self.expect('"')?;
         let mut out = String::new();
         loop {
@@ -553,6 +736,8 @@ mod tests {
             max_attempts: 3,
             checkpoint_dir: dir,
             threads: Some(1),
+            backend: Some(Backend::Sequential),
+            keep_failed: Some(false),
         }
     }
 
@@ -645,7 +830,7 @@ mod tests {
         // for the checkpointed items.
         for item in &items[..2] {
             let rows = work(item, 0).unwrap();
-            append_checkpoint(&opts.checkpoint_path(), item, &ItemOutcome::Ok(rows));
+            append_checkpoint(&opts.checkpoint_path(), item, &ItemOutcome::Ok(rows)).unwrap();
         }
         let recomputed = AtomicUsize::new(0);
         let resumed = run(&opts, &items, 2, |item, attempt| {
@@ -661,6 +846,155 @@ mod tests {
         );
         // The checkpoint is cleaned up after a complete run.
         assert!(!opts.checkpoint_path().exists());
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn failed_checkpoint_entries_rerun_on_resume_by_default() {
+        // A transient failure recorded right before a kill must be
+        // re-attempted on resume, not re-emitted as a placeholder forever.
+        let opts = temp_opts("refail");
+        let items: Vec<String> = ["a", "b"].iter().map(ToString::to_string).collect();
+        append_checkpoint(
+            &opts.checkpoint_path(),
+            "a",
+            &ItemOutcome::Ok(vec![vec!["a".to_string(), "row".to_string()]]),
+        )
+        .unwrap();
+        append_checkpoint(
+            &opts.checkpoint_path(),
+            "b",
+            &ItemOutcome::Failed {
+                error: "transient: budget exhausted".to_string(),
+                attempts: 3,
+            },
+        )
+        .unwrap();
+        let recomputed = AtomicUsize::new(0);
+        let out = run(&opts, &items, 2, |item, _| {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(item, "b", "only the failed entry may rerun");
+            Ok(vec![vec![item.to_string(), "recovered".to_string()]])
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1);
+        assert_eq!(out.resumed, 1, "only the ok entry resumes");
+        assert!(out.failures.is_empty(), "the retry succeeded");
+        assert_eq!(out.rows[1], vec!["b".to_string(), "recovered".to_string()]);
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn keep_failed_preserves_placeholder_rows_for_determinism() {
+        // RUNNER_KEEP_FAILED=1 semantics: the recorded failure replays as
+        // a placeholder without re-attempting (determinism tests rely on
+        // a resumed run making zero new attempts).
+        let mut opts = temp_opts("keepfail");
+        opts.keep_failed = Some(true);
+        let items: Vec<String> = ["a"].iter().map(ToString::to_string).collect();
+        append_checkpoint(
+            &opts.checkpoint_path(),
+            "a",
+            &ItemOutcome::Failed {
+                error: "recorded".to_string(),
+                attempts: 3,
+            },
+        )
+        .unwrap();
+        let out = run(&opts, &items, 2, |_, _| -> Result<Vec<Vec<String>>, String> {
+            panic!("keep_failed must not recompute");
+        });
+        assert_eq!(out.resumed, 1);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.rows[0][1].contains("FAILED: recorded"));
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn torn_final_checkpoint_line_recomputes_exactly_that_item() {
+        // Simulated kill -9 mid-append: the last line is truncated. Resume
+        // must replay the intact lines byte-identically and recompute
+        // exactly the torn item.
+        let opts = temp_opts("torn");
+        let items: Vec<String> = ["a", "b", "c"].iter().map(ToString::to_string).collect();
+        let work = |item: &str, _attempt: u32| -> Result<Vec<Vec<String>>, String> {
+            Ok(vec![vec![item.to_string(), format!("{item}-row")]])
+        };
+        let reference = run(&opts, &items, 2, work);
+        // Rebuild the checkpoint: a, b complete; c torn mid-append.
+        for item in &items[..2] {
+            append_checkpoint(
+                &opts.checkpoint_path(),
+                item,
+                &ItemOutcome::Ok(work(item, 0).unwrap()),
+            )
+            .unwrap();
+        }
+        let full = checkpoint_line("c", &ItemOutcome::Ok(work("c", 0).unwrap()));
+        let torn = &full[..full.len() / 2];
+        {
+            use std::io::Write as _;
+            let mut fh = std::fs::OpenOptions::new()
+                .append(true)
+                .open(opts.checkpoint_path())
+                .unwrap();
+            write!(fh, "{torn}").unwrap(); // no newline: append died here
+        }
+        let recomputed = AtomicUsize::new(0);
+        let resumed = run(&opts, &items, 2, |item, attempt| {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(item, "c", "only the torn item may recompute");
+            work(item, attempt)
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1);
+        assert_eq!(resumed.resumed, 2);
+        assert_eq!(resumed.rows, reference.rows, "torn resume not identical");
+        let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
+    }
+
+    #[test]
+    fn unwritable_checkpoint_degrades_to_memory_with_typed_note() {
+        // Pre-fix behavior was panic!("cannot record checkpoint ...") —
+        // fatal to a scoped-thread run and to a daemon. Now the run
+        // completes and reports which items were never persisted.
+        let base = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("test_runner_unwritable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        // A *file* where the checkpoint dir should be: create_dir_all and
+        // every append fail with NotADirectory, even when running as root
+        // (unlike permission bits, which root ignores).
+        std::fs::write(base.join("blocker"), b"not a directory").unwrap();
+        let opts = RunnerOptions {
+            label: "unwritable".to_string(),
+            max_attempts: 1,
+            checkpoint_dir: base.join("blocker").join("sub"),
+            threads: Some(1),
+            backend: Some(Backend::Sequential),
+            keep_failed: Some(false),
+        };
+        let items: Vec<String> = ["a", "b"].iter().map(ToString::to_string).collect();
+        let out = run(&opts, &items, 2, |item, _| {
+            Ok(vec![vec![item.to_string(), "v".to_string()]])
+        });
+        assert_eq!(out.rows.len(), 2, "run must complete without checkpoints");
+        assert!(out.failures.is_empty());
+        assert_eq!(
+            out.unpersisted, items,
+            "every completed-but-unwritten item must be reported"
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn backend_selection_parses_the_env_convention() {
+        let mut opts = temp_opts("backend");
+        opts.backend = None;
+        // Explicit option wins regardless of environment.
+        opts.backend = Some(Backend::Process);
+        assert_eq!(opts.effective_backend(), Backend::Process);
+        opts.backend = Some(Backend::Sequential);
+        assert_eq!(opts.effective_backend(), Backend::Sequential);
         let _ = std::fs::remove_dir_all(&opts.checkpoint_dir);
     }
 }

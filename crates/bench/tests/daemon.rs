@@ -1,0 +1,105 @@
+//! Daemon-mode integration tests: protocol round-trips, warm-cache
+//! repeat requests, admission-control rejects, and clean shutdown — all
+//! against an in-process [`paper_bench::fabric::serve`] listener.
+
+use paper_bench::fabric::{request, serve, DaemonOptions};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A short socket path (Unix sockets cap at ~108 bytes).
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fabric_{tag}_{}.sock", std::process::id()))
+}
+
+/// Blocks until the daemon answers ping (it binds on another thread).
+fn await_ready(socket: &PathBuf) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(r) = request(socket, "{\"cmd\":\"ping\"}") {
+            assert!(r.contains("\"pong\":true"), "bad ping response: {r}");
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn daemon_serves_warm_repeat_requests_and_shuts_down_cleanly() {
+    let socket = socket_path("warm");
+    let opts = DaemonOptions::new(&socket);
+    let handle = {
+        let opts = opts.clone();
+        std::thread::spawn(move || serve(&opts))
+    };
+    await_ready(&socket);
+
+    // Unknown benchmark: a typed error, not a hang or a crash.
+    let r = request(&socket, "{\"bench\":\"no-such-fsm\"}").expect("request");
+    assert!(r.contains("\"ok\":false"), "unexpected: {r}");
+    assert!(r.contains("\"kind\":\"unknown-bench\""), "unexpected: {r}");
+
+    // Garbage: typed bad-request.
+    let r = request(&socket, "definitely not json").expect("request");
+    assert!(r.contains("\"kind\":\"bad-request\""), "unexpected: {r}");
+
+    // A real mapping, twice: the second must be served entirely from the
+    // warm flow cache (zero misses, some hits → "warm":true).
+    let r1 = request(&socket, "{\"bench\":\"dk16\"}").expect("first map");
+    assert!(r1.contains("\"ok\":true"), "first map failed: {r1}");
+    assert!(r1.contains("\"saving_pct\":"), "no saving in: {r1}");
+    let r2 = request(&socket, "{\"bench\":\"dk16\"}").expect("second map");
+    assert!(r2.contains("\"ok\":true"), "second map failed: {r2}");
+    assert!(
+        r2.contains("\"warm\":true"),
+        "repeat request was not served from warm cache: {r2}"
+    );
+
+    // Stats saw the traffic.
+    let r = request(&socket, "{\"cmd\":\"stats\"}").expect("stats");
+    assert!(r.contains("\"ok\":true"), "stats failed: {r}");
+    assert!(r.contains("\"served\":3"), "unexpected served count: {r}");
+
+    // Shutdown: acknowledged, serve() returns, socket file removed.
+    let r = request(&socket, "{\"cmd\":\"shutdown\"}").expect("shutdown");
+    assert!(r.contains("\"shutdown\":true"), "unexpected: {r}");
+    handle
+        .join()
+        .expect("daemon thread panicked")
+        .expect("serve returned an error");
+    assert!(!socket.exists(), "socket file left behind");
+}
+
+#[test]
+fn daemon_rejects_mapping_requests_over_the_admission_bound() {
+    let socket = socket_path("reject");
+    let opts = DaemonOptions {
+        socket: socket.clone(),
+        // A zero bound makes every mapping request "one too many", so
+        // the reject path is tested without timing-sensitive contention.
+        max_inflight: 0,
+    };
+    let handle = {
+        let opts = opts.clone();
+        std::thread::spawn(move || serve(&opts))
+    };
+    await_ready(&socket);
+
+    let r = request(&socket, "{\"bench\":\"dk16\"}").expect("request");
+    assert!(r.contains("\"ok\":false"), "unexpected: {r}");
+    assert!(
+        r.contains("\"kind\":\"overloaded\""),
+        "expected a typed overload reject: {r}"
+    );
+
+    // Control commands bypass admission: the daemon stays steerable.
+    let r = request(&socket, "{\"cmd\":\"stats\"}").expect("stats");
+    assert!(r.contains("\"rejected\":1"), "reject not counted: {r}");
+
+    let r = request(&socket, "{\"cmd\":\"shutdown\"}").expect("shutdown");
+    assert!(r.contains("\"shutdown\":true"), "unexpected: {r}");
+    handle
+        .join()
+        .expect("daemon thread panicked")
+        .expect("serve returned an error");
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the multi-process runner backend, driven
+//! through the `fabric_selftest` bin (a real harness binary whose flow
+//! is synthetic): byte identity against the sequential backend, survival
+//! of an abort-class worker death, and checkpoint-resume skipping.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A fresh scratch directory under `target/` for one test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join(format!("itest_fabric_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs `fabric_selftest` with the given backend env and returns
+/// (stdout, success).
+fn run_selftest(dir: &PathBuf, items: &str, envs: &[(&str, &str)]) -> (String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fabric_selftest"));
+    cmd.env("SELFTEST_ITEMS", items)
+        .env("SELFTEST_DIR", dir)
+        .env("SELFTEST_MARKER_DIR", dir)
+        .env_remove("RUNNER_BACKEND")
+        .env_remove("RUNNER_THREADS")
+        .env_remove("RUNNER_KEEP_FAILED");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn fabric_selftest");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn process_backend_output_is_byte_identical_to_sequential() {
+    let items = "alpha,beta,fail-x,gamma,delta,epsilon";
+
+    let dir = scratch("ident_seq");
+    let (serial, ok) = run_selftest(&dir, items, &[("RUNNER_BACKEND", "sequential")]);
+    assert!(ok, "sequential selftest run failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = scratch("ident_proc");
+    let (parallel, ok) = run_selftest(
+        &dir,
+        items,
+        &[("RUNNER_BACKEND", "process"), ("RUNNER_THREADS", "4")],
+    );
+    assert!(ok, "process-backend selftest run failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        serial.contains("row-alpha-0"),
+        "sequential run produced no rows:\n{serial}"
+    );
+    assert!(
+        serial.contains("FAILED: typed failure for fail-x"),
+        "failure placeholder missing:\n{serial}"
+    );
+    assert_eq!(
+        serial, parallel,
+        "table bytes must not depend on the backend"
+    );
+}
+
+#[test]
+fn process_backend_survives_an_aborting_worker() {
+    let dir = scratch("poison");
+    // poison-boom aborts the first worker process that computes it; the
+    // coordinator must respawn a worker, resubmit, and finish the run.
+    let (out, ok) = run_selftest(
+        &dir,
+        "alpha,poison-boom,beta",
+        &[("RUNNER_BACKEND", "process"), ("RUNNER_THREADS", "2")],
+    );
+    assert!(ok, "run did not survive the worker abort");
+    assert!(
+        out.contains("row-poison-boom-0"),
+        "poisoned item missing its post-respawn row:\n{out}"
+    );
+    assert!(
+        dir.join("poison-boom").exists(),
+        "marker file missing — the abort path never ran"
+    );
+    // All three items present, input order.
+    let rows: Vec<&str> = out.lines().collect();
+    assert_eq!(rows.len(), 3, "expected 3 rows:\n{out}");
+    assert!(rows[0].starts_with("alpha|"));
+    assert!(rows[1].starts_with("poison-boom|"));
+    assert!(rows[2].starts_with("beta|"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn process_backend_resume_skips_checkpointed_items() {
+    let dir = scratch("resume");
+    // A checkpoint recording poison-skip as done: the resumed run must
+    // replay it without executing the closure (which would abort a
+    // worker and leave a marker file).
+    std::fs::write(
+        dir.join("checkpoint_fabric_selftest.jsonl"),
+        "{\"item\":\"poison-skip\",\"ok\":true,\"rows\":[[\"poison-skip\",\"row-poison-skip-0\",\"z\"]]}\n",
+    )
+    .expect("seed checkpoint");
+    let (out, ok) = run_selftest(
+        &dir,
+        "alpha,poison-skip,beta",
+        &[("RUNNER_BACKEND", "process"), ("RUNNER_THREADS", "2")],
+    );
+    assert!(ok, "resumed run failed");
+    assert!(
+        out.contains("row-poison-skip-0"),
+        "checkpointed row missing:\n{out}"
+    );
+    assert!(
+        !dir.join("poison-skip").exists(),
+        "closure ran for a checkpointed item (marker file exists)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -432,24 +432,30 @@ fn lookup_raw(key: &Key) -> Option<Vec<u8>> {
 
 /// Sets a record's mtime to now (best effort; a failure just makes the
 /// record look colder to the evictor than it is).
+///
+/// ENOENT-safe by construction: the open is `O_APPEND` without `O_CREAT`,
+/// so a record that a concurrent evictor unlinked between our read and
+/// this refresh stays deleted — recreating an empty record file here
+/// would poison the store for every other process sharing it.
 fn touch_record(path: &std::path::Path) {
     if let Ok(f) = std::fs::File::options().append(true).open(path) {
         let _ = f.set_times(std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()));
     }
 }
 
-/// Shrinks the on-disk store to `max_bytes` by deleting record files
-/// (`*.txt`) least-recently-modified first. With hits refreshing mtimes
-/// (see [`touch_record`]) modification order is access order, so this is
-/// LRU eviction. Each delete is a single atomic unlink: a reader that
-/// already opened the record keeps its bytes, a racing lookup misses and
-/// recomputes. Non-record files (temp files mid-publish, stray notes)
-/// are never touched.
-fn enforce_budget(dir: &std::path::Path, max_bytes: u64) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut records: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+/// One record file as seen by an eviction scan.
+struct ScannedRecord {
+    mtime: std::time::SystemTime,
+    len: u64,
+    path: PathBuf,
+}
+
+/// Snapshot of the store's record files (`*.txt` only) and their byte
+/// total. Non-record files (temp files mid-publish, stray notes) are
+/// never listed and therefore never deleted.
+fn scan_records(dir: &std::path::Path) -> Option<(Vec<ScannedRecord>, u64)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut records: Vec<ScannedRecord> = Vec::new();
     let mut total = 0u64;
     for entry in entries.flatten() {
         let path = entry.path();
@@ -466,21 +472,69 @@ fn enforce_budget(dir: &std::path::Path, max_bytes: u64) {
             .modified()
             .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
         total += meta.len();
-        records.push((mtime, meta.len(), path));
+        records.push(ScannedRecord { mtime, len: meta.len(), path });
     }
-    if total <= max_bytes {
-        return;
-    }
+    Some((records, total))
+}
+
+/// Deletes scanned records least-recently-modified first until `total`
+/// fits `max_bytes`. With hits refreshing mtimes (see [`touch_record`])
+/// modification order is access order, so this is LRU eviction.
+///
+/// The scan is only a hint: other *processes* share the store and may
+/// publish, refresh, or evict between the scan and each unlink. So every
+/// candidate is re-stat'ed immediately before deletion:
+///
+/// * gone already (a concurrent evictor won the race) — its bytes left
+///   the store whoever removed them, so they count toward the budget
+///   without deleting anything else in their place;
+/// * refreshed since the scan (a concurrent hit) — it is now one of the
+///   *hottest* records, not the coldest: skip it rather than over-evict
+///   a record another process just paid to touch;
+/// * unchanged — delete it (each delete is a single atomic unlink: a
+///   reader that already opened the record keeps its bytes, a racing
+///   lookup misses and recomputes), tolerating a lost stat→unlink race
+///   the same way as "gone already".
+fn evict_scanned(mut records: Vec<ScannedRecord>, mut total: u64, max_bytes: u64) {
     // Oldest first; the path tie-breaks equal mtimes deterministically.
-    records.sort();
-    for (_, len, path) in records {
+    records.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+    for rec in records {
         if total <= max_bytes {
             break;
         }
-        if std::fs::remove_file(&path).is_ok() {
-            total -= len;
+        match std::fs::metadata(&rec.path) {
+            Err(_) => {
+                // Concurrently deleted: already out of the store.
+                total = total.saturating_sub(rec.len);
+            }
+            Ok(meta) => {
+                let now_mtime = meta
+                    .modified()
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                if now_mtime > rec.mtime {
+                    continue; // concurrently refreshed: no longer LRU
+                }
+                match std::fs::remove_file(&rec.path) {
+                    Ok(()) => total = total.saturating_sub(meta.len()),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        total = total.saturating_sub(rec.len);
+                    }
+                    Err(_) => {} // undeletable: keep counting it
+                }
+            }
         }
     }
+}
+
+/// Shrinks the on-disk store to `max_bytes` (see [`evict_scanned`]).
+fn enforce_budget(dir: &std::path::Path, max_bytes: u64) {
+    let Some((records, total)) = scan_records(dir) else {
+        return;
+    };
+    if total <= max_bytes {
+        return;
+    }
+    evict_scanned(records, total, max_bytes);
 }
 
 fn store_raw(key: &Key, bytes: Vec<u8>) {
@@ -1173,6 +1227,78 @@ mod tests {
         enforce_budget(&dir, 0);
         assert!(!dir.join("place_mid.txt").exists());
         assert!(dir.join("notes.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_tolerates_concurrent_deletion_without_over_evicting() {
+        // A concurrent process unlinking a record between the scan and the
+        // delete loop must count toward the budget: the pre-fix code kept
+        // the stale total and deleted the *next* record too (over-evict).
+        let dir = std::env::temp_dir().join(format!(
+            "romfsm-cache-race-del-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        record_with_age(&dir, "old", 0);
+        record_with_age(&dir, "mid", 100);
+        record_with_age(&dir, "new", 200);
+        let (records, total) = scan_records(&dir).unwrap();
+        assert_eq!(total, 300);
+        // "Another process" evicts `old` after our scan.
+        std::fs::remove_file(dir.join("place_old.txt")).unwrap();
+        // Budget 250: deleting old alone suffices — and old is already
+        // gone, so nothing else may be deleted in its place.
+        evict_scanned(records, total, 250);
+        assert!(
+            dir.join("place_mid.txt").exists(),
+            "over-evicted mid after a concurrent delete of old"
+        );
+        assert!(dir.join("place_new.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_skips_records_refreshed_after_the_scan() {
+        // A concurrent hit refreshing a record's mtime between scan and
+        // unlink promotes it out of LRU position: the evictor must re-stat
+        // and skip it instead of deleting a record another process just
+        // touched.
+        let dir = std::env::temp_dir().join(format!(
+            "romfsm-cache-race-touch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        record_with_age(&dir, "old", 0);
+        record_with_age(&dir, "mid", 100);
+        record_with_age(&dir, "new", 200);
+        let (records, total) = scan_records(&dir).unwrap();
+        // "Another process" hits `old` after our scan.
+        touch_record(&dir.join("place_old.txt"));
+        evict_scanned(records, total, 250);
+        assert!(
+            dir.join("place_old.txt").exists(),
+            "evicted a record a concurrent hit had refreshed"
+        );
+        // The budget is still enforced against the next-coldest record.
+        assert!(!dir.join("place_mid.txt").exists());
+        assert!(dir.join("place_new.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn touch_is_enoent_safe_and_never_recreates_a_record() {
+        let dir = std::env::temp_dir().join(format!(
+            "romfsm-cache-touch-enoent-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let gone = dir.join("place_evicted.txt");
+        touch_record(&gone); // no panic...
+        assert!(!gone.exists(), "touch recreated an evicted record");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

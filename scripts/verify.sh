@@ -28,7 +28,14 @@
 #  * flow-cache growth — a second identical table3 run must be served
 #    from the flow cache without growing results/cache/ at all;
 #  * capped flow cache — a table3 run under FLOW_CACHE_MAX_BYTES=16384
-#    must print byte-identical output and keep the store within budget.
+#    must print byte-identical output and keep the store within budget;
+#  * process-backend identity (ISSUE 6) — table1 and table3 re-run under
+#    RUNNER_BACKEND=process with 4 worker processes must print the same
+#    bytes as their serial runs (the byte-identity contract extends
+#    verbatim to the multi-process fabric);
+#  * daemon smoke (ISSUE 6) — fabric_daemon must serve a mapping request
+#    over its Unix socket twice, report the repeat as warm-cache, and
+#    shut down cleanly on request.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -58,7 +65,7 @@ cargo test -q --offline --workspace "$@" \
 # sit at the bottom of each file in this workspace). The budget is the
 # count recorded after the ISSUE 2 panic-sweep; lower it when you remove
 # sites, never raise it without a review.
-PANIC_BUDGET=73
+PANIC_BUDGET=69
 echo "== panic-site budget (<= $PANIC_BUDGET)" >&2
 panic_sites=$(find crates/*/src -name '*.rs' -not -path '*/src/bin/*' \
     | xargs awk 'FNR==1{skip=0} /#\[cfg\(test\)\]/{skip=1} !skip && /unwrap\(\)|expect\(|panic!\(/{n++} END{print n+0}')
@@ -79,6 +86,19 @@ RUNNER_THREADS=4 ./target/release/table1 > target/verify_table1_parallel.out 2>/
 cmp -s target/verify_table1_serial.out target/verify_table1_parallel.out \
     || fail "table1 output differs between RUNNER_THREADS=1 and RUNNER_THREADS=4"
 echo "   serial and parallel table1 outputs are byte-identical" >&2
+
+# -- Process-backend identity gate (table1) ---------------------------------
+# The same bin again, but sharded over 4 worker *processes* (spawned
+# --worker re-invocations of table1 itself). Rows travel over pipes and
+# through the checkpoint-line codec, so identical bytes here prove the
+# whole wire path is lossless and order-stable.
+echo "== process-backend identity (table1, RUNNER_BACKEND=process, 4 workers)" >&2
+RUNNER_BACKEND=process RUNNER_THREADS=4 \
+    ./target/release/table1 > target/verify_table1_process.out 2>/dev/null \
+    || fail "process-backend table1 run failed"
+cmp -s target/verify_table1_serial.out target/verify_table1_process.out \
+    || fail "table1 output differs between the serial and process backends"
+echo "   process-backend table1 output is byte-identical to serial" >&2
 
 # -- Bench regression gate --------------------------------------------------
 if [ "${VERIFY_SKIP_BENCH:-0}" = "1" ]; then
@@ -185,5 +205,46 @@ tiny_size=$(find "$tiny_dir" -name '*.txt' -type f -exec wc -c {} \; \
 [ "$tiny_size" -le "$tiny_budget" ] \
     || fail "capped store holds ${tiny_size} bytes, budget is ${tiny_budget} (eviction not enforced)"
 echo "   capped store at ${tiny_size}/${tiny_budget} bytes; output byte-identical" >&2
+
+# -- Process-backend identity gate (table3) ---------------------------------
+# table3 is the heavier harness (four flows per benchmark, ECO placement,
+# flow-cache traffic from every worker into the shared store); its
+# process-backend run must still match the serial output byte-for-byte.
+# The cache is warm from the gates above, so this costs seconds.
+echo "== process-backend identity (table3, RUNNER_BACKEND=process, 4 workers)" >&2
+RUNNER_BACKEND=process RUNNER_THREADS=4 \
+    ./target/release/table3 > target/verify_table3_process.out 2>/dev/null \
+    || fail "process-backend table3 run failed"
+cmp -s target/verify_table3.out target/verify_table3_process.out \
+    || fail "table3 output differs between the serial and process backends"
+echo "   process-backend table3 output is byte-identical to serial" >&2
+
+# -- Daemon smoke gate -------------------------------------------------------
+# Start the mapping daemon, ask it the same benchmark twice over the Unix
+# socket, and require the repeat to be served entirely from the warm flow
+# cache ("warm":true = zero misses); then a clean request-driven shutdown.
+echo "== daemon smoke (fabric_daemon map keyb x2, warm repeat, shutdown)" >&2
+fabric_sock=target/verify_fabric.sock
+rm -f "$fabric_sock"
+./target/release/fabric_daemon --socket "$fabric_sock" --max-inflight 2 2>/dev/null &
+daemon_pid=$!
+i=0
+while [ ! -S "$fabric_sock" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { kill "$daemon_pid" 2>/dev/null; fail "daemon socket never appeared"; }
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before binding its socket"
+    sleep 0.1
+done
+./target/release/fabric_client --socket "$fabric_sock" map keyb > target/verify_daemon_1.out \
+    || { kill "$daemon_pid" 2>/dev/null; fail "first daemon mapping request failed"; }
+./target/release/fabric_client --socket "$fabric_sock" map keyb > target/verify_daemon_2.out \
+    || { kill "$daemon_pid" 2>/dev/null; fail "second daemon mapping request failed"; }
+grep -q '"warm":true' target/verify_daemon_2.out \
+    || { kill "$daemon_pid" 2>/dev/null; fail "repeat daemon request was not served from warm cache"; }
+./target/release/fabric_client --socket "$fabric_sock" shutdown > /dev/null \
+    || { kill "$daemon_pid" 2>/dev/null; fail "daemon shutdown request failed"; }
+wait "$daemon_pid" || fail "daemon exited non-zero after shutdown"
+[ ! -S "$fabric_sock" ] || fail "daemon left its socket file behind"
+echo "   daemon served a warm repeat and shut down cleanly" >&2
 
 echo "verify.sh: OK" >&2
