@@ -5,11 +5,16 @@
 //! fabric_daemon [--socket PATH] [--max-inflight N]
 //! ```
 //!
-//! Defaults come from `FABRIC_SOCKET` (else `./fabric.sock`) and
-//! `FABRIC_MAX_INFLIGHT` (else 4). Protocol: one JSON request line per
-//! connection — `{"bench":"keyb"}` to map, `{"cmd":"ping"|"stats"|
-//! "shutdown"}` for control — one JSON response line back. See
-//! `paper_bench::fabric` and DESIGN.md §12.
+//! Defaults come from `FABRIC_SOCKET` (else `./fabric.sock`),
+//! `FABRIC_MAX_INFLIGHT` (else 4), `FABRIC_REQUEST_TIMEOUT_MS` (else
+//! 120000; 0 disables the per-request deadline) and
+//! `FABRIC_IDLE_TIMEOUT_MS` (else 10000, the idle-connection sweep).
+//! Protocol: one JSON request line per connection — `{"bench":"keyb"}`
+//! to map, `{"cmd":"ping"|"stats"|"shutdown"}` for control,
+//! `{"cmd":"sleep","ms":N}` as a deterministic load stand-in — one JSON
+//! response line back. A socket a live daemon still answers on is never
+//! clobbered: this exits 3 with the typed `already-running` error. See
+//! `paper_bench::fabric` and DESIGN.md §12–13.
 
 use paper_bench::fabric::{serve, DaemonOptions};
 use std::path::PathBuf;
@@ -35,16 +40,21 @@ fn main() {
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
-    let opts = DaemonOptions {
-        socket,
-        max_inflight,
-    };
+    let mut opts = DaemonOptions::from_env(socket);
+    opts.max_inflight = max_inflight;
     if let Err(e) = serve(&opts) {
         eprintln!(
             "fabric_daemon: cannot serve on {}: {e}",
             opts.socket.display()
         );
-        std::process::exit(1);
+        // Distinguish "another daemon owns this socket" (a deployment
+        // race, not a fault) from genuine bind/serve failures.
+        let code = if e.kind() == std::io::ErrorKind::AddrInUse {
+            3
+        } else {
+            1
+        };
+        std::process::exit(code);
     }
 }
 

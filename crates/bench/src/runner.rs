@@ -33,7 +33,12 @@
 //!   protocol (see [`crate::fabric`]): a `kill -9` of a worker loses only
 //!   its in-flight item (the coordinator respawns a worker and resubmits),
 //!   all workers share the on-disk flow-artifact cache, and the emitted
-//!   rows and checkpoint lines are identical to the other backends.
+//!   rows and checkpoint lines are identical to the other backends. The
+//!   coordinator supervises its workers under per-item deadlines
+//!   (`RUNNER_ITEM_TIMEOUT_MS`): a hung worker is killed and respawned
+//!   with exponential backoff, a slot that strikes `RUNNER_MAX_STRIKES`
+//!   times in a row is quarantined (inline fallback), and every
+//!   intervention is recorded as a typed event in [`RunOutcome::health`].
 //!
 //! The checkpoint line format is a flat JSON object per line:
 //!
@@ -190,6 +195,11 @@ pub struct RunOutcome {
     /// stays honest: these items returned *without* an on-disk record,
     /// so a killed-and-resumed run would recompute exactly them.
     pub unpersisted: Vec<String>,
+    /// Supervision summary from the process backend: per-item deadline
+    /// expiries, worker respawns, quarantined slots, and the full typed
+    /// event stream. Always clean (`health.is_clean()`) under the
+    /// sequential and thread backends.
+    pub health: crate::fabric::FabricHealth,
 }
 
 /// Serialized checkpoint appends shared by every backend, degrading to
@@ -297,22 +307,27 @@ where
     .min(pending.len().max(1));
 
     let sink = CheckpointSink::new(&path);
+    let events: Mutex<Vec<crate::fabric::FabricEvent>> = Mutex::new(Vec::new());
     let mut computed: Vec<Option<ItemOutcome>> = (0..items.len()).map(|_| None).collect();
-    if threads <= 1 {
+    if backend == Backend::Process && !pending.is_empty() {
+        // Process fabric: items farmed to spawned `--worker`
+        // re-invocations of this binary under deadline supervision; the
+        // coordinator owns the checkpoint, so its line set matches the
+        // other backends. Even a single-slot run uses a worker process —
+        // that keeps crash/hang isolation (and the supervision tests)
+        // independent of the thread count.
+        let outcomes =
+            crate::fabric::run_pending_in_workers(opts, &sink, &pending, threads, &events, &f);
+        for (&(idx, _), o) in pending.iter().zip(outcomes) {
+            computed[idx] = o;
+        }
+    } else if threads <= 1 {
         // Exact sequential path: compute and checkpoint strictly in input
         // order (byte-identical checkpoints to the historical runner).
         for &(idx, item) in &pending {
             let o = run_one(item, opts.max_attempts, &f);
             sink.append(item, &o);
             computed[idx] = Some(o);
-        }
-    } else if backend == Backend::Process {
-        // Process fabric: items farmed to spawned `--worker`
-        // re-invocations of this binary; the coordinator owns the
-        // checkpoint, so its line set matches the other backends.
-        let outcomes = crate::fabric::run_pending_in_workers(opts, &sink, &pending, threads, &f);
-        for (&(idx, _), o) in pending.iter().zip(outcomes) {
-            computed[idx] = o;
         }
     } else {
         // Work stealing: workers claim the next pending index from a
@@ -341,6 +356,17 @@ where
         }
     }
     let unpersisted_set = sink.into_unpersisted();
+    let health = crate::fabric::FabricHealth::from_events(
+        events
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    if !health.is_clean() {
+        eprintln!(
+            "[runner] {}: fabric health: {} timeout(s), {} respawn(s), {} quarantine(s)",
+            opts.label, health.timeouts, health.respawns, health.quarantined
+        );
+    }
 
     // Reassemble in input order, preferring checkpointed outcomes.
     let mut rows = Vec::new();
@@ -396,6 +422,7 @@ where
         failures,
         resumed,
         unpersisted,
+        health,
     }
 }
 
@@ -417,6 +444,7 @@ fn skipped_outcome(items: &[String], placeholder_cols: usize) -> RunOutcome {
         failures,
         resumed: 0,
         unpersisted: Vec::new(),
+        health: crate::fabric::FabricHealth::default(),
     }
 }
 
@@ -673,7 +701,7 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn number(&mut self) -> Option<u32> {
+    pub(crate) fn number(&mut self) -> Option<u32> {
         self.skip_ws();
         let mut digits = String::new();
         while let Some(&c) = self.chars.peek() {

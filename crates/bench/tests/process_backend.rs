@@ -25,7 +25,13 @@ fn run_selftest(dir: &PathBuf, items: &str, envs: &[(&str, &str)]) -> (String, b
         .env("SELFTEST_MARKER_DIR", dir)
         .env_remove("RUNNER_BACKEND")
         .env_remove("RUNNER_THREADS")
-        .env_remove("RUNNER_KEEP_FAILED");
+        .env_remove("RUNNER_KEEP_FAILED")
+        .env_remove("RUNNER_ITEM_TIMEOUT_MS")
+        .env_remove("RUNNER_HANDSHAKE_TIMEOUT_MS")
+        .env_remove("RUNNER_MAX_STRIKES")
+        .env_remove("RUNNER_BACKOFF_BASE_MS")
+        .env_remove("SELFTEST_PRINT_HEALTH")
+        .env_remove("FABRIC_CHAOS_SEED");
     for (k, v) in envs {
         cmd.env(k, v);
     }
@@ -122,4 +128,109 @@ fn process_backend_resume_skips_checkpointed_items() {
         "closure ran for a checkpointed item (marker file exists)"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hung_worker_times_out_is_killed_and_output_stays_identical() {
+    let items = "alpha,hang-once-stall,beta";
+
+    // Sequential reference: hang items only sleep inside worker
+    // processes, so this computes instantly.
+    let dir = scratch("hang_seq");
+    let (reference, ok) = run_selftest(&dir, items, &[("RUNNER_BACKEND", "sequential")]);
+    assert!(ok, "sequential reference run failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Process backend with a tight per-item deadline: the first worker
+    // that computes hang-once-stall sleeps forever; the supervisor must
+    // kill it at the deadline, respawn, and resubmit (the marker makes
+    // the second worker attempt succeed).
+    let dir = scratch("hang_proc");
+    let (out, ok) = run_selftest(
+        &dir,
+        items,
+        &[
+            ("RUNNER_BACKEND", "process"),
+            ("RUNNER_THREADS", "2"),
+            ("RUNNER_ITEM_TIMEOUT_MS", "250"),
+            ("RUNNER_BACKOFF_BASE_MS", "10"),
+            ("SELFTEST_PRINT_HEALTH", "1"),
+        ],
+    );
+    assert!(ok, "run did not survive the hung worker");
+    assert!(
+        dir.join("hang-once-stall").exists(),
+        "marker missing — the hang path never ran in a worker"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (rows, health): (Vec<&str>, Vec<&str>) = out
+        .lines()
+        .partition(|l| !l.starts_with("health:"));
+    assert_eq!(
+        rows.join("\n"),
+        reference.trim_end(),
+        "rows must be byte-identical to the sequential backend"
+    );
+    let health = health.first().copied().unwrap_or_default().to_string();
+    let counter = |key: &str| -> u64 {
+        health
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    };
+    assert!(
+        counter("timeouts") >= 1,
+        "supervisor recorded no timeout: {health}"
+    );
+    assert!(
+        counter("respawns") >= 1,
+        "supervisor recorded no respawn: {health}"
+    );
+}
+
+#[test]
+fn always_hanging_item_quarantines_the_slot_deterministically() {
+    // One slot (RUNNER_THREADS=1), an item that hangs in *every* worker,
+    // and max_strikes=2: the supervision sequence is fully determined —
+    // timeout → respawn (strike 1) → timeout → quarantine (strike 2) →
+    // inline fallback computes the item — so the health line is exact,
+    // with no wall-clock flakiness.
+    let items = "hang-always-stuck,tail";
+
+    let dir = scratch("quarantine_seq");
+    let (reference, ok) = run_selftest(&dir, items, &[("RUNNER_BACKEND", "sequential")]);
+    assert!(ok, "sequential reference run failed");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = scratch("quarantine_proc");
+    let (out, ok) = run_selftest(
+        &dir,
+        items,
+        &[
+            ("RUNNER_BACKEND", "process"),
+            ("RUNNER_THREADS", "1"),
+            ("RUNNER_ITEM_TIMEOUT_MS", "150"),
+            ("RUNNER_MAX_STRIKES", "2"),
+            ("RUNNER_BACKOFF_BASE_MS", "10"),
+            ("SELFTEST_PRINT_HEALTH", "1"),
+        ],
+    );
+    assert!(ok, "run did not survive quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (rows, health): (Vec<&str>, Vec<&str>) = out
+        .lines()
+        .partition(|l| !l.starts_with("health:"));
+    assert_eq!(
+        rows.join("\n"),
+        reference.trim_end(),
+        "rows must be byte-identical to the sequential backend"
+    );
+    assert_eq!(
+        health.first().copied().unwrap_or_default(),
+        "health: timeouts=2 respawns=1 quarantined=1",
+        "quarantine sequence must be exact:\n{out}"
+    );
 }
