@@ -59,6 +59,9 @@ fn bench_place_route(h: &mut Harness) {
     let netlist = keyb_ff_netlist();
     let packed = pack(&netlist);
     let device = Device::xc2v250();
+    // The gated anneal: PlaceOptions::default() has the criticality cost
+    // term enabled (timing_weight 0.5) — the 1.25x regression gate in
+    // scripts/verify.sh holds with timing on.
     h.bench("place_sa/keyb", || {
         place(
             black_box(&netlist),
@@ -72,6 +75,23 @@ fn bench_place_route(h: &mut Harness) {
         )
         .expect("places")
     });
+    // The same anneal wirelength-only: the ratio below records what the
+    // timing term costs (or saves, via early-exit rejection) end to end.
+    h.bench("place_sa_wl/keyb", || {
+        place(
+            black_box(&netlist),
+            &packed,
+            device,
+            PlaceOptions {
+                seed: 1,
+                effort: 2.0,
+                timing_weight: 0.0,
+                ..PlaceOptions::default()
+            },
+        )
+        .expect("places")
+    });
+    h.record_ratio("place_sa_wl_over_timing/keyb", "place_sa_wl/keyb", "place_sa/keyb");
     let placement = place(&netlist, &packed, device, PlaceOptions::default()).expect("places");
     h.bench("route/keyb", || {
         route(
@@ -81,6 +101,34 @@ fn bench_place_route(h: &mut Harness) {
             RouteOptions::default(),
         )
         .expect("routes")
+    });
+}
+
+fn bench_timing_kernel(h: &mut Harness) {
+    // The incremental STA kernel under a placer-move-like edit stream:
+    // perturb a rotating window of wire delays, flush, and read back the
+    // worst slack — the exact query pattern the timing-driven anneal
+    // issues between moves.
+    let netlist = keyb_ff_netlist();
+    let model = fpga_fabric::timing::DelayModel::default();
+    let mut kernel =
+        fpga_fabric::sta::TimingKernel::new(&netlist, &model).expect("kernel builds");
+    let nets = kernel.num_nets();
+    let mut step = 0u64;
+    h.bench("place_timing_kernel/keyb", || {
+        let mut acc = 0.0f64;
+        for k in 0..8u64 {
+            let i = ((step.wrapping_mul(31).wrapping_add(k * 7)) % nets as u64) as usize;
+            let bump = 0.01 * ((step + k) % 5) as f64;
+            kernel.set_wire_delay(
+                fpga_fabric::netlist::NetId(i as u32),
+                model.net_base + bump,
+            );
+        }
+        kernel.flush();
+        step = step.wrapping_add(1);
+        acc += kernel.critical_ns();
+        acc
     });
 }
 
@@ -130,6 +178,7 @@ fn main() {
     bench_synthesis(&mut h);
     bench_techmap(&mut h);
     bench_place_route(&mut h);
+    bench_timing_kernel(&mut h);
     bench_simulation(&mut h);
     bench_verify(&mut h);
     h.finish();

@@ -20,13 +20,44 @@ use fsm_model::stg::Stg;
 use logic_synth::synth::SynthOptions;
 
 /// The flow configuration every experiment uses unless it sweeps a knob.
+///
+/// The timing-driven placement knobs are resolved from the environment
+/// **here** — never inside the placer itself, so the values are part of
+/// the [`emb_fsm::cache`] placement keys and a knob change can never
+/// resurrect a stale cached placement:
+///
+/// * `PLACE_TIMING_WEIGHT` — criticality-cost weight in `[0, 1]`
+///   (0 = pure wirelength, default 0.5);
+/// * `PLACE_CRIT_EXP` — VPR-style criticality exponent (default 8);
+/// * `PLACE_RETIME_INTERVAL` — full re-times are forced every N-th
+///   refresh to bound incremental drift (default 8).
 #[must_use]
 pub fn paper_config() -> FlowConfig {
-    FlowConfig {
+    let mut cfg = FlowConfig {
         cycles: 2000,
         verify_cycles: 400,
         ..FlowConfig::default()
+    };
+    if let Some(w) = env_f64("PLACE_TIMING_WEIGHT") {
+        cfg.place.timing_weight = w;
     }
+    if let Some(e) = env_f64("PLACE_CRIT_EXP") {
+        cfg.place.crit_exp = e;
+    }
+    if let Ok(s) = std::env::var("PLACE_RETIME_INTERVAL") {
+        if let Ok(n) = s.trim().parse::<u32>() {
+            cfg.place.retime_interval = n;
+        }
+    }
+    cfg
+}
+
+/// A finite `f64` environment knob, `None` when unset or unparsable.
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite())
 }
 
 /// The nine paper benchmarks, in table row order.

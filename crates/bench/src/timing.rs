@@ -142,6 +142,37 @@ impl Harness {
         self.results.push(stats);
     }
 
+    /// Records the ratio of two already-benchmarked medians as a
+    /// synthetic entry: `median_ns` holds the dimensionless ratio
+    /// `numerator / denominator` (the min/max fields bracket it with the
+    /// most pessimistic sample pairings). Lets a suite publish derived
+    /// speedup numbers — e.g. the wirelength-only vs timing-enabled
+    /// anneal ratio — in the same JSON the regression gates read.
+    ///
+    /// Skipped with a note when either source entry is absent (filtered
+    /// out via `BENCH_FILTER`, or never run).
+    pub fn record_ratio(&mut self, name: &str, numerator: &str, denominator: &str) {
+        let find = |results: &[Stats], n: &str| results.iter().find(|s| s.name == n).cloned();
+        let (Some(num), Some(den)) = (find(&self.results, numerator), find(&self.results, denominator))
+        else {
+            eprintln!("{name:<40} skipped (missing {numerator} or {denominator})");
+            return;
+        };
+        let stats = Stats {
+            name: name.to_string(),
+            median_ns: num.median_ns / den.median_ns,
+            min_ns: num.min_ns / den.max_ns,
+            max_ns: num.max_ns / den.min_ns,
+            samples: 0,
+            iters_per_sample: 0,
+        };
+        eprintln!(
+            "{:<40} ratio  {:>12.3}  ({numerator} / {denominator})",
+            stats.name, stats.median_ns
+        );
+        self.results.push(stats);
+    }
+
     /// Writes `results/bench_<suite>.json` and prints its path.
     ///
     /// # Panics
@@ -226,6 +257,29 @@ mod tests {
         assert!(s.median_ns > 0.0);
         assert!(s.min_ns <= s.median_ns && s.median_ns <= s.max_ns);
         assert_eq!(s.samples, SAMPLES);
+        // Do not call finish(): unit tests must not write results/.
+    }
+
+    #[test]
+    fn record_ratio_divides_medians() {
+        let mut h = Harness::new("ratio-selftest");
+        for (name, median) in [("fast", 100.0), ("slow", 250.0)] {
+            h.results.push(Stats {
+                name: name.to_string(),
+                median_ns: median,
+                min_ns: median * 0.9,
+                max_ns: median * 1.1,
+                samples: SAMPLES,
+                iters_per_sample: 1,
+            });
+        }
+        h.record_ratio("slow_over_fast", "slow", "fast");
+        let r = h.results.last().unwrap();
+        assert!((r.median_ns - 2.5).abs() < 1e-12);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        // Missing sources record nothing.
+        h.record_ratio("absent", "nope", "fast");
+        assert_eq!(h.results.len(), 3);
         // Do not call finish(): unit tests must not write results/.
     }
 

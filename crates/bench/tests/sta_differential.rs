@@ -1,0 +1,125 @@
+//! Incremental-vs-full static-timing differential over the nine paper
+//! benchmarks: on every EMB-mapped MCNC machine (BRAM + aux LUTs) and on
+//! a LUT-heavy FF baseline,
+//!
+//! 1. the timing kernel fed the *routed* wirelengths must reproduce
+//!    `fpga_fabric::timing::analyze` bit for bit, and
+//! 2. a seeded incremental edit campaign must stay bit-identical to a
+//!    from-scratch recompute (`full_retime` reports zero drift).
+
+use emb_fsm::baseline::ff_netlist;
+use emb_fsm::map::{map_fsm_into_embs, EmbOptions};
+use fpga_fabric::netlist::{NetId, Netlist};
+use fpga_fabric::pack::pack;
+use fpga_fabric::place::{place, PlaceOptions, Placement};
+use fpga_fabric::route::{route, RouteOptions};
+use fpga_fabric::sta::TimingKernel;
+use fpga_fabric::timing::{analyze, DelayModel};
+use logic_synth::synth::{synthesize, SynthOptions};
+
+/// Places on the smallest family member that fits (the big FF baselines
+/// overflow the paper's XC2V250, exactly as in the flow).
+fn place_on_family(netlist: &Netlist, packed: &fpga_fabric::pack::PackedDesign) -> Placement {
+    let opts = PlaceOptions {
+        seed: 1,
+        effort: 1.0,
+        ..PlaceOptions::default()
+    };
+    for device in fpga_fabric::device::FAMILY.iter().copied() {
+        if let Ok(p) = place(netlist, packed, device, opts) {
+            return p;
+        }
+    }
+    panic!("{} fits no family member", netlist.name);
+}
+
+/// One netlist through both differential checks.
+fn check(netlist: &Netlist) {
+    let packed = pack(netlist);
+    let placement = place_on_family(netlist, &packed);
+    let routed = route(netlist, &packed, &placement, RouteOptions::default())
+        .unwrap_or_else(|e| panic!("{} routes: {e}", netlist.name));
+    let model = DelayModel::default();
+    let report = analyze(netlist, &routed, &model);
+
+    // 1. Routed wirelengths in, analyze's critical path out — exactly.
+    let mut kernel = TimingKernel::new(netlist, &model)
+        .unwrap_or_else(|e| panic!("{} kernel: {e}", netlist.name));
+    let nets = kernel.num_nets();
+    for i in 0..nets {
+        let net = NetId(i as u32);
+        let w = model.net_base + model.net_per_hop * routed.wirelength(net) as f64;
+        kernel.set_wire_delay(net, w);
+    }
+    kernel.flush();
+    assert_eq!(
+        kernel.critical_ns().to_bits(),
+        report.critical_path_ns.to_bits(),
+        "kernel vs analyze on {}",
+        netlist.name
+    );
+
+    // 2. Seeded incremental campaign vs from-scratch recompute.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ nets as u64;
+    for step in 0..120 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let net = NetId((state >> 33) as u32 % nets as u32);
+        let hops = (state >> 17) % 40;
+        kernel.set_wire_delay(net, model.net_base + model.net_per_hop * hops as f64);
+        if step % 7 == 0 {
+            kernel.flush();
+            assert!(
+                kernel.clone().full_retime(),
+                "{}: incremental drifted from full recompute at step {step}",
+                netlist.name
+            );
+        }
+    }
+    kernel.flush();
+    let mut fresh = TimingKernel::new(netlist, &model).expect("fresh kernel");
+    for i in 0..nets {
+        let net = NetId(i as u32);
+        fresh.set_wire_delay(net, kernel.wire_delay(net));
+    }
+    fresh.flush();
+    assert_eq!(
+        fresh.critical_ns().to_bits(),
+        kernel.critical_ns().to_bits(),
+        "{}: campaign end state diverged from scratch",
+        netlist.name
+    );
+    for i in 0..nets {
+        let net = NetId(i as u32);
+        assert_eq!(
+            fresh.arrival(net).to_bits(),
+            kernel.arrival(net).to_bits(),
+            "{}: arrival of net {i}",
+            netlist.name
+        );
+        assert_eq!(
+            fresh.downstream(net).to_bits(),
+            kernel.downstream(net).to_bits(),
+            "{}: downstream of net {i}",
+            netlist.name
+        );
+    }
+}
+
+#[test]
+fn incremental_timing_matches_full_on_all_nine_emb_benchmarks() {
+    for name in paper_bench::suite_names() {
+        let stg = fsm_model::benchmarks::by_name(name).expect("suite benchmark");
+        let emb = map_fsm_into_embs(&stg, &EmbOptions::default())
+            .unwrap_or_else(|e| panic!("{name} maps: {e}"));
+        check(&emb.to_netlist());
+    }
+}
+
+#[test]
+fn incremental_timing_matches_full_on_a_lut_heavy_ff_baseline() {
+    let stg = fsm_model::benchmarks::by_name("keyb").expect("keyb");
+    let synth = synthesize(&stg, SynthOptions::default()).expect("synthesis");
+    check(&ff_netlist(&synth, false).0);
+}

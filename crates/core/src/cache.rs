@@ -340,6 +340,31 @@ pub fn emb_frontend_key(
     w.finish()
 }
 
+/// Hashes every [`PlaceOptions`] field that influences the produced
+/// placement, including the timing-cost knobs and the delay model the
+/// criticality term is computed against.
+fn key_place_opts(w: &mut KeyWriter, opts: PlaceOptions) {
+    w.u64(opts.seed);
+    w.f64(opts.effort);
+    w.u64(opts.max_moves);
+    w.f64(opts.timing_weight);
+    w.f64(opts.crit_exp);
+    w.u64(u64::from(opts.retime_interval));
+    let d = opts.delay;
+    for v in [
+        d.lut,
+        d.ff_clk_to_q,
+        d.ff_setup,
+        d.bram_clk_to_out,
+        d.bram_setup,
+        d.net_base,
+        d.net_per_hop,
+        d.pad,
+    ] {
+        w.f64(v);
+    }
+}
+
 /// Key for a placement of the given (already encoded) netlist.
 #[must_use]
 pub fn place_key(netlist_bytes: &[u8], device: &Device, opts: PlaceOptions) -> Key {
@@ -347,9 +372,7 @@ pub fn place_key(netlist_bytes: &[u8], device: &Device, opts: PlaceOptions) -> K
     w.u64(u64::from(fpga_fabric::place::ALGORITHM_VERSION));
     w.bytes(netlist_bytes);
     w.str(device.name);
-    w.u64(opts.seed);
-    w.f64(opts.effort);
-    w.u64(opts.max_moves);
+    key_place_opts(&mut w, opts);
     w.finish()
 }
 
@@ -370,9 +393,7 @@ pub fn eco_place_key(
     w.u64(u64::from(fpga_fabric::place::ALGORITHM_VERSION));
     w.bytes(netlist_bytes);
     w.str(device.name);
-    w.u64(opts.seed);
-    w.f64(opts.effort);
-    w.u64(opts.max_moves);
+    key_place_opts(&mut w, opts);
     w.str(base_coord_digest);
     w.finish()
 }
@@ -1180,6 +1201,44 @@ mod tests {
             eco_place_key(bytes, &device, PlaceOptions::default(), &d1)
         );
         assert_ne!(k1, place_key(bytes, &device, PlaceOptions::default()));
+    }
+
+    #[test]
+    fn place_keys_depend_on_the_timing_knobs() {
+        let device = Device::xc2v250();
+        let bytes = b"netlist-bytes";
+        let base = place_key(bytes, &device, PlaceOptions::default());
+        let weightless = place_key(
+            bytes,
+            &device,
+            PlaceOptions {
+                timing_weight: 0.0,
+                ..PlaceOptions::default()
+            },
+        );
+        assert_ne!(base, weightless, "timing weight must be keyed");
+        let sharper = place_key(
+            bytes,
+            &device,
+            PlaceOptions {
+                crit_exp: 1.0,
+                ..PlaceOptions::default()
+            },
+        );
+        assert_ne!(base, sharper, "criticality exponent must be keyed");
+        let slow_luts = place_key(
+            bytes,
+            &device,
+            PlaceOptions {
+                delay: fpga_fabric::timing::DelayModel {
+                    lut: 9.9,
+                    ..fpga_fabric::timing::DelayModel::default()
+                },
+                ..PlaceOptions::default()
+            },
+        );
+        assert_ne!(base, slow_luts, "the delay model must be keyed");
+        assert_eq!(base, place_key(bytes, &device, PlaceOptions::default()));
     }
 
     /// Writes a 100-byte record with a deterministic mtime `secs` past a

@@ -74,6 +74,20 @@ pub struct FlowConfig {
     pub exhaustive_verify_max_inputs: usize,
 }
 
+impl FlowConfig {
+    /// The placement options every flow placement (and its cache key)
+    /// actually uses: [`FlowConfig::place`] with [`FlowConfig::delay`]
+    /// substituted in, so the placer's criticality term and the post-route
+    /// [`analyze`] agree on the delay model.
+    #[must_use]
+    pub fn place_opts(&self) -> PlaceOptions {
+        PlaceOptions {
+            delay: self.delay,
+            ..self.place
+        }
+    }
+}
+
 impl Default for FlowConfig {
     fn default() -> Self {
         FlowConfig {
@@ -162,6 +176,11 @@ pub struct FlowReport {
     /// lists in entity order). Two reports with equal digests were placed
     /// identically — the hook the ECO gate compares against.
     pub coord_digest: String,
+    /// Pre-route fmax estimate (MHz) from the placer's timing kernel over
+    /// the final placement's bounding boxes — the quantity the
+    /// timing-driven anneal optimizes, re-derived deterministically from
+    /// the placement. `NaN` if the estimate could not be computed.
+    pub place_fmax_est_mhz: f64,
     /// ECO placement evidence, present when the clock-controlled flow
     /// reused the plain design's placement (see [`FlowConfig::eco_place`]).
     pub eco: Option<EcoReport>,
@@ -818,7 +837,20 @@ struct Implemented {
     place_budget: fpga_fabric::place::BudgetOutcome,
     routed: fpga_fabric::route::RoutedDesign,
     coord_digest: String,
+    place_fmax_est_mhz: f64,
     eco: Option<EcoReport>,
+}
+
+/// The placer's pre-route fmax estimate (MHz) for a finished placement,
+/// `NaN` when the kernel cannot be built for the netlist.
+fn place_fmax_estimate(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    placement: &fpga_fabric::place::Placement,
+    delay: &DelayModel,
+) -> f64 {
+    fpga_fabric::sta::estimate_critical_ns(netlist, packed, placement, delay)
+        .map_or(f64::NAN, |ns| 1000.0 / ns.max(f64::MIN_POSITIVE))
 }
 
 /// Attempts the ECO path on one device: reuse (or compute and cache) the
@@ -834,11 +866,12 @@ fn try_eco(
 ) -> Result<(PackedDesign, fpga_fabric::place::EcoPlacement, EcoReport), String> {
     let base_packed = pack(base);
     let base_bytes = cache::encode_netlist(base);
-    let bkey = cache::place_key(&base_bytes, &device, cfg.place);
+    let popts = cfg.place_opts();
+    let bkey = cache::place_key(&base_bytes, &device, popts);
     let (base_placement, base_hit) = match cache::load_placement(&bkey) {
         Some(p) => (p, true),
         None => {
-            let p = place(base, &base_packed, device, cfg.place)
+            let p = place(base, &base_packed, device, popts)
                 .map_err(|e| format!("base placement: {e}"))?;
             cache::store_placement(&bkey, &p);
             (p, false)
@@ -852,7 +885,7 @@ fn try_eco(
         &base_placement.bram_loc,
         &base_placement.iob_loc,
     );
-    let ekey = cache::eco_place_key(netlist_bytes, &device, cfg.place, &base_digest);
+    let ekey = cache::eco_place_key(netlist_bytes, &device, popts, &base_digest);
     let eco = match cache::load_eco_placement(&ekey) {
         // A cached ECO placement must still honour today's pin map (the
         // key makes collisions unlikely; the check makes them harmless).
@@ -863,7 +896,7 @@ fn try_eco(
             e
         }
         _ => {
-            let e = place_incremental(netlist, &packed, device, cfg.place, &pins)
+            let e = place_incremental(netlist, &packed, device, popts, &pins)
                 .map_err(|e| format!("eco placement: {e}"))?;
             cache::store_eco_placement(&ekey, &e);
             e
@@ -927,6 +960,12 @@ fn physical(
                                     &eco.placement.bram_loc,
                                     &eco.placement.iob_loc,
                                 ),
+                                place_fmax_est_mhz: place_fmax_estimate(
+                                    &netlist,
+                                    &eco_packed,
+                                    &eco.placement,
+                                    &cfg.delay,
+                                ),
                                 packed: eco_packed,
                                 place_budget: eco.placement.budget,
                                 routed,
@@ -940,10 +979,10 @@ fn physical(
                 Err(reason) => eco_failure = Some(reason),
             }
         }
-        let pkey = cache::place_key(&netlist_bytes, &device, cfg.place);
+        let pkey = cache::place_key(&netlist_bytes, &device, cfg.place_opts());
         let placement = match cache::load_placement(&pkey) {
             Some(p) => p,
-            None => match place(&netlist, &packed, device, cfg.place) {
+            None => match place(&netlist, &packed, device, cfg.place_opts()) {
                 Ok(p) => {
                     cache::store_placement(&pkey, &p);
                     p
@@ -969,6 +1008,12 @@ fn physical(
                         &placement.bram_loc,
                         &placement.iob_loc,
                     ),
+                    place_fmax_est_mhz: place_fmax_estimate(
+                        &netlist,
+                        &packed,
+                        &placement,
+                        &cfg.delay,
+                    ),
                     routed,
                     eco: None,
                 });
@@ -989,6 +1034,7 @@ fn physical(
         place_budget,
         routed,
         coord_digest,
+        place_fmax_est_mhz,
         eco,
     }) = implemented
     else {
@@ -1052,6 +1098,7 @@ fn physical(
         downgrades,
         cache: cache::CacheStats::default(),
         coord_digest,
+        place_fmax_est_mhz,
         eco,
     })
 }
@@ -1097,11 +1144,17 @@ mod tests {
         assert_eq!(emb.area.brams, 1);
         assert_eq!(emb.area.luts, 0, "tiny FSM needs no aux LUTs");
         assert!(ff.area.luts > 0);
-        // Both report power at all three paper frequencies.
+        // Both report power at all three paper frequencies, and both carry
+        // the placer's pre-route fmax estimate.
         for r in [&ff, &emb] {
             assert_eq!(r.power.len(), 3);
             assert!(r.power_at(85.0).is_some());
             assert!(r.power[0].total_mw() > 0.0);
+            assert!(
+                r.place_fmax_est_mhz.is_finite() && r.place_fmax_est_mhz > 0.0,
+                "placer fmax estimate missing: {}",
+                r.place_fmax_est_mhz
+            );
         }
     }
 

@@ -11,9 +11,12 @@
 //! * [`netlist`] — LUT/FF/BRAM cells and nets, with validation and
 //!   combinational levelization;
 //! * [`mod@pack`] — LUT/FF pairing and CLB clustering (area accounting);
-//! * [`mod@place`] — simulated-annealing placement;
+//! * [`mod@place`] — simulated-annealing placement (timing-driven via a
+//!   criticality-weighted cost term);
 //! * [`mod@route`] — congestion-aware grid routing (wirelength, switches);
-//! * [`timing`] — static timing analysis and fmax.
+//! * [`timing`] — post-route static timing analysis and fmax;
+//! * [`schedule`] — the levelized evaluation order shared with `netsim`;
+//! * [`sta`] — the incremental static-timing kernel the placer queries.
 //!
 //! # Examples
 //!
@@ -33,6 +36,8 @@ pub mod netlist;
 pub mod pack;
 pub mod place;
 pub mod route;
+pub mod schedule;
+pub mod sta;
 pub mod timing;
 
 pub use device::{BramShape, Device};
@@ -40,4 +45,6 @@ pub use netlist::{Cell, CellId, NetId, Netlist};
 pub use pack::{pack, AreaReport, PackedDesign};
 pub use place::{place, PlaceOptions, Placement};
 pub use route::{route, RouteOptions, RoutedDesign};
+pub use schedule::Schedule;
+pub use sta::TimingKernel;
 pub use timing::{analyze, DelayModel, TimingReport};

@@ -1,17 +1,21 @@
 //! Simulated-annealing placement.
 //!
 //! Assigns packed entities (CLBs, BRAMs, IOBs) to device sites minimizing
-//! total half-perimeter wirelength (HPWL). The schedule is a classic
-//! VPR-style anneal scaled by an effort knob. Placement quality feeds
-//! directly into routed wirelength and therefore interconnect power — the
-//! dominant FPGA power component (paper Sec. 2) — and is one of the
-//! paper's implicit arguments: the BRAM FSM has so few nets that placement
-//! barely matters for it, while the FF FSM's power degrades with poor
-//! placement (Sec. 4.1).
+//! total half-perimeter wirelength (HPWL), blended with a VPR-style
+//! criticality-weighted timing term (see [`PlaceOptions::timing_weight`]).
+//! The schedule is a classic VPR-style anneal scaled by an effort knob.
+//! Placement quality feeds directly into routed wirelength and therefore
+//! interconnect power — the dominant FPGA power component (paper Sec. 2) —
+//! and, through the timing term, into fmax: since the paper's power
+//! numbers scale with clock frequency, a placement that shortens the
+//! critical path (the BRAM address/enable setup loop for EMB FSMs) moves
+//! the bottom-line tables directly.
 
 use crate::device::Device;
 use crate::netlist::{NetId, Netlist};
 use crate::pack::{EntityId, PackedDesign};
+use crate::sta::TimingKernel;
+use crate::timing::DelayModel;
 use std::collections::HashMap;
 use std::fmt;
 use xrand::SmallRng;
@@ -20,8 +24,15 @@ use xrand::SmallRng;
 /// same (netlist, device, options) input — the flow-artifact cache mixes
 /// it into placement keys so stale artifacts from an older algorithm are
 /// never returned. Version 2: adaptive VPR schedule (T0 from sampled
-/// move-delta stddev, acceptance-keyed cooling, dynamic exit).
-pub const ALGORITHM_VERSION: u32 = 2;
+/// move-delta stddev, acceptance-keyed cooling, dynamic exit). Version 3:
+/// criticality-weighted timing cost (frozen per-level criticalities from
+/// the incremental STA kernel, timing-aware quench, early-exit move
+/// rejection) — wirelength-only behavior at `timing_weight = 0` is
+/// byte-identical to version 2. Version 4 added the guarded two-arm
+/// selection ([`pick_guarded`]): with the timing term on, the blind and
+/// criticality-weighted anneals both run and the better STA estimate
+/// wins, so timing-driven placement is never worse than wirelength-only.
+pub const ALGORITHM_VERSION: u32 = 4;
 
 /// Placement options.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +48,26 @@ pub struct PlaceOptions {
     /// is far above what any paper benchmark spends (~200k moves), so
     /// results are unchanged unless a caller tightens it.
     pub max_moves: u64,
+    /// Weight `w ∈ [0, 1]` of the timing term in the annealing cost:
+    /// `(1−w)·Σ hpwl + w·scale·Σ crit^exp·net_per_hop·hpwl`, with `scale`
+    /// re-normalizing the timing term onto the wirelength scale at every
+    /// criticality refresh (VPR's self-normalizing trade-off). `0.0`
+    /// disables the timing machinery entirely and reproduces the
+    /// wirelength-only placement byte-for-byte.
+    pub timing_weight: f64,
+    /// Criticality sharpening exponent (VPR's `criticality_exp`): the
+    /// per-net weight is `criticality^crit_exp`, so large exponents focus
+    /// the timing term on the near-critical cone only.
+    pub crit_exp: f64,
+    /// Every `retime_interval`-th per-level criticality refresh is backed
+    /// by a from-scratch recompute of the timing kernel (debug-asserted
+    /// bit-identical to the incremental state — the drift bound). `0`
+    /// disables the periodic full re-time.
+    pub retime_interval: u32,
+    /// Delay model the timing term anneals against (wire delay per net is
+    /// `net_base + net_per_hop · hpwl`). Flows pass their own model so
+    /// placement and post-route analysis agree.
+    pub delay: DelayModel,
 }
 
 impl PlaceOptions {
@@ -50,6 +81,10 @@ impl Default for PlaceOptions {
             seed: 1,
             effort: 10.0,
             max_moves: Self::DEFAULT_MAX_MOVES,
+            timing_weight: 0.5,
+            crit_exp: 8.0,
+            retime_interval: 8,
+            delay: DelayModel::default(),
         }
     }
 }
@@ -139,8 +174,10 @@ impl Placement {
     }
 }
 
-/// Net pin model used for cost: the entities touching each net.
-fn build_net_pins(netlist: &Netlist, packed: &PackedDesign) -> Vec<Vec<EntityId>> {
+/// Net pin model used for cost: the entities touching each net. Shared
+/// with [`crate::sta::estimate_critical_ns`] so the placer's cost model
+/// and the post-place fmax estimate see the same pins.
+pub(crate) fn build_net_pins(netlist: &Netlist, packed: &PackedDesign) -> Vec<Vec<EntityId>> {
     let mut pins: Vec<Vec<EntityId>> = vec![Vec::new(); netlist.num_nets()];
     for (i, cell) in netlist.cells().iter().enumerate() {
         let Some(entity) = packed.entity_of_cell[i] else {
@@ -212,8 +249,142 @@ impl NetBox {
     }
 }
 
-fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f64 {
+pub(crate) fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f64 {
     NetBox::compute(pins, loc).hpwl
+}
+
+/// Frozen-criticality timing context for the annealers, built only when
+/// `timing_weight > 0` (and the netlist validates — otherwise the walk
+/// silently degrades to pure wirelength, which `place` historically never
+/// errored on). VPR-style: per-net criticalities are read from the
+/// incremental [`TimingKernel`] and *frozen* into one effective-cost
+/// coefficient per net, `coef = (1−w) + w·t_scale·crit^exp·net_per_hop`,
+/// so a move's effective delta is `Σ coef·Δhpwl` — one multiply-add per
+/// affected net on top of the wirelength delta the walk already computes.
+/// Coefficients are re-frozen once per temperature level ([`Self::refresh`]),
+/// and every `retime_interval`-th refresh is backed by a from-scratch
+/// recompute that must be bit-identical to the incremental state (the
+/// committed drift bound, debug-asserted).
+struct TimingCtx {
+    kernel: TimingKernel,
+    w: f64,
+    crit_exp: f64,
+    retime_interval: u32,
+    net_base: f64,
+    per_hop: f64,
+    /// Raw criticality per net as of the last refresh; the skip-re-time
+    /// threshold (flush only when a touched net is ≥ 0.5 critical) reads
+    /// this.
+    crit_raw: Vec<f64>,
+    /// `crit_raw^crit_exp` per net (scratch kept for the normalizer).
+    crit_w: Vec<f64>,
+    /// Per-net effective-cost coefficient (see above); `Σ coef·hpwl` over
+    /// active nets is the cost the walk optimizes.
+    coef: Vec<f64>,
+    /// Normalizer putting the timing term on the wirelength scale:
+    /// `Σ hpwl / Σ crit_w·per_hop·hpwl` at the last refresh.
+    t_scale: f64,
+    refreshes: u32,
+}
+
+impl TimingCtx {
+    fn build(netlist: &Netlist, opts: &PlaceOptions) -> Option<TimingCtx> {
+        let kernel = TimingKernel::new(netlist, &opts.delay).ok()?;
+        let n = netlist.num_nets();
+        Some(TimingCtx {
+            kernel,
+            w: opts.timing_weight.clamp(0.0, 1.0),
+            crit_exp: opts.crit_exp,
+            retime_interval: opts.retime_interval,
+            net_base: opts.delay.net_base,
+            per_hop: opts.delay.net_per_hop,
+            crit_raw: vec![0.0; n],
+            crit_w: vec![0.0; n],
+            coef: vec![1.0; n],
+            t_scale: 0.0,
+            refreshes: 0,
+        })
+    }
+
+    /// Syncs the kernel's wire delays to the current bounding boxes,
+    /// flushes the incremental wavefronts (with the periodic full-re-time
+    /// drift check), and re-freezes the per-net coefficients.
+    fn refresh(&mut self, active_nets: &[NetId], net_box: &[NetBox]) {
+        for &n in active_nets {
+            let i = n.index();
+            self.kernel
+                .set_wire_delay(n, self.net_base + self.per_hop * net_box[i].hpwl);
+        }
+        self.kernel.flush();
+        self.refreshes += 1;
+        if self.retime_interval > 0 && self.refreshes % self.retime_interval == 0 {
+            let matched = self.kernel.full_retime();
+            debug_assert!(
+                matched,
+                "incremental timing drifted from the full recompute"
+            );
+        }
+        let mut wl_anchor = 0.0;
+        let mut t_anchor = 0.0;
+        for &n in active_nets {
+            let i = n.index();
+            let raw = self.kernel.criticality(n);
+            let c = raw.powf(self.crit_exp);
+            self.crit_raw[i] = raw;
+            self.crit_w[i] = c;
+            wl_anchor += net_box[i].hpwl;
+            t_anchor += c * self.per_hop * net_box[i].hpwl;
+        }
+        self.t_scale = if t_anchor > 0.0 {
+            wl_anchor / t_anchor
+        } else {
+            0.0
+        };
+        for &n in active_nets {
+            let i = n.index();
+            self.coef[i] = (1.0 - self.w) + self.w * self.t_scale * self.per_hop * self.crit_w[i];
+        }
+    }
+
+    /// Marks the kernel's wire delays of `nets` dirty from the (already
+    /// updated) boxes, and flushes immediately only when one of them was
+    /// near-critical at the last refresh — moves touching only
+    /// non-critical nets skip the re-time entirely (the deferred dirt is
+    /// absorbed by the next [`Self::refresh`]).
+    fn note_moved(&mut self, nets: &[NetId], net_box: &[NetBox]) {
+        let mut hot = false;
+        for &n in nets {
+            let i = n.index();
+            self.kernel
+                .set_wire_delay(n, self.net_base + self.per_hop * net_box[i].hpwl);
+            hot |= self.crit_raw[i] >= 0.5;
+        }
+        if hot {
+            self.kernel.flush();
+        }
+    }
+
+    /// The frozen effective cost, read from the bounding-box cache.
+    fn eff_from_boxes(&self, active_nets: &[NetId], net_box: &[NetBox]) -> f64 {
+        active_nets
+            .iter()
+            .map(|n| self.coef[n.index()] * net_box[n.index()].hpwl)
+            .sum()
+    }
+
+    /// The frozen effective cost, recomputed from coordinates (used to
+    /// re-score the best-seen snapshot after a coefficient refresh).
+    fn eff_from_locs(
+        &self,
+        active_nets: &[NetId],
+        pins: &[Vec<EntityId>],
+        loc: &dyn Fn(EntityId) -> (usize, usize),
+    ) -> f64 {
+        active_nets
+            .iter()
+            .map(|n| self.coef[n.index()] * hpwl_of_net(&pins[n.index()], loc))
+            .sum()
+    }
 }
 
 /// Deterministic greedy descent over the full single-move neighborhood
@@ -235,6 +406,10 @@ fn hpwl_of_net(pins: &[EntityId], loc: &dyn Fn(EntityId) -> (usize, usize)) -> f
 /// When `movable` is given (ECO mode), only entities whose mask entry is
 /// `true` are relocated, and swap partners are restricted to movable
 /// siblings — pinned entities keep their exact coordinates.
+/// When `timing` is given, the linear term is the frozen effective cost
+/// `Σ coef·hpwl` instead of raw HPWL, so the descent pulls critical nets
+/// in harder than don't-care ones; `None` reproduces the historical
+/// wirelength-only descent exactly.
 #[allow(clippy::too_many_arguments)]
 fn quench(
     pins: &[Vec<EntityId>],
@@ -246,6 +421,7 @@ fn quench(
     bram_loc: &mut Vec<(usize, usize)>,
     iob_loc: &mut Vec<(usize, usize)>,
     movable: Option<[&[bool]; 3]>,
+    timing: Option<&TimingCtx>,
 ) {
     let free_of = |locs: &[(usize, usize)], sites: &[(usize, usize)]| -> Vec<(usize, usize)> {
         let used: std::collections::HashSet<(usize, usize)> = locs.iter().copied().collect();
@@ -305,7 +481,11 @@ fn quench(
                     };
                     nets.iter().fold((0.0, 0.0), |(lin, sq), n| {
                         let h = hpwl_of_net(&pins[n.index()], &loc);
-                        (lin + h, sq + h * h)
+                        let lin_term = match timing {
+                            Some(t) => t.coef[n.index()] * h,
+                            None => h,
+                        };
+                        (lin + lin_term, sq + h * h)
                     })
                 };
                 // `beats` implements the lexicographic (Δlin, Δsq) order
@@ -387,12 +567,79 @@ fn quench(
     }
 }
 
+/// Picks the winner of a guarded two-arm placement: the candidate with
+/// the smaller STA estimate ([`crate::sta::estimate_critical_ns`] over
+/// HPWL-derived wire delays) wins; an exact tie falls to the better
+/// `(hpwl, hpwl_sq)` pair, then to the blind arm. Because the blind arm
+/// is bit-identical to a `timing_weight = 0` run, the chosen estimate is
+/// never worse than wirelength-only placement — deterministically, per
+/// design, not just in expectation. `moves` and `budget` report the
+/// combined spend of both arms.
+fn pick_guarded(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    opts: &PlaceOptions,
+    blind: Placement,
+    timed: Placement,
+) -> Placement {
+    let estimate = |p: &Placement| {
+        crate::sta::estimate_critical_ns(netlist, packed, p, &opts.delay).unwrap_or(f64::INFINITY)
+    };
+    let (blind_ns, timed_ns) = (estimate(&blind), estimate(&timed));
+    let moves = blind.moves + timed.moves;
+    let exhausted = blind.budget.is_exhausted() || timed.budget.is_exhausted();
+    let timed_wins = timed_ns < blind_ns
+        || (timed_ns == blind_ns && (timed.hpwl, timed.hpwl_sq) < (blind.hpwl, blind.hpwl_sq));
+    let mut chosen = if timed_wins { timed } else { blind };
+    chosen.moves = moves;
+    chosen.budget = if exhausted {
+        BudgetOutcome::Exhausted { spent: moves }
+    } else {
+        BudgetOutcome::Completed
+    };
+    chosen
+}
+
 /// Places a packed design on a device.
+///
+/// With the timing term enabled (`timing_weight > 0`) this is a *guarded
+/// pair* of anneals: the wirelength-only arm (bit-identical to a
+/// `timing_weight = 0` run) and the criticality-weighted arm both run,
+/// and [`pick_guarded`] keeps whichever ends with the better STA
+/// estimate. The guard is what lets `scripts/verify.sh` require the
+/// placer's fmax estimate to be no worse than wirelength-only placement
+/// on every paper benchmark, not merely in geomean; [`Placement::moves`]
+/// then reports the combined spend of both arms (so the effective move
+/// budget is up to `2 · max_moves`).
 ///
 /// # Errors
 ///
 /// Fails with [`PlaceError::DoesNotFit`] if any resource is exhausted.
 pub fn place(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    device: Device,
+    opts: PlaceOptions,
+) -> Result<Placement, PlaceError> {
+    if opts.timing_weight > 0.0 {
+        let blind = place_core(
+            netlist,
+            packed,
+            device,
+            PlaceOptions {
+                timing_weight: 0.0,
+                ..opts
+            },
+        )?;
+        let timed = place_core(netlist, packed, device, opts)?;
+        return Ok(pick_guarded(netlist, packed, &opts, blind, timed));
+    }
+    place_core(netlist, packed, device, opts)
+}
+
+/// One arm of [`place`]: the annealing core, wirelength-only at
+/// `timing_weight = 0`, criticality-weighted otherwise.
+fn place_core(
     netlist: &Netlist,
     packed: &PackedDesign,
     device: Device,
@@ -458,6 +705,16 @@ pub fn place(
         });
     }
 
+    // Timing-driven mode: one incremental STA kernel for the whole anneal
+    // (built here, refreshed per level, delta-updated per accepted move).
+    // `timing_weight = 0` skips all of it and the walk below is
+    // byte-identical to the wirelength-only placer.
+    let mut timing = if opts.timing_weight > 0.0 {
+        TimingCtx::build(netlist, &opts)
+    } else {
+        None
+    };
+
     let cost_all = |clb_loc: &Vec<(usize, usize)>,
                     bram_loc: &Vec<(usize, usize)>,
                     iob_loc: &Vec<(usize, usize)>|
@@ -514,6 +771,7 @@ pub fn place(
         &mut clb_loc,
         &mut bram_loc,
         &mut iob_loc,
+        None,
         None,
     );
     let base_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
@@ -686,6 +944,15 @@ pub fn place(
     // affected nets back, so the cache tracks the layout exactly.
     let mut net_box = cache_of(&clb_loc, &bram_loc, &iob_loc);
     let mut box_scratch: Vec<NetBox> = Vec::new();
+    // Effective (timing-blended) costs the walk actually optimizes; at
+    // `timing_weight = 0` they mirror the HPWL costs exactly.
+    let mut cur_eff = cur_cost;
+    let mut best_eff = best_cost;
+    if let Some(t) = timing.as_mut() {
+        t.refresh(&active_nets, &net_box);
+        cur_eff = t.eff_from_boxes(&active_nets, &net_box);
+        best_eff = cur_eff;
+    }
     // Per-level move budget. Most bands get a third of the classic
     // effort·N^{4/3} budget: the adaptive cooling visits ~3× more,
     // finer-grained, levels over the same temperature span than the old
@@ -848,18 +1115,61 @@ pub fn place(
                 // fresh boxes land in a scratch so an accepted move
                 // installs them without a second scan.
                 box_scratch.clear();
+                let mut early_reject = false;
                 let after: (f64, f64) = {
                     let loc = |e: EntityId| match e {
                         EntityId::Clb(i) => clb_loc[i],
                         EntityId::Bram(i) => bram_loc[i],
                         EntityId::Iob(i) => iob_loc[i],
                     };
-                    affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
-                        let b = NetBox::compute(&pins[n.index()], &loc);
-                        box_scratch.push(b);
-                        (lin + b.hpwl, sq + b.hpwl * b.hpwl)
-                    })
+                    if let Some(t) = timing.as_ref() {
+                        // Early-exit rejection: Σ coef·after_hpwl only grows
+                        // as nets are rescanned (coef ≥ 0, hpwl ≥ 0), so once
+                        // it clears Σ coef·before_hpwl + 20·T the effective
+                        // delta is ≥ 20·T and Metropolis acceptance is ~e⁻²⁰ —
+                        // abandon the rescan and the RNG draw. (Timing mode
+                        // only: skipping draws would shift the wirelength-only
+                        // RNG stream.)
+                        let before_eff: f64 = affected
+                            .iter()
+                            .map(|n| t.coef[n.index()] * net_box[n.index()].hpwl)
+                            .sum();
+                        let bar = before_eff + 20.0 * temperature;
+                        let mut lin = 0.0;
+                        let mut sq = 0.0;
+                        let mut eff = 0.0;
+                        for n in &affected {
+                            let b = NetBox::compute(&pins[n.index()], &loc);
+                            box_scratch.push(b);
+                            lin += b.hpwl;
+                            sq += b.hpwl * b.hpwl;
+                            eff += t.coef[n.index()] * b.hpwl;
+                            if eff > bar {
+                                early_reject = true;
+                                break;
+                            }
+                        }
+                        (lin, sq)
+                    } else {
+                        affected.iter().fold((0.0, 0.0), |(lin, sq), n| {
+                            let b = NetBox::compute(&pins[n.index()], &loc);
+                            box_scratch.push(b);
+                            (lin + b.hpwl, sq + b.hpwl * b.hpwl)
+                        })
+                    }
                 };
+                if early_reject {
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = old_site;
+                    if let Some(o) = other_idx {
+                        locs[o] = new_site;
+                    }
+                    continue;
+                }
                 let delta = after.0 - before.0;
                 // Zero-linear-cost moves are plateau diffusion; bias them by
                 // the quadratic tie-breaker the quench optimizes, so shelf
@@ -870,13 +1180,24 @@ pub fn place(
                 // the linear cost uses, scaled down so the quadratic term
                 // stays a tie-breaker rather than a second objective.
                 let delta_sq = after.1 - before.1;
-                let accept = if delta < -1e-9 {
+                // The Metropolis test runs on the effective (timing-blended)
+                // delta; without a timing context it IS the wirelength delta,
+                // so the `timing_weight = 0` decision stream is untouched.
+                let delta_eff = match timing.as_ref() {
+                    Some(t) => affected
+                        .iter()
+                        .zip(&box_scratch)
+                        .map(|(n, b)| t.coef[n.index()] * (b.hpwl - net_box[n.index()].hpwl))
+                        .sum(),
+                    None => delta,
+                };
+                let accept = if delta_eff < -1e-9 {
                     true
-                } else if delta < 1e-9 {
+                } else if delta_eff < 1e-9 {
                     delta_sq < 1e-9
                         || rng.random_bool((-delta_sq / (8.0 * temperature)).exp().min(1.0))
                 } else {
-                    rng.random_bool((-delta / temperature).exp().min(1.0))
+                    rng.random_bool((-delta_eff / temperature).exp().min(1.0))
                 };
                 if accept {
                     accepted += 1;
@@ -884,7 +1205,15 @@ pub fn place(
                     for (&n, &b) in affected.iter().zip(&box_scratch) {
                         net_box[n.index()] = b;
                     }
-                    if cur_cost < best_cost {
+                    if let Some(t) = timing.as_mut() {
+                        cur_eff += delta_eff;
+                        t.note_moved(&affected, &net_box);
+                        if cur_eff < best_eff {
+                            best_eff = cur_eff;
+                            best_cost = cur_cost;
+                            best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+                        }
+                    } else if cur_cost < best_cost {
                         best_cost = cur_cost;
                         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
                     }
@@ -957,6 +1286,19 @@ pub fn place(
                 cur_cost == cost_all(&clb_loc, &bram_loc, &iob_loc),
                 "bounding-box cache re-anchor diverged from recomputed HPWL"
             );
+            // Re-freeze the criticality coefficients once per level and
+            // re-anchor both effective costs under them (the best-seen
+            // snapshot is re-scored so the comparison stays like-for-like).
+            if let Some(t) = timing.as_mut() {
+                t.refresh(&active_nets, &net_box);
+                cur_eff = t.eff_from_boxes(&active_nets, &net_box);
+                let loc = |e: EntityId| match e {
+                    EntityId::Clb(i) => best.0[i],
+                    EntityId::Bram(i) => best.1[i],
+                    EntityId::Iob(i) => best.2[i],
+                };
+                best_eff = t.eff_from_locs(&active_nets, &pins, &loc);
+            }
         }
 
         cycle += 1;
@@ -983,6 +1325,7 @@ pub fn place(
             &mut bram_loc,
             &mut iob_loc,
             None,
+            timing.as_ref(),
         );
         free_clb = free_of(&clb_loc, &clb_sites);
         free_bram = free_of(&bram_loc, &bram_sites);
@@ -992,6 +1335,11 @@ pub fn place(
         cur_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
         best_cost = cur_cost;
         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+        if let Some(t) = timing.as_mut() {
+            t.refresh(&active_nets, &net_box);
+            cur_eff = t.eff_from_boxes(&active_nets, &net_box);
+            best_eff = cur_eff;
+        }
         // The reheat is gentle — a fraction of the first cycle's t0.
         // Re-melting all the way destroys the incumbent (the walk climbs
         // hundreds of cost units and rarely finds its way back down to a
@@ -1004,16 +1352,34 @@ pub fn place(
     }
 
     // Exact costs decide between the walk's end point and its best-seen
-    // snapshot (the incremental tracker is only a heuristic trigger).
-    let final_cost = cost_all(&clb_loc, &bram_loc, &iob_loc);
+    // snapshot (the incremental tracker is only a heuristic trigger). In
+    // timing mode the comparison runs on the effective cost under the
+    // final frozen coefficients — the objective the walk was pursuing.
     let (b_clb, b_bram, b_iob) = best;
-    if cost_all(&b_clb, &b_bram, &b_iob) < final_cost {
+    let restore_best = if let Some(t) = timing.as_ref() {
+        let cur_loc = |e: EntityId| match e {
+            EntityId::Clb(i) => clb_loc[i],
+            EntityId::Bram(i) => bram_loc[i],
+            EntityId::Iob(i) => iob_loc[i],
+        };
+        let best_loc = |e: EntityId| match e {
+            EntityId::Clb(i) => b_clb[i],
+            EntityId::Bram(i) => b_bram[i],
+            EntityId::Iob(i) => b_iob[i],
+        };
+        t.eff_from_locs(&active_nets, &pins, &best_loc)
+            < t.eff_from_locs(&active_nets, &pins, &cur_loc)
+    } else {
+        cost_all(&b_clb, &b_bram, &b_iob) < cost_all(&clb_loc, &bram_loc, &iob_loc)
+    };
+    if restore_best {
         clb_loc = b_clb;
         bram_loc = b_bram;
         iob_loc = b_iob;
     }
 
-    // Polish the winner with the same deterministic descent.
+    // Polish the winner with the same deterministic descent (criticality-
+    // weighted in timing mode, under the final frozen coefficients).
     quench(
         &pins,
         &nets_of_entity,
@@ -1024,6 +1390,7 @@ pub fn place(
         &mut bram_loc,
         &mut iob_loc,
         None,
+        timing.as_ref(),
     );
     let polished = cost_all(&clb_loc, &bram_loc, &iob_loc);
     let polished_sq: f64 = {
@@ -1265,11 +1632,65 @@ pub fn verify_eco_placement(
 /// (restricted to movable entities). The returned placement is self-checked
 /// with [`verify_eco_placement`] before it leaves this function.
 ///
+/// With the timing term enabled (`timing_weight > 0`) the delta anneal is
+/// a *guarded pair*, exactly like [`place`]: the blind arm (bit-identical
+/// to a `timing_weight = 0` run) and the criticality-weighted arm both
+/// run against the same pin map, and the arm with the better STA estimate
+/// wins (ties fall to the better wirelength pair, then to the blind arm).
+/// The gated design's fmax estimate is therefore never worse than the
+/// blind-ECO baseline, per benchmark, by construction —
+/// `tests/timing_quality.rs` pins that property over the paper suite.
+///
 /// # Errors
 ///
 /// Typed [`EcoPlaceError`] on capacity overflow, a malformed pin map, or a
 /// failed post-placement self-check.
 pub fn place_incremental(
+    netlist: &Netlist,
+    packed: &PackedDesign,
+    device: Device,
+    opts: PlaceOptions,
+    pins_map: &PinnedEntities,
+) -> Result<EcoPlacement, EcoPlaceError> {
+    if opts.timing_weight > 0.0 {
+        let blind = place_incremental_core(
+            netlist,
+            packed,
+            device,
+            PlaceOptions {
+                timing_weight: 0.0,
+                ..opts
+            },
+            pins_map,
+        )?;
+        let timed = place_incremental_core(netlist, packed, device, opts, pins_map)?;
+        let estimate = |e: &EcoPlacement| {
+            crate::sta::estimate_critical_ns(netlist, packed, &e.placement, &opts.delay)
+                .unwrap_or(f64::INFINITY)
+        };
+        let (blind_ns, timed_ns) = (estimate(&blind), estimate(&timed));
+        let moves = blind.placement.moves + timed.placement.moves;
+        let exhausted =
+            blind.placement.budget.is_exhausted() || timed.placement.budget.is_exhausted();
+        let timed_wins = timed_ns < blind_ns
+            || (timed_ns == blind_ns
+                && (timed.placement.hpwl, timed.placement.hpwl_sq)
+                    < (blind.placement.hpwl, blind.placement.hpwl_sq));
+        let mut chosen = if timed_wins { timed } else { blind };
+        chosen.placement.moves = moves;
+        chosen.placement.budget = if exhausted {
+            BudgetOutcome::Exhausted { spent: moves }
+        } else {
+            BudgetOutcome::Completed
+        };
+        return Ok(chosen);
+    }
+    place_incremental_core(netlist, packed, device, opts, pins_map)
+}
+
+/// One arm of [`place_incremental`]: the masked delta anneal, blind at
+/// `timing_weight = 0`, criticality-weighted otherwise.
+fn place_incremental_core(
     netlist: &Netlist,
     packed: &PackedDesign,
     device: Device,
@@ -1404,7 +1825,19 @@ pub fn place_incremental(
             &mut bram_loc,
             &mut iob_loc,
             Some(movable_mask),
+            None,
         );
+
+        // Criticality-aware ECO: the delta anneal prices the enable cone's
+        // nets by the same frozen criticalities as the full anneal, so the
+        // cone is placed aware of the BRAM setup path it feeds instead of
+        // blind on wirelength. `timing_weight = 0` reproduces the blind
+        // ECO byte-for-byte.
+        let mut timing = if opts.timing_weight > 0.0 {
+            TimingCtx::build(netlist, &opts)
+        } else {
+            None
+        };
 
         let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x0ec0_5eed_ba5e_11f7);
         let span = clb_sites
@@ -1565,6 +1998,13 @@ pub fn place_incremental(
             boxes
         };
         let mut box_scratch: Vec<NetBox> = Vec::new();
+        let mut cur_eff = cur_cost;
+        let mut best_eff = best_cost;
+        if let Some(t) = timing.as_mut() {
+            t.refresh(&active_nets, &net_box);
+            cur_eff = t.eff_from_boxes(&active_nets, &net_box);
+            best_eff = cur_eff;
+        }
         let m = movable_entities.len() as f64;
         let moves_per_t = ((m.powf(4.0 / 3.0) * opts.effort.max(0.1)).ceil() as usize).max(16);
         let mut temperature = t0;
@@ -1621,30 +2061,83 @@ pub fn place_incremental(
                     }
                 }
                 box_scratch.clear();
+                let mut early_reject = false;
                 let after: f64 = {
                     let loc = |e: EntityId| match e {
                         EntityId::Clb(i) => clb_loc[i],
                         EntityId::Bram(i) => bram_loc[i],
                         EntityId::Iob(i) => iob_loc[i],
                     };
-                    nets.iter()
-                        .map(|n| {
+                    if let Some(t) = timing.as_ref() {
+                        // Same early-exit bound as `place`: abandon the
+                        // rescan once the move is hopeless (timing mode
+                        // only, so the blind-ECO RNG stream is untouched).
+                        let before_eff: f64 = nets
+                            .iter()
+                            .map(|n| t.coef[n.index()] * net_box[n.index()].hpwl)
+                            .sum();
+                        let bar = before_eff + 20.0 * temperature;
+                        let mut lin = 0.0;
+                        let mut eff = 0.0;
+                        for n in &nets {
                             let b = NetBox::compute(&pins[n.index()], &loc);
                             box_scratch.push(b);
-                            b.hpwl
-                        })
-                        .sum()
+                            lin += b.hpwl;
+                            eff += t.coef[n.index()] * b.hpwl;
+                            if eff > bar {
+                                early_reject = true;
+                                break;
+                            }
+                        }
+                        lin
+                    } else {
+                        nets.iter()
+                            .map(|n| {
+                                let b = NetBox::compute(&pins[n.index()], &loc);
+                                box_scratch.push(b);
+                                b.hpwl
+                            })
+                            .sum()
+                    }
                 };
+                if early_reject {
+                    let locs: &mut Vec<(usize, usize)> = match kind {
+                        0 => &mut clb_loc,
+                        1 => &mut bram_loc,
+                        _ => &mut iob_loc,
+                    };
+                    locs[idx] = old_site;
+                    if let Some(o) = other {
+                        locs[o] = new_site;
+                    }
+                    continue;
+                }
                 let delta = after - before;
-                let accept = delta < 1e-9
-                    || rng.random_bool((-delta / temperature).exp().min(1.0));
+                let delta_eff = match timing.as_ref() {
+                    Some(t) => nets
+                        .iter()
+                        .zip(&box_scratch)
+                        .map(|(n, b)| t.coef[n.index()] * (b.hpwl - net_box[n.index()].hpwl))
+                        .sum(),
+                    None => delta,
+                };
+                let accept = delta_eff < 1e-9
+                    || rng.random_bool((-delta_eff / temperature).exp().min(1.0));
                 if accept {
                     accepted += 1;
                     cur_cost += delta;
                     for (&n, &b) in nets.iter().zip(&box_scratch) {
                         net_box[n.index()] = b;
                     }
-                    if cur_cost < best_cost {
+                    if let Some(t) = timing.as_mut() {
+                        cur_eff += delta_eff;
+                        t.note_moved(&nets, &net_box);
+                        if cur_eff < best_eff {
+                            best_eff = cur_eff;
+                            best_cost = cur_cost;
+                            best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
+                        }
+                    } else if cur_cost < best_cost {
                         best_cost = cur_cost;
                         best = (clb_loc.clone(), bram_loc.clone(), iob_loc.clone());
                     }
@@ -1681,13 +2174,40 @@ pub fn place_incremental(
                 cur_cost == cost_all(&clb_loc, &bram_loc, &iob_loc).0,
                 "bounding-box cache re-anchor diverged from recomputed HPWL"
             );
+            if let Some(t) = timing.as_mut() {
+                t.refresh(&active_nets, &net_box);
+                cur_eff = t.eff_from_boxes(&active_nets, &net_box);
+                let loc = |e: EntityId| match e {
+                    EntityId::Clb(i) => best.0[i],
+                    EntityId::Bram(i) => best.1[i],
+                    EntityId::Iob(i) => best.2[i],
+                };
+                best_eff = t.eff_from_locs(&active_nets, &pins, &loc);
+            }
         }
-        if best_cost < cost_all(&clb_loc, &bram_loc, &iob_loc).0 {
+        let restore_best = if let Some(t) = timing.as_ref() {
+            let cur_loc = |e: EntityId| match e {
+                EntityId::Clb(i) => clb_loc[i],
+                EntityId::Bram(i) => bram_loc[i],
+                EntityId::Iob(i) => iob_loc[i],
+            };
+            let best_loc = |e: EntityId| match e {
+                EntityId::Clb(i) => best.0[i],
+                EntityId::Bram(i) => best.1[i],
+                EntityId::Iob(i) => best.2[i],
+            };
+            t.eff_from_locs(&active_nets, &pins, &best_loc)
+                < t.eff_from_locs(&active_nets, &pins, &cur_loc)
+        } else {
+            best_cost < cost_all(&clb_loc, &bram_loc, &iob_loc).0
+        };
+        if restore_best {
             clb_loc = best.0;
             bram_loc = best.1;
             iob_loc = best.2;
         }
-        // Polish the delta with the masked deterministic descent.
+        // Polish the delta with the masked deterministic descent
+        // (criticality-weighted in timing mode).
         quench(
             &pins,
             &nets_of_entity,
@@ -1698,6 +2218,7 @@ pub fn place_incremental(
             &mut bram_loc,
             &mut iob_loc,
             Some(movable_mask),
+            timing.as_ref(),
         );
     }
 
@@ -1899,6 +2420,7 @@ mod tests {
                 seed: 3,
                 effort: 8.0,
                 max_moves: 500,
+                ..PlaceOptions::default()
             },
         )
         .unwrap();
@@ -1919,6 +2441,7 @@ mod tests {
                 seed: 3,
                 effort: 8.0,
                 max_moves: 500,
+                ..PlaceOptions::default()
             },
         )
         .unwrap();

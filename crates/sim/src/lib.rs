@@ -8,7 +8,10 @@
 //! * [`engine`] — the scalar simulator and [`engine::Activity`] record;
 //! * [`kernel`] — the 64-lane bit-parallel [`kernel::BatchSimulator`]
 //!   (one `u64` word per net, 64 independent simulations per clock);
-//! * [`schedule`] — the levelized evaluation schedule both engines share;
+//! * [`schedule`] — the levelized evaluation schedule both engines share
+//!   (re-exported from [`fpga_fabric::schedule`]);
+//! * [`timing`] — the incremental static-timing kernel built on the same
+//!   schedule (re-exported from [`fpga_fabric::sta`]);
 //! * [`stimulus`] — deterministic random / biased / constant input streams;
 //! * [`vcd`] — a minimal VCD writer for waveform inspection.
 //!
@@ -39,6 +42,7 @@ pub mod engine;
 pub mod kernel;
 pub mod schedule;
 pub mod stimulus;
+pub mod timing;
 pub mod vcd;
 
 pub use engine::{Activity, Simulator};

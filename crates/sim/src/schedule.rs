@@ -1,131 +1,10 @@
-//! The levelized evaluation schedule shared by the scalar and bit-parallel
-//! simulation engines.
+//! The levelized evaluation schedule both engines share.
 //!
-//! Both [`crate::engine::Simulator`] and [`crate::kernel::BatchSimulator`]
-//! evaluate a netlist the same way: combinational cells in one fixed
-//! topological order, then the sequential cells (FFs, then BRAMs) in cell
-//! order at each clock edge. This module computes that schedule once per
-//! netlist so the two engines cannot drift apart structurally — the
-//! evaluation *order*, the set of sequential cells, and the definition of
-//! the architectural state (the sequential nets) all come from here.
+//! The schedule moved to [`fpga_fabric::schedule`] so the placer's
+//! incremental static-timing kernel ([`fpga_fabric::sta`]) can reuse the
+//! same levelized traversal without a dependency cycle (`netsim` depends
+//! on `fpga_fabric`, not the other way around). This module re-exports it
+//! under the historical `netsim::schedule` path; both simulation engines
+//! and all external callers keep compiling unchanged.
 
-use fpga_fabric::netlist::{Cell, CellId, NetId, Netlist, NetlistError};
-
-/// The one-time levelization of a netlist: the topological order of its
-/// combinational cone plus the sequential cell and state-net inventory.
-#[derive(Debug, Clone)]
-pub struct Schedule {
-    /// Topological order of combinational cells (LUTs and constants).
-    pub comb_order: Vec<CellId>,
-    /// Flip-flop cells, in netlist cell order.
-    pub ffs: Vec<CellId>,
-    /// Block-RAM cells, in netlist cell order.
-    pub brams: Vec<CellId>,
-    /// The architectural state nets: every FF `q` and BRAM `dout` net, in
-    /// netlist cell order. Restoring these values fully determines the
-    /// machine state of a write-port-free design — combinational nets are
-    /// recomputed from them (and the primary inputs) by the next settle.
-    pub seq_nets: Vec<NetId>,
-    /// True when any BRAM has a write port (its memory contents are then
-    /// part of the architectural state too, beyond [`Self::seq_nets`]).
-    pub has_write_ports: bool,
-}
-
-impl Schedule {
-    /// Validates `netlist` and builds its evaluation schedule.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`NetlistError`] from validation.
-    pub fn build(netlist: &Netlist) -> Result<Self, NetlistError> {
-        let comb_order = netlist.validate()?;
-        let mut ffs = Vec::new();
-        let mut brams = Vec::new();
-        let mut seq_nets = Vec::new();
-        let mut has_write_ports = false;
-        for (i, cell) in netlist.cells().iter().enumerate() {
-            match cell {
-                Cell::Ff { q, .. } => {
-                    ffs.push(CellId(i as u32));
-                    seq_nets.push(*q);
-                }
-                Cell::Bram { dout, write, .. } => {
-                    brams.push(CellId(i as u32));
-                    seq_nets.extend(dout.iter().copied());
-                    has_write_ports |= write.is_some();
-                }
-                _ => {}
-            }
-        }
-        Ok(Schedule {
-            comb_order,
-            ffs,
-            brams,
-            seq_nets,
-            has_write_ports,
-        })
-    }
-}
-
-/// The write-port data mask for a BRAM write of `data_len` wired bits —
-/// bits beyond the wired width are preserved on a write. Shared by both
-/// engines so the collision semantics stay identical.
-#[must_use]
-pub fn write_data_mask(data_len: usize) -> u64 {
-    if data_len >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << data_len) - 1
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fpga_fabric::device::BramShape;
-
-    #[test]
-    fn schedule_inventories_sequential_state() {
-        let mut n = Netlist::new("s");
-        let d = n.add_net("d");
-        let q = n.add_net("q");
-        let a: Vec<NetId> = (0..9).map(|i| n.add_net(format!("a{i}"))).collect();
-        let o = n.add_net("o");
-        n.add_input("d", d);
-        for (i, net) in a.iter().enumerate() {
-            n.add_input(format!("a{i}"), *net);
-        }
-        n.add_output("q", q);
-        n.add_output("o", o);
-        n.add_cell(Cell::Ff {
-            d,
-            q,
-            ce: None,
-            init: false,
-        });
-        n.add_cell(Cell::Bram {
-            shape: BramShape {
-                addr_bits: 9,
-                data_bits: 36,
-            },
-            addr: a,
-            dout: vec![o],
-            en: None,
-            init: vec![0; 512],
-            output_init: 0,
-            write: None,
-        });
-        let s = Schedule::build(&n).unwrap();
-        assert_eq!(s.ffs.len(), 1);
-        assert_eq!(s.brams.len(), 1);
-        assert_eq!(s.seq_nets, vec![q, o]);
-        assert!(!s.has_write_ports);
-    }
-
-    #[test]
-    fn write_mask_widths() {
-        assert_eq!(write_data_mask(1), 0b1);
-        assert_eq!(write_data_mask(8), 0xFF);
-        assert_eq!(write_data_mask(64), u64::MAX);
-    }
-}
+pub use fpga_fabric::schedule::{write_data_mask, Schedule};

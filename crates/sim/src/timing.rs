@@ -1,0 +1,39 @@
+//! The incremental static-timing kernel, under its simulation-stack name.
+//!
+//! The kernel shares [`fpga_fabric::schedule`]'s levelized traversal with
+//! both simulation engines; it lives in `fpga_fabric` (next to the placer
+//! that queries it inside the anneal) and is re-exported here so the
+//! schedule and the timing engine built on it are siblings under `netsim`
+//! as well.
+
+pub use fpga_fabric::sta::{estimate_critical_ns, TimingKernel};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::netlist::{Cell, Netlist};
+    use fpga_fabric::timing::DelayModel;
+
+    #[test]
+    fn reexported_kernel_builds_and_times() {
+        let mut n = Netlist::new("t");
+        let d = n.add_net("d");
+        let q = n.add_net("q");
+        n.add_cell(Cell::Lut {
+            inputs: vec![q],
+            output: d,
+            truth: 0b01,
+        });
+        n.add_cell(Cell::Ff {
+            d,
+            q,
+            ce: None,
+            init: false,
+        });
+        n.add_output("q", q);
+        let mut k = TimingKernel::new(&n, &DelayModel::default()).unwrap();
+        k.flush();
+        assert!(k.critical_ns() > 0.0);
+        assert!(k.fmax_mhz().is_finite());
+    }
+}

@@ -45,7 +45,14 @@
 #    socket must refuse with the typed already-running exit (3), a
 #    request past FABRIC_REQUEST_TIMEOUT_MS must get a typed `deadline`
 #    reject, and a request-driven shutdown must finish in-flight work
-#    while rejecting new work with a typed `draining` reject.
+#    while rejecting new work with a typed `draining` reject;
+#  * STA / fmax gates (ISSUE 8) — table3's TABLE3_FMAX side file must
+#    hold all 9 benchmarks with the timing-driven placer fmax estimate
+#    no worse than the wirelength-only estimate on every row (the
+#    guarded two-arm anneal makes this exact, not statistical), and a
+#    warm-cache rerun must reproduce the file byte-for-byte (same seed
+#    -> identical fmax digest). The bench gate additionally covers
+#    place_timing_kernel/keyb, the incremental STA kernel microbench.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -140,7 +147,7 @@ else
     BENCH_FILTER=keyb BENCH_RESULTS_DIR="$fresh_dir" \
         cargo bench -q --offline -p paper-bench --bench substrates \
         || fail "bench run failed"
-    for gate in synthesize_fsm/keyb place_sa/keyb route/keyb verify_exhaustive/keyb; do
+    for gate in synthesize_fsm/keyb place_sa/keyb place_timing_kernel/keyb route/keyb verify_exhaustive/keyb; do
         baseline=$(sed -n 's#.*"name": "'"$gate"'", "median_ns": \([0-9.]*\).*#\1#p' \
             results/bench_substrates.json)
         [ -n "$baseline" ] || fail "no $gate baseline in results/bench_substrates.json"
@@ -187,7 +194,9 @@ echo "   table2 byte-identical to the committed golden" >&2
 # benchmark silently fell back to full placement.
 echo "== ECO base-coordinate gate (table3 plain vs gated digests)" >&2
 coords=target/verify_table3_coords.txt
-TABLE3_COORDS="$coords" ./target/release/table3 > target/verify_table3.out 2>/dev/null \
+fmaxf=target/verify_table3_fmax.txt
+TABLE3_COORDS="$coords" TABLE3_FMAX="$fmaxf" \
+    ./target/release/table3 > target/verify_table3.out 2>/dev/null \
     || fail "table3 run failed"
 [ -s "$coords" ] || fail "table3 wrote no coordinate digests"
 rows=$(wc -l < "$coords")
@@ -199,6 +208,23 @@ while read -r name plain gated; do
 done < "$coords"
 echo "   all 9 benchmarks: gated base coordinates byte-identical to plain" >&2
 
+# -- Timing-driven fmax no-worse gate ---------------------------------------
+# table3 appends "name <est-fmax-timing> <est-fmax-wl>" per successful
+# row: the placer's STA estimate under the default timing-driven anneal
+# and under the identical flow placed wirelength-only. The guarded
+# two-arm selection makes timing-driven >= wirelength-only exact on
+# every row — a single regressed row means the guard broke.
+echo "== timing-driven fmax no-worse gate (table3 estimate vs wirelength-only)" >&2
+[ -s "$fmaxf" ] || fail "table3 wrote no fmax estimates"
+fmax_rows=$(wc -l < "$fmaxf")
+[ "$fmax_rows" -eq 9 ] \
+    || fail "expected 9 fmax rows, got $fmax_rows (a benchmark fell out of the fmax side file)"
+while read -r name ft fw; do
+    awk -v t="$ft" -v w="$fw" 'BEGIN{exit !(t >= w)}' \
+        || fail "$name: timing-driven fmax estimate $ft MHz is worse than wirelength-only $fw MHz"
+done < "$fmaxf"
+echo "   all 9 benchmarks: timing-driven fmax estimate no worse than wirelength-only" >&2
+
 # -- Flow-cache growth bound ------------------------------------------------
 # Keys are deterministic, so a second identical table3 run must be served
 # entirely from the warm cache: any growth of results/cache/ means a key
@@ -206,7 +232,8 @@ echo "   all 9 benchmarks: gated base coordinates byte-identical to plain" >&2
 echo "== flow-cache growth bound (second table3 run)" >&2
 size_mid=$(du -sk results/cache 2>/dev/null | cut -f1)
 size_mid=${size_mid:-0}
-TABLE3_COORDS="$coords" ./target/release/table3 > target/verify_table3_again.out 2>/dev/null \
+TABLE3_COORDS="$coords" TABLE3_FMAX=target/verify_table3_fmax_again.txt \
+    ./target/release/table3 > target/verify_table3_again.out 2>/dev/null \
     || fail "second table3 run failed"
 size_after=$(du -sk results/cache 2>/dev/null | cut -f1)
 size_after=${size_after:-0}
@@ -214,7 +241,10 @@ size_after=${size_after:-0}
     || fail "flow cache grew from ${size_mid}kB to ${size_after}kB on an identical rerun (unstable cache keys)"
 cmp -s target/verify_table3.out target/verify_table3_again.out \
     || fail "table3 output differs between warm-cache reruns"
-echo "   cache stable at ${size_after}kB; rerun output byte-identical" >&2
+# STA determinism: same seed -> identical fmax digest across the 2 runs.
+cmp -s "$fmaxf" target/verify_table3_fmax_again.txt \
+    || fail "table3 fmax estimates differ between identical runs (non-deterministic STA)"
+echo "   cache stable at ${size_after}kB; rerun output and fmax digests byte-identical" >&2
 
 # -- Capped flow-cache gate -------------------------------------------------
 # The same table3 run against a fresh store capped by FLOW_CACHE_MAX_BYTES
