@@ -38,6 +38,8 @@ fn pass(label: &str, threads: usize, scratch: &PathBuf) -> Duration {
         max_attempts: 1,
         checkpoint_dir: scratch.clone(),
         threads: Some(threads),
+        backend: None,
+        keep_failed: None,
     };
     let cfg = FlowConfig {
         cycles: 500,

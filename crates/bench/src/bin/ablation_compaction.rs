@@ -26,6 +26,7 @@ fn wide12() -> fsm_model::stg::Stg {
         idle_line: Some(0),
         ..StgSpec::new("wide12")
     })
+    .expect("static wide12 spec generates")
 }
 
 fn main() {

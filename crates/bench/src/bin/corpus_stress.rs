@@ -1,0 +1,309 @@
+//! Corpus stress harness: thousands of synthetic machines through the
+//! full flow under the degradation ladder, across every runner backend
+//! and the daemon.
+//!
+//! Five passes over the same item list:
+//!
+//! 1. `serial_cold`   — sequential backend, cold flow cache (the
+//!    outcome-histogram source and the serial-throughput baseline);
+//! 2. `parallel_cold` — thread backend, cold cache;
+//! 3. `parallel_warm` — thread backend, warm cache;
+//! 4. `process_warm`  — process backend (spawned `--worker`
+//!    re-invocations of this binary), warm cache;
+//! 5. `daemon`        — an in-process [`paper_bench::fabric::serve`]
+//!    listener answering corpus-item mapping requests over its socket
+//!    (one item per tier), doubling as the `fabric_daemon` load check.
+//!
+//! Every pass must produce byte-identical outcome rows — the rows carry
+//! no timings and no cache counters, so backend choice and cache warmth
+//! cannot leak into them. **stdout** is exactly the deterministic
+//! payload (per-tier outcome histograms and the ladder-coverage
+//! summary): `scripts/verify.sh` runs the harness twice and diffs it.
+//! Timings and throughput go to **stderr** and to
+//! `results/bench_corpus.json` (honoring `BENCH_RESULTS_DIR`).
+//!
+//! Knobs: `CORPUS_SEED` (default 2004), `CORPUS_PER_TIER` (machines per
+//! tier, default 125 — 9 tiers × 125 = 1125 machines), `CORPUS_TIERS`
+//! (comma-separated subset, default all).
+
+use paper_bench::corpus::{run_item, Outcome};
+use paper_bench::fabric::{request, request_with_retry, serve, worker_invocation_label, DaemonOptions};
+use paper_bench::runner::{run, Backend, RunnerOptions};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")))
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The tier list this run covers: `CORPUS_TIERS` (unknown names are
+/// rejected loudly — a typo must not silently shrink coverage), else
+/// every tier.
+fn tiers() -> Vec<&'static str> {
+    let all = fsm_model::corpus::tier_names();
+    match std::env::var("CORPUS_TIERS") {
+        Err(_) => all.to_vec(),
+        Ok(list) => {
+            let mut out = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                match all.iter().find(|t| **t == name) {
+                    Some(t) => out.push(*t),
+                    None => {
+                        eprintln!("corpus_stress: unknown tier '{name}' in CORPUS_TIERS (known: {})", all.join(", "));
+                        std::process::exit(2);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// One runner pass over all items; returns (rows, wall-clock, failures).
+fn pass(
+    label: &str,
+    backend: Backend,
+    items: &[String],
+    scratch: &PathBuf,
+) -> (Vec<Vec<String>>, Duration, usize) {
+    let opts = RunnerOptions {
+        label: format!("corpus_{label}"),
+        max_attempts: 2,
+        checkpoint_dir: scratch.clone(),
+        threads: None,
+        backend: Some(backend),
+        keep_failed: Some(false),
+    };
+    let t = Instant::now();
+    let out = run(&opts, items, Outcome::COLUMNS, |item, _attempt| {
+        Ok(vec![run_item(item).row()])
+    });
+    (out.rows, t.elapsed(), out.failures.len())
+}
+
+/// Empties both cache layers (the disk directory stays, its contents go).
+fn clear_cache(dir: &PathBuf) {
+    emb_fsm::cache::reset_memory();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let _ = std::fs::remove_file(e.path());
+        }
+    }
+}
+
+/// Per-tier outcome histogram plus whole-corpus ladder coverage, printed
+/// to stdout. Everything here is a pure function of the rows, so two
+/// runs with the same corpus parameters print byte-identical text.
+fn print_histograms(rows: &[Vec<String>], tiers: &[&str], seed: u64, per_tier: u64) {
+    println!(
+        "== corpus outcome histogram (seed {seed}, {} tier(s) x {per_tier}) ==",
+        tiers.len()
+    );
+    let mut rungs_hit: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut downs_hit: BTreeMap<String, usize> = BTreeMap::new();
+    for tier in tiers {
+        let tier_rows: Vec<&Vec<String>> = rows.iter().filter(|r| r.get(1).map(String::as_str) == Some(*tier)).collect();
+        let mut status: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut rung: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut down: BTreeMap<String, usize> = BTreeMap::new();
+        for r in &tier_rows {
+            *status.entry(r[2].as_str()).or_default() += 1;
+            *rung.entry(r[5].as_str()).or_default() += 1;
+            for d in r[6].split('+') {
+                *down.entry(d.to_string()).or_default() += 1;
+            }
+        }
+        println!("tier {tier}: total={}", tier_rows.len());
+        for (k, n) in &status {
+            println!("  status {k}={n}");
+        }
+        for (k, n) in &rung {
+            println!("  rung {k}={n}");
+            if *k != "-" {
+                *rungs_hit.entry(k).or_default() += n;
+            }
+        }
+        for (k, n) in &down {
+            println!("  downgrade {k}={n}");
+            if k != "-" && k != "none" {
+                *downs_hit.entry(k.clone()).or_default() += n;
+            }
+        }
+    }
+    println!("== ladder coverage ==");
+    for r in ["direct", "compacted", "series", "ff"] {
+        println!("rung {r}: {}", rungs_hit.get(r).copied().unwrap_or(0));
+    }
+    for k in emb_fsm::flow::Downgrade::all_kinds() {
+        println!("downgrade {k}: {}", downs_hit.get(*k).copied().unwrap_or(0));
+    }
+}
+
+/// Daemon pass: serve corpus mapping requests in-process over a Unix
+/// socket — one item per tier — and count ok / warm responses. The
+/// response rows were all computed (and cached) by the earlier passes,
+/// so a healthy daemon answers every request warm.
+fn daemon_pass(items_one_per_tier: &[String], scratch: &PathBuf) -> (usize, usize, Duration) {
+    let socket = scratch.join("corpus_stress.sock");
+    let opts = DaemonOptions::new(&socket);
+    let handle = {
+        let opts = opts.clone();
+        std::thread::spawn(move || serve(&opts))
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while request(&socket, "{\"cmd\":\"ping\"}").is_err() {
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let t = Instant::now();
+    let mut ok = 0usize;
+    let mut warm = 0usize;
+    for item in items_one_per_tier {
+        let line = format!("{{\"bench\":\"{item}\"}}");
+        match request_with_retry(&socket, &line, 4) {
+            Ok(r) if r.contains("\"ok\":true") => {
+                ok += 1;
+                if r.contains("\"warm\":true") {
+                    warm += 1;
+                }
+            }
+            Ok(r) => eprintln!("corpus_stress: daemon rejected {item}: {r}"),
+            Err(e) => eprintln!("corpus_stress: daemon request failed for {item}: {e}"),
+        }
+    }
+    let elapsed = t.elapsed();
+    let _ = request(&socket, "{\"cmd\":\"shutdown\"}");
+    let _ = handle.join();
+    (ok, warm, elapsed)
+}
+
+fn main() {
+    // A `--worker` re-invocation must keep the coordinator's scratch
+    // environment (shared flow cache) and skip every side effect on the
+    // way to its `run()` call, which never returns for its label.
+    let in_worker = worker_invocation_label().is_some();
+    let scratch = workspace_root()
+        .join("target")
+        .join(format!("corpus_stress_scratch_{}", std::process::id()));
+    if !in_worker {
+        std::fs::create_dir_all(&scratch).expect("create scratch dir");
+        // Must precede the first cache access: the config is read once.
+        std::env::set_var("FLOW_CACHE_DIR", scratch.join("cache"));
+    }
+
+    let seed = env_u64("CORPUS_SEED", 2004);
+    let per_tier = env_u64("CORPUS_PER_TIER", 125);
+    let tiers = tiers();
+    let mut items = Vec::new();
+    for tier in &tiers {
+        for i in 0..per_tier {
+            let s = fsm_model::corpus::spec(tier, i as usize, seed).expect("known tier");
+            items.push(s.name);
+        }
+    }
+    if !in_worker {
+        eprintln!(
+            "== corpus_stress: {} machine(s), {} tier(s), seed {seed} ==",
+            items.len(),
+            tiers.len()
+        );
+        clear_cache(&scratch.join("cache"));
+    }
+
+    let (serial_rows, serial_cold, serial_fail) =
+        pass("serial_cold", Backend::Sequential, &items, &scratch);
+    if !in_worker {
+        clear_cache(&scratch.join("cache"));
+    }
+    let (par_cold_rows, parallel_cold, par_cold_fail) =
+        pass("parallel_cold", Backend::Threads, &items, &scratch);
+    let (par_warm_rows, parallel_warm, par_warm_fail) =
+        pass("parallel_warm", Backend::Threads, &items, &scratch);
+    let (proc_rows, process_warm, proc_fail) =
+        pass("process_warm", Backend::Process, &items, &scratch);
+    // In a worker re-invocation the passes above either served items
+    // (and exited at EOF) or returned placeholder rows; nothing below
+    // may run there.
+    assert!(!in_worker, "worker re-invocations exit inside run()");
+
+    let failures = serial_fail + par_cold_fail + par_warm_fail + proc_fail;
+    assert_eq!(failures, 0, "corpus_stress: {failures} coordinator failure(s)");
+    assert_eq!(serial_rows, par_cold_rows, "thread backend diverged from sequential");
+    assert_eq!(serial_rows, par_warm_rows, "warm cache leaked into outcome rows");
+    assert_eq!(serial_rows, proc_rows, "process backend diverged from sequential");
+
+    print_histograms(&serial_rows, &tiers, seed, per_tier);
+
+    let one_per_tier: Vec<String> = tiers
+        .iter()
+        .filter_map(|t| fsm_model::corpus::spec(t, 0, seed).map(|s| s.name))
+        .collect();
+    let (daemon_ok, daemon_warm, daemon_elapsed) = daemon_pass(&one_per_tier, &scratch);
+    println!("== daemon ==");
+    println!("daemon ok: {daemon_ok}/{}", one_per_tier.len());
+    assert_eq!(daemon_ok, one_per_tier.len(), "daemon rejected corpus load");
+
+    let n = items.len() as f64;
+    let fsms = |d: Duration| n / d.as_secs_f64().max(1e-9);
+    for (name, d) in [
+        ("serial_cold", serial_cold),
+        ("parallel_cold", parallel_cold),
+        ("parallel_warm", parallel_warm),
+        ("process_warm", process_warm),
+    ] {
+        eprintln!("{name:<14} {d:>10.2?}  {:>8.1} FSMs/sec", fsms(d));
+    }
+    eprintln!(
+        "daemon         {daemon_elapsed:>10.2?}  {daemon_ok}/{} ok, {daemon_warm} warm",
+        one_per_tier.len()
+    );
+
+    let dir = std::env::var("BENCH_RESULTS_DIR").map_or_else(
+        |_| workspace_root().join("results"),
+        |d| {
+            let d = PathBuf::from(d);
+            if d.is_absolute() {
+                d
+            } else {
+                workspace_root().join(d)
+            }
+        },
+    );
+    std::fs::create_dir_all(&dir).expect("create results/");
+    let path = dir.join("bench_corpus.json");
+    let json = format!(
+        "{{\n  \"suite\": \"corpus\",\n  \"machines\": {},\n  \"tiers\": {},\n  \
+         \"seed\": {seed},\n  \"per_tier\": {per_tier},\n  \
+         \"serial_cold_ms\": {:.1},\n  \"parallel_cold_ms\": {:.1},\n  \
+         \"parallel_warm_ms\": {:.1},\n  \"process_warm_ms\": {:.1},\n  \
+         \"fsms_per_sec_serial\": {:.2},\n  \"fsms_per_sec_parallel\": {:.2},\n  \
+         \"fsms_per_sec_warm\": {:.2},\n  \
+         \"daemon_items\": {},\n  \"daemon_ok\": {daemon_ok},\n  \"daemon_warm\": {daemon_warm},\n  \
+         \"daemon_ms\": {:.1},\n  \"coordinator_failures\": 0\n}}\n",
+        items.len(),
+        tiers.len(),
+        serial_cold.as_secs_f64() * 1e3,
+        parallel_cold.as_secs_f64() * 1e3,
+        parallel_warm.as_secs_f64() * 1e3,
+        process_warm.as_secs_f64() * 1e3,
+        fsms(serial_cold),
+        fsms(parallel_cold),
+        fsms(parallel_warm),
+        one_per_tier.len(),
+        daemon_elapsed.as_secs_f64() * 1e3,
+    );
+    std::fs::write(&path, json).expect("write bench JSON");
+    eprintln!("wrote {}", path.display());
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -43,7 +43,7 @@ fn hang_forever() {
 fn generated_row(item: &str, seed: u64) -> Vec<String> {
     let mut spec = fsm_model::generate::StgSpec::new(item);
     spec.seed = seed;
-    let stg = fsm_model::generate::generate(&spec);
+    let stg = fsm_model::generate::generate(&spec).expect("default-shaped spec generates");
     let mut rng = xrand::SmallRng::seed_from_u64(seed ^ 0xc0ffee);
     let stimulus: Vec<Vec<bool>> = (0..64)
         .map(|_| (0..stg.num_inputs()).map(|_| rng.random_bool(0.5)).collect())

@@ -828,9 +828,15 @@ fn error_response(kind: &str, message: &str) -> String {
 /// exactly this request's traffic).
 fn handle_map(bench: &str) -> String {
     let Some(stg) = fsm_model::benchmarks::by_name(bench) else {
+        // Not a paper benchmark: corpus item names (`cx.<tier>...`) are
+        // self-describing, so the daemon can serve synthetic load too —
+        // `corpus_stress` uses this as its daemon pass.
+        if fsm_model::corpus::decode_spec(bench).is_some() {
+            return handle_corpus_map(bench);
+        }
         return error_response(
             "unknown-bench",
-            &format!("no benchmark named '{bench}' (see fsm_model::benchmarks)"),
+            &format!("no benchmark named '{bench}' (see fsm_model::benchmarks or fsm_model::corpus)"),
         );
     };
     let started = Instant::now();
@@ -871,6 +877,34 @@ fn handle_map(bench: &str) -> String {
             )
         }
     }
+}
+
+/// Runs one corpus item through its tier's flow profile and renders the
+/// response line. The outcome columns are exactly the ones
+/// [`crate::corpus::run_item`] computes for the batch passes, so a
+/// daemon response and a runner row for the same item always agree.
+fn handle_corpus_map(item: &str) -> String {
+    let started = Instant::now();
+    let before = emb_fsm::cache::stats_snapshot();
+    let o = crate::corpus::run_item(item);
+    let delta = emb_fsm::cache::stats_snapshot().since(before);
+    let warm = delta.misses == 0 && delta.hits > 0;
+    format!(
+        "{{\"ok\":true,\"item\":{},\"tier\":{},\"status\":{},\
+         \"kind\":{},\"device\":{},\"rung\":{},\"downgrades\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{}}},\"warm\":{warm},\
+         \"ms\":{}}}",
+        json_string(&o.item),
+        json_string(&o.tier),
+        json_string(&o.status),
+        json_string(&o.impl_kind),
+        json_string(&o.device),
+        json_string(&o.rung),
+        json_string(&o.downgrades),
+        delta.hits,
+        delta.misses,
+        started.elapsed().as_millis()
+    )
 }
 
 /// Runs `job` on a detached thread and waits at most `timeout` for its

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod corpus;
 pub mod fabric;
 pub mod runner;
 pub mod timing;

@@ -314,7 +314,7 @@ mod tests {
             max_support: Some(2),
             ..fsm_model::generate::StgSpec::new("cmpeco")
         };
-        let old = fsm_model::generate::generate(&spec);
+        let old = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(&old, &EmbOptions::default()).unwrap();
         assert!(matches!(emb.address, AddressPlan::Compacted(_)));
 

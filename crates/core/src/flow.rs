@@ -250,6 +250,37 @@ pub enum Downgrade {
     },
 }
 
+impl Downgrade {
+    /// Stable payload-free label for histograms and JSON reports. New
+    /// variants must pick a label here, which is what lets corpus
+    /// coverage tests assert "every kind observed" without formatting.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Downgrade::EmbToFf { .. } => "emb-to-ff",
+            Downgrade::DeviceUpsized { .. } => "device-upsized",
+            Downgrade::PlaceBudgetExhausted { .. } => "place-budget",
+            Downgrade::SynthBudgetExhausted { .. } => "synth-budget",
+            Downgrade::EcoFallback { .. } => "eco-fallback",
+            Downgrade::VerifySampled { .. } => "verify-sampled",
+        }
+    }
+
+    /// All downgrade kind labels, in declaration order — the universe the
+    /// corpus coverage gate checks against.
+    #[must_use]
+    pub fn all_kinds() -> &'static [&'static str] {
+        &[
+            "emb-to-ff",
+            "device-upsized",
+            "place-budget",
+            "synth-budget",
+            "eco-fallback",
+            "verify-sampled",
+        ]
+    }
+}
+
 impl fmt::Display for Downgrade {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -1263,7 +1294,7 @@ mod tests {
             transitions: 150,
             ..fsm_model::generate::StgSpec::new("big")
         };
-        let big = fsm_model::generate::generate(&spec);
+        let big = fsm_model::generate::generate(&spec).expect("generates");
         let cfg = quick_cfg();
         let e_small = emb_flow(&small, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
         let e_big = emb_flow(&big, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();

@@ -134,6 +134,37 @@ impl AddressPlan {
     }
 }
 
+/// Which mapping rung of the degradation ladder a mapping landed on.
+/// Derived from the finished [`EmbFsm`] (address plan + bank count), so
+/// outcome reports can histogram rungs without re-running the mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MapRung {
+    /// Raw inputs on the address lines, a single bank.
+    Direct,
+    /// Column compaction through the state-controlled input mux (Fig. 4).
+    Compacted,
+    /// Series bank cascade (address width over the single-BRAM limit).
+    Series,
+}
+
+impl MapRung {
+    /// Stable lowercase label for histograms and JSON reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MapRung::Direct => "direct",
+            MapRung::Compacted => "compacted",
+            MapRung::Series => "series",
+        }
+    }
+}
+
+impl fmt::Display for MapRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The resolved output realization.
 #[derive(Debug, Clone)]
 pub enum OutputRealization {
@@ -192,6 +223,20 @@ impl EmbFsm {
     #[must_use]
     pub fn num_brams(&self) -> usize {
         self.banks * self.parallel
+    }
+
+    /// The mapping rung this mapping landed on. Series joins subsume the
+    /// compaction question (a cascade may also carry a compacted mux), so
+    /// they report as [`MapRung::Series`].
+    #[must_use]
+    pub fn rung(&self) -> MapRung {
+        if self.banks > 1 {
+            MapRung::Series
+        } else if matches!(self.address, AddressPlan::Compacted(_)) {
+            MapRung::Compacted
+        } else {
+            MapRung::Direct
+        }
     }
 
     /// LUTs in the auxiliary logic (input mux, Moore outputs, series
@@ -748,7 +793,7 @@ mod tests {
             max_support: Some(2),
             ..fsm_model::generate::StgSpec::new("wide_in")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
         assert!(matches!(emb.address, AddressPlan::Compacted(_)));
         assert!(emb.input_mux.is_some());
@@ -767,7 +812,7 @@ mod tests {
             max_support: Some(2),
             ..fsm_model::generate::StgSpec::new("wide13")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(
             &stg,
             &EmbOptions {
@@ -792,7 +837,7 @@ mod tests {
             max_support: Some(20),
             ..fsm_model::generate::StgSpec::new("huge")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let err = map_fsm_into_embs(
             &stg,
             &EmbOptions {

@@ -266,7 +266,7 @@ mod tests {
             max_support: Some(13),
             ..fsm_model::generate::StgSpec::new("wide13")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(
             &stg,
             &EmbOptions {

@@ -694,7 +694,7 @@ mod tests {
             max_support: Some(3),
             ..fsm_model::generate::StgSpec::new("cmp")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).unwrap();
         assert!(emb.input_mux.is_some());
         let n = emb.to_netlist();
@@ -711,7 +711,7 @@ mod tests {
             max_support: Some(13),
             ..fsm_model::generate::StgSpec::new("series")
         };
-        let stg = fsm_model::generate::generate(&spec);
+        let stg = fsm_model::generate::generate(&spec).expect("generates");
         let emb = map_fsm_into_embs(
             &stg,
             &EmbOptions {

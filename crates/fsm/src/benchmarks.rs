@@ -138,8 +138,13 @@ pub fn from_signature(sig: &BenchmarkSignature) -> Stg {
         // pending); modeling it keeps the Sec. 6 idle logic compact, as in
         // the paper's Table 4.
         idle_line: Some(0),
+        dont_care_density: 0.0,
+        fanout_skew: 0.0,
         seed: seed_for(sig.name),
     })
+    // The nine signatures are static and well-formed; a failure here is a
+    // generator regression, not an input problem.
+    .expect("paper-suite signatures generate")
 }
 
 /// The benchmark by name, if it is part of the paper suite.

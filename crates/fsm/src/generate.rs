@@ -24,6 +24,7 @@
 
 use crate::pattern::{index_to_bits, Pattern, Trit};
 use crate::stg::{StateId, Stg, StgBuilder};
+use std::fmt;
 use xrand::SmallRng;
 
 /// Specification of a synthetic machine.
@@ -53,6 +54,25 @@ pub struct StgSpec {
     /// their idle conditions compact (paper Sec. 6). For Mealy machines
     /// the hold outputs are all-zero (an idle controller asserts nothing).
     pub idle_line: Option<usize>,
+    /// Don't-care density in `[0, 1]`: the fraction of each state's
+    /// transition budget left *unsplit*, so cubes stay wide (more
+    /// don't-care columns per transition, fewer transitions overall).
+    /// `0.0` reproduces the dense historical behaviour byte-for-byte;
+    /// `1.0` collapses every state to the fewest cubes that still host
+    /// its spanning-tree children (one universal cube for leaf states,
+    /// plus the idle self-loop when configured) — the
+    /// compaction-friendliest shape a machine can have. Non-finite
+    /// values are treated as `0.0`.
+    pub dont_care_density: f64,
+    /// Transition-fanout skew (≥ 0): `0.0` gives every state the same
+    /// outgoing-transition target (historical behaviour, byte-identical);
+    /// larger values allocate the machine's transition budget by a
+    /// rank-based power law `(rank+1)^-skew` over a seed-shuffled state
+    /// order, so a few hub states carry most of the fanout while the tail
+    /// degenerates toward one outgoing cube. Drawn from a dedicated RNG
+    /// stream, so turning the knob never perturbs the base machine shape
+    /// decisions. Non-finite or negative values are treated as `0.0`.
+    pub fanout_skew: f64,
     /// RNG seed; equal specs generate identical machines.
     pub seed: u64,
 }
@@ -71,32 +91,153 @@ impl StgSpec {
             self_loop_bias: 0.3,
             moore: false,
             idle_line: None,
+            dont_care_density: 0.0,
+            fanout_skew: 0.0,
             seed: 1,
         }
     }
 }
 
+/// Degenerate-spec errors from [`generate`]. Typed instead of panicking so
+/// corpus drivers and the daemon can feed arbitrary (possibly hostile)
+/// specs through the generator without a `catch_unwind` fence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// `states == 0` — a machine needs at least one state.
+    NoStates,
+    /// `inputs > 20` — dense input subspaces would blow up.
+    TooManyInputs {
+        /// The offending input count.
+        inputs: usize,
+    },
+    /// `idle_line` names a column outside `0..inputs`.
+    IdleLineOutOfRange {
+        /// The requested quiescent column.
+        idle_line: usize,
+        /// Number of input columns the spec actually has.
+        inputs: usize,
+    },
+    /// The reachability spanning tree ran out of leaf capacity: with
+    /// `2^support` outgoing cubes per state the requested state count
+    /// cannot all be hosted. Unreachable for `support >= 1` by
+    /// construction (every hosted state contributes its own capacity),
+    /// kept typed as a defensive backstop.
+    FanoutUnhostable {
+        /// Requested state count.
+        states: usize,
+        /// Outgoing-leaf capacity per state (`2^support`).
+        leaf_capacity: usize,
+    },
+    /// The STG builder rejected the assembled machine (internal
+    /// invariant breach — should not happen for any spec).
+    Invalid(String),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::NoStates => write!(f, "spec needs at least one state"),
+            GenerateError::TooManyInputs { inputs } => {
+                write!(f, "generator supports at most 20 inputs, spec has {inputs}")
+            }
+            GenerateError::IdleLineOutOfRange { idle_line, inputs } => {
+                write!(
+                    f,
+                    "idle line column {idle_line} out of range for {inputs} inputs"
+                )
+            }
+            GenerateError::FanoutUnhostable {
+                states,
+                leaf_capacity,
+            } => {
+                write!(
+                    f,
+                    "spanning tree cannot host {states} states at {leaf_capacity} leaves per state"
+                )
+            }
+            GenerateError::Invalid(msg) => write!(f, "generated machine rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 /// Generates a machine from a spec.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `states == 0` or `inputs > 20` (dense subspaces would blow up).
-#[must_use]
-pub fn generate(spec: &StgSpec) -> Stg {
-    assert!(spec.states > 0, "need at least one state");
-    assert!(spec.inputs <= 20, "generator supports at most 20 inputs");
+/// Returns a typed [`GenerateError`] for degenerate specs (`states == 0`,
+/// `inputs > 20`, an out-of-range `idle_line`) instead of panicking.
+pub fn generate(spec: &StgSpec) -> Result<Stg, GenerateError> {
+    if spec.states == 0 {
+        return Err(GenerateError::NoStates);
+    }
+    if spec.inputs > 20 {
+        return Err(GenerateError::TooManyInputs {
+            inputs: spec.inputs,
+        });
+    }
+    let idle_line = spec.idle_line;
+    if let Some(col) = idle_line {
+        if col >= spec.inputs {
+            return Err(GenerateError::IdleLineOutOfRange {
+                idle_line: col,
+                inputs: spec.inputs,
+            });
+        }
+    }
     let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5eed_f5ee_d5ee_df00);
 
     let n = spec.states;
-    let idle_line = spec.idle_line;
-    if let Some(col) = idle_line {
-        assert!(col < spec.inputs, "idle line column out of range");
-    }
     let per_state_target = spec
         .transitions
         .div_ceil(n)
         .saturating_sub(usize::from(idle_line.is_some()))
         .max(1);
+
+    // Shape knobs. Both default to 0.0, which must reproduce the
+    // historical machines byte-for-byte: the skew branch draws from a
+    // *dedicated* RNG stream so the base stream below is untouched, and
+    // the density scale is pure arithmetic (no draws at all).
+    let density = if spec.dont_care_density.is_finite() {
+        spec.dont_care_density.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let skew = if spec.fanout_skew.is_finite() && spec.fanout_skew > 0.0 {
+        spec.fanout_skew
+    } else {
+        0.0
+    };
+    let leaf_targets: Vec<usize> = if skew == 0.0 && density == 0.0 {
+        vec![per_state_target; n]
+    } else {
+        let raw: Vec<f64> = if skew > 0.0 {
+            // Rank-based power law over a seed-shuffled state order, so
+            // which states become hubs is itself seed-dependent.
+            let mut skew_rng = SmallRng::seed_from_u64(spec.seed ^ 0x0fa0_0475_ce77_a11e);
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = skew_rng.random_range(0..i + 1);
+                order.swap(i, j);
+            }
+            let mut rank = vec![0usize; n];
+            for (r, &s) in order.iter().enumerate() {
+                rank[s] = r;
+            }
+            let weights: Vec<f64> = (0..n)
+                .map(|s| ((rank[s] + 1) as f64).powf(-skew))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let budget = (per_state_target * n) as f64;
+            weights.iter().map(|w| budget * w / total).collect()
+        } else {
+            vec![per_state_target as f64; n]
+        };
+        raw.iter()
+            .map(|t| (t * (1.0 - density)).round().max(1.0) as usize)
+            .collect()
+    };
 
     // Per-state support columns for transition splitting. The idle line
     // (when present) is excluded here — it is pinned to 1 in every
@@ -139,21 +280,19 @@ pub fn generate(spec: &StgSpec) -> Stg {
     // 2^support_size distinct outgoing leaves).
     let capacity = 1usize << support_size.min(20);
     let mut child_count = vec![0usize; n];
-    let tree_parent: Vec<usize> = (0..n)
-        .map(|k| {
-            if k == 0 {
-                return 0;
-            }
-            let available: Vec<usize> = (0..k).filter(|&p| child_count[p] < capacity).collect();
-            assert!(
-                !available.is_empty(),
-                "spanning tree ran out of leaf capacity (support too small)"
-            );
-            let p = available[rng.random_range(0..available.len())];
-            child_count[p] += 1;
-            p
-        })
-        .collect();
+    let mut tree_parent = vec![0usize; n];
+    for k in 1..n {
+        let available: Vec<usize> = (0..k).filter(|&p| child_count[p] < capacity).collect();
+        if available.is_empty() {
+            return Err(GenerateError::FanoutUnhostable {
+                states: n,
+                leaf_capacity: capacity,
+            });
+        }
+        let p = available[rng.random_range(0..available.len())];
+        child_count[p] += 1;
+        tree_parent[k] = p;
+    }
 
     // For each state, split its support subspace into disjoint cubes.
     let mut b = StgBuilder::new(spec.name.clone(), spec.inputs, spec.outputs);
@@ -183,7 +322,7 @@ pub fn generate(spec: &StgSpec) -> Stg {
             }
             c
         }];
-        while leaves.len() < per_state_target {
+        while leaves.len() < leaf_targets[s] {
             // Pick a leaf with a remaining don't-care support column.
             let candidates: Vec<usize> = leaves
                 .iter()
@@ -293,9 +432,11 @@ pub fn generate(spec: &StgSpec) -> Stg {
         }
     }
 
-    let stg = b.build().expect("generator builds valid machines");
+    let stg = b
+        .build()
+        .map_err(|e| GenerateError::Invalid(e.to_string()))?;
     debug_assert!(stg.is_deterministic());
-    stg
+    Ok(stg)
 }
 
 #[cfg(test)]
@@ -315,9 +456,11 @@ mod tests {
             self_loop_bias: 0.4,
             moore: false,
             idle_line: None,
+            dont_care_density: 0.0,
+            fanout_skew: 0.0,
             seed: 42,
         };
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("valid spec generates");
         let st = stats(&stg);
         assert_eq!(st.states, 12);
         assert_eq!(st.inputs, 5);
@@ -337,7 +480,7 @@ mod tests {
                 transitions: 30,
                 ..StgSpec::new(format!("g{seed}"))
             };
-            let stg = generate(&spec);
+            let stg = generate(&spec).expect("valid spec generates");
             assert!(stg.is_deterministic(), "seed {seed}");
             assert_eq!(
                 reachable_states(&stg).len(),
@@ -359,6 +502,136 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_specs_return_typed_errors() {
+        let no_states = StgSpec {
+            states: 0,
+            ..StgSpec::new("z")
+        };
+        assert_eq!(generate(&no_states), Err(GenerateError::NoStates));
+
+        let wide = StgSpec {
+            inputs: 21,
+            ..StgSpec::new("w")
+        };
+        assert_eq!(
+            generate(&wide),
+            Err(GenerateError::TooManyInputs { inputs: 21 })
+        );
+
+        let bad_idle = StgSpec {
+            inputs: 4,
+            idle_line: Some(4),
+            ..StgSpec::new("i")
+        };
+        assert_eq!(
+            generate(&bad_idle),
+            Err(GenerateError::IdleLineOutOfRange {
+                idle_line: 4,
+                inputs: 4
+            })
+        );
+    }
+
+    #[test]
+    fn zero_valued_knobs_are_byte_identical_to_defaults() {
+        // The new shape knobs must not perturb historical machines: an
+        // explicit 0.0 (or a non-finite value, which sanitizes to 0.0)
+        // generates the exact same STG as the default spec.
+        let base = generate(&StgSpec::new("knob")).expect("generates");
+        for (density, skew) in [(0.0, 0.0), (f64::NAN, f64::NAN), (-0.5, -1.0)] {
+            let knobbed = StgSpec {
+                dont_care_density: density,
+                fanout_skew: skew,
+                ..StgSpec::new("knob")
+            };
+            assert_eq!(generate(&knobbed).expect("generates"), base);
+        }
+    }
+
+    #[test]
+    fn full_dont_care_density_collapses_to_minimal_cubes() {
+        // At density 1.0 each state keeps only the cubes forced by its
+        // spanning-tree fanout: n states plus at most n-1 hub splits,
+        // far below the 40-transition budget the spec asks for.
+        let spec = StgSpec {
+            states: 6,
+            inputs: 5,
+            outputs: 2,
+            transitions: 40,
+            dont_care_density: 1.0,
+            ..StgSpec::new("dc1")
+        };
+        let stg = generate(&spec).expect("generates");
+        let t = stats(&stg).transitions;
+        assert!(t <= 2 * 6 - 1, "got {t} transitions, tree bound is 11");
+        // With an idle line: one extra quiescent self-loop per state.
+        let idle = StgSpec {
+            idle_line: Some(0),
+            ..spec
+        };
+        let stg = generate(&idle).expect("generates");
+        let t = stats(&stg).transitions;
+        assert!(t <= 3 * 6 - 1, "got {t} transitions with idle loops");
+    }
+
+    #[test]
+    fn dont_care_density_monotonically_thins_transitions() {
+        let mut last = usize::MAX;
+        for density in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let spec = StgSpec {
+                states: 10,
+                inputs: 6,
+                outputs: 2,
+                transitions: 80,
+                dont_care_density: density,
+                ..StgSpec::new("dcmono")
+            };
+            let stg = generate(&spec).expect("generates");
+            let t = stats(&stg).transitions;
+            assert!(
+                t <= last,
+                "density {density}: {t} transitions, previous {last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fanout_skew_concentrates_transitions_on_hub_states() {
+        let flat_spec = StgSpec {
+            states: 12,
+            inputs: 8,
+            outputs: 2,
+            transitions: 96,
+            ..StgSpec::new("skew")
+        };
+        let skewed_spec = StgSpec {
+            fanout_skew: 1.5,
+            ..flat_spec.clone()
+        };
+        let flat = generate(&flat_spec).expect("generates");
+        let skewed = generate(&skewed_spec).expect("generates");
+        let spread = |stg: &Stg| {
+            let counts: Vec<usize> = stg
+                .states()
+                .map(|s| stg.transitions_from(s).count())
+                .collect();
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let min = counts.iter().copied().min().unwrap_or(0);
+            max - min
+        };
+        assert!(
+            spread(&skewed) > spread(&flat),
+            "skewed fanout spread {} should exceed flat spread {}",
+            spread(&skewed),
+            spread(&flat)
+        );
+        // Skew redistributes the budget but keeps the machine sound.
+        assert!(skewed.is_deterministic());
+        assert_eq!(reachable_states(&skewed).len(), skewed.num_states());
+    }
+
+    #[test]
     fn moore_spec_generates_moore_machine() {
         let spec = StgSpec {
             moore: true,
@@ -368,7 +641,7 @@ mod tests {
             transitions: 20,
             ..StgSpec::new("moore")
         };
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("valid spec generates");
         assert_eq!(
             crate::machine::classify(&stg),
             crate::machine::FsmKind::Moore
@@ -385,7 +658,7 @@ mod tests {
             transitions: 40,
             ..StgSpec::new("idle")
         };
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("valid spec generates");
         for s in stg.states() {
             let loops: Vec<_> = stg.transitions_from(s).filter(|t| t.to == s).collect();
             for w in loops.windows(2) {
@@ -407,7 +680,7 @@ mod tests {
             max_support: None,
             ..StgSpec::new("complete")
         };
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("valid spec generates");
         assert!(stg.is_complete());
     }
 }

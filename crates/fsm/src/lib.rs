@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod benchmarks;
+pub mod corpus;
 pub mod dot;
 pub mod encoding;
 pub mod generate;

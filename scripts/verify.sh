@@ -52,7 +52,14 @@
 #    guarded two-arm anneal makes this exact, not statistical), and a
 #    warm-cache rerun must reproduce the file byte-for-byte (same seed
 #    -> identical fmax digest). The bench gate additionally covers
-#    place_timing_kernel/keyb, the incremental STA kernel microbench.
+#    place_timing_kernel/keyb, the incremental STA kernel microbench;
+#  * corpus smoke (ISSUE 9) — corpus_stress must push 198 seeded
+#    synthetic machines (22 per scenario tier) through the full flow on
+#    every backend and the daemon, twice, with zero coordinator
+#    failures, byte-identical outcome histograms across runs, and every
+#    mapping rung and downgrade kind covered at least once; the
+#    committed results/bench_corpus.json must additionally come from a
+#    >= 1000-machine run with all three throughput figures present.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -362,5 +369,48 @@ grep -q '"slept_ms":800' target/verify_daemon_drain.out \
 wait "$daemon_pid" || fail "daemon exited non-zero after drain"
 [ ! -S "$fabric_sock" ] || fail "daemon left its socket file behind after drain"
 echo "   duplicate bind refused (exit 3); deadline and draining rejects typed; drain completed in-flight work" >&2
+
+# -- Corpus smoke gate -------------------------------------------------------
+# ~200 synthetic machines (22 per tier x 9 tiers) through the full flow
+# under the degradation ladder, on every runner backend and the daemon,
+# twice with the same fixed seed. corpus_stress itself asserts zero
+# coordinator failures and byte-identical rows across the sequential,
+# thread, and process backends; this gate adds (a) run-to-run stdout
+# determinism (the per-tier outcome histograms), and (b) full ladder
+# coverage — no rung and no downgrade kind at zero. Timings go to a
+# scratch BENCH_RESULTS_DIR so the committed results/bench_corpus.json
+# (from the full >=1000-machine run) is never clobbered.
+echo "== corpus smoke (22/tier x 9 tiers, 2 runs, deterministic histogram)" >&2
+rm -rf target/verify_corpus
+CORPUS_PER_TIER=22 BENCH_RESULTS_DIR=target/verify_corpus \
+    ./target/release/corpus_stress > target/verify_corpus_1.out 2>/dev/null \
+    || fail "first corpus_stress run failed (coordinator failure or backend divergence)"
+CORPUS_PER_TIER=22 BENCH_RESULTS_DIR=target/verify_corpus \
+    ./target/release/corpus_stress > target/verify_corpus_2.out 2>/dev/null \
+    || fail "second corpus_stress run failed"
+cmp -s target/verify_corpus_1.out target/verify_corpus_2.out \
+    || fail "corpus_stress outcome histogram differs between identical runs"
+grep -Eq '^(rung|downgrade) .*: 0$' target/verify_corpus_1.out \
+    && fail "a mapping rung or downgrade kind has zero corpus coverage (see target/verify_corpus_1.out)"
+[ -s target/verify_corpus/bench_corpus.json ] \
+    || fail "corpus_stress wrote no bench_corpus.json"
+echo "   198 machines x 2 runs: histograms byte-identical, full ladder coverage" >&2
+
+# -- Committed corpus-throughput artifact ------------------------------------
+# The committed results/bench_corpus.json must come from a full run:
+# >= 1000 machines, zero coordinator failures, and all three throughput
+# figures (serial / parallel / warm-cache) present.
+echo "== committed bench_corpus.json sanity" >&2
+[ -s results/bench_corpus.json ] || fail "results/bench_corpus.json is missing"
+corpus_machines=$(sed -n 's/.*"machines": \([0-9]*\).*/\1/p' results/bench_corpus.json)
+[ -n "$corpus_machines" ] && [ "$corpus_machines" -ge 1000 ] \
+    || fail "committed bench_corpus.json covers ${corpus_machines:-0} machines, need >= 1000 (regenerate with ./target/release/corpus_stress)"
+grep -q '"coordinator_failures": 0' results/bench_corpus.json \
+    || fail "committed bench_corpus.json records coordinator failures"
+for field in fsms_per_sec_serial fsms_per_sec_parallel fsms_per_sec_warm; do
+    grep -q "\"$field\":" results/bench_corpus.json \
+        || fail "committed bench_corpus.json is missing $field"
+done
+echo "   committed corpus run: $corpus_machines machines, zero coordinator failures" >&2
 
 echo "verify.sh: OK" >&2

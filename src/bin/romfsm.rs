@@ -34,6 +34,7 @@ USAGE:
                              [--minimize]
   romfsm generate --states <n> --inputs <n> --outputs <n>
                   [--transitions <n>] [--seed <n>] [--moore] [--idle-line]
+                  [--dont-care-density <0..1>] [--fanout-skew <k>]
   romfsm bench <prep4|dk16|tbk|keyb|donfile|sand|styr|ex1|planet>
   romfsm dot <fsm.kiss2> [--lr]
 
@@ -91,6 +92,8 @@ const VALUED: &[&str] = &[
     "--inputs",
     "--outputs",
     "--transitions",
+    "--dont-care-density",
+    "--fanout-skew",
     "--seed",
 ];
 
@@ -350,9 +353,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         } else {
             None
         },
+        dont_care_density: flags.number("--dont-care-density")?.unwrap_or(0.0),
+        fanout_skew: flags.number("--fanout-skew")?.unwrap_or(0.0),
         seed: flags.number("--seed")?.unwrap_or(1),
     };
-    let stg = romfsm::fsm::generate::generate(&spec);
+    let stg = romfsm::fsm::generate::generate(&spec).map_err(|e| e.to_string())?;
     print!("{}", kiss2::write(&stg));
     Ok(())
 }
@@ -408,6 +413,16 @@ mod tests {
         assert_eq!(f.number::<usize>("--cycles").unwrap(), Some(100));
         let f = parse_flags(&s(&["--cycles", "zap"])).unwrap();
         assert!(f.number::<usize>("--cycles").is_err());
+    }
+
+    #[test]
+    fn generator_shape_knobs_take_values() {
+        // A flag missing from VALUED degrades silently (boolean + stray
+        // positional), so pin the generate shape knobs as valued.
+        let f = parse_flags(&s(&["--dont-care-density", "0.4", "--fanout-skew", "1.5"])).unwrap();
+        assert_eq!(f.number::<f64>("--dont-care-density").unwrap(), Some(0.4));
+        assert_eq!(f.number::<f64>("--fanout-skew").unwrap(), Some(1.5));
+        assert!(f.positional.is_empty());
     }
 
     #[test]

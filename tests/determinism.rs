@@ -24,13 +24,13 @@ fn spec(seed: u64) -> StgSpec {
 
 #[test]
 fn generated_stg_is_identical_for_identical_seeds() {
-    let a = generate(&spec(77));
-    let b = generate(&spec(77));
+    let a = generate(&spec(77)).expect("generates");
+    let b = generate(&spec(77)).expect("generates");
     assert_eq!(a, b, "same spec must generate the same machine");
     // Textual KISS2 form too: the on-disk artifact is what experiment
     // scripts diff, so it must be byte-identical, not merely Eq.
     assert_eq!(kiss2::write(&a), kiss2::write(&b));
-    let c = generate(&spec(78));
+    let c = generate(&spec(78)).expect("generates");
     assert_ne!(a, c, "different seeds must not collide on this spec");
 }
 

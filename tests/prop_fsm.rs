@@ -7,8 +7,8 @@
 //! `SEED=<seed> cargo test --test prop_fsm`.
 
 use romfsm::emb::map::{map_fsm_into_embs, EmbOptions};
-use romfsm::emb::verify::{verify_against_stg, OutputTiming};
-use romfsm::fsm::generate::{generate, StgSpec};
+use romfsm::emb::verify::{verify_against_stg, verify_rewrite, OutputTiming};
+use romfsm::fsm::generate::{generate, GenerateError, StgSpec};
 use romfsm::fsm::simulate::StgSimulator;
 use romfsm::fsm::{kiss2, machine, minimize, Stg};
 use xrand::proptest_lite::{run_cases, run_sized_cases};
@@ -23,6 +23,18 @@ fn arb_spec(rng: &mut SmallRng) -> StgSpec {
     let moore: bool = rng.random();
     let idle: bool = rng.random();
     let seed: u64 = rng.random();
+    // Shape knobs engage on a quarter of cases each, so the suite keeps
+    // exercising the historical dense/flat shape alongside the new ones.
+    let dont_care_density = if rng.random_bool(0.25) {
+        rng.random::<f64>()
+    } else {
+        0.0
+    };
+    let fanout_skew = if rng.random_bool(0.25) {
+        rng.random::<f64>() * 2.0
+    } else {
+        0.0
+    };
     StgSpec {
         name: format!("p{seed:x}"),
         states,
@@ -33,6 +45,8 @@ fn arb_spec(rng: &mut SmallRng) -> StgSpec {
         self_loop_bias: 0.3,
         moore,
         idle_line: if idle { Some(0) } else { None },
+        dont_care_density,
+        fanout_skew,
         seed,
     }
 }
@@ -59,6 +73,8 @@ fn arb_spec_sized(rng: &mut SmallRng, size: u32) -> StgSpec {
         self_loop_bias: 0.3,
         moore,
         idle_line: if idle { Some(0) } else { None },
+        dont_care_density: 0.0,
+        fanout_skew: 0.0,
         seed,
     }
 }
@@ -85,7 +101,7 @@ fn random_walk_equiv(a: &Stg, b: &Stg, cycles: usize, seed: u64) -> Result<(), S
 fn generated_machines_are_deterministic() {
     run_cases(24, |rng| {
         let spec = arb_spec(rng);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         assert!(stg.is_deterministic(), "{spec:?}");
         assert_eq!(stg.num_states(), spec.states, "{spec:?}");
     });
@@ -98,7 +114,7 @@ fn kiss2_roundtrip_preserves_machine() {
         // compare structure-insensitively: same interface, same state-name
         // set, same observable behaviour.
         let spec = arb_spec(rng);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let text = kiss2::write(&stg);
         let again = kiss2::parse(&text, stg.name()).expect("roundtrip parses");
         assert_eq!(stg.num_states(), again.num_states(), "{spec:?}");
@@ -119,10 +135,163 @@ fn kiss2_roundtrip_preserves_machine() {
 }
 
 #[test]
+fn kiss2_roundtrip_is_equivalent_via_verify_ladder() {
+    // Stronger than the structural/random-walk check above: the parsed
+    // machine is mapped into EMBs and its netlist proven against the
+    // *original* STG through the `verify_rewrite` exhaustive/sampled
+    // ladder, so the round trip is certified by the same oracle the flow
+    // uses. Small arb specs have ≤ 4 inputs, so every case here takes the
+    // exhaustive rung.
+    run_cases(24, |rng| {
+        let spec = arb_spec(rng);
+        let stg = generate(&spec).expect("arb specs are valid");
+        let text = kiss2::write(&stg);
+        let again = kiss2::parse(&text, stg.name()).expect("roundtrip parses");
+        let emb = map_fsm_into_embs(&again, &EmbOptions::default()).expect("maps");
+        let method = verify_rewrite(
+            &emb.to_netlist(),
+            &stg,
+            OutputTiming::Registered,
+            20,
+            400,
+            spec.seed ^ 3,
+        )
+        .unwrap_or_else(|e| panic!("{}: ladder failed: {e:?} ({spec:?})", stg.name()));
+        assert!(
+            matches!(
+                method,
+                romfsm::emb::verify::VerificationMethod::Exhaustive(_)
+            ),
+            "{spec:?}: expected the exhaustive rung for ≤4-input machines"
+        );
+    });
+}
+
+#[test]
+fn generator_conforms_to_spec() {
+    // Spec-conformance pins, as properties: same seed → byte-identical
+    // machine (STG equality *and* on-disk KISS2 text), interface counts
+    // respected, `max_support` honored, `moore` classification honored,
+    // and `idle_line` semantics (a quiescent self-loop on column 0 in
+    // every state, holding an all-zero output on Mealy machines).
+    use romfsm::fsm::analysis::stats;
+    use romfsm::fsm::pattern::Trit;
+
+    run_cases(24, |rng| {
+        let mut spec = arb_spec(rng);
+        spec.max_support = Some(rng.random_range(1usize..4));
+        let stg = generate(&spec).expect("arb specs are valid");
+        let twin = generate(&spec).expect("arb specs are valid");
+        assert_eq!(stg, twin, "{spec:?}: same seed must be byte-identical");
+        assert_eq!(kiss2::write(&stg), kiss2::write(&twin), "{spec:?}");
+
+        let st = stats(&stg);
+        assert_eq!(st.states, spec.states, "{spec:?}");
+        assert_eq!(st.inputs, spec.inputs, "{spec:?}");
+        assert_eq!(st.outputs, spec.outputs, "{spec:?}");
+        let budget = spec.max_support.unwrap();
+        assert!(
+            st.max_input_support <= budget,
+            "{spec:?}: support {} over budget {budget}",
+            st.max_input_support
+        );
+        if spec.moore {
+            assert_eq!(
+                machine::classify(&stg),
+                machine::FsmKind::Moore,
+                "{spec:?}"
+            );
+        }
+        if spec.idle_line == Some(0) {
+            for s in stg.states() {
+                let idle: Vec<_> = stg
+                    .transitions_from(s)
+                    .filter(|t| matches!(t.input.trit(0), Trit::Zero) && t.to == s)
+                    .collect();
+                assert!(
+                    !idle.is_empty(),
+                    "{spec:?}: state {s:?} lacks a quiescent self-loop"
+                );
+                if !spec.moore {
+                    for t in &idle {
+                        assert!(
+                            t.output.trits().iter().all(|o| !matches!(o, Trit::One)),
+                            "{spec:?}: Mealy idle output must be all-zero"
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn dont_care_density_only_ever_thins_machines() {
+    // Don't-care density is a *widening* knob: for any spec, raising it
+    // must never add transitions, and the fully-dense setting must leave
+    // the machine unchanged from the knob's default.
+    run_cases(24, |rng| {
+        let spec = StgSpec {
+            dont_care_density: 0.0,
+            fanout_skew: 0.0,
+            ..arb_spec(rng)
+        };
+        let dense = generate(&spec).expect("arb specs are valid");
+        let mut last = dense.transitions().len();
+        for density in [0.3, 0.7, 1.0] {
+            let thinned = generate(&StgSpec {
+                dont_care_density: density,
+                ..spec.clone()
+            })
+            .expect("arb specs are valid");
+            let t = thinned.transitions().len();
+            assert!(
+                t <= last,
+                "{spec:?}: density {density} grew transitions {last} -> {t}"
+            );
+            last = t;
+        }
+    });
+}
+
+#[test]
+fn degenerate_specs_error_instead_of_panicking() {
+    run_cases(24, |rng| {
+        let spec = arb_spec(rng);
+        assert_eq!(
+            generate(&StgSpec {
+                states: 0,
+                ..spec.clone()
+            }),
+            Err(GenerateError::NoStates)
+        );
+        let inputs = rng.random_range(21usize..64);
+        assert_eq!(
+            generate(&StgSpec {
+                inputs,
+                idle_line: None,
+                ..spec.clone()
+            }),
+            Err(GenerateError::TooManyInputs { inputs })
+        );
+        assert_eq!(
+            generate(&StgSpec {
+                idle_line: Some(spec.inputs),
+                ..spec.clone()
+            }),
+            Err(GenerateError::IdleLineOutOfRange {
+                idle_line: spec.inputs,
+                inputs: spec.inputs
+            })
+        );
+    });
+}
+
+#[test]
 fn minimization_preserves_behaviour() {
     run_cases(24, |rng| {
         let spec = arb_spec(rng);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let min = minimize::minimize(&stg).expect("minimizes");
         assert!(min.stg.num_states() <= stg.num_states(), "{spec:?}");
         if let Err(e) = random_walk_equiv(&stg, &min.stg, 200, spec.seed) {
@@ -135,7 +304,7 @@ fn minimization_preserves_behaviour() {
 fn moore_transform_preserves_behaviour() {
     run_cases(24, |rng| {
         let spec = arb_spec(rng);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let moore = machine::to_moore(&stg).expect("transforms");
         assert_eq!(
             machine::classify(&moore),
@@ -154,7 +323,7 @@ fn emb_mapping_is_cycle_exact() {
     // here shrinks by re-generating the same seed with fewer states.
     run_sized_cases(24, 10, |rng, size| {
         let spec = arb_spec_sized(rng, size);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
         let netlist = emb.to_netlist();
         let r = verify_against_stg(&netlist, &stg, OutputTiming::Registered, 200, spec.seed);
@@ -177,7 +346,7 @@ fn eco_placement_pins_base_and_bounds_delta_wirelength() {
 
     run_sized_cases(24, 10, |rng, size| {
         let spec = arb_spec_sized(rng, size);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
         let plain = emb.to_netlist();
         let (gated, _) = attach_emb_clock_control(&emb, MapOptions::default())
@@ -218,7 +387,7 @@ fn eco_placement_pins_base_and_bounds_delta_wirelength() {
 fn eco_identity_rewrite_changes_nothing() {
     run_cases(24, |rng| {
         let spec = arb_spec(rng);
-        let stg = generate(&spec);
+        let stg = generate(&spec).expect("arb specs are valid");
         let emb = map_fsm_into_embs(&stg, &EmbOptions::default()).expect("maps");
         let eco = romfsm::emb::eco::rewrite(&emb, &stg).expect("identity rewrite");
         assert_eq!(eco.words_changed, 0, "{spec:?}");
@@ -244,9 +413,11 @@ fn regression_shrunk_5state_1in_1out_mealy() {
         self_loop_bias: 0.3,
         moore: false,
         idle_line: None,
+        dont_care_density: 0.0,
+        fanout_skew: 0.0,
         seed: 5508883560117060729,
     };
-    let stg = generate(&spec);
+    let stg = generate(&spec).expect("regression spec generates");
     assert!(stg.is_deterministic());
     assert_eq!(stg.num_states(), 5);
 
