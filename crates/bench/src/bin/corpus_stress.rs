@@ -2,7 +2,7 @@
 //! full flow under the degradation ladder, across every runner backend
 //! and the daemon.
 //!
-//! Five passes over the same item list:
+//! Six passes over the same item list:
 //!
 //! 1. `serial_cold`   — sequential backend, cold flow cache (the
 //!    outcome-histogram source and the serial-throughput baseline);
@@ -10,15 +10,23 @@
 //! 3. `parallel_warm` — thread backend, warm cache;
 //! 4. `process_warm`  — process backend (spawned `--worker`
 //!    re-invocations of this binary), warm cache;
-//! 5. `daemon`        — an in-process [`paper_bench::fabric::serve`]
+//! 5. `overlay_auto`  — sequential backend with the mapping backend
+//!    forced to `auto`: overlay-fit items land on the pre-built overlay
+//!    bases, over-capacity items fall back to direct with a typed
+//!    `overlay-capacity` downgrade (the overlay ladder-coverage source);
+//! 6. `daemon`        — an in-process [`paper_bench::fabric::serve`]
 //!    listener answering corpus-item mapping requests over its socket
-//!    (one item per tier), doubling as the `fabric_daemon` load check.
+//!    (one item per tier, a direct leg and an overlay `backend:auto`
+//!    leg), doubling as the `fabric_daemon` load check.
 //!
-//! Every pass must produce byte-identical outcome rows — the rows carry
-//! no timings and no cache counters, so backend choice and cache warmth
-//! cannot leak into them. **stdout** is exactly the deterministic
-//! payload (per-tier outcome histograms and the ladder-coverage
-//! summary): `scripts/verify.sh` runs the harness twice and diffs it.
+//! Passes 1–4 must produce byte-identical outcome rows once the
+//! trailing stage-timing column is stripped
+//! ([`Outcome::deterministic_columns`]) — the deterministic prefix
+//! carries no timings and no cache counters, so backend choice and
+//! cache warmth cannot leak into it. **stdout** is exactly the
+//! deterministic payload (per-tier outcome histograms for the direct
+//! and overlay passes and the union ladder-coverage summary):
+//! `scripts/verify.sh` runs the harness twice and diffs it.
 //! Timings and throughput go to **stderr** and to
 //! `results/bench_corpus.json` (honoring `BENCH_RESULTS_DIR`).
 //!
@@ -26,7 +34,8 @@
 //! tier, default 125 — 9 tiers × 125 = 1125 machines), `CORPUS_TIERS`
 //! (comma-separated subset, default all).
 
-use paper_bench::corpus::{run_item, Outcome};
+use emb_fsm::MapBackend;
+use paper_bench::corpus::{run_item_with_backend, Outcome};
 use paper_bench::fabric::{request, request_with_retry, serve, worker_invocation_label, DaemonOptions};
 use paper_bench::runner::{run, Backend, RunnerOptions};
 use std::collections::BTreeMap;
@@ -71,9 +80,12 @@ fn tiers() -> Vec<&'static str> {
 }
 
 /// One runner pass over all items; returns (rows, wall-clock, failures).
+/// `map_backend` overrides the flow's mapping backend (`None` keeps the
+/// profile default, i.e. direct).
 fn pass(
     label: &str,
     backend: Backend,
+    map_backend: Option<MapBackend>,
     items: &[String],
     scratch: &PathBuf,
 ) -> (Vec<Vec<String>>, Duration, usize) {
@@ -87,9 +99,15 @@ fn pass(
     };
     let t = Instant::now();
     let out = run(&opts, items, Outcome::COLUMNS, |item, _attempt| {
-        Ok(vec![run_item(item).row()])
+        Ok(vec![run_item_with_backend(item, map_backend).row()])
     });
     (out.rows, t.elapsed(), out.failures.len())
+}
+
+/// The deterministic prefix of every row — the trailing stage-timing
+/// column is measurement, not outcome, and differs run to run.
+fn stripped(rows: &[Vec<String>]) -> Vec<&[String]> {
+    rows.iter().map(|r| Outcome::deterministic_columns(r)).collect()
 }
 
 /// Empties both cache layers (the disk directory stays, its contents go).
@@ -102,16 +120,14 @@ fn clear_cache(dir: &PathBuf) {
     }
 }
 
-/// Per-tier outcome histogram plus whole-corpus ladder coverage, printed
-/// to stdout. Everything here is a pure function of the rows, so two
-/// runs with the same corpus parameters print byte-identical text.
-fn print_histograms(rows: &[Vec<String>], tiers: &[&str], seed: u64, per_tier: u64) {
-    println!(
-        "== corpus outcome histogram (seed {seed}, {} tier(s) x {per_tier}) ==",
-        tiers.len()
-    );
-    let mut rungs_hit: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut downs_hit: BTreeMap<String, usize> = BTreeMap::new();
+/// One per-tier histogram section, accumulating whole-corpus rung /
+/// downgrade counts into the caller's coverage maps.
+fn tier_sections<'a>(
+    rows: &'a [Vec<String>],
+    tiers: &[&str],
+    rungs_hit: &mut BTreeMap<&'a str, usize>,
+    downs_hit: &mut BTreeMap<String, usize>,
+) {
     for tier in tiers {
         let tier_rows: Vec<&Vec<String>> = rows.iter().filter(|r| r.get(1).map(String::as_str) == Some(*tier)).collect();
         let mut status: BTreeMap<&str, usize> = BTreeMap::new();
@@ -141,8 +157,30 @@ fn print_histograms(rows: &[Vec<String>], tiers: &[&str], seed: u64, per_tier: u
             }
         }
     }
+}
+
+/// Per-tier outcome histograms (direct pass, then the overlay pass)
+/// plus the union ladder coverage, printed to stdout. Everything here
+/// is a pure function of the deterministic row columns, so two runs
+/// with the same corpus parameters print byte-identical text.
+fn print_histograms(
+    rows: &[Vec<String>],
+    overlay_rows: &[Vec<String>],
+    tiers: &[&str],
+    seed: u64,
+    per_tier: u64,
+) {
+    println!(
+        "== corpus outcome histogram (seed {seed}, {} tier(s) x {per_tier}) ==",
+        tiers.len()
+    );
+    let mut rungs_hit: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut downs_hit: BTreeMap<String, usize> = BTreeMap::new();
+    tier_sections(rows, tiers, &mut rungs_hit, &mut downs_hit);
+    println!("== overlay pass histogram (backend auto) ==");
+    tier_sections(overlay_rows, tiers, &mut rungs_hit, &mut downs_hit);
     println!("== ladder coverage ==");
-    for r in ["direct", "compacted", "series", "ff"] {
+    for r in ["direct", "compacted", "series", "overlay", "ff"] {
         println!("rung {r}: {}", rungs_hit.get(r).copied().unwrap_or(0));
     }
     for k in emb_fsm::flow::Downgrade::all_kinds() {
@@ -150,11 +188,23 @@ fn print_histograms(rows: &[Vec<String>], tiers: &[&str], seed: u64, per_tier: u
     }
 }
 
+/// Daemon pass results: plain-leg ok / warm counts, overlay-leg ok
+/// count, total requests sent, and wall-clock over both legs.
+struct DaemonStats {
+    ok: usize,
+    warm: usize,
+    overlay_ok: usize,
+    requests: usize,
+    elapsed: Duration,
+}
+
 /// Daemon pass: serve corpus mapping requests in-process over a Unix
-/// socket — one item per tier — and count ok / warm responses. The
-/// response rows were all computed (and cached) by the earlier passes,
-/// so a healthy daemon answers every request warm.
-fn daemon_pass(items_one_per_tier: &[String], scratch: &PathBuf) -> (usize, usize, Duration) {
+/// socket — one item per tier, first with the profile's (direct)
+/// backend, then with `"backend":"auto"` exercising the overlay wire
+/// field — and count ok / warm responses. The response rows were all
+/// computed (and cached) by the earlier passes, so a healthy daemon
+/// answers every request warm.
+fn daemon_pass(items_one_per_tier: &[String], scratch: &PathBuf) -> DaemonStats {
     let socket = scratch.join("corpus_stress.sock");
     let opts = DaemonOptions::new(&socket);
     let handle = {
@@ -167,25 +217,40 @@ fn daemon_pass(items_one_per_tier: &[String], scratch: &PathBuf) -> (usize, usiz
         std::thread::sleep(Duration::from_millis(20));
     }
     let t = Instant::now();
-    let mut ok = 0usize;
-    let mut warm = 0usize;
+    let mut stats = DaemonStats {
+        ok: 0,
+        warm: 0,
+        overlay_ok: 0,
+        requests: 0,
+        elapsed: Duration::ZERO,
+    };
     for item in items_one_per_tier {
         let line = format!("{{\"bench\":\"{item}\"}}");
+        stats.requests += 1;
         match request_with_retry(&socket, &line, 4) {
             Ok(r) if r.contains("\"ok\":true") => {
-                ok += 1;
+                stats.ok += 1;
                 if r.contains("\"warm\":true") {
-                    warm += 1;
+                    stats.warm += 1;
                 }
             }
             Ok(r) => eprintln!("corpus_stress: daemon rejected {item}: {r}"),
             Err(e) => eprintln!("corpus_stress: daemon request failed for {item}: {e}"),
         }
     }
-    let elapsed = t.elapsed();
+    for item in items_one_per_tier {
+        let line = format!("{{\"bench\":\"{item}\",\"backend\":\"auto\"}}");
+        stats.requests += 1;
+        match request_with_retry(&socket, &line, 4) {
+            Ok(r) if r.contains("\"ok\":true") => stats.overlay_ok += 1,
+            Ok(r) => eprintln!("corpus_stress: daemon rejected overlay {item}: {r}"),
+            Err(e) => eprintln!("corpus_stress: daemon overlay request failed for {item}: {e}"),
+        }
+    }
+    stats.elapsed = t.elapsed();
     let _ = request(&socket, "{\"cmd\":\"shutdown\"}");
     let _ = handle.join();
-    (ok, warm, elapsed)
+    stats
 }
 
 fn main() {
@@ -222,51 +287,82 @@ fn main() {
     }
 
     let (serial_rows, serial_cold, serial_fail) =
-        pass("serial_cold", Backend::Sequential, &items, &scratch);
+        pass("serial_cold", Backend::Sequential, None, &items, &scratch);
     if !in_worker {
         clear_cache(&scratch.join("cache"));
     }
     let (par_cold_rows, parallel_cold, par_cold_fail) =
-        pass("parallel_cold", Backend::Threads, &items, &scratch);
+        pass("parallel_cold", Backend::Threads, None, &items, &scratch);
     let (par_warm_rows, parallel_warm, par_warm_fail) =
-        pass("parallel_warm", Backend::Threads, &items, &scratch);
+        pass("parallel_warm", Backend::Threads, None, &items, &scratch);
     let (proc_rows, process_warm, proc_fail) =
-        pass("process_warm", Backend::Process, &items, &scratch);
+        pass("process_warm", Backend::Process, None, &items, &scratch);
     // In a worker re-invocation the passes above either served items
     // (and exited at EOF) or returned placeholder rows; nothing below
     // may run there.
     assert!(!in_worker, "worker re-invocations exit inside run()");
 
-    let failures = serial_fail + par_cold_fail + par_warm_fail + proc_fail;
-    assert_eq!(failures, 0, "corpus_stress: {failures} coordinator failure(s)");
-    assert_eq!(serial_rows, par_cold_rows, "thread backend diverged from sequential");
-    assert_eq!(serial_rows, par_warm_rows, "warm cache leaked into outcome rows");
-    assert_eq!(serial_rows, proc_rows, "process backend diverged from sequential");
+    // Overlay pass: same items with the mapping backend forced to
+    // `auto` — overlay where the capacity ladder fits, typed
+    // `overlay-capacity` fallback to direct where it does not. Runs
+    // after the worker guard so `--worker` re-invocations never see it.
+    let (overlay_rows, overlay_auto, overlay_fail) =
+        pass("overlay_auto", Backend::Sequential, Some(MapBackend::Auto), &items, &scratch);
 
-    print_histograms(&serial_rows, &tiers, seed, per_tier);
+    let failures = serial_fail + par_cold_fail + par_warm_fail + proc_fail + overlay_fail;
+    assert_eq!(failures, 0, "corpus_stress: {failures} coordinator failure(s)");
+    assert_eq!(
+        stripped(&serial_rows),
+        stripped(&par_cold_rows),
+        "thread backend diverged from sequential"
+    );
+    assert_eq!(
+        stripped(&serial_rows),
+        stripped(&par_warm_rows),
+        "warm cache leaked into outcome rows"
+    );
+    assert_eq!(
+        stripped(&serial_rows),
+        stripped(&proc_rows),
+        "process backend diverged from sequential"
+    );
+
+    print_histograms(&serial_rows, &overlay_rows, &tiers, seed, per_tier);
 
     let one_per_tier: Vec<String> = tiers
         .iter()
         .filter_map(|t| fsm_model::corpus::spec(t, 0, seed).map(|s| s.name))
         .collect();
-    let (daemon_ok, daemon_warm, daemon_elapsed) = daemon_pass(&one_per_tier, &scratch);
+    let daemon = daemon_pass(&one_per_tier, &scratch);
     println!("== daemon ==");
-    println!("daemon ok: {daemon_ok}/{}", one_per_tier.len());
-    assert_eq!(daemon_ok, one_per_tier.len(), "daemon rejected corpus load");
+    println!("daemon ok: {}/{}", daemon.ok, one_per_tier.len());
+    println!("daemon overlay ok: {}/{}", daemon.overlay_ok, one_per_tier.len());
+    assert_eq!(daemon.ok, one_per_tier.len(), "daemon rejected corpus load");
+    assert_eq!(
+        daemon.overlay_ok,
+        one_per_tier.len(),
+        "daemon rejected overlay-backend corpus load"
+    );
 
     let n = items.len() as f64;
     let fsms = |d: Duration| n / d.as_secs_f64().max(1e-9);
+    let fsms_daemon = daemon.requests as f64 / daemon.elapsed.as_secs_f64().max(1e-9);
     for (name, d) in [
         ("serial_cold", serial_cold),
         ("parallel_cold", parallel_cold),
         ("parallel_warm", parallel_warm),
         ("process_warm", process_warm),
+        ("overlay_auto", overlay_auto),
     ] {
         eprintln!("{name:<14} {d:>10.2?}  {:>8.1} FSMs/sec", fsms(d));
     }
     eprintln!(
-        "daemon         {daemon_elapsed:>10.2?}  {daemon_ok}/{} ok, {daemon_warm} warm",
-        one_per_tier.len()
+        "daemon         {:>10.2?}  {}/{} ok, {} warm, {:.1} FSMs/sec",
+        daemon.elapsed,
+        daemon.ok,
+        one_per_tier.len(),
+        daemon.warm,
+        fsms_daemon
     );
 
     let dir = std::env::var("BENCH_RESULTS_DIR").map_or_else(
@@ -287,21 +383,30 @@ fn main() {
          \"seed\": {seed},\n  \"per_tier\": {per_tier},\n  \
          \"serial_cold_ms\": {:.1},\n  \"parallel_cold_ms\": {:.1},\n  \
          \"parallel_warm_ms\": {:.1},\n  \"process_warm_ms\": {:.1},\n  \
+         \"overlay_auto_ms\": {:.1},\n  \
          \"fsms_per_sec_serial\": {:.2},\n  \"fsms_per_sec_parallel\": {:.2},\n  \
-         \"fsms_per_sec_warm\": {:.2},\n  \
-         \"daemon_items\": {},\n  \"daemon_ok\": {daemon_ok},\n  \"daemon_warm\": {daemon_warm},\n  \
-         \"daemon_ms\": {:.1},\n  \"coordinator_failures\": 0\n}}\n",
+         \"fsms_per_sec_warm\": {:.2},\n  \"fsms_per_sec_overlay\": {:.2},\n  \
+         \"daemon_items\": {},\n  \"daemon_ok\": {},\n  \"daemon_overlay_ok\": {},\n  \
+         \"daemon_warm\": {},\n  \
+         \"daemon_ms\": {:.1},\n  \"fsms_per_sec_daemon\": {:.2},\n  \
+         \"coordinator_failures\": 0\n}}\n",
         items.len(),
         tiers.len(),
         serial_cold.as_secs_f64() * 1e3,
         parallel_cold.as_secs_f64() * 1e3,
         parallel_warm.as_secs_f64() * 1e3,
         process_warm.as_secs_f64() * 1e3,
+        overlay_auto.as_secs_f64() * 1e3,
         fsms(serial_cold),
         fsms(parallel_cold),
         fsms(parallel_warm),
+        fsms(overlay_auto),
         one_per_tier.len(),
-        daemon_elapsed.as_secs_f64() * 1e3,
+        daemon.ok,
+        daemon.overlay_ok,
+        daemon.warm,
+        daemon.elapsed.as_secs_f64() * 1e3,
+        fsms_daemon,
     );
     std::fs::write(&path, json).expect("write bench JSON");
     eprintln!("wrote {}", path.display());

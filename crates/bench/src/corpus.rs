@@ -9,14 +9,17 @@
 //! process workers / daemon) shares — it reconstructs the machine from
 //! the item name alone, so it runs identically in any process.
 //!
-//! Outcome rows deliberately contain no timings and no cache counters:
-//! they must be byte-identical across backends and cache warmth, which
-//! is what lets `corpus_stress` histogram them and `scripts/verify.sh`
-//! diff two runs.
+//! Outcome rows carry exactly one measurement column — the per-stage
+//! wall-clock breakdown, always last — and are otherwise deterministic:
+//! stripped of that final column they must be byte-identical across
+//! backends and cache warmth, which is what lets `corpus_stress`
+//! histogram them and `scripts/verify.sh` diff two runs. Cache counters
+//! stay out of rows entirely.
 
 use crate::paper_config;
 use emb_fsm::flow::{
-    emb_clock_controlled_flow, emb_flow_with_fallback, mapping_for, FlowConfig, ImplKind, Stimulus,
+    emb_clock_controlled_flow, emb_flow_with_fallback, mapping_for, FlowConfig, FlowReport,
+    ImplKind, MapBackend, Stimulus,
 };
 use emb_fsm::map::EmbOptions;
 use fpga_fabric::device::Device;
@@ -145,15 +148,26 @@ pub struct Outcome {
     pub impl_kind: String,
     /// Device the flow finished on (`-` when no report was produced).
     pub device: String,
-    /// Mapping rung: `direct` / `compacted` / `series` / `ff` / `-`.
+    /// Mapping rung: `direct` / `compacted` / `series` / `overlay` /
+    /// `ff` / `-`.
     pub rung: String,
     /// `+`-joined downgrade kinds in record order, `none` when empty.
     pub downgrades: String,
+    /// Per-stage wall-clock `synth/verify/place/route` in ms, each
+    /// rounded to one decimal at this formatting boundary (`-` when no
+    /// report was produced). Always the LAST column: it is measurement,
+    /// not outcome, so identity checks strip it (see
+    /// [`Outcome::deterministic_columns`]).
+    pub stage_ms: String,
 }
 
 impl Outcome {
     /// Number of row columns (the runner's placeholder width).
-    pub const COLUMNS: usize = 7;
+    pub const COLUMNS: usize = 8;
+
+    /// Columns that must be byte-identical across backends and cache
+    /// warmth: everything except the trailing wall-clock column.
+    pub const DETERMINISTIC_COLUMNS: usize = Self::COLUMNS - 1;
 
     /// The outcome as a checkpoint/report row.
     #[must_use]
@@ -166,7 +180,14 @@ impl Outcome {
             self.device,
             self.rung,
             self.downgrades,
+            self.stage_ms,
         ]
+    }
+
+    /// The deterministic prefix of a row: the wall-clock column dropped.
+    #[must_use]
+    pub fn deterministic_columns(row: &[String]) -> &[String] {
+        &row[..Self::DETERMINISTIC_COLUMNS.min(row.len())]
     }
 
     fn skeleton(item: &str, tier: &str, status: String) -> Outcome {
@@ -178,8 +199,20 @@ impl Outcome {
             device: "-".to_string(),
             rung: "-".to_string(),
             downgrades: "-".to_string(),
+            stage_ms: "-".to_string(),
         }
     }
+}
+
+/// Renders a report's stage timings as the row's `synth/verify/place/
+/// route` column (one decimal each — the rounding policy lives at this
+/// formatting boundary, the report keeps full precision).
+fn stage_column(report: &FlowReport) -> String {
+    let s = report.stage_ms;
+    format!(
+        "{:.1}/{:.1}/{:.1}/{:.1}",
+        s.synth_ms, s.verify_ms, s.place_ms, s.route_ms
+    )
 }
 
 /// Pushes one corpus item through its tier's flow. Every failure mode is
@@ -187,6 +220,18 @@ impl Outcome {
 /// the runner, so "zero coordinator failures" means exactly that.
 #[must_use]
 pub fn run_item(item: &str) -> Outcome {
+    run_item_with_backend(item, None)
+}
+
+/// [`run_item`] with the mapping backend forced. `None` keeps the tier
+/// profile's backend (the ambient [`paper_config`] resolution);
+/// `Some(MapBackend::Auto)` is what the overlay stress pass uses — every
+/// item either compiles onto its overlay class or records the
+/// `overlay-capacity` downgrade on the direct path. Clock-controlled
+/// tiers ignore the override (that flow is direct-only: its enable cone
+/// is netlist-specific, so it cannot share a class base).
+#[must_use]
+pub fn run_item_with_backend(item: &str, backend: Option<MapBackend>) -> Outcome {
     let Some((tier, spec)) = decode_spec(item) else {
         return Outcome::skeleton(item, "-", "bad-item".to_string());
     };
@@ -194,7 +239,10 @@ pub fn run_item(item: &str) -> Outcome {
         Ok(stg) => stg,
         Err(e) => return Outcome::skeleton(item, &tier, format!("gen-error:{e}")),
     };
-    let p = profile(&tier, &spec);
+    let mut p = profile(&tier, &spec);
+    if let Some(b) = backend {
+        p.cfg.backend = b;
+    }
     let report = match p.flow {
         FlowChoice::Fallback => {
             emb_flow_with_fallback(&stg, &p.emb_opts, p.synth_opts, &p.stimulus, &p.cfg)
@@ -209,6 +257,7 @@ pub fn run_item(item: &str) -> Outcome {
     };
     let rung = match report.kind {
         ImplKind::Ff | ImplKind::FfClockGated => "ff".to_string(),
+        ImplKind::EmbOverlay => "overlay".to_string(),
         ImplKind::Emb | ImplKind::EmbClockControlled => mapping_for(&stg, &p.emb_opts)
             .map_or_else(|_| "ff".to_string(), |emb| emb.rung().label().to_string()),
     };
@@ -229,6 +278,7 @@ pub fn run_item(item: &str) -> Outcome {
         impl_kind: report.kind.to_string(),
         device: report.device.name.to_string(),
         rung,
+        stage_ms: stage_column(&report),
         downgrades,
     }
 }

@@ -755,17 +755,23 @@ struct DaemonCounters {
 
 /// A parsed request line.
 enum Request {
-    Map { bench: String },
-    Sleep { ms: u64 },
+    Map {
+        bench: String,
+        backend: Option<emb_fsm::MapBackend>,
+    },
+    Sleep {
+        ms: u64,
+    },
     Ping,
     Stats,
     Shutdown,
     Malformed(String),
 }
 
-/// Parses one request line: `{"bench":"keyb"}`, `{"cmd":"ping"}` /
-/// `{"cmd":"stats"}` / `{"cmd":"shutdown"}`, or the deterministic
-/// load-stand-in `{"cmd":"sleep","ms":N}`.
+/// Parses one request line: `{"bench":"keyb"}` (optionally with
+/// `"backend":"direct"|"overlay"|"auto"` forcing the mapping backend),
+/// `{"cmd":"ping"}` / `{"cmd":"stats"}` / `{"cmd":"shutdown"}`, or the
+/// deterministic load-stand-in `{"cmd":"sleep","ms":N}`.
 fn parse_request(line: &str) -> Request {
     let mut p = JsonCursor::new(line.trim());
     let bad = |why: &str| Request::Malformed(why.to_string());
@@ -775,6 +781,7 @@ fn parse_request(line: &str) -> Request {
     let mut cmd = None;
     let mut bench = None;
     let mut ms = None;
+    let mut backend = None;
     loop {
         let Some(key) = p.string() else {
             return bad("expected a string key");
@@ -795,6 +802,13 @@ fn parse_request(line: &str) -> Request {
                 Some(v) => ms = Some(u64::from(v)),
                 None => return bad("expected a number value"),
             },
+            "backend" => match p.string() {
+                Some(v) => match emb_fsm::MapBackend::parse(&v) {
+                    Some(b) => backend = Some(b),
+                    None => return bad("backend must be direct, overlay or auto"),
+                },
+                None => return bad("expected a string value"),
+            },
             _ => return bad("unknown request field"),
         }
         match p.next_non_ws() {
@@ -803,12 +817,12 @@ fn parse_request(line: &str) -> Request {
             _ => return bad("expected ',' or '}'"),
         }
     }
-    match (cmd.as_deref(), bench, ms) {
-        (None, Some(bench), None) => Request::Map { bench },
-        (Some("sleep"), None, Some(ms)) => Request::Sleep { ms },
-        (Some("ping"), None, None) => Request::Ping,
-        (Some("stats"), None, None) => Request::Stats,
-        (Some("shutdown"), None, None) => Request::Shutdown,
+    match (cmd.as_deref(), bench, ms, backend) {
+        (None, Some(bench), None, backend) => Request::Map { bench, backend },
+        (Some("sleep"), None, Some(ms), None) => Request::Sleep { ms },
+        (Some("ping"), None, None, None) => Request::Ping,
+        (Some("stats"), None, None, None) => Request::Stats,
+        (Some("shutdown"), None, None, None) => Request::Shutdown,
         _ => bad("request needs either \"bench\" or a known \"cmd\""),
     }
 }
@@ -826,13 +840,13 @@ fn error_response(kind: &str, message: &str) -> String {
 /// response line, including the request's own flow-cache delta (thread
 /// locals: each connection is handled on a fresh thread, so the delta is
 /// exactly this request's traffic).
-fn handle_map(bench: &str) -> String {
+fn handle_map(bench: &str, backend: Option<emb_fsm::MapBackend>) -> String {
     let Some(stg) = fsm_model::benchmarks::by_name(bench) else {
         // Not a paper benchmark: corpus item names (`cx.<tier>...`) are
         // self-describing, so the daemon can serve synthetic load too —
         // `corpus_stress` uses this as its daemon pass.
         if fsm_model::corpus::decode_spec(bench).is_some() {
-            return handle_corpus_map(bench);
+            return handle_corpus_map(bench, backend);
         }
         return error_response(
             "unknown-bench",
@@ -841,7 +855,10 @@ fn handle_map(bench: &str) -> String {
     };
     let started = Instant::now();
     let before = emb_fsm::cache::stats_snapshot();
-    let cfg = crate::paper_config();
+    let mut cfg = crate::paper_config();
+    if let Some(b) = backend {
+        cfg.backend = b;
+    }
     match crate::try_compare(&stg, &emb_fsm::flow::Stimulus::Random, &cfg) {
         Err(e) => error_response("flow", &e.to_string()),
         Ok((ff, emb)) => {
@@ -883,10 +900,10 @@ fn handle_map(bench: &str) -> String {
 /// response line. The outcome columns are exactly the ones
 /// [`crate::corpus::run_item`] computes for the batch passes, so a
 /// daemon response and a runner row for the same item always agree.
-fn handle_corpus_map(item: &str) -> String {
+fn handle_corpus_map(item: &str, backend: Option<emb_fsm::MapBackend>) -> String {
     let started = Instant::now();
     let before = emb_fsm::cache::stats_snapshot();
-    let o = crate::corpus::run_item(item);
+    let o = crate::corpus::run_item_with_backend(item, backend);
     let delta = emb_fsm::cache::stats_snapshot().since(before);
     let warm = delta.misses == 0 && delta.hits > 0;
     format!(
@@ -1056,8 +1073,8 @@ fn handle_connection(
             respond(&mut writer, "{\"ok\":true,\"shutdown\":true}");
             true
         }
-        Request::Map { bench } => {
-            let response = admit_and_run(opts, counters, move || handle_map(&bench));
+        Request::Map { bench, backend } => {
+            let response = admit_and_run(opts, counters, move || handle_map(&bench, backend));
             respond(&mut writer, &response);
             false
         }
@@ -1235,7 +1252,15 @@ mod tests {
     fn request_parser_accepts_the_protocol_and_rejects_junk() {
         assert!(matches!(
             parse_request("{\"bench\":\"keyb\"}"),
-            Request::Map { bench } if bench == "keyb"
+            Request::Map { bench, backend: None } if bench == "keyb"
+        ));
+        assert!(matches!(
+            parse_request("{\"bench\":\"keyb\",\"backend\":\"auto\"}"),
+            Request::Map { bench, backend: Some(emb_fsm::MapBackend::Auto) } if bench == "keyb"
+        ));
+        assert!(matches!(
+            parse_request("{\"backend\":\"overlay\",\"bench\":\"dk17\"}"),
+            Request::Map { backend: Some(emb_fsm::MapBackend::Overlay), .. }
         ));
         assert!(matches!(parse_request("{\"cmd\":\"ping\"}"), Request::Ping));
         assert!(matches!(
@@ -1259,6 +1284,9 @@ mod tests {
             "{\"cmd\":\"sleep\"}",
             "{\"cmd\":\"sleep\",\"ms\":\"soon\"}",
             "{\"ms\":9}",
+            "{\"bench\":\"keyb\",\"backend\":\"vliw\"}",
+            "{\"backend\":\"auto\"}",
+            "{\"cmd\":\"ping\",\"backend\":\"auto\"}",
         ] {
             assert!(
                 matches!(parse_request(junk), Request::Malformed(_)),

@@ -32,6 +32,12 @@ use logic_synth::synth::SynthOptions;
 /// * `PLACE_CRIT_EXP` — VPR-style criticality exponent (default 8);
 /// * `PLACE_RETIME_INTERVAL` — full re-times are forced every N-th
 ///   refresh to bound incremental drift (default 8).
+///
+/// The mapping backend is resolved here for the same reason:
+///
+/// * `MAP_BACKEND` — `direct` (default), `overlay`, or `auto` (overlay
+///   with direct fallback past the capacity ladder). Unknown values are
+///   ignored and the default kept.
 #[must_use]
 pub fn paper_config() -> FlowConfig {
     let mut cfg = FlowConfig {
@@ -49,6 +55,12 @@ pub fn paper_config() -> FlowConfig {
         if let Ok(n) = s.trim().parse::<u32>() {
             cfg.place.retime_interval = n;
         }
+    }
+    if let Some(b) = std::env::var("MAP_BACKEND")
+        .ok()
+        .and_then(|s| emb_fsm::MapBackend::parse(s.trim()))
+    {
+        cfg.backend = b;
     }
     cfg
 }

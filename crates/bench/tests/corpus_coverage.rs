@@ -1,15 +1,19 @@
 //! Committed-corpus ladder coverage: the seeded tier grids, pushed
 //! through their flow profiles, must collectively exercise every mapping
-//! rung (direct / compacted / series / the FF fallback) and every
-//! [`emb_fsm::flow::Downgrade`] variant at least once — so no rung of
-//! the degradation ladder can silently lose its corpus coverage when a
-//! grid or profile changes.
+//! rung (direct / compacted / series / overlay / the FF fallback) and
+//! every [`emb_fsm::flow::Downgrade`] variant at least once — so no rung
+//! of the degradation ladder can silently lose its corpus coverage when
+//! a grid or profile changes. The overlay rung and the
+//! `overlay-capacity` downgrade come from a second pass over the same
+//! prefix with the mapping backend forced to `auto`, mirroring the
+//! `overlay_auto` pass of `corpus_stress`.
 //!
 //! The indices probed here are a prefix of every `corpus_stress` run
 //! with the default `CORPUS_SEED`, so a failure in this test means the
 //! committed `results/bench_corpus.json` run would miss coverage too.
 
-use paper_bench::corpus::run_item;
+use emb_fsm::MapBackend;
+use paper_bench::corpus::{run_item, run_item_with_backend};
 use std::collections::BTreeSet;
 
 /// The default corpus seed (`CORPUS_SEED`), pinned: changing it moves
@@ -51,7 +55,25 @@ fn committed_corpus_covers_every_rung_and_downgrade() {
         }
     }
 
-    for rung in ["direct", "compacted", "series", "ff"] {
+    // Overlay pass over the same prefix: `auto` lands overlay-fit items
+    // on the overlay rung and records `overlay-capacity` for the rest.
+    for tier in fsm_model::corpus::tier_names() {
+        for i in 0..prefix_len(tier).min(3) {
+            let spec = fsm_model::corpus::spec(tier, i, SEED).expect("known tier");
+            let o = run_item_with_backend(&spec.name, Some(MapBackend::Auto));
+            assert_eq!(
+                o.status, "ok",
+                "overlay-pass corpus item {} must complete (possibly degraded), got {o:?}",
+                spec.name
+            );
+            rungs.insert(o.rung.clone());
+            for d in o.downgrades.split('+').filter(|d| *d != "none") {
+                downgrades.insert(d.to_string());
+            }
+        }
+    }
+
+    for rung in ["direct", "compacted", "series", "overlay", "ff"] {
         assert!(
             rungs.contains(rung),
             "no committed corpus item lands on the '{rung}' rung (saw {rungs:?})"

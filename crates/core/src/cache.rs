@@ -59,6 +59,7 @@ use crate::flow::ClockControlStats;
 use fpga_fabric::device::{BramShape, Device};
 use fpga_fabric::netlist::{BramWrite, Cell, NetId, Netlist};
 use fpga_fabric::place::{BudgetOutcome, EcoPlacement, PlaceOptions, Placement};
+use fpga_fabric::route::{NetRoute, RouteOptions, RoutedDesign};
 use fsm_model::stg::Stg;
 use logic_synth::synth::SynthOptions;
 use std::cell::Cell as StdCell;
@@ -77,6 +78,11 @@ pub const FRONTEND_VERSION: u32 = 2;
 /// different result for the same inputs (mixed into ECO placement keys
 /// alongside [`fpga_fabric::place::ALGORITHM_VERSION`]).
 pub const ECO_PLACE_VERSION: u32 = 1;
+
+/// Bump when an overlay-base artifact's meaning changes: the base
+/// netlist construction ([`crate::overlay`]), what the record carries
+/// (placement + routing), or how the physical stages consume it.
+pub const OVERLAY_BASE_VERSION: u32 = 1;
 
 /// Bump when the record layout of any artifact changes.
 const FORMAT_VERSION: u32 = 1;
@@ -340,6 +346,21 @@ pub fn emb_frontend_key(
     w.finish()
 }
 
+/// Key for an overlay front-end artifact (`"ovl"`): the compiled FSM
+/// netlist on its overlay base, with the rewrite proof recorded. The
+/// overlay mapping has no tunable [`crate::map::EmbOptions`] — its
+/// geometry is fully determined by the machine's port and state counts —
+/// so the key is just the machine plus the planning-ladder version.
+#[must_use]
+pub fn overlay_frontend_key(stg: &Stg, minimize_states: bool) -> Key {
+    let mut w = KeyWriter::new("ovl");
+    w.u64(u64::from(FRONTEND_VERSION));
+    w.u64(u64::from(OVERLAY_BASE_VERSION));
+    w.bytes(&stg_bytes(stg));
+    w.u64(u64::from(minimize_states));
+    w.finish()
+}
+
 /// Hashes every [`PlaceOptions`] field that influences the produced
 /// placement, including the timing-cost knobs and the delay model the
 /// criticality term is computed against.
@@ -395,6 +416,31 @@ pub fn eco_place_key(
     w.str(device.name);
     key_place_opts(&mut w, opts);
     w.str(base_coord_digest);
+    w.finish()
+}
+
+/// Key for an overlay base artifact: the zeroed base netlist bytes (the
+/// class's content address — every member of an overlay class encodes to
+/// the same bytes), the device, and every placement and routing option
+/// that shapes the stored physical result. Placement and routing travel
+/// together in one record: the routing is only valid for exactly that
+/// placement.
+#[must_use]
+pub fn overlay_base_key(
+    base_netlist_bytes: &[u8],
+    device: &Device,
+    place_opts: PlaceOptions,
+    route_opts: RouteOptions,
+) -> Key {
+    let mut w = KeyWriter::new("ovlbase");
+    w.u64(u64::from(OVERLAY_BASE_VERSION));
+    w.u64(u64::from(fpga_fabric::place::ALGORITHM_VERSION));
+    w.bytes(base_netlist_bytes);
+    w.str(device.name);
+    key_place_opts(&mut w, place_opts);
+    w.u64(route_opts.tile_capacity as u64);
+    w.u64(route_opts.max_rounds as u64);
+    w.u64(route_opts.max_expansions);
     w.finish()
 }
 
@@ -1070,6 +1116,110 @@ pub fn store_eco_placement(key: &Key, placement: &EcoPlacement) {
     store_raw(key, encode_eco_placement(placement));
 }
 
+// --- overlay base artifacts -------------------------------------------
+
+/// A cached overlay base: the one-time physical design of an overlay
+/// class's zeroed netlist. The placement and routing stay valid for
+/// every member of the class — content rewrites change no structure —
+/// so a hit skips place *and* route for the per-FSM compile.
+#[derive(Debug, Clone)]
+pub struct OverlayBase {
+    /// The base placement (carries the device and the budget outcome,
+    /// replayed as downgrades on every hit).
+    pub placement: Placement,
+    /// The base routing for exactly that placement.
+    pub routed: RoutedDesign,
+}
+
+fn encode_overlay_base(b: &OverlayBase) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "ovlbase 1 {} {} {}",
+        b.routed.total_wirelength,
+        b.routed.peak_usage,
+        b.routed.routes.len()
+    );
+    for route in &b.routed.routes {
+        match route {
+            None => s.push_str("r -\n"),
+            Some(r) => {
+                let _ = write!(s, "r {} {} {}", r.wirelength, r.switches, r.tiles.len());
+                for (x, y) in &r.tiles {
+                    let _ = write!(s, " {x} {y}");
+                }
+                s.push('\n');
+            }
+        }
+    }
+    let mut bytes = s.into_bytes();
+    bytes.extend_from_slice(&encode_placement(&b.placement));
+    bytes
+}
+
+fn decode_overlay_base(bytes: &[u8]) -> Option<OverlayBase> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut it = header.strip_prefix("ovlbase 1 ")?.split(' ');
+    let total_wirelength: usize = it.next()?.parse().ok()?;
+    let peak_usage: usize = it.next()?.parse().ok()?;
+    let num_routes: usize = it.next()?.parse().ok()?;
+    let mut offset = header.len() + 1;
+    let mut routes = Vec::with_capacity(num_routes);
+    for _ in 0..num_routes {
+        let line = lines.next()?;
+        offset += line.len() + 1;
+        let rest = line.strip_prefix("r ")?;
+        if rest == "-" {
+            routes.push(None);
+            continue;
+        }
+        let mut it = rest.split(' ');
+        let wirelength: usize = it.next()?.parse().ok()?;
+        let switches: usize = it.next()?.parse().ok()?;
+        let ntiles: usize = it.next()?.parse().ok()?;
+        let tiles = (0..ntiles)
+            .map(|_| {
+                let x = it.next()?.parse().ok()?;
+                let y = it.next()?.parse().ok()?;
+                Some((x, y))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        routes.push(Some(NetRoute {
+            tiles,
+            wirelength,
+            switches,
+        }));
+    }
+    let placement = decode_placement(&bytes[offset..])?;
+    Some(OverlayBase {
+        placement,
+        routed: RoutedDesign {
+            routes,
+            total_wirelength,
+            peak_usage,
+        },
+    })
+}
+
+/// Looks up an overlay base artifact, counting a hit or miss.
+#[must_use]
+pub fn load_overlay_base(key: &Key) -> Option<OverlayBase> {
+    if !config().enabled {
+        return None;
+    }
+    let found = lookup_raw(key).and_then(|b| decode_overlay_base(&b));
+    note(found.is_some());
+    found
+}
+
+/// Publishes an overlay base artifact (no-op under `FLOW_CACHE=0`).
+pub fn store_overlay_base(key: &Key, base: &OverlayBase) {
+    store_raw(key, encode_overlay_base(base));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1199,6 +1349,81 @@ mod tests {
         assert_eq!(
             k1,
             eco_place_key(bytes, &device, PlaceOptions::default(), &d1)
+        );
+        assert_ne!(k1, place_key(bytes, &device, PlaceOptions::default()));
+    }
+
+    #[test]
+    fn overlay_base_record_roundtrips() {
+        let device = Device::xc2v250();
+        let placement = Placement {
+            device,
+            clb_loc: vec![(2, 3)],
+            bram_loc: vec![(0, 1), (0, 2)],
+            iob_loc: vec![(4, 0)],
+            hpwl: 9.5,
+            hpwl_sq: 40.25,
+            moves: 77,
+            budget: BudgetOutcome::Exhausted { spent: 50 },
+        };
+        let base = OverlayBase {
+            placement,
+            routed: RoutedDesign {
+                routes: vec![
+                    None,
+                    Some(NetRoute {
+                        tiles: vec![(1, 1), (1, 2), (2, 2)],
+                        wirelength: 2,
+                        switches: 3,
+                    }),
+                    None,
+                ],
+                total_wirelength: 2,
+                peak_usage: 4,
+            },
+        };
+        let back = decode_overlay_base(&encode_overlay_base(&base)).unwrap();
+        assert_eq!(back.routed.total_wirelength, 2);
+        assert_eq!(back.routed.peak_usage, 4);
+        assert_eq!(back.routed.routes.len(), 3);
+        assert!(back.routed.routes[0].is_none());
+        let r = back.routed.routes[1].as_ref().unwrap();
+        assert_eq!(r.tiles, vec![(1, 1), (1, 2), (2, 2)]);
+        assert_eq!(r.wirelength, 2);
+        assert_eq!(r.switches, 3);
+        assert_eq!(back.placement.bram_loc, base.placement.bram_loc);
+        assert!(matches!(
+            back.placement.budget,
+            BudgetOutcome::Exhausted { spent: 50 }
+        ));
+        assert!(decode_overlay_base(b"nonsense").is_none());
+    }
+
+    #[test]
+    fn overlay_base_keys_depend_on_route_options() {
+        let device = Device::xc2v250();
+        let bytes = b"base-netlist-bytes";
+        let k1 = overlay_base_key(bytes, &device, PlaceOptions::default(), RouteOptions::default());
+        let k2 = overlay_base_key(
+            bytes,
+            &device,
+            PlaceOptions::default(),
+            RouteOptions {
+                max_expansions: 1234,
+                ..RouteOptions::default()
+            },
+        );
+        assert_ne!(k1, k2, "route budget must be keyed");
+        let k3 = overlay_base_key(
+            b"other-base",
+            &device,
+            PlaceOptions::default(),
+            RouteOptions::default(),
+        );
+        assert_ne!(k1, k3, "base netlist bytes must be keyed");
+        assert_eq!(
+            k1,
+            overlay_base_key(bytes, &device, PlaceOptions::default(), RouteOptions::default())
         );
         assert_ne!(k1, place_key(bytes, &device, PlaceOptions::default()));
     }

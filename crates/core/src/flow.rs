@@ -12,6 +12,7 @@ use crate::baseline::ff_netlist;
 use crate::cache::{self, Frontend};
 use crate::clock_control::{attach_emb_clock_control, attach_ff_clock_gating};
 use crate::map::{map_fsm_into_embs, EmbFsm, EmbOptions};
+use crate::overlay::{overlay_fsm, OverlayClass, OverlayError};
 use crate::verify::{verify_against_stg, verify_rewrite, OutputTiming, VerificationMethod, VerifyError};
 use fpga_fabric::device::Device;
 use fpga_fabric::netlist::Netlist;
@@ -28,6 +29,49 @@ use netsim::kernel::BatchSimulator;
 use netsim::stimulus as netstim;
 use powermodel::{estimate, PowerParams, PowerReport};
 use std::fmt;
+use std::time::Instant;
+
+/// Which EMB mapping backend [`emb_flow`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MapBackend {
+    /// Per-FSM mapping and full place & route (the paper's Fig. 6 flow).
+    #[default]
+    Direct,
+    /// The overlay backend: a pre-placed, pre-routed base per overlay
+    /// class, per-FSM compile reduced to a memory-content update (see
+    /// [`crate::overlay`]). Machines past the capacity ladder fail with
+    /// a typed error.
+    Overlay,
+    /// Try the overlay backend; on a capacity failure fall back to the
+    /// direct backend and record [`Downgrade::OverlayCapacity`].
+    Auto,
+}
+
+impl MapBackend {
+    /// Parses the `MAP_BACKEND` knob value (`direct` / `overlay` /
+    /// `auto`). Unknown strings return `None` so callers can reject
+    /// typos loudly instead of silently running the default.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "direct" => Some(MapBackend::Direct),
+            "overlay" => Some(MapBackend::Overlay),
+            "auto" => Some(MapBackend::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MapBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MapBackend::Direct => "direct",
+            MapBackend::Overlay => "overlay",
+            MapBackend::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
 
 /// Shared flow configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +116,12 @@ pub struct FlowConfig {
     /// are verified by the product-walk oracle; wider machines fall back
     /// to sampling with a recorded [`Downgrade::VerifySampled`].
     pub exhaustive_verify_max_inputs: usize,
+    /// Which mapping backend [`emb_flow`] runs: the per-FSM direct flow,
+    /// the pre-placed overlay, or overlay-with-direct-fallback. Only the
+    /// plain EMB flow honours this; the clock-controlled flow always
+    /// runs direct (the enable cone is netlist-specific, so it cannot
+    /// share a class base).
+    pub backend: MapBackend,
 }
 
 impl FlowConfig {
@@ -104,6 +154,7 @@ impl Default for FlowConfig {
             minimize_states: false,
             eco_place: true,
             exhaustive_verify_max_inputs: 20,
+            backend: MapBackend::Direct,
         }
     }
 }
@@ -132,6 +183,9 @@ pub enum ImplKind {
     Emb,
     /// EMB mapping with the Sec. 6 enable-driven clock control.
     EmbClockControlled,
+    /// EMB mapping compiled onto a pre-placed overlay base
+    /// (see [`crate::overlay`]).
+    EmbOverlay,
 }
 
 impl fmt::Display for ImplKind {
@@ -141,6 +195,7 @@ impl fmt::Display for ImplKind {
             ImplKind::FfClockGated => write!(f, "FF/LUT+gate"),
             ImplKind::Emb => write!(f, "EMB"),
             ImplKind::EmbClockControlled => write!(f, "EMB+cc"),
+            ImplKind::EmbOverlay => write!(f, "EMB/ovl"),
         }
     }
 }
@@ -184,6 +239,65 @@ pub struct FlowReport {
     /// ECO placement evidence, present when the clock-controlled flow
     /// reused the plain design's placement (see [`FlowConfig::eco_place`]).
     pub eco: Option<EcoReport>,
+    /// Wall-clock spent in each pipeline stage of this run. Cached
+    /// stages report (near) zero — the point of the caches — so this is
+    /// measurement evidence, not part of the deterministic result: the
+    /// corpus harness excludes it from cross-backend identity checks.
+    pub stage_ms: StageTimings,
+    /// Overlay-backend evidence, present when this report came from the
+    /// overlay path ([`ImplKind::EmbOverlay`]).
+    pub overlay: Option<OverlayReport>,
+}
+
+/// Per-stage wall-clock breakdown of one flow run, in milliseconds.
+///
+/// `synth` covers the front-end netlist construction (synthesis or EMB /
+/// overlay mapping); `verify` the oracle equivalence proof; `place` and
+/// `route` the physical stages (for the overlay backend: resolving the
+/// base artifact, which is the load time on a cache hit). Values are
+/// unrounded here; renderers round at the last moment (the corpus row
+/// uses one decimal).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Front-end netlist construction (synthesis / mapping) time.
+    pub synth_ms: f64,
+    /// Equivalence-proof time.
+    pub verify_ms: f64,
+    /// Placement time (overlay: base-artifact resolution).
+    pub place_ms: f64,
+    /// Routing time (overlay: zero on a base cache hit — the stored
+    /// routing is reused).
+    pub route_ms: f64,
+}
+
+impl StageTimings {
+    /// The compile-turnaround metric the overlay backend optimizes:
+    /// synthesis + place + route. Verification is excluded on both
+    /// backends — the proof obligation is identical either way, so
+    /// including it would only dilute the backend comparison.
+    #[must_use]
+    pub fn compile_ms(&self) -> f64 {
+        self.synth_ms + self.place_ms + self.route_ms
+    }
+}
+
+/// Evidence that a report came from the overlay backend: which class the
+/// machine landed on and whether the class base came out of the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayReport {
+    /// True when the base's placement + routing were loaded from the
+    /// flow cache; false when this run built (and stored) them.
+    pub base_cache_hit: bool,
+    /// The canonical class label (e.g. `ovl_i4_s6_o2_b1`).
+    pub class: String,
+    /// Logical address bits the class consumes (`inputs + state_bits`).
+    pub addr_bits: usize,
+    /// Padded state width (a [`crate::overlay::STATE_BIT_RUNGS`] rung).
+    pub state_bits: usize,
+    /// Data bits per ROM word (`state_bits + outputs`).
+    pub data_bits: usize,
+    /// Series banks in the base (1, 2 or 4).
+    pub banks: usize,
 }
 
 /// Evidence that a clock-controlled implementation was placed as an ECO on
@@ -248,6 +362,13 @@ pub enum Downgrade {
         /// The machine's primary-input count.
         inputs: usize,
     },
+    /// The `auto` backend's overlay attempt failed for capacity (the
+    /// machine exceeds the overlay ladder, or its base did not fit any
+    /// device); the direct backend implemented it instead.
+    OverlayCapacity {
+        /// Display of the overlay failure that forced the fallback.
+        reason: String,
+    },
 }
 
 impl Downgrade {
@@ -263,6 +384,7 @@ impl Downgrade {
             Downgrade::SynthBudgetExhausted { .. } => "synth-budget",
             Downgrade::EcoFallback { .. } => "eco-fallback",
             Downgrade::VerifySampled { .. } => "verify-sampled",
+            Downgrade::OverlayCapacity { .. } => "overlay-capacity",
         }
     }
 
@@ -277,6 +399,7 @@ impl Downgrade {
             "synth-budget",
             "eco-fallback",
             "verify-sampled",
+            "overlay-capacity",
         ]
     }
 }
@@ -304,6 +427,9 @@ impl fmt::Display for Downgrade {
                     f,
                     "rewrite verification sampled ({inputs} inputs exceed the exhaustive cap)"
                 )
+            }
+            Downgrade::OverlayCapacity { reason } => {
+                write!(f, "overlay backend fell back to direct ({reason})")
             }
         }
     }
@@ -377,6 +503,8 @@ pub enum FlowErrorKind {
     Synth(SynthError),
     /// EMB mapping failed.
     Map(crate::map::MapFsmError),
+    /// Overlay planning failed (machine exceeds the capacity ladder).
+    Overlay(OverlayError),
     /// Clock-control synthesis failed.
     ClockControl(logic_synth::techmap::MapError),
     /// The implementation diverged from the oracle.
@@ -402,6 +530,7 @@ impl fmt::Display for FlowErrorKind {
         match self {
             FlowErrorKind::Synth(e) => write!(f, "synthesis: {e}"),
             FlowErrorKind::Map(e) => write!(f, "mapping: {e}"),
+            FlowErrorKind::Overlay(e) => write!(f, "overlay: {e}"),
             FlowErrorKind::ClockControl(e) => write!(f, "clock control: {e}"),
             FlowErrorKind::Verify(e) => write!(f, "verification: {e}"),
             FlowErrorKind::Place(e) => write!(f, "placement: {e}"),
@@ -447,7 +576,10 @@ impl FlowError {
     pub fn is_capacity(&self) -> bool {
         matches!(
             self.kind,
-            FlowErrorKind::Map(_) | FlowErrorKind::Place(_) | FlowErrorKind::Route(_)
+            FlowErrorKind::Map(_)
+                | FlowErrorKind::Overlay(_)
+                | FlowErrorKind::Place(_)
+                | FlowErrorKind::Route(_)
         )
     }
 }
@@ -485,16 +617,20 @@ pub fn ff_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
+    let mut stage = StageTimings::default();
     let key = cache::ff_frontend_key("ff", stg, synth_opts, cfg.minimize_states);
     let (netlist, downgrades) = match cache::load_frontend(&key) {
         Some(fe) => (fe.netlist, skipped_downgrades(fe.synth_skipped_functions)),
         None => {
+            let t = Instant::now();
             let impl_stg = prepared(stg, cfg)?;
             let synth = synthesize(&impl_stg, synth_opts).map_err(|e| {
                 FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e))
             })?;
             let downgrades = synth_downgrades(&synth);
             let (netlist, _) = ff_netlist(&synth, false);
+            stage.synth_ms = ms_since(t);
+            let t = Instant::now();
             verify_against_stg(
                 &netlist,
                 stg,
@@ -503,13 +639,29 @@ pub fn ff_flow(
                 cfg.seed,
             )
             .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            stage.verify_ms = ms_since(t);
             cache::store_frontend(&key, &netlist, None, skipped_of(&downgrades), None);
             (netlist, downgrades)
         }
     };
-    let mut report = implement(stg, netlist, ImplKind::Ff, None, stimulus, cfg, downgrades, None)?;
+    let mut report = implement(
+        stg,
+        netlist,
+        ImplKind::Ff,
+        None,
+        stimulus,
+        cfg,
+        downgrades,
+        None,
+        stage,
+    )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
+}
+
+/// Milliseconds elapsed since `t`.
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 /// Downgrades to record for a synthesized machine (budget overruns).
@@ -568,6 +720,7 @@ pub fn ff_clock_gated_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
+    let mut stage = StageTimings::default();
     let key = cache::ff_frontend_key("ffg", stg, synth_opts, cfg.minimize_states);
     let (netlist, stats, downgrades) = match cache::load_frontend(&key) {
         Some(Frontend {
@@ -577,6 +730,7 @@ pub fn ff_clock_gated_flow(
             ..
         }) => (netlist, stats, skipped_downgrades(synth_skipped_functions)),
         _ => {
+            let t = Instant::now();
             let impl_stg = prepared(stg, cfg)?;
             let synth = synthesize(&impl_stg, synth_opts).map_err(|e| {
                 FlowError::new(stg.name(), FlowStage::Synth, FlowErrorKind::Synth(e))
@@ -590,6 +744,8 @@ pub fn ff_clock_gated_flow(
                         FlowErrorKind::ClockControl(e),
                     )
                 })?;
+            stage.synth_ms = ms_since(t);
+            let t = Instant::now();
             verify_against_stg(
                 &netlist,
                 stg,
@@ -598,6 +754,7 @@ pub fn ff_clock_gated_flow(
                 cfg.seed,
             )
             .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            stage.verify_ms = ms_since(t);
             let stats = ClockControlStats {
                 luts: control.num_luts(),
                 slices: control.num_slices(),
@@ -616,25 +773,103 @@ pub fn ff_clock_gated_flow(
         cfg,
         downgrades,
         None,
+        stage,
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
 }
 
-/// Runs the EMB flow (Fig. 1b).
+/// Runs the EMB flow (Fig. 1b) on the backend selected by
+/// [`FlowConfig::backend`]: per-FSM place & route (`direct`), the
+/// pre-placed overlay (`overlay`), or overlay with a direct fallback on
+/// capacity failures (`auto`, recording
+/// [`Downgrade::OverlayCapacity`]).
 ///
 /// # Errors
 ///
-/// Any stage may fail; see [`FlowError`].
+/// Any stage may fail; see [`FlowError`]. Under `auto`, overlay
+/// *capacity* failures are absorbed; correctness failures propagate.
 pub fn emb_flow(
     stg: &Stg,
     emb_opts: &EmbOptions,
     stimulus: &Stimulus,
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
+    match cfg.backend {
+        MapBackend::Direct => emb_direct_flow(stg, emb_opts, stimulus, cfg),
+        MapBackend::Overlay => emb_overlay_flow(stg, stimulus, cfg),
+        MapBackend::Auto => {
+            let entry = cache::stats_snapshot();
+            match emb_overlay_flow(stg, stimulus, cfg) {
+                Ok(report) => Ok(report),
+                Err(e) if e.is_capacity() => {
+                    let reason = e.to_string();
+                    let mut report = emb_direct_flow(stg, emb_opts, stimulus, cfg)?;
+                    report.downgrades.push(Downgrade::OverlayCapacity { reason });
+                    // Span both attempts: the overlay misses belong to
+                    // this run too.
+                    report.cache = cache::stats_snapshot().since(entry);
+                    Ok(report)
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// The direct EMB backend: per-FSM mapping and full place & route.
+fn emb_direct_flow(
+    stg: &Stg,
+    emb_opts: &EmbOptions,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
-    let (netlist, downgrades) = emb_frontend(stg, emb_opts, cfg)?;
-    let mut report = implement(stg, netlist, ImplKind::Emb, None, stimulus, cfg, downgrades, None)?;
+    let (netlist, downgrades, stage) = emb_frontend(stg, emb_opts, cfg)?;
+    let mut report = implement(
+        stg,
+        netlist,
+        ImplKind::Emb,
+        None,
+        stimulus,
+        cfg,
+        downgrades,
+        None,
+        stage,
+    )?;
+    report.cache = cache::stats_snapshot().since(entry);
+    Ok(report)
+}
+
+/// Runs the EMB flow on the overlay backend: the machine is compiled
+/// onto its overlay class — a capacity check, a padded ROM image, and
+/// the usual `verify_rewrite` proof — and the class's pre-placed,
+/// pre-routed base supplies the physical design. The base is built (and
+/// cached) the first time any machine of the class is compiled; after
+/// that, per-FSM turnaround is O(memory-init), not O(place & route).
+///
+/// # Errors
+///
+/// Typed capacity failures ([`FlowErrorKind::Overlay`]) when the machine
+/// exceeds the overlay ladder; otherwise see [`FlowError`].
+pub fn emb_overlay_flow(
+    stg: &Stg,
+    stimulus: &Stimulus,
+    cfg: &FlowConfig,
+) -> Result<FlowReport, FlowError> {
+    let entry = cache::stats_snapshot();
+    let (netlist, class, downgrades, stage) = overlay_frontend(stg, cfg)?;
+    let (vectors, idle) = oracle_vectors(stg, stimulus, cfg);
+    let mut report = overlay_physical(
+        stg.name(),
+        netlist,
+        class,
+        &vectors,
+        idle,
+        cfg,
+        downgrades,
+        stage,
+    )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
 }
@@ -648,15 +883,23 @@ fn emb_frontend(
     stg: &Stg,
     emb_opts: &EmbOptions,
     cfg: &FlowConfig,
-) -> Result<(Netlist, Vec<Downgrade>), FlowError> {
+) -> Result<(Netlist, Vec<Downgrade>, StageTimings), FlowError> {
+    let mut stage = StageTimings::default();
     let key = cache::emb_frontend_key("emb", stg, emb_opts, cfg.minimize_states);
     if let Some(fe) = cache::load_frontend(&key) {
-        return Ok((fe.netlist, sampled_downgrades(fe.verify_sampled_inputs)));
+        return Ok((
+            fe.netlist,
+            sampled_downgrades(fe.verify_sampled_inputs),
+            stage,
+        ));
     }
+    let t = Instant::now();
     let impl_stg = prepared(stg, cfg)?;
     let emb = map_fsm_into_embs(&impl_stg, emb_opts)
         .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
     let netlist = emb.to_netlist();
+    stage.synth_ms = ms_since(t);
+    let t = Instant::now();
     let method = verify_rewrite(
         &netlist,
         stg,
@@ -666,9 +909,58 @@ fn emb_frontend(
         cfg.seed,
     )
     .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+    stage.verify_ms = ms_since(t);
     let sampled = sampled_of(stg, &method);
     cache::store_frontend(&key, &netlist, None, None, sampled);
-    Ok((netlist, sampled_downgrades(sampled)))
+    Ok((netlist, sampled_downgrades(sampled), stage))
+}
+
+/// The overlay front-end: plans the machine's overlay class, builds the
+/// padded ROM image and the overlay netlist, and proves the rewrite
+/// through the same `verify_rewrite` ladder as the direct backend.
+/// Cached under the `"ovl"` key. The class is re-planned on a cache hit
+/// — planning is pure arithmetic on the port/state counts, so it costs
+/// nothing and keeps the cached record netlist-only.
+fn overlay_frontend(
+    stg: &Stg,
+    cfg: &FlowConfig,
+) -> Result<(Netlist, OverlayClass, Vec<Downgrade>, StageTimings), FlowError> {
+    let mut stage = StageTimings::default();
+    let impl_stg = prepared(stg, cfg)?;
+    let class = OverlayClass::plan(
+        impl_stg.num_inputs(),
+        impl_stg.num_states(),
+        impl_stg.num_outputs(),
+    )
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Overlay(e)))?;
+    let key = cache::overlay_frontend_key(stg, cfg.minimize_states);
+    if let Some(fe) = cache::load_frontend(&key) {
+        return Ok((
+            fe.netlist,
+            class,
+            sampled_downgrades(fe.verify_sampled_inputs),
+            stage,
+        ));
+    }
+    let t = Instant::now();
+    let ovl = overlay_fsm(&impl_stg)
+        .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Overlay(e)))?;
+    let netlist = ovl.fsm_netlist();
+    stage.synth_ms = ms_since(t);
+    let t = Instant::now();
+    let method = verify_rewrite(
+        &netlist,
+        stg,
+        OutputTiming::Registered,
+        cfg.exhaustive_verify_max_inputs,
+        cfg.verify_cycles,
+        cfg.seed,
+    )
+    .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+    stage.verify_ms = ms_since(t);
+    let sampled = sampled_of(stg, &method);
+    cache::store_frontend(&key, &netlist, None, None, sampled);
+    Ok((netlist, class, sampled_downgrades(sampled), stage))
 }
 
 /// Runs the EMB flow with the full degradation ladder: if mapping (or
@@ -716,6 +1008,7 @@ pub fn emb_clock_controlled_flow(
     cfg: &FlowConfig,
 ) -> Result<FlowReport, FlowError> {
     let entry = cache::stats_snapshot();
+    let mut stage = StageTimings::default();
     let key = cache::emb_frontend_key("embcc", stg, emb_opts, cfg.minimize_states);
     let (netlist, stats, mut downgrades) = match cache::load_frontend(&key) {
         Some(Frontend {
@@ -725,6 +1018,7 @@ pub fn emb_clock_controlled_flow(
             ..
         }) => (netlist, stats, sampled_downgrades(verify_sampled_inputs)),
         _ => {
+            let t = Instant::now();
             let impl_stg = prepared(stg, cfg)?;
             let emb = map_fsm_into_embs(&impl_stg, emb_opts)
                 .map_err(|e| FlowError::new(stg.name(), FlowStage::Map, FlowErrorKind::Map(e)))?;
@@ -736,6 +1030,8 @@ pub fn emb_clock_controlled_flow(
                         FlowErrorKind::ClockControl(e),
                     )
                 })?;
+            stage.synth_ms = ms_since(t);
+            let t = Instant::now();
             let method = verify_rewrite(
                 &netlist,
                 stg,
@@ -745,6 +1041,7 @@ pub fn emb_clock_controlled_flow(
                 cfg.seed,
             )
             .map_err(|e| FlowError::new(stg.name(), FlowStage::Verify, FlowErrorKind::Verify(e)))?;
+            stage.verify_ms = ms_since(t);
             let stats = ClockControlStats {
                 luts: control.num_luts(),
                 slices: control.num_slices(),
@@ -760,7 +1057,7 @@ pub fn emb_clock_controlled_flow(
     // the gated flow still completes with a full placement.
     let eco_base = if cfg.eco_place {
         match emb_frontend(stg, emb_opts, cfg) {
-            Ok((plain, _)) => Some(plain),
+            Ok((plain, _, _)) => Some(plain),
             Err(e) => {
                 downgrades.push(Downgrade::EcoFallback {
                     reason: e.to_string(),
@@ -780,6 +1077,7 @@ pub fn emb_clock_controlled_flow(
         cfg,
         downgrades,
         eco_base.as_ref(),
+        stage,
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
@@ -796,14 +1094,9 @@ fn implement(
     cfg: &FlowConfig,
     downgrades: Vec<Downgrade>,
     eco_base: Option<&Netlist>,
+    stage: StageTimings,
 ) -> Result<FlowReport, FlowError> {
-    let vectors: Vec<Vec<bool>> = match stimulus {
-        Stimulus::Random => netstim::random(stg.num_inputs(), cfg.cycles, cfg.seed),
-        Stimulus::IdleBiased(p) => crate::stimulus::idle_biased(stg, cfg.cycles, *p, cfg.seed),
-        Stimulus::Replay(v) => v.clone(),
-    };
-    let oracle_trace = trace(stg, vectors.clone());
-    let idle = idle_fraction(stg, &oracle_trace);
+    let (vectors, idle) = oracle_vectors(stg, stimulus, cfg);
     physical(
         stg.name(),
         netlist,
@@ -814,7 +1107,21 @@ fn implement(
         cfg,
         downgrades,
         eco_base,
+        stage,
     )
+}
+
+/// The stimulus vectors plus the idle fraction the oracle achieves on
+/// them.
+fn oracle_vectors(stg: &Stg, stimulus: &Stimulus, cfg: &FlowConfig) -> (Vec<Vec<bool>>, f64) {
+    let vectors: Vec<Vec<bool>> = match stimulus {
+        Stimulus::Random => netstim::random(stg.num_inputs(), cfg.cycles, cfg.seed),
+        Stimulus::IdleBiased(p) => crate::stimulus::idle_biased(stg, cfg.cycles, *p, cfg.seed),
+        Stimulus::Replay(v) => v.clone(),
+    };
+    let oracle_trace = trace(stg, vectors.clone());
+    let idle = idle_fraction(stg, &oracle_trace);
+    (vectors, idle)
 }
 
 /// Implements a netlist that has no STG oracle (external BLIF input):
@@ -854,6 +1161,7 @@ pub(crate) fn implement_external(
         cfg,
         Vec::new(),
         None,
+        StageTimings::default(),
     )?;
     report.cache = cache::stats_snapshot().since(entry);
     Ok(report)
@@ -955,35 +1263,29 @@ fn physical(
     cfg: &FlowConfig,
     mut downgrades: Vec<Downgrade>,
     eco_base: Option<&Netlist>,
+    mut stage: StageTimings,
 ) -> Result<FlowReport, FlowError> {
     netlist
         .validate()
         .map_err(|e| FlowError::new(name, FlowStage::Pack, FlowErrorKind::Netlist(e)))?;
     let packed = pack(&netlist);
-    // Place and route, upsizing through the family on capacity failures.
-    let family_from: Vec<Device> = fpga_fabric::device::FAMILY
-        .iter()
-        .copied()
-        .skip_while(|d| d.name != cfg.device.name)
-        .collect();
-    let devices: &[Device] = if cfg.allow_device_upsize && !family_from.is_empty() {
-        &family_from
-    } else {
-        std::slice::from_ref(&cfg.device)
-    };
     let mut implemented: Option<Implemented> = None;
     let mut last_err = None;
     let mut eco_failure: Option<String> = None;
     let netlist_bytes = cache::encode_netlist(&netlist);
-    'devices: for &device in devices {
+    'devices: for &device in &device_ladder(cfg) {
         // ECO first: pin the base at the plain design's coordinates and
         // place only the delta. Any failure falls through to the full
         // placement on the same device.
         if let Some(base) = eco_base {
+            let t = Instant::now();
             match try_eco(&netlist, &netlist_bytes, base, device, cfg) {
                 Ok((eco_packed, eco, report)) => {
+                    stage.place_ms += ms_since(t);
+                    let t = Instant::now();
                     match route(&netlist, &eco_packed, &eco.placement, cfg.route) {
                         Ok(routed) => {
+                            stage.route_ms += ms_since(t);
                             implemented = Some(Implemented {
                                 device,
                                 coord_digest: cache::coords_digest(
@@ -1004,12 +1306,19 @@ fn physical(
                             });
                             break 'devices;
                         }
-                        Err(e) => eco_failure = Some(format!("routing: {e}")),
+                        Err(e) => {
+                            stage.route_ms += ms_since(t);
+                            eco_failure = Some(format!("routing: {e}"));
+                        }
                     }
                 }
-                Err(reason) => eco_failure = Some(reason),
+                Err(reason) => {
+                    stage.place_ms += ms_since(t);
+                    eco_failure = Some(reason);
+                }
             }
         }
+        let t = Instant::now();
         let pkey = cache::place_key(&netlist_bytes, &device, cfg.place_opts());
         let placement = match cache::load_placement(&pkey) {
             Some(p) => p,
@@ -1019,6 +1328,7 @@ fn physical(
                     p
                 }
                 Err(e) => {
+                    stage.place_ms += ms_since(t);
                     last_err = Some(FlowError::new(
                         name,
                         FlowStage::Place,
@@ -1028,8 +1338,11 @@ fn physical(
                 }
             },
         };
+        stage.place_ms += ms_since(t);
+        let t = Instant::now();
         match route(&netlist, &packed, &placement, cfg.route) {
             Ok(routed) => {
+                stage.route_ms += ms_since(t);
                 implemented = Some(Implemented {
                     device,
                     packed: packed.clone(),
@@ -1051,6 +1364,7 @@ fn physical(
                 break;
             }
             Err(e) => {
+                stage.route_ms += ms_since(t);
                 last_err = Some(FlowError::new(
                     name,
                     FlowStage::Route,
@@ -1059,7 +1373,197 @@ fn physical(
             }
         }
     }
-    let Some(Implemented {
+    let Some(imp) = implemented else {
+        return Err(last_err.unwrap_or_else(|| no_device_fits(name)));
+    };
+    // An ECO failure is only a downgrade if the flow did NOT end up on the
+    // ECO path (a later device may have succeeded incrementally).
+    if imp.eco.is_none() {
+        if let Some(reason) = eco_failure {
+            downgrades.push(Downgrade::EcoFallback { reason });
+        }
+    }
+    finish_report(
+        name,
+        &netlist,
+        kind,
+        clock_control,
+        vectors,
+        idle,
+        cfg,
+        downgrades,
+        imp,
+        stage,
+        None,
+    )
+}
+
+/// The physical half of the overlay flow: resolve (or build and cache)
+/// the class base's placement + routing on the device ladder, then reuse
+/// them verbatim for this machine. The FSM netlist shares the base's
+/// structure cell for cell and net for net — only the BRAM init images
+/// differ, and neither placement nor routing reads those — so the stored
+/// physical result is exact, not approximate. Budget and upsize
+/// downgrades replay deterministically from the stored artifact: the
+/// placement carries its own budget outcome, and the device is part of
+/// the key.
+#[allow(clippy::too_many_arguments)]
+fn overlay_physical(
+    name: &str,
+    netlist: Netlist,
+    class: OverlayClass,
+    vectors: &[Vec<bool>],
+    idle: f64,
+    cfg: &FlowConfig,
+    downgrades: Vec<Downgrade>,
+    mut stage: StageTimings,
+) -> Result<FlowReport, FlowError> {
+    netlist
+        .validate()
+        .map_err(|e| FlowError::new(name, FlowStage::Pack, FlowErrorKind::Netlist(e)))?;
+    let mut base = netlist.with_zeroed_bram_init();
+    base.name = class.label();
+    let base_bytes = cache::encode_netlist(&base);
+    let packed = pack(&netlist);
+    let mut implemented: Option<Implemented> = None;
+    let mut last_err = None;
+    let mut base_hit = false;
+    for &device in &device_ladder(cfg) {
+        let bkey = cache::overlay_base_key(&base_bytes, &device, cfg.place_opts(), cfg.route);
+        let t = Instant::now();
+        let (ovl_base, hit) = match cache::load_overlay_base(&bkey) {
+            Some(b) => {
+                stage.place_ms += ms_since(t);
+                (b, true)
+            }
+            None => {
+                let base_packed = pack(&base);
+                let placement = match place(&base, &base_packed, device, cfg.place_opts()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        stage.place_ms += ms_since(t);
+                        last_err = Some(FlowError::new(
+                            name,
+                            FlowStage::Place,
+                            FlowErrorKind::Place(e),
+                        ));
+                        continue;
+                    }
+                };
+                stage.place_ms += ms_since(t);
+                let t = Instant::now();
+                let routed = match route(&base, &base_packed, &placement, cfg.route) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        stage.route_ms += ms_since(t);
+                        last_err = Some(FlowError::new(
+                            name,
+                            FlowStage::Route,
+                            FlowErrorKind::Route(e),
+                        ));
+                        continue;
+                    }
+                };
+                stage.route_ms += ms_since(t);
+                let b = cache::OverlayBase { placement, routed };
+                cache::store_overlay_base(&bkey, &b);
+                (b, false)
+            }
+        };
+        base_hit = hit;
+        implemented = Some(Implemented {
+            device,
+            coord_digest: cache::coords_digest(
+                &ovl_base.placement.clb_loc,
+                &ovl_base.placement.bram_loc,
+                &ovl_base.placement.iob_loc,
+            ),
+            place_fmax_est_mhz: place_fmax_estimate(
+                &netlist,
+                &packed,
+                &ovl_base.placement,
+                &cfg.delay,
+            ),
+            packed: packed.clone(),
+            place_budget: ovl_base.placement.budget,
+            routed: ovl_base.routed,
+            eco: None,
+        });
+        break;
+    }
+    let Some(imp) = implemented else {
+        return Err(last_err.unwrap_or_else(|| no_device_fits(name)));
+    };
+    let overlay = OverlayReport {
+        base_cache_hit: base_hit,
+        class: class.label(),
+        addr_bits: class.addr_bits(),
+        state_bits: class.state_bits,
+        data_bits: class.data_width(),
+        banks: class.banks,
+    };
+    finish_report(
+        name,
+        &netlist,
+        ImplKind::EmbOverlay,
+        None,
+        vectors,
+        idle,
+        cfg,
+        downgrades,
+        imp,
+        stage,
+        Some(overlay),
+    )
+}
+
+/// The devices a flow may implement on: the configured device, then —
+/// when upsizing is allowed — the rest of the family above it.
+fn device_ladder(cfg: &FlowConfig) -> Vec<Device> {
+    let family_from: Vec<Device> = fpga_fabric::device::FAMILY
+        .iter()
+        .copied()
+        .skip_while(|d| d.name != cfg.device.name)
+        .collect();
+    if cfg.allow_device_upsize && !family_from.is_empty() {
+        family_from
+    } else {
+        vec![cfg.device]
+    }
+}
+
+/// The error reported when every ladder device was exhausted without a
+/// stage-specific failure to blame.
+fn no_device_fits(name: &str) -> FlowError {
+    FlowError::new(
+        name,
+        FlowStage::Place,
+        FlowErrorKind::Place(PlaceError::DoesNotFit {
+            what: "devices",
+            need: 1,
+            have: 0,
+        }),
+    )
+}
+
+/// The shared tail of every physical flow: records the device-upsize and
+/// place-budget downgrades, analyzes timing, simulates the stimulus for
+/// switching activity, estimates power, and assembles the report.
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    name: &str,
+    netlist: &Netlist,
+    kind: ImplKind,
+    clock_control: Option<ClockControlStats>,
+    vectors: &[Vec<bool>],
+    idle: f64,
+    cfg: &FlowConfig,
+    mut downgrades: Vec<Downgrade>,
+    imp: Implemented,
+    stage: StageTimings,
+    overlay: Option<OverlayReport>,
+) -> Result<FlowReport, FlowError> {
+    let Implemented {
         device,
         packed,
         place_budget,
@@ -1067,27 +1571,7 @@ fn physical(
         coord_digest,
         place_fmax_est_mhz,
         eco,
-    }) = implemented
-    else {
-        return Err(last_err.unwrap_or_else(|| {
-            FlowError::new(
-                name,
-                FlowStage::Place,
-                FlowErrorKind::Place(PlaceError::DoesNotFit {
-                    what: "devices",
-                    need: 1,
-                    have: 0,
-                }),
-            )
-        }));
-    };
-    // An ECO failure is only a downgrade if the flow did NOT end up on the
-    // ECO path (a later device may have succeeded incrementally).
-    if eco.is_none() {
-        if let Some(reason) = eco_failure {
-            downgrades.push(Downgrade::EcoFallback { reason });
-        }
-    }
+    } = imp;
     if device.name != cfg.device.name {
         downgrades.push(Downgrade::DeviceUpsized {
             from: cfg.device.name,
@@ -1097,13 +1581,13 @@ fn physical(
     if let fpga_fabric::place::BudgetOutcome::Exhausted { spent } = place_budget {
         downgrades.push(Downgrade::PlaceBudgetExhausted { spent });
     }
-    let timing = analyze(&netlist, &routed, &cfg.delay);
+    let timing = analyze(netlist, &routed, &cfg.delay);
 
     // Activity recording runs on the bit-parallel kernel in single-lane
     // mode: the stimulus is one sequential stream, so only one lane
     // carries it, but toggle counting still goes through the word-wide
     // XOR/popcount path and is bit-identical to the scalar engine.
-    let mut sim = BatchSimulator::new(&netlist)
+    let mut sim = BatchSimulator::new(netlist)
         .map_err(|e| FlowError::new(name, FlowStage::Simulate, FlowErrorKind::Netlist(e)))?;
     sim.run_sequential(vectors);
     let activity = sim.activity();
@@ -1111,7 +1595,7 @@ fn physical(
         .freqs_mhz
         .iter()
         .map(|&f| {
-            estimate(&netlist, &routed, activity, f, &cfg.power)
+            estimate(netlist, &routed, activity, f, &cfg.power)
                 .map_err(|e| FlowError::new(name, FlowStage::Simulate, FlowErrorKind::Power(e)))
         })
         .collect::<Result<_, _>>()?;
@@ -1119,7 +1603,7 @@ fn physical(
     Ok(FlowReport {
         name: name.to_string(),
         kind,
-        area: packed.area(&netlist),
+        area: packed.area(netlist),
         power,
         timing,
         idle_fraction: idle,
@@ -1131,6 +1615,8 @@ fn physical(
         coord_digest,
         place_fmax_est_mhz,
         eco,
+        stage_ms: stage,
+        overlay,
     })
 }
 
@@ -1280,6 +1766,112 @@ mod tests {
         )
         .unwrap();
         assert_eq!(emb.num_state_bits(), 1);
+    }
+
+    #[test]
+    fn overlay_flow_shares_one_base_across_a_class() {
+        // Two different machines of one overlay class: the second compile
+        // must reuse the first's base artifact, landing on byte-identical
+        // coordinates.
+        let mk = |seed: u64| {
+            let spec = fsm_model::generate::StgSpec {
+                states: 6,
+                inputs: 3,
+                outputs: 2,
+                transitions: 18,
+                seed,
+                ..fsm_model::generate::StgSpec::new(format!("ovlcls{seed}"))
+            };
+            fsm_model::generate::generate(&spec).unwrap()
+        };
+        let cfg = quick_cfg();
+        let a = emb_overlay_flow(&mk(3), &Stimulus::Random, &cfg).unwrap();
+        let b = emb_overlay_flow(&mk(8), &Stimulus::Random, &cfg).unwrap();
+        assert_eq!(a.kind, ImplKind::EmbOverlay);
+        let oa = a.overlay.as_ref().expect("overlay evidence");
+        let ob = b.overlay.as_ref().expect("overlay evidence");
+        assert_eq!(oa.class, ob.class);
+        assert_eq!(oa.state_bits, 4, "6 states pad to the 4-bit rung");
+        assert!(
+            ob.base_cache_hit,
+            "second machine of the class must reuse the stored base"
+        );
+        assert_eq!(
+            a.coord_digest, b.coord_digest,
+            "one base, one placement: identical coordinates for the class"
+        );
+        assert!(b.power[0].total_mw() > 0.0);
+        assert!(b.stage_ms.compile_ms() >= 0.0);
+    }
+
+    #[test]
+    fn overlay_flow_dispatches_through_emb_flow() {
+        let stg = sequence_detector_0101();
+        let cfg = FlowConfig {
+            backend: MapBackend::Overlay,
+            ..quick_cfg()
+        };
+        let r = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        assert_eq!(r.kind, ImplKind::EmbOverlay);
+        assert_eq!(r.overlay.as_ref().unwrap().class, "ovl_i1_s2_o1_b1");
+        // The direct backend on the same machine reports no overlay
+        // evidence and no stage regression.
+        let d = emb_flow(
+            &stg,
+            &EmbOptions::default(),
+            &Stimulus::Random,
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert_eq!(d.kind, ImplKind::Emb);
+        assert!(d.overlay.is_none());
+    }
+
+    #[test]
+    fn auto_backend_downgrades_past_the_overlay_ladder() {
+        // 13 inputs + 9 states (rung 4) = 17 logical address bits: past
+        // the overlay ladder. `auto` must absorb the typed capacity error
+        // and complete on the direct backend with the downgrade recorded;
+        // `overlay` must surface it as a typed capacity failure.
+        let spec = fsm_model::generate::StgSpec {
+            states: 9,
+            inputs: 13,
+            outputs: 2,
+            transitions: 40,
+            max_support: Some(3),
+            ..fsm_model::generate::StgSpec::new("wide13")
+        };
+        let stg = fsm_model::generate::generate(&spec).unwrap();
+        let cfg = FlowConfig {
+            backend: MapBackend::Auto,
+            exhaustive_verify_max_inputs: 8,
+            ..quick_cfg()
+        };
+        let r = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg).unwrap();
+        assert_eq!(r.kind, ImplKind::Emb, "fell back to the direct backend");
+        assert!(
+            r.downgrades
+                .iter()
+                .any(|d| matches!(d, Downgrade::OverlayCapacity { .. })),
+            "downgrade missing: {:?}",
+            r.downgrades
+        );
+        let cfg_ovl = FlowConfig {
+            backend: MapBackend::Overlay,
+            ..cfg
+        };
+        let err = emb_flow(&stg, &EmbOptions::default(), &Stimulus::Random, &cfg_ovl).unwrap_err();
+        assert!(err.is_capacity(), "typed capacity failure: {err}");
+        assert!(matches!(err.kind, FlowErrorKind::Overlay(_)));
+    }
+
+    #[test]
+    fn map_backend_parses_the_knob_values() {
+        assert_eq!(MapBackend::parse("direct"), Some(MapBackend::Direct));
+        assert_eq!(MapBackend::parse("overlay"), Some(MapBackend::Overlay));
+        assert_eq!(MapBackend::parse("auto"), Some(MapBackend::Auto));
+        assert_eq!(MapBackend::parse("Overlay"), None);
+        assert_eq!(format!("{}", MapBackend::Auto), "auto");
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`verify`] — lockstep equivalence against the STG oracle;
 //! * [`stimulus`] — idle-biased input streams (Table 3's 50%-idle case);
 //! * [`eco`] — content rewrites without re-place-and-route;
+//! * [`overlay`] — pre-placed, pre-routed overlay bases shared by whole
+//!   classes of machines; per-FSM compile is a memory-content update;
 //! * [`reconfig`] — the same rewrites performed *live* through the
 //!   BRAM's second (write) port while the machine runs;
 //! * [`flow`] — end-to-end implement/simulate/estimate pipelines
@@ -62,6 +64,7 @@ pub mod faultinject;
 pub mod flow;
 pub mod map;
 pub mod netlist_build;
+pub mod overlay;
 pub mod reconfig;
 pub mod stimulus;
 pub mod verify;
@@ -69,7 +72,7 @@ pub mod vhdl;
 
 pub use clock_control::{attach_emb_clock_control, synthesize_enable, ClockControl};
 pub use flow::{
-    emb_clock_controlled_flow, emb_flow, ff_clock_gated_flow, ff_flow, FlowConfig, FlowReport,
-    ImplKind, Stimulus,
+    emb_clock_controlled_flow, emb_flow, emb_overlay_flow, ff_clock_gated_flow, ff_flow,
+    FlowConfig, FlowReport, ImplKind, MapBackend, StageTimings, Stimulus,
 };
 pub use map::{map_fsm_into_embs, EmbFsm, EmbOptions, MapFsmError, OutputMode};

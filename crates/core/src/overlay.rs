@@ -1,0 +1,391 @@
+//! The FSM overlay backend: pre-placed, pre-routed BRAM bases whose
+//! per-FSM "compile" is a memory-content update.
+//!
+//! The direct backend ([`crate::map`] + place & route) spends almost all
+//! of its cold-path time on per-FSM physical design. But the paper's EMB
+//! mapping makes an FSM's behavior a pure function of memory contents:
+//! two machines with the same port counts and the same *padded* state
+//! width produce byte-identical netlist structure — only the BRAM init
+//! images differ. Wilson & Stitt's FSM overlay turns that into a
+//! turnaround optimization: synthesize/place/route the structure
+//! **once** per overlay class, store it as a content-addressed artifact,
+//! and reduce every subsequent FSM compile in the class to
+//!
+//! 1. a capacity check against the class ladder,
+//! 2. encoding the STG into the overlay's ROM image
+//!    ([`crate::contents::logical_rom`] over a width-padded encoding),
+//! 3. an equivalence proof via the usual `verify_rewrite` ladder.
+//!
+//! **Class identity.** An overlay class is `(inputs, state_bits,
+//! outputs, banks)` where `state_bits` is the machine's natural binary
+//! state width rounded up to a rung of [`STATE_BIT_RUNGS`]. Port counts
+//! are not quantized — they are top-level IOBs, so two machines with
+//! different port counts can never share a placement. State-width
+//! padding is what buys reuse: every machine with up to `2^state_bits`
+//! states and the same ports lands on the same base. The padded encoding
+//! keeps all reachable words in the low addresses and zero-fills the
+//! rest, so the base's geometry hosts any member of the class.
+//!
+//! **Capacity ladder.** A class needs `inputs + state_bits` logical
+//! address bits. One BRAM supplies [`BramShape::max_addr_bits`] (14);
+//! series banking adds at most [`MAX_SERIES_BITS`] more (4 banks), the
+//! point where the bank-mux LUT overhead stops paying for itself on the
+//! Virtex-II aspect ratios. Machines past 16 logical address bits get a
+//! typed [`OverlayError::CapacityExceeded`] — the `auto` backend turns
+//! that into a `Downgrade::OverlayCapacity` and runs the direct flow.
+
+use crate::contents;
+use crate::map::{AddressPlan, EmbFsm, OutputRealization};
+use fpga_fabric::device::BramShape;
+use fpga_fabric::netlist::Netlist;
+use fsm_model::encoding::{EncodingStyle, StateEncoding};
+use fsm_model::stg::Stg;
+use std::fmt;
+
+/// Padded state widths an overlay base may be built with. Quantizing to
+/// a short ladder keeps the base family small (few artifacts to build
+/// and cache) while wasting at most one address bit of BRAM depth.
+pub const STATE_BIT_RUNGS: [usize; 7] = [2, 4, 6, 8, 10, 12, 14];
+
+/// Maximum series (bank-select) address bits an overlay base may use:
+/// 2 bits = 4 banks.
+pub const MAX_SERIES_BITS: usize = 2;
+
+/// Errors from overlay planning. All typed — the overlay backend never
+/// panics on a machine that merely fails to fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The machine needs more logical address bits than the largest
+    /// overlay base supplies.
+    CapacityExceeded {
+        /// `inputs + padded state bits` the machine needs.
+        needed_addr_bits: usize,
+        /// The ladder's ceiling (`max_addr_bits + MAX_SERIES_BITS`).
+        available: usize,
+    },
+    /// The data word (`state_bits + outputs`) exceeds the 64-bit ROM
+    /// word representation.
+    WordTooWide {
+        /// Requested word width.
+        data_width: usize,
+    },
+    /// A planning invariant failed (encoding padding, shape lookup).
+    Unsupported(String),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::CapacityExceeded {
+                needed_addr_bits,
+                available,
+            } => write!(
+                f,
+                "FSM needs {needed_addr_bits} overlay address bits, largest base has {available}"
+            ),
+            OverlayError::WordTooWide { data_width } => {
+                write!(f, "overlay word of {data_width} bits exceeds 64")
+            }
+            OverlayError::Unsupported(e) => write!(f, "overlay planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+/// The resolved geometry of one overlay class: everything the base
+/// netlist's structure depends on, and nothing the ROM contents do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayClass {
+    /// Top-level FSM inputs the base exposes.
+    pub inputs: usize,
+    /// Padded state width (a [`STATE_BIT_RUNGS`] rung).
+    pub state_bits: usize,
+    /// Top-level FSM outputs the base exposes (in-memory realization).
+    pub outputs: usize,
+    /// Series banks (1, 2, or 4).
+    pub banks: usize,
+    /// Bank-select address bits (`log2 banks`).
+    pub series_bits: usize,
+    /// The BRAM aspect ratio every bank slice uses.
+    pub shape: BramShape,
+    /// BRAMs in parallel per bank.
+    pub parallel: usize,
+}
+
+impl OverlayClass {
+    /// Plans the class for a machine with the given port counts and
+    /// state count.
+    ///
+    /// # Errors
+    ///
+    /// [`OverlayError::CapacityExceeded`] when `inputs + padded state
+    /// bits` exceeds the ladder, [`OverlayError::WordTooWide`] when the
+    /// data word passes 64 bits.
+    pub fn plan(inputs: usize, states: usize, outputs: usize) -> Result<Self, OverlayError> {
+        let max_addr = BramShape::max_addr_bits();
+        let available = max_addr + MAX_SERIES_BITS;
+        let natural = fsm_model::encoding::bits_for_states(states);
+        let Some(state_bits) = STATE_BIT_RUNGS.iter().copied().find(|&r| r >= natural) else {
+            return Err(OverlayError::CapacityExceeded {
+                needed_addr_bits: inputs + natural,
+                available,
+            });
+        };
+        let addr_bits = inputs + state_bits;
+        let (banks, series_bits, eff_addr) = if addr_bits <= max_addr {
+            (1usize, 0usize, addr_bits)
+        } else if addr_bits - max_addr <= MAX_SERIES_BITS {
+            let sb = addr_bits - max_addr;
+            (1usize << sb, sb, max_addr)
+        } else {
+            return Err(OverlayError::CapacityExceeded {
+                needed_addr_bits: addr_bits,
+                available,
+            });
+        };
+        let data_width = state_bits + outputs;
+        if data_width > 64 {
+            return Err(OverlayError::WordTooWide { data_width });
+        }
+        let shape = BramShape::widest_with_addr_bits(eff_addr).ok_or_else(|| {
+            OverlayError::Unsupported(format!("no BRAM shape with {eff_addr} address bits"))
+        })?;
+        let parallel = data_width.div_ceil(shape.data_bits).max(1);
+        Ok(OverlayClass {
+            inputs,
+            state_bits,
+            outputs,
+            banks,
+            series_bits,
+            shape,
+            parallel,
+        })
+    }
+
+    /// The canonical class name, e.g. `ovl_i4_s6_o2_b1`. The base
+    /// netlist is renamed to this so every member of the class hashes to
+    /// the same content-addressed base artifact.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "ovl_i{}_s{}_o{}_b{}",
+            self.inputs, self.state_bits, self.outputs, self.banks
+        )
+    }
+
+    /// Logical address bits (`inputs + state_bits`).
+    #[must_use]
+    pub fn addr_bits(&self) -> usize {
+        self.inputs + self.state_bits
+    }
+
+    /// Largest state count the class hosts.
+    #[must_use]
+    pub fn capacity_states(&self) -> usize {
+        1usize << self.state_bits.min(usize::BITS as usize - 1)
+    }
+
+    /// Data bits per logical ROM word.
+    #[must_use]
+    pub fn data_width(&self) -> usize {
+        self.state_bits + self.outputs
+    }
+}
+
+/// One FSM compiled onto an overlay class: the padded EMB mapping (whose
+/// ROM is the overlay's memory image) plus the class it targets.
+#[derive(Debug, Clone)]
+pub struct OverlayFsm {
+    /// The padded mapping. Its netlist structure is shared by every
+    /// member of [`OverlayFsm::class`]; only `emb.rom` (and thus the
+    /// BRAM init images) is specific to this machine.
+    pub emb: EmbFsm,
+    /// The overlay class the machine landed on.
+    pub class: OverlayClass,
+}
+
+impl OverlayFsm {
+    /// This machine's netlist on the overlay: identical structure to
+    /// [`OverlayFsm::base_netlist`], with the real ROM contents.
+    #[must_use]
+    pub fn fsm_netlist(&self) -> Netlist {
+        self.emb.to_netlist()
+    }
+
+    /// The class's base netlist: the same structure with every BRAM init
+    /// zeroed and the design renamed to the canonical class label. Two
+    /// machines of one class produce byte-identical base netlists — the
+    /// content address under which the base's placement and routing are
+    /// stored, and reused by [`Netlist::replace_bram_init`]-style
+    /// content swaps without re-running physical design.
+    #[must_use]
+    pub fn base_netlist(&self) -> Netlist {
+        let mut base = self.fsm_netlist().with_zeroed_bram_init();
+        base.name = self.class.label();
+        base
+    }
+}
+
+/// Compiles `stg` onto its overlay class: plans the geometry, pads the
+/// binary encoding to the class's state width, and builds the ROM image
+/// with [`contents::logical_rom`]. No physical design happens here —
+/// that is the base artifact's job, done once per class.
+///
+/// # Errors
+///
+/// Typed [`OverlayError`] when the machine exceeds the capacity ladder.
+pub fn overlay_fsm(stg: &Stg) -> Result<OverlayFsm, OverlayError> {
+    let class = OverlayClass::plan(stg.num_inputs(), stg.num_states(), stg.num_outputs())?;
+    let encoding = StateEncoding::assign_padded(stg, EncodingStyle::Binary, class.state_bits)
+        .map_err(OverlayError::Unsupported)?;
+    let address = AddressPlan::Direct;
+    let rom = contents::logical_rom(stg, &encoding, &address, stg.num_outputs());
+    let emb = EmbFsm {
+        stg: stg.clone(),
+        source_name: stg.name().to_string(),
+        encoding,
+        shape: class.shape,
+        address,
+        banks: class.banks,
+        series_bits: class.series_bits,
+        parallel: class.parallel,
+        data_width: class.data_width(),
+        outputs: OutputRealization::InMemory,
+        input_mux: None,
+        rom,
+    };
+    Ok(OverlayFsm { emb, class })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_model::benchmarks::sequence_detector_0101;
+    use fsm_model::generate::{generate, StgSpec};
+
+    #[test]
+    fn class_plan_quantizes_state_bits() {
+        let c = OverlayClass::plan(1, 4, 1).unwrap();
+        assert_eq!(c.state_bits, 2);
+        assert_eq!(c.banks, 1);
+        let c = OverlayClass::plan(1, 5, 1).unwrap();
+        assert_eq!(c.state_bits, 4);
+        assert_eq!(c.capacity_states(), 16);
+        // 17 states -> natural 5 -> rung 6.
+        let c = OverlayClass::plan(1, 17, 1).unwrap();
+        assert_eq!(c.state_bits, 6);
+    }
+
+    #[test]
+    fn class_plan_series_and_reject() {
+        // 10 inputs + 6 state bits = 16 -> 2 series bits, 4 banks.
+        let c = OverlayClass::plan(10, 33, 2).unwrap();
+        assert_eq!(c.state_bits, 6);
+        assert_eq!(c.series_bits, 2);
+        assert_eq!(c.banks, 4);
+        assert_eq!(c.addr_bits(), 16);
+        // 13 inputs + 4 state bits = 17 -> past the ladder.
+        let err = OverlayClass::plan(13, 9, 1).unwrap_err();
+        assert_eq!(
+            err,
+            OverlayError::CapacityExceeded {
+                needed_addr_bits: 17,
+                available: 16
+            }
+        );
+    }
+
+    #[test]
+    fn class_label_is_canonical() {
+        let c = OverlayClass::plan(4, 11, 3).unwrap();
+        assert_eq!(c.label(), "ovl_i4_s4_o3_b1");
+    }
+
+    #[test]
+    fn overlay_rom_matches_direct_semantics() {
+        // The padded ROM must agree with the natural-width ROM on every
+        // reachable address: same inputs, same state codes (padding only
+        // widens the declared state field).
+        let stg = sequence_detector_0101();
+        let ovl = overlay_fsm(&stg).unwrap();
+        assert_eq!(ovl.class.state_bits, 2);
+        let natural = StateEncoding::assign(&stg, EncodingStyle::Binary);
+        let direct_rom =
+            contents::logical_rom(&stg, &natural, &AddressPlan::Direct, stg.num_outputs());
+        // Same class width here (4 states = exactly 2 bits), so the ROMs
+        // are identical word for word.
+        assert_eq!(ovl.emb.rom, direct_rom);
+    }
+
+    #[test]
+    fn padded_rom_places_words_at_padded_addresses() {
+        // 3 states pad from 2 natural bits... still rung 2; use 5 states
+        // (natural 3 -> rung 4) to see real padding.
+        let spec = StgSpec {
+            states: 5,
+            inputs: 2,
+            outputs: 1,
+            transitions: 12,
+            ..StgSpec::new("pad5")
+        };
+        let stg = generate(&spec).unwrap();
+        let ovl = overlay_fsm(&stg).unwrap();
+        assert_eq!(ovl.class.state_bits, 4);
+        assert_eq!(ovl.emb.rom.len(), 1 << (2 + 4));
+        // State codes stay < 8, so the top half of the state field is
+        // never addressed: those words are zero-filled.
+        for (addr, &word) in ovl.emb.rom.iter().enumerate() {
+            let code = addr >> 2;
+            if code >= 8 {
+                assert_eq!(word, 0, "address {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_netlist_is_class_invariant() {
+        // Two different machines of one class: identical base netlists.
+        let mk = |seed: u64| {
+            let spec = StgSpec {
+                states: 6,
+                inputs: 3,
+                outputs: 2,
+                transitions: 18,
+                seed,
+                ..StgSpec::new("cls")
+            };
+            generate(&spec).unwrap()
+        };
+        let a = overlay_fsm(&mk(1)).unwrap();
+        let b = overlay_fsm(&mk(9)).unwrap();
+        assert_eq!(a.class, b.class);
+        let base_a = a.base_netlist();
+        let base_b = b.base_netlist();
+        assert_eq!(base_a.name, a.class.label());
+        assert_eq!(format!("{base_a:?}"), format!("{base_b:?}"));
+        base_a.validate().unwrap();
+        // And the real FSM netlists differ from the base only in init
+        // contents: same structure counts.
+        let real = a.fsm_netlist();
+        assert_eq!(real.num_nets(), base_a.num_nets());
+        assert_eq!(real.cell_counts(), base_a.cell_counts());
+    }
+
+    #[test]
+    fn four_bank_overlay_netlist_validates() {
+        let spec = StgSpec {
+            states: 20,
+            inputs: 10,
+            outputs: 2,
+            transitions: 60,
+            max_support: Some(3),
+            ..StgSpec::new("wide")
+        };
+        let stg = generate(&spec).unwrap();
+        let ovl = overlay_fsm(&stg).unwrap();
+        assert_eq!(ovl.class.banks, 4);
+        ovl.fsm_netlist().validate().unwrap();
+        ovl.base_netlist().validate().unwrap();
+    }
+}

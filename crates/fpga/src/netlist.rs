@@ -354,6 +354,24 @@ impl Netlist {
         }
     }
 
+    /// A copy of this netlist with every BRAM's `init` image zeroed
+    /// (`output_init` untouched). Two netlists that differ only in
+    /// memory contents collapse onto the same zeroed skeleton — the
+    /// structural identity an overlay base artifact is keyed on: one
+    /// placement/routing of the skeleton is valid for every member of
+    /// the class, because [`Netlist::replace_bram_init`] changes no
+    /// structure.
+    #[must_use]
+    pub fn with_zeroed_bram_init(&self) -> Netlist {
+        let mut n = self.clone();
+        for cell in &mut n.cells {
+            if let Cell::Bram { shape, init, .. } = cell {
+                *init = vec![0u64; shape.depth()];
+            }
+        }
+        n
+    }
+
     /// Validates structural sanity: single drivers, no dangling references,
     /// consistent pin counts, and no combinational cycles. Returns the
     /// topological order of combinational cells on success.
@@ -726,6 +744,46 @@ mod tests {
             bad.validate(),
             Err(NetlistError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn zeroed_bram_init_preserves_structure() {
+        let shape = BramShape {
+            addr_bits: 9,
+            data_bits: 36,
+        };
+        let mut n = Netlist::new("rom");
+        let a: Vec<NetId> = (0..9).map(|i| n.add_net(format!("a{i}"))).collect();
+        let d = n.add_net("d");
+        for (i, net) in a.iter().enumerate() {
+            n.add_input(format!("a{i}"), *net);
+        }
+        n.add_output("d", d);
+        n.add_cell(Cell::Bram {
+            shape,
+            addr: a,
+            dout: vec![d],
+            en: None,
+            init: (0..512).map(|w| w as u64 * 3 + 1).collect(),
+            output_init: 0,
+            write: None,
+        });
+        let z = n.with_zeroed_bram_init();
+        assert!(z.validate().is_ok());
+        assert_eq!(z.num_nets(), n.num_nets());
+        assert_eq!(z.cell_counts(), n.cell_counts());
+        match z.cell(CellId(0)) {
+            Cell::Bram { init, .. } => assert!(init.iter().all(|&w| w == 0)),
+            other => panic!("expected a BRAM, got {other:?}"),
+        }
+        // A second, differently-initialized member of the same class
+        // collapses onto the same skeleton.
+        let mut m = n.clone();
+        m.replace_bram_init(0, vec![7u64; 512]).unwrap();
+        assert_eq!(
+            format!("{:?}", m.with_zeroed_bram_init()),
+            format!("{:?}", z)
+        );
     }
 
     #[test]

@@ -99,6 +99,32 @@ impl StateEncoding {
         }
     }
 
+    /// [`StateEncoding::assign`] widened to at least `min_bits` state
+    /// bits: codes are unchanged, only the declared width grows. The
+    /// extra high bits are zero for every code, so a memory table built
+    /// from a padded encoding places all reachable words in the low
+    /// `2^(inputs + bits_for_states(n))` addresses — exactly what a
+    /// fixed-geometry overlay base needs to host machines of any state
+    /// count up to its padded capacity.
+    ///
+    /// Padding a one-hot encoding is refused (its width is already the
+    /// state count; widening it has no overlay meaning).
+    pub fn assign_padded(
+        stg: &Stg,
+        style: EncodingStyle,
+        min_bits: usize,
+    ) -> Result<Self, String> {
+        if style == EncodingStyle::OneHotZero {
+            return Err("one-hot encodings cannot be width-padded".to_string());
+        }
+        if min_bits > 63 {
+            return Err(format!("padded state width {min_bits} exceeds 63 bits"));
+        }
+        let mut enc = StateEncoding::assign(stg, style);
+        enc.bits = enc.bits.max(min_bits);
+        Ok(enc)
+    }
+
     /// The style used.
     #[must_use]
     pub fn style(&self) -> EncodingStyle {
@@ -251,6 +277,25 @@ mod tests {
                 .fold(0u64, |a, (i, &b)| a | (u64::from(b) << i));
             assert_eq!(packed, enc.code(s));
         }
+    }
+
+    #[test]
+    fn padded_encoding_widens_without_moving_codes() {
+        let stg = machine(7, 3);
+        let plain = StateEncoding::assign(&stg, EncodingStyle::Binary);
+        let padded = StateEncoding::assign_padded(&stg, EncodingStyle::Binary, 6).unwrap();
+        assert_eq!(plain.num_bits(), 3);
+        assert_eq!(padded.num_bits(), 6);
+        for s in stg.states() {
+            assert_eq!(plain.code(s), padded.code(s));
+            assert_eq!(padded.code_bits(s).len(), 6);
+        }
+        // A min width below the natural width is a no-op.
+        let narrow = StateEncoding::assign_padded(&stg, EncodingStyle::Binary, 2).unwrap();
+        assert_eq!(narrow.num_bits(), 3);
+        // One-hot refuses padding with a typed error, not a panic.
+        assert!(StateEncoding::assign_padded(&stg, EncodingStyle::OneHotZero, 6).is_err());
+        assert!(StateEncoding::assign_padded(&stg, EncodingStyle::Binary, 64).is_err());
     }
 
     #[test]

@@ -59,7 +59,17 @@
 #    failures, byte-identical outcome histograms across runs, and every
 #    mapping rung and downgrade kind covered at least once; the
 #    committed results/bench_corpus.json must additionally come from a
-#    >= 1000-machine run with all three throughput figures present.
+#    >= 1000-machine run with all throughput figures present
+#    (including the derived daemon and overlay-pass FSMs/sec);
+#  * overlay backend (ISSUE 10) — table_overlay must push the nine
+#    paper benchmarks plus one machine per corpus tier through the
+#    direct and overlay backends in one cache: every overlay-fit item
+#    proven equivalent to its STG (zero verification failures), the
+#    warm-base overlay compile at least 20x faster than the cold direct
+#    flow (geomean over fit items), and a second overlay pass hitting
+#    the stored base artifacts with zero re-place-and-routes. The
+#    committed results/bench_overlay.json must hold the same
+#    invariants.
 #
 # Usage: scripts/verify.sh [extra cargo test args...]
 set -eu
@@ -372,10 +382,12 @@ echo "   duplicate bind refused (exit 3); deadline and draining rejects typed; d
 
 # -- Corpus smoke gate -------------------------------------------------------
 # ~200 synthetic machines (22 per tier x 9 tiers) through the full flow
-# under the degradation ladder, on every runner backend and the daemon,
-# twice with the same fixed seed. corpus_stress itself asserts zero
-# coordinator failures and byte-identical rows across the sequential,
-# thread, and process backends; this gate adds (a) run-to-run stdout
+# under the degradation ladder, on every runner backend, the forced
+# overlay-auto pass, and the daemon, twice with the same fixed seed.
+# corpus_stress itself asserts zero coordinator failures and identical
+# deterministic row prefixes (the trailing stage-timing column is
+# measurement, not outcome) across the sequential, thread, and process
+# backends; this gate adds (a) run-to-run stdout
 # determinism (the per-tier outcome histograms), and (b) full ladder
 # coverage — no rung and no downgrade kind at zero. Timings go to a
 # scratch BENCH_RESULTS_DIR so the committed results/bench_corpus.json
@@ -407,10 +419,51 @@ corpus_machines=$(sed -n 's/.*"machines": \([0-9]*\).*/\1/p' results/bench_corpu
     || fail "committed bench_corpus.json covers ${corpus_machines:-0} machines, need >= 1000 (regenerate with ./target/release/corpus_stress)"
 grep -q '"coordinator_failures": 0' results/bench_corpus.json \
     || fail "committed bench_corpus.json records coordinator failures"
-for field in fsms_per_sec_serial fsms_per_sec_parallel fsms_per_sec_warm; do
+for field in fsms_per_sec_serial fsms_per_sec_parallel fsms_per_sec_warm \
+    fsms_per_sec_overlay fsms_per_sec_daemon; do
     grep -q "\"$field\":" results/bench_corpus.json \
         || fail "committed bench_corpus.json is missing $field"
 done
 echo "   committed corpus run: $corpus_machines machines, zero coordinator failures" >&2
+
+# -- Overlay backend gate -----------------------------------------------------
+# table_overlay runs the 18-item comparison (nine paper benchmarks + one
+# machine per corpus tier) through four phases in one scratch cache:
+# cold direct, overlay base prebuild (with a full verify_rewrite
+# equivalence proof per fit item), warm-base overlay compile, and a
+# second overlay pass that must be served entirely from the stored base
+# artifacts. The bin itself aborts on a verification failure; this gate
+# re-checks the JSON and enforces the headline turnaround claim.
+echo "== overlay backend gate (table_overlay, fresh run)" >&2
+rm -rf target/verify_overlay
+BENCH_RESULTS_DIR=target/verify_overlay \
+    ./target/release/table_overlay > target/verify_overlay.out 2>/dev/null \
+    || fail "table_overlay run failed (overlay verification or flow failure)"
+overlay_json=target/verify_overlay/bench_overlay.json
+[ -s "$overlay_json" ] || fail "table_overlay wrote no bench_overlay.json"
+check_overlay_json() {
+    f=$1
+    label=$2
+    grep -q '"verify_failures": 0' "$f" \
+        || fail "$label records overlay verification failures"
+    grep -q '"second_run_base_misses": 0' "$f" \
+        || fail "$label: second overlay pass re-placed a base (unstable base artifact keys)"
+    grep -q '"phase_c_base_misses": 0' "$f" \
+        || fail "$label: warm-base compile missed a stored base artifact"
+    speedup=$(sed -n 's/.*"fit_geomean_speedup": \([0-9.]*\).*/\1/p' "$f")
+    [ -n "$speedup" ] || fail "$label is missing fit_geomean_speedup"
+    awk -v s="$speedup" 'BEGIN{exit !(s >= 20)}' \
+        || fail "$label: overlay compile speedup ${speedup}x is under the 20x turnaround claim"
+    fit=$(sed -n 's/.*"items_fit": \([0-9]*\).*/\1/p' "$f")
+    [ -n "$fit" ] && [ "$fit" -ge 10 ] \
+        || fail "$label: only ${fit:-0} overlay-fit items, expected >= 10 of 18"
+    echo "   $label: ${fit} fit items, ${speedup}x geomean speedup, zero verify failures, zero base re-P&Rs" >&2
+}
+check_overlay_json "$overlay_json" "fresh bench_overlay.json"
+
+# -- Committed overlay artifact ----------------------------------------------
+echo "== committed bench_overlay.json sanity" >&2
+[ -s results/bench_overlay.json ] || fail "results/bench_overlay.json is missing"
+check_overlay_json results/bench_overlay.json "committed bench_overlay.json"
 
 echo "verify.sh: OK" >&2

@@ -12,7 +12,7 @@
 //! `<fsm.kiss2>` may be `-` for stdin. Run `romfsm help` for all options.
 
 use romfsm::emb::flow::{
-    emb_clock_controlled_flow, emb_flow, ff_flow, FlowConfig, FlowReport, Stimulus,
+    emb_clock_controlled_flow, emb_flow, ff_flow, FlowConfig, FlowReport, MapBackend, Stimulus,
 };
 use romfsm::emb::map::{map_fsm_into_embs, AddressPlan, EmbOptions, OutputMode};
 use romfsm::fsm::encoding::EncodingStyle;
@@ -31,7 +31,7 @@ USAGE:
   romfsm synth <fsm.kiss2> [--encoding binary|gray|onehot] [--blif <out.blif>]
                            [--vhdl <out.vhd>] [--minimize]
   romfsm compare <fsm.kiss2> [--idle <0..1>] [--cycles <n>] [--clock-control]
-                             [--minimize]
+                             [--minimize] [--backend direct|overlay|auto]
   romfsm generate --states <n> --inputs <n> --outputs <n>
                   [--transitions <n>] [--seed <n>] [--moore] [--idle-line]
                   [--dont-care-density <0..1>] [--fanout-skew <k>]
@@ -95,6 +95,7 @@ const VALUED: &[&str] = &[
     "--dont-care-density",
     "--fanout-skew",
     "--seed",
+    "--backend",
 ];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -292,11 +293,15 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let stg = load_stg(&flags)?;
     let idle: Option<f64> = flags.number("--idle")?;
     let cycles: usize = flags.number("--cycles")?.unwrap_or(2000);
-    let cfg = FlowConfig {
+    let mut cfg = FlowConfig {
         cycles,
         minimize_states: flags.has("--minimize"),
         ..FlowConfig::default()
     };
+    if let Some(b) = flags.value("--backend") {
+        cfg.backend = MapBackend::parse(b)
+            .ok_or_else(|| format!("--backend must be direct, overlay or auto, got '{b}'"))?;
+    }
     let stim = match idle {
         Some(p) => Stimulus::IdleBiased(p),
         None => Stimulus::Random,
@@ -317,6 +322,18 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     };
     show(&ff);
     show(&emb);
+    if let Some(o) = &emb.overlay {
+        println!(
+            "  overlay class {} ({} bank{}, base {})",
+            o.class,
+            o.banks,
+            if o.banks == 1 { "" } else { "s" },
+            if o.base_cache_hit { "cached" } else { "built" }
+        );
+    }
+    for d in &emb.downgrades {
+        println!("  downgrade: {d}");
+    }
     if flags.has("--clock-control") {
         let cc = emb_clock_controlled_flow(&stg, &EmbOptions::default(), &stim, &cfg)
             .map_err(|e| e.to_string())?;
@@ -423,6 +440,14 @@ mod tests {
         assert_eq!(f.number::<f64>("--dont-care-density").unwrap(), Some(0.4));
         assert_eq!(f.number::<f64>("--fanout-skew").unwrap(), Some(1.5));
         assert!(f.positional.is_empty());
+    }
+
+    #[test]
+    fn backend_flag_takes_a_value() {
+        let f = parse_flags(&s(&["--backend", "overlay"])).unwrap();
+        assert_eq!(f.value("--backend"), Some("overlay"));
+        assert!(f.positional.is_empty());
+        assert!(parse_flags(&s(&["--backend"])).is_err());
     }
 
     #[test]
